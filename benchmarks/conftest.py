@@ -1,0 +1,80 @@
+"""Shared benchmark fixtures and result reporting.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the reproduced rows/series to ``benchmarks/results/<name>.txt``
+(also echoed to stdout) so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from a single run.
+
+Scale: by default the dataset uses 12 inputs per application (2,880
+rows) so the full harness completes in minutes.  Set
+``REPRO_PAPER_SCALE=1`` to use the paper-scale 47 inputs per app
+(11,280 rows; the paper's MP-HPC has 11,312).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.predictor import CrossArchPredictor
+from repro.dataset.generate import generate_dataset
+from repro.frame import Frame
+from repro.ml import train_test_split
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+INPUTS_PER_APP = 47 if PAPER_SCALE else 12
+BENCH_SEED = 20240501
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The MP-HPC dataset used by every benchmark."""
+    return generate_dataset(inputs_per_app=INPUTS_PER_APP, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_dataset):
+    return train_test_split(bench_dataset.num_rows, 0.1, random_state=42)
+
+
+@pytest.fixture(scope="session")
+def bench_predictor(bench_dataset, bench_split):
+    """The paper's best model, trained once on the 90% split."""
+    train_rows, _ = bench_split
+    return CrossArchPredictor.train(
+        bench_dataset, model="xgboost", rows=train_rows
+    )
+
+
+def report(name: str, title: str, frame: Frame,
+           paper_notes: str = "") -> None:
+    """Persist and print one reproduced table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [f"# {title}", ""]
+    if paper_notes:
+        lines += [f"Paper reference: {paper_notes}", ""]
+    cols = frame.columns
+    widths = [
+        max(len(c), *(len(_fmt(frame[c][i])) for i in range(frame.num_rows)))
+        for c in cols
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i in range(frame.num_rows):
+        lines.append(
+            "  ".join(_fmt(frame[c][i]).ljust(w) for c, w in zip(cols, widths))
+        )
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

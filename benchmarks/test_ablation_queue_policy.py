@@ -1,0 +1,71 @@
+"""Ablation: the R1 queue policy of Algorithm 1.
+
+The paper instantiates Algorithm 1's queue policy R1 as FCFS.  This
+bench sweeps the policy family under model-based machine assignment on
+a contended cluster: SJF should improve average bounded slowdown (the
+classic result) while makespan stays roughly flat.
+"""
+
+from __future__ import annotations
+
+from repro.frame import Frame
+from repro.sched import (
+    Scheduler,
+    average_bounded_slowdown,
+    makespan,
+    policy_by_name,
+    strategy_by_name,
+)
+from repro.sched.machines import ClusterState
+from repro.workloads import build_workload
+
+from conftest import report
+
+N_JOBS = 6000
+SMALL_CLUSTER = {"Quartz": 60, "Ruby": 30, "Lassen": 16, "Corona": 8}
+POLICIES = ("fcfs", "sjf", "ljf", "widest", "smallest")
+
+
+def _sweep(dataset, predictor):
+    jobs = build_workload(dataset, n_jobs=N_JOBS, seed=23,
+                          predictor=predictor)
+    rows = []
+    for policy_name in POLICIES:
+        result = Scheduler(
+            strategy_by_name("model"),
+            ClusterState(dict(SMALL_CLUSTER)),
+            queue_policy=policy_by_name(policy_name),
+            backfill_policy=policy_by_name(policy_name),
+        ).run(list(jobs))
+        rows.append(
+            {
+                "policy": policy_name,
+                "makespan_hours": makespan(result) / 3600.0,
+                "avg_bounded_slowdown": average_bounded_slowdown(result),
+            }
+        )
+    return Frame.from_records(rows)
+
+
+def test_ablation_queue_policy(benchmark, bench_dataset, bench_predictor):
+    frame = benchmark.pedantic(
+        lambda: _sweep(bench_dataset, bench_predictor),
+        rounds=1, iterations=1,
+    )
+    report(
+        "ablation_queue_policy",
+        f"Ablation — Algorithm 1 R1/R2 queue policy ({N_JOBS} jobs, "
+        "small cluster)",
+        frame,
+        paper_notes="the paper uses FCFS for both R1 and R2; SJF is the "
+                    "classic slowdown optimization",
+    )
+    slow = dict(zip(frame["policy"], frame["avg_bounded_slowdown"]))
+    spans = dict(zip(frame["policy"], frame["makespan_hours"]))
+    # SJF improves responsiveness over FCFS...
+    assert slow["sjf"] < slow["fcfs"]
+    # ...and LJF damages it.
+    assert slow["ljf"] > slow["sjf"]
+    # Makespan stays within a modest band across policies (work is
+    # conserved; only ordering changes).
+    assert max(spans.values()) < 1.5 * min(spans.values())

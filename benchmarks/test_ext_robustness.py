@@ -1,0 +1,43 @@
+"""Extension benchmark: Fig. 2 robustness across dataset seeds.
+
+Single-split comparisons hide variance; this study regenerates the
+dataset under three seeds and reports mean +- std per model, asserting
+the orderings the reproduction treats as solid (tree models beat linear
+beats mean) with gaps that exceed the measured spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import robustness_study
+
+from conftest import report
+
+LIGHT = {"n_estimators": 150, "max_depth": 8}
+
+
+def test_ext_robustness(benchmark):
+    frame = benchmark.pedantic(
+        lambda: robustness_study(dataset_seeds=(0, 1, 2), inputs_per_app=6,
+                                 model_kwargs=LIGHT),
+        rounds=1, iterations=1,
+    )
+    report(
+        "ext_robustness",
+        "Extension — Fig. 2 metrics across three dataset seeds (mean +- std)",
+        frame,
+        paper_notes="orderings asserted only where gaps exceed seed spread",
+    )
+    rows = {str(m): (mu, sd, sm, ss) for m, mu, sd, sm, ss in zip(
+        frame["model"], frame["mae_mean"], frame["mae_std"],
+        frame["sos_mean"], frame["sos_std"],
+    )}
+    # Tree models beat linear by far more than the spread...
+    gap = rows["linear"][0] - rows["xgboost"][0]
+    assert gap > 3 * (rows["linear"][1] + rows["xgboost"][1])
+    # ...and linear beats mean on MAE beyond spread.
+    gap2 = rows["mean"][0] - rows["linear"][0]
+    assert gap2 > rows["mean"][1] + rows["linear"][1]
+    # SOS: tree models decisively above non-tree models.
+    assert rows["xgboost"][2] > 2 * rows["linear"][2]

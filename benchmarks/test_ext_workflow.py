@@ -1,0 +1,92 @@
+"""Extension benchmark: workflow (task-DAG) placement.
+
+The paper's introduction motivates cross-architecture prediction with
+*workflows*; its evaluation stops at independent jobs.  This benchmark
+completes the story: ensemble workflows (setup -> members -> analysis)
+whose tasks are placed per-task by the model, versus the
+single-allocation user who runs everything on one machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import MACHINES, SYSTEM_ORDER
+from repro.frame import Frame
+from repro.workloads.workflow import (
+    WorkflowTask,
+    critical_path_lower_bound,
+    make_ensemble_workflow,
+    schedule_workflow,
+)
+
+from conftest import report
+
+
+def _workflow_from_dataset(dataset, predictor, seed):
+    """Build an ensemble workflow out of sampled dataset groups."""
+    rng = np.random.default_rng(seed)
+    groups = dataset.group_labels()
+    uniq = np.unique(groups.astype(str))
+    machine_col = np.array([str(m) for m in dataset.frame["machine"]])
+    times = np.asarray(dataset.frame["time_seconds"], dtype=np.float64)
+    X = dataset.X()
+
+    def sample_task(label):
+        g = uniq[int(rng.integers(len(uniq)))]
+        rows = np.flatnonzero(groups == g)
+        runtimes = {machine_col[r]: float(times[r]) for r in rows}
+        source = rows[int(rng.integers(len(rows)))]
+        rpv = predictor.predict(X[source: source + 1])[0]
+        return WorkflowTask(name=label, runtimes=runtimes, rpv=rpv)
+
+    setup = sample_task("setup")
+    members = [sample_task(f"member_{i}") for i in range(8)]
+    analysis = sample_task("analysis")
+    return make_ensemble_workflow(setup, members, analysis)
+
+
+def _compare(dataset, predictor):
+    rows = []
+    for trial in range(5):
+        workflow = _workflow_from_dataset(dataset, predictor, seed=trial)
+        single = schedule_workflow(workflow, policy="first_machine",
+                                   nodes_per_machine=2)
+        model = schedule_workflow(workflow, policy="model",
+                                  nodes_per_machine=2)
+        oracle = schedule_workflow(workflow, policy="best_true",
+                                   nodes_per_machine=2)
+        rows.append(
+            {
+                "workflow": trial,
+                "single_machine_s": single.makespan,
+                "model_s": model.makespan,
+                "oracle_s": oracle.makespan,
+                "critical_path_s": critical_path_lower_bound(workflow),
+            }
+        )
+    return Frame.from_records(rows)
+
+
+def test_ext_workflow_placement(benchmark, bench_dataset, bench_predictor):
+    frame = benchmark.pedantic(
+        lambda: _compare(bench_dataset, bench_predictor),
+        rounds=1, iterations=1,
+    )
+    report(
+        "ext_workflow",
+        "Extension — ensemble-workflow makespan per placement policy",
+        frame,
+        paper_notes="the paper's Section I motivation, completed: "
+                    "per-task model placement vs single-cluster execution",
+    )
+    single = np.asarray(frame["single_machine_s"])
+    model = np.asarray(frame["model_s"])
+    oracle = np.asarray(frame["oracle_s"])
+    bound = np.asarray(frame["critical_path_s"])
+    # Model placement beats single-machine execution on average...
+    assert model.mean() < single.mean()
+    # ...tracks the oracle closely...
+    assert model.mean() < 1.3 * oracle.mean()
+    # ...and never beats the critical-path bound.
+    assert (model >= bound - 1e-9).all()

@@ -1,0 +1,47 @@
+"""Figure 2: MAE (left) and SOS (right) of the four models.
+
+Paper: XGBoost best with MAE 0.11 and SOS 0.86; decision forest close
+behind; the linear model beats the mean baseline on MAE but is worst on
+SOS; XGBoost's MAE is an 81.6% improvement over mean prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import model_comparison_study
+
+from conftest import BENCH_SEED, report
+
+
+def test_fig2_model_comparison(benchmark, bench_dataset):
+    frame = benchmark.pedantic(
+        lambda: model_comparison_study(bench_dataset, seed=42),
+        rounds=1, iterations=1,
+    )
+    by_model = {
+        str(m): (mae, sos)
+        for m, mae, sos in zip(frame["model"], frame["mae"], frame["sos"])
+    }
+    improvement = 1 - by_model["xgboost"][0] / by_model["mean"][0]
+    frame = frame.with_column(
+        "improvement_over_mean",
+        [1 - mae / by_model["mean"][0] for mae in frame["mae"]],
+    )
+    report(
+        "fig2_model_comparison",
+        "Fig. 2 — Test-set MAE and SOS per model",
+        frame,
+        paper_notes="XGBoost MAE 0.11 / SOS 0.86; 81.6% improvement over "
+                    "mean prediction; forest close second; linear worst SOS "
+                    "among ML models",
+    )
+    # Shape assertions from the paper:
+    assert by_model["xgboost"][0] < by_model["forest"][0]      # best MAE
+    assert by_model["forest"][0] < by_model["linear"][0]
+    assert by_model["linear"][0] < by_model["mean"][0]
+    # SOS: the two tree ensembles are a statistical near-tie in this
+    # simulator (the paper separates them slightly); assert XGBoost at
+    # least ties the forest and decisively beats the non-tree models.
+    assert by_model["xgboost"][1] >= by_model["forest"][1] - 0.05
+    assert by_model["xgboost"][1] > 2 * by_model["linear"][1]
+    assert by_model["xgboost"][1] > 2 * by_model["mean"][1]
+    assert improvement > 0.5  # large improvement over the mean baseline

@@ -1,0 +1,59 @@
+"""Figure 3: MAE / SOS heatmaps per (model, source architecture).
+
+Paper: XGBoost best everywhere; counters from the CPU systems (Ruby
+especially, then Quartz) yield better predictions than counters from
+the GPU systems, attributed to the maturity of CPU performance counters
+vs GPU profiling (rocprof on Corona being the newest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import per_architecture_study
+
+from conftest import report
+
+
+def test_fig3_per_arch_heatmap(benchmark, bench_dataset):
+    frame = benchmark.pedantic(
+        lambda: per_architecture_study(bench_dataset, seed=42),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig3_per_arch_heatmap",
+        "Fig. 3 — MAE and SOS per (model, source architecture)",
+        frame,
+        paper_notes="CPU-source counters (Quartz/Ruby) predict better than "
+                    "GPU-source (Lassen/Corona); XGBoost best per column",
+    )
+    from repro.viz import heatmap
+
+    print(heatmap(frame, "model", "source_arch", "mae",
+                  title="MAE heatmap (darker = lower = better)",
+                  invert=True))
+    models = np.array([str(m) for m in frame["model"]])
+    archs = np.array([str(a) for a in frame["source_arch"]])
+    mae = np.asarray(frame["mae"])
+
+    # Mean prediction row is the worst in every column.
+    for arch in ("Quartz", "Ruby", "Lassen", "Corona"):
+        col = mae[archs == arch]
+        col_models = models[archs == arch]
+        assert col[col_models == "mean"][0] == col.max()
+
+    # The fine-grained per-source ordering does NOT reproduce in this
+    # simulator (it is split-seed variance at per-arch subset sizes;
+    # see EXPERIMENTS.md).  The robust facts asserted here: the learned
+    # tree model carries real signal from every counter source, and the
+    # per-source cells stay within a common band (no source is
+    # unusable).  The paper's *mechanism* — GPU profiling noise degrades
+    # GPU-source accuracy — is asserted in
+    # test_ablation_counter_noise.py, where it is monotone and clean.
+    xgb = {a: m for a, m in zip(archs[models == "xgboost"],
+                                mae[models == "xgboost"])}
+    mean_cells = {a: m for a, m in zip(archs[models == "mean"],
+                                       mae[models == "mean"])}
+    for arch, cell in xgb.items():
+        assert cell < 0.6 * mean_cells[arch]
+    assert max(xgb.values()) < 2.0 * min(xgb.values())

@@ -1,0 +1,50 @@
+"""Figure 6: XGBoost feature importances (average gain).
+
+Paper: branch intensity is the most important feature, followed by the
+integer-arithmetic and single-FP intensities (the CPU-vs-GPU
+discriminators); the source-architecture indicators (Ruby, Lassen,
+Uses GPU) come next; L2 store misses lead the magnitude features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import feature_importance_study
+
+from conftest import report
+
+
+def test_fig6_feature_importance(benchmark, bench_dataset):
+    frame = benchmark.pedantic(
+        lambda: feature_importance_study(bench_dataset, seed=42),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig6_feature_importance",
+        "Fig. 6 — XGBoost feature importances (average gain)",
+        frame,
+        paper_notes="paper: branch intensity top; integer & single-FP "
+                    "intensity next; then source-arch indicators",
+    )
+    features = [str(f) for f in frame["feature"]]
+    importance = dict(zip(features, frame["importance"]))
+    assert abs(sum(importance.values()) - 1.0) < 1e-9
+
+    # Instruction-mix discriminators (the paper's top group) must carry
+    # real signal: the best of them ranks in the top half and together
+    # they hold a non-trivial share of total gain.  (Exact ranking
+    # differs from the paper — see EXPERIMENTS.md: in this simulator the
+    # uses-GPU indicator absorbs the regime split that branch intensity
+    # proxies for in the paper's data.)
+    ranks = {f: i for i, f in enumerate(features)}
+    mix = ("branch_intensity", "int_intensity", "fp_sp_intensity",
+           "fp_dp_intensity", "load_intensity", "store_intensity")
+    assert min(ranks[f] for f in mix) < len(features) // 2
+    assert sum(importance[f] for f in mix) > 0.02
+
+    # The measurement-context group (uses_gpu + one-hot architecture),
+    # which the paper ranks 4th-6th, must be highly ranked here too.
+    context = ("uses_gpu", "arch_quartz", "arch_ruby", "arch_lassen",
+               "arch_corona")
+    assert min(ranks[f] for f in context) < 6

@@ -1,0 +1,52 @@
+"""Figure 8: average bounded slowdown per machine-assignment strategy.
+
+Paper: Model-based assignment has the lowest average bounded slowdown,
+with the same strategy ordering as the makespan result.
+"""
+
+from __future__ import annotations
+
+from repro.frame import Frame
+from repro.sched import Scheduler, average_bounded_slowdown, strategy_by_name
+from repro.sched.machines import ClusterState
+from repro.workloads import build_workload
+
+from conftest import PAPER_SCALE, report
+
+N_JOBS = 50_000 if PAPER_SCALE else 10_000
+STRATEGIES = ("round_robin", "random", "user_rr", "model", "oracle")
+
+
+def _run_all(dataset, predictor):
+    jobs = build_workload(dataset, n_jobs=N_JOBS, seed=7,
+                          predictor=predictor)
+    rows = []
+    for name in STRATEGIES:
+        result = Scheduler(
+            strategy_by_name(name, seed=11), ClusterState()
+        ).run(list(jobs))
+        rows.append(
+            {
+                "strategy": name,
+                "avg_bounded_slowdown": average_bounded_slowdown(result),
+            }
+        )
+    return Frame.from_records(rows)
+
+
+def test_fig8_bounded_slowdown(benchmark, bench_dataset, bench_predictor):
+    frame = benchmark.pedantic(
+        lambda: _run_all(bench_dataset, bench_predictor),
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig8_slowdown",
+        f"Fig. 8 — Average bounded slowdown per strategy ({N_JOBS} jobs)",
+        frame,
+        paper_notes="paper: Model-based lowest; same ordering as Fig. 7",
+    )
+    slow = dict(zip(frame["strategy"], frame["avg_bounded_slowdown"]))
+    assert slow["model"] <= slow["user_rr"] + 1e-9
+    assert slow["model"] < slow["round_robin"]
+    assert slow["model"] < slow["random"]
+    assert (frame.to_matrix(["avg_bounded_slowdown"]) >= 1.0).all()

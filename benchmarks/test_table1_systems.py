@@ -1,0 +1,32 @@
+"""Table I: descriptions of the four systems.
+
+Regenerates the system table from the machine models and times the
+machine-model construction path (trivially fast; included so every
+table/figure has a bench target).
+"""
+
+from __future__ import annotations
+
+from repro.arch import MACHINES, SYSTEM_ORDER
+from repro.frame import Frame
+
+from conftest import report
+
+
+def _build_table() -> Frame:
+    return Frame.from_records(
+        [MACHINES[name].describe() for name in SYSTEM_ORDER]
+    )
+
+
+def test_table1_systems(benchmark):
+    frame = benchmark(_build_table)
+    report(
+        "table1_systems",
+        "Table I — Description of the four systems and their hardware",
+        frame,
+        paper_notes="Quartz/Ruby CPU-only Intel Xeon; Lassen Power9+4xV100; "
+                    "Corona AMD Rome+8xMI50",
+    )
+    assert frame.num_rows == 4
+    assert list(frame["System"]) == list(SYSTEM_ORDER)

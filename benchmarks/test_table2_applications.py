@@ -1,0 +1,33 @@
+"""Table II: the 20 applications and their GPU support."""
+
+from __future__ import annotations
+
+from repro.apps import APPLICATIONS, GPU_APPS
+from repro.frame import Frame
+
+from conftest import report
+
+
+def _build_table() -> Frame:
+    return Frame.from_records(
+        [
+            {
+                "Application": app.name,
+                "Description": app.description,
+                "GPU": "yes" if app.gpu_support else "no",
+            }
+            for _, app in sorted(APPLICATIONS.items())
+        ]
+    )
+
+
+def test_table2_applications(benchmark):
+    frame = benchmark(_build_table)
+    report(
+        "table2_applications",
+        "Table II — Applications in the MP-HPC dataset",
+        frame,
+        paper_notes="20 applications, 11 with GPU support",
+    )
+    assert frame.num_rows == 20
+    assert sum(1 for g in frame["GPU"] if g == "yes") == len(GPU_APPS) == 11

@@ -1,0 +1,99 @@
+"""Table III: features and their per-architecture source counters.
+
+Regenerates the feature/counter mapping from the schemas and times the
+feature-derivation pass over the whole dataset (the paper's Section V-D
+pre-processing step).
+"""
+
+from __future__ import annotations
+
+from repro.arch import CORONA, LASSEN, QUARTZ, RUBY
+from repro.dataset import FEATURE_COLUMNS
+from repro.dataset.features import RAW_FOR_MAGNITUDE, RATIO_SOURCES, derive_feature_frame
+from repro.dataset.schema import FEATURE_LABELS
+from repro.frame import Frame
+from repro.profiler import schema_for
+
+from conftest import report
+
+
+def _counter_names(machine, gpu, field) -> str:
+    schema = schema_for(machine, gpu)
+    if schema.tcc is not None and field in ("l2_load_miss", "l2_store_miss"):
+        return "+".join(schema.tcc.counter_names())
+    rule = schema.rules[field]
+    return "+".join(rule.counter_names())
+
+
+def _build_table() -> Frame:
+    raw_fields = {**RATIO_SOURCES, **RAW_FOR_MAGNITUDE}
+    rows = []
+    for feature in FEATURE_COLUMNS:
+        if feature in raw_fields:
+            field = raw_fields[feature]
+            rows.append(
+                {
+                    "Feature": FEATURE_LABELS[feature],
+                    "Quartz": _counter_names(QUARTZ, False, field),
+                    "Ruby": _counter_names(RUBY, False, field),
+                    "Lassen (GPU)": _counter_names(LASSEN, True, field),
+                    "Corona (GPU)": _counter_names(CORONA, True, field),
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "Feature": FEATURE_LABELS[feature],
+                    "Quartz": "run config",
+                    "Ruby": "run config",
+                    "Lassen (GPU)": "run config",
+                    "Corona (GPU)": "run config",
+                }
+            )
+    return Frame.from_records(rows)
+
+
+def test_table3_feature_sources(benchmark, bench_dataset):
+    # Time the actual Section V-D derivation over the raw columns the
+    # dataset retains (re-deriving features from a materialized frame).
+    raw = bench_dataset.frame
+    frame = _build_table()
+
+    def materialize():
+        # Cost of materializing the 21-feature matrix + targets from the
+        # columnar dataset, the consumer-facing path of Section V-D.
+        return bench_dataset.X(), bench_dataset.Y()
+
+    benchmark(materialize)
+    report(
+        "table3_features",
+        "Table III — Features and per-architecture source counters",
+        frame,
+        paper_notes="6 instruction ratios + 8 z-scored magnitudes + "
+                    "nodes/cores/uses-GPU + one-hot architecture = 21 columns",
+    )
+    assert frame.num_rows == 21
+
+
+def test_table3_derivation_full(benchmark, bench_dataset):
+    """Times full feature derivation from raw records (fresh profile)."""
+    from repro.apps import APPLICATIONS, generate_inputs
+    from repro.hatchet_lite import run_record
+    from repro.perfsim.config import make_run_config
+    from repro.profiler import profile_run
+
+    app = APPLICATIONS["AMG"]
+    inp = generate_inputs(app, 1, seed=1)[0]
+    config = make_run_config(app, QUARTZ, "1node")
+    record = run_record(profile_run(app, inp, QUARTZ, config, seed=1))
+
+    def derive_one():
+        frame = Frame.from_records([record])
+        out, _ = derive_feature_frame(
+            frame, normalizer=bench_dataset.normalizer
+        )
+        return out
+
+    out = benchmark(derive_one)
+    for column in FEATURE_COLUMNS:
+        assert column in out

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: train the cross-architecture predictor and use it.
+
+Walks the paper's full pipeline at small scale:
+
+1. generate a slice of the MP-HPC dataset (simulated profiled runs of
+   the 20 Table II applications on the four Table I systems),
+2. train the XGBoost-style RPV regressor with the 90/10 protocol,
+3. evaluate it against the mean-prediction baseline (MAE + SOS),
+4. profile a *new, unseen* run on one machine and predict its relative
+   performance everywhere — the deployment story of Section I.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CrossArchPredictor, generate_dataset
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import RUBY, SYSTEM_ORDER
+from repro.hatchet_lite import run_record
+from repro.ml import (
+    MeanPredictor,
+    mean_absolute_error,
+    same_order_score,
+    train_test_split,
+)
+from repro.perfsim.config import make_run_config
+from repro.profiler import profile_run
+
+
+def main() -> None:
+    print("=== 1. Generate the MP-HPC dataset (small slice) ===")
+    dataset = generate_dataset(inputs_per_app=8, seed=0)
+    print(f"dataset: {dataset.num_rows} rows "
+          f"({dataset.X().shape[1]} features, 4 RPV targets)\n")
+
+    print("=== 2. Train the predictor (90/10 split) ===")
+    train_rows, test_rows = train_test_split(
+        dataset.num_rows, 0.1, random_state=42
+    )
+    predictor = CrossArchPredictor.train(
+        dataset, model="xgboost", rows=train_rows
+    )
+    print(f"trained {predictor.kind} on {len(train_rows)} rows\n")
+
+    print("=== 3. Evaluate vs the mean-prediction baseline ===")
+    X, Y = dataset.X(), dataset.Y()
+    pred = predictor.predict(X[test_rows])
+    baseline = MeanPredictor().fit(X[train_rows], Y[train_rows])
+    base_pred = baseline.predict(X[test_rows])
+    mae = mean_absolute_error(Y[test_rows], pred)
+    base_mae = mean_absolute_error(Y[test_rows], base_pred)
+    print(f"XGBoost  MAE {mae:.3f}  SOS {same_order_score(Y[test_rows], pred):.3f}")
+    print(f"Mean     MAE {base_mae:.3f}  SOS "
+          f"{same_order_score(Y[test_rows], base_pred):.3f}")
+    print(f"improvement over mean prediction: {1 - mae / base_mae:.1%} "
+          f"(paper: 81.6%)\n")
+
+    print("=== 4. Predict a brand-new run from one machine's counters ===")
+    app = APPLICATIONS["XSBench"]
+    inp = generate_inputs(app, 1, seed=999)[0]  # unseen input
+    config = make_run_config(app, RUBY, "1node")
+    profile = profile_run(app, inp, RUBY, config, seed=999)
+    record = run_record(profile)
+    rpv = predictor.predict_record(record)
+    print(f"profiled {app.name} {inp.label!r} on Ruby (1 node)")
+    print("predicted RPV (time relative to slowest system):")
+    for system, value in zip(SYSTEM_ORDER, rpv):
+        print(f"  {system:8s} {value:.3f}")
+    order = predictor.rank_systems(record)
+    print(f"recommended machine order (fastest first): {', '.join(order)}")
+
+    print("\n=== 5. Top features (average gain) ===")
+    for name, value in list(predictor.feature_importances_labeled().items())[:6]:
+        print(f"  {name:22s} {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Roofline analysis of the four Table I machines and twenty apps.
+
+Builds the standard performance-engineering picture underneath the
+paper's data: each machine's compute/bandwidth roofs, each
+application's operational intensity, and which bound dominates each
+application on each machine — the physical structure the ML model ends
+up learning from counters.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import MACHINES, SYSTEM_ORDER
+from repro.perfsim import (
+    app_operational_intensity,
+    classify_bound,
+    cpu_roofline,
+    gpu_roofline,
+)
+from repro.perfsim.config import make_run_config
+
+
+def main() -> None:
+    print("=== machine rooflines (node-level) ===")
+    print(f"{'roof':28s} {'peak GF/s':>10s} {'BW GB/s':>9s} {'ridge F/B':>10s}")
+    for name in SYSTEM_ORDER:
+        machine = MACHINES[name]
+        for roof in filter(None, [
+            cpu_roofline(machine, "dp"),
+            gpu_roofline(machine, "dp") if machine.has_gpu else None,
+        ]):
+            print(f"{roof.label:28s} {roof.peak_gflops:10.0f} "
+                  f"{roof.bandwidth_gbs:9.0f} {roof.ridge_point:10.2f}")
+
+    print("\n=== application operational intensities (flops/byte) ===")
+    intensities = sorted(
+        ((app_operational_intensity(a), a.name) for a in APPLICATIONS.values()),
+        reverse=True,
+    )
+    for oi, name in intensities[:5]:
+        print(f"  {name:14s} {oi:.3f}   (most compute-dense)")
+    print("  ...")
+    for oi, name in intensities[-3:]:
+        print(f"  {name:14s} {oi:.3f}   (most memory-dense)")
+
+    print("\n=== dominant bound per (app, machine) at one node ===")
+    apps = ("Nekbone", "SW4lite", "XSBench", "Ember", "CANDLE")
+    header = f"{'app':>10s} " + " ".join(f"{s:>14s}" for s in SYSTEM_ORDER)
+    print(header)
+    for app_name in apps:
+        app = APPLICATIONS[app_name]
+        inp = generate_inputs(app, 1, seed=2)[0]
+        cells = []
+        for system in SYSTEM_ORDER:
+            machine = MACHINES[system]
+            config = make_run_config(app, machine, "1node")
+            c = classify_bound(app, inp, machine, config)
+            cells.append(f"{c.bound:>14s}")
+        print(f"{app_name:>10s} " + " ".join(cells))
+
+    print("\nGPU-capable apps on Lassen/Corona classify the device roofline "
+          "(compute / bandwidth / launch); CPU runs classify issue vs DRAM "
+          "bandwidth vs communication vs I/O.")
+
+
+if __name__ == "__main__":
+    main()

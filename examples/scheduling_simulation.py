@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multi-resource scheduling with model-based machine assignment.
+
+Reproduces Section VII interactively: samples a job workload from the
+MP-HPC dataset, schedules it on the four Table I clusters with
+FCFS+EASY under each assignment strategy, and prints makespan, average
+bounded slowdown, and the per-machine job distribution.
+
+Run:  python examples/scheduling_simulation.py [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CrossArchPredictor,
+    Scheduler,
+    average_bounded_slowdown,
+    build_workload,
+    generate_dataset,
+    makespan,
+    strategy_by_name,
+)
+from repro.ml import train_test_split
+from repro.sched.machines import ClusterState
+from repro.sched.metrics import average_wait_time, per_machine_job_counts
+
+
+def main(n_jobs: int = 10_000) -> None:
+    print("generating dataset and training the predictor...")
+    dataset = generate_dataset(inputs_per_app=8, seed=0)
+    train_rows, _ = train_test_split(dataset.num_rows, 0.1, random_state=42)
+    predictor = CrossArchPredictor.train(dataset, rows=train_rows)
+
+    print(f"sampling {n_jobs} jobs from the dataset (with replacement)...")
+    jobs = build_workload(dataset, n_jobs=n_jobs, seed=7,
+                          predictor=predictor)
+
+    print(f"\n{'strategy':>12s} {'makespan (h)':>13s} {'bounded slowdown':>17s} "
+          f"{'avg wait (s)':>13s}")
+    baseline_span = None
+    for name in ("random", "round_robin", "user_rr", "model", "oracle"):
+        scheduler = Scheduler(strategy_by_name(name, seed=11), ClusterState())
+        result = scheduler.run(list(jobs))
+        span = makespan(result) / 3600.0
+        if name == "random":
+            baseline_span = span
+        gain = f" ({1 - span / baseline_span:+.1%} vs random)" \
+            if baseline_span else ""
+        print(f"{name:>12s} {span:13.3f} "
+              f"{average_bounded_slowdown(result):17.2f} "
+              f"{average_wait_time(result):13.1f}{gain}")
+        if name == "model":
+            counts = per_machine_job_counts(result)
+            dist = ", ".join(f"{m}: {c}" for m, c in sorted(counts.items()))
+            print(f"{'':>12s} model placement -> {dist}")
+
+    print("\npaper shape: Model < User+RR < Round-Robin ~ Random on both "
+          "metrics, up to ~20% makespan reduction")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""What-if analysis: estimate GPU speedup without GPU access.
+
+Section VIII-B: "users can obtain an estimate of the speedup from
+running on a given architecture without actually having access to or
+being capable of running that architecture.  For instance, if a
+particular application does not support AMD GPUs a user could estimate
+the performance increase/decrease if they were to implement AMD GPU
+support."
+
+This example profiles several applications on the cheap CPU system
+(Quartz) only, then uses the trained model to rank all four systems —
+including the GPU machines the user never touched — and compares the
+predictions with the simulator's ground truth.
+
+Run:  python examples/what_if_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CrossArchPredictor, generate_dataset
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import MACHINES, QUARTZ, SYSTEM_ORDER
+from repro.hatchet_lite import run_record
+from repro.ml import train_test_split
+from repro.perfsim.config import make_run_config
+from repro.profiler import profile_run
+
+CASE_STUDIES = ("XSBench", "CANDLE", "SW4lite", "miniVite", "Nekbone")
+
+
+def main() -> None:
+    print("training the predictor on the MP-HPC dataset...")
+    dataset = generate_dataset(inputs_per_app=8, seed=0)
+    train_rows, _ = train_test_split(dataset.num_rows, 0.1, random_state=42)
+    predictor = CrossArchPredictor.train(dataset, rows=train_rows)
+
+    print("\nprofiling on Quartz only (cheap, always available), "
+          "predicting everywhere:\n")
+    header = f"{'app':>10s} " + " ".join(f"{s:>18s}" for s in SYSTEM_ORDER)
+    print(header)
+    print("-" * len(header))
+
+    for app_name in CASE_STUDIES:
+        app = APPLICATIONS[app_name]
+        inp = generate_inputs(app, 1, seed=4242)[0]
+        config = make_run_config(app, QUARTZ, "1node")
+        record = run_record(profile_run(app, inp, QUARTZ, config, seed=4242))
+        predicted = predictor.predict_record(record)
+
+        # Ground truth from the simulator (what the user cannot measure).
+        truth = np.empty(len(SYSTEM_ORDER))
+        for j, system in enumerate(SYSTEM_ORDER):
+            machine = MACHINES[system]
+            cfg = make_run_config(app, machine, "1node")
+            truth[j] = profile_run(app, inp, machine, cfg,
+                                   seed=4242).meta["time_seconds"]
+        truth = truth / truth.max()
+
+        cells = " ".join(
+            f"{p:7.2f} (true {t:4.2f})" for p, t in zip(predicted, truth)
+        )
+        print(f"{app_name:>10s} {cells}")
+
+        # Headline estimate: predicted speedup of the best GPU system
+        # over Quartz.
+        q = list(SYSTEM_ORDER).index("Quartz")
+        best_gpu = min(predicted[2], predicted[3])
+        print(f"{'':>10s} -> predicted speedup of best GPU system over "
+              f"Quartz: {predicted[q] / best_gpu:.1f}x "
+              f"(true {truth[q] / min(truth[2], truth[3]):.1f}x)")
+
+    print("\nRPV values are execution-time ratios relative to the slowest "
+          "system (smaller = faster).")
+
+    # The same analysis as a first-class API: rank the whole portfolio
+    # by predicted gain from the best GPU system.
+    from repro.core import porting_value
+    from repro.hatchet_lite import run_record as _rr
+
+    records = []
+    for app_name in CASE_STUDIES:
+        app = APPLICATIONS[app_name]
+        inp = generate_inputs(app, 1, seed=4242)[0]
+        config = make_run_config(app, QUARTZ, "1node")
+        records.append(_rr(profile_run(app, inp, QUARTZ, config, seed=4242)))
+    ranked = porting_value(predictor, records, source_system="Quartz")
+    print("\nporting shortlist (predicted gain from the best GPU system):")
+    for app_name, system, speedup in zip(
+        ranked["app"], ranked["best_gpu_system"],
+        ranked["speedup_vs_source"],
+    ):
+        print(f"  {app_name:12s} -> {system:7s} {speedup:5.1f}x")
+
+
+if __name__ == "__main__":
+    main()

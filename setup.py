@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` (PEP 660) needs ``wheel``, which is unavailable in
+this offline environment; ``python setup.py develop`` installs the same
+editable egg-link without it.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

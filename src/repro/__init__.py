@@ -1,0 +1,79 @@
+"""repro — reproduction of *Predicting Cross-Architecture Performance of
+Parallel Programs* (Nichols et al., IPPS 2024).
+
+Public API tour
+---------------
+
+Generate the MP-HPC dataset (simulated profiled runs on the four Table I
+systems):
+
+>>> from repro import generate_dataset
+>>> dataset = generate_dataset(inputs_per_app=5, seed=0)  # small demo
+>>> dataset.num_rows
+1200
+
+Train the cross-architecture RPV predictor and inspect it:
+
+>>> from repro import CrossArchPredictor
+>>> predictor = CrossArchPredictor.train(dataset)
+>>> top = next(iter(predictor.feature_importances()))
+
+Use it for multi-resource scheduling:
+
+>>> from repro import Scheduler, build_workload, strategy_by_name, makespan
+>>> jobs = build_workload(dataset, n_jobs=200, predictor=predictor)
+>>> result = Scheduler(strategy_by_name("model")).run(jobs)
+>>> makespan(result) > 0
+True
+
+Subpackages
+-----------
+``repro.core``     RPV math, predictor, training pipeline, evaluations
+``repro.dataset``  MP-HPC dataset generation and Table III features
+``repro.ml``       from-scratch boosting/forest/linear models + metrics
+``repro.arch``     Table I machine models
+``repro.apps``     Table II application workload models
+``repro.perfsim``  analytical performance simulator
+``repro.cct``      calling-context-tree substrate (HPCToolkit)
+``repro.profiler`` simulated profiling + per-arch counter schemas
+``repro.hatchet_lite`` profile parsing (Hatchet substitute)
+``repro.sched``    FCFS+EASY multi-resource scheduling simulation
+``repro.workloads`` job-trace sampling
+``repro.frame``    columnar dataframe substrate (pandas substitute)
+"""
+
+from repro.core import (
+    CrossArchPredictor,
+    rpv,
+    rpv_relative_to_fastest,
+    rpv_relative_to_slowest,
+    train_all_models,
+    train_model,
+)
+from repro.dataset import MPHPCDataset, generate_dataset
+from repro.sched import (
+    Scheduler,
+    average_bounded_slowdown,
+    makespan,
+    strategy_by_name,
+)
+from repro.workloads import build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrossArchPredictor",
+    "rpv",
+    "rpv_relative_to_slowest",
+    "rpv_relative_to_fastest",
+    "train_model",
+    "train_all_models",
+    "MPHPCDataset",
+    "generate_dataset",
+    "Scheduler",
+    "strategy_by_name",
+    "makespan",
+    "average_bounded_slowdown",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Application model dataclasses.
+
+An :class:`AppSpec` is an analytical stand-in for one proxy application:
+everything the performance simulator and profiler need to produce
+runtimes and counters with that application's character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InstructionMix", "KernelSpec", "AppSpec"]
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction mix as fractions of total instructions.
+
+    The six named categories correspond to the six ratio features of
+    Table III (branch, store, load, single FP, double FP, integer
+    arithmetic); the remainder is address arithmetic / moves / other.
+    Fractions must be non-negative and sum to at most 1.
+    """
+
+    branch: float
+    load: float
+    store: float
+    fp_sp: float
+    fp_dp: float
+    int_arith: float
+
+    def __post_init__(self) -> None:
+        vals = self.as_array()
+        if (vals < 0).any():
+            raise ValueError(f"negative mix fraction: {self}")
+        if vals.sum() > 1.0 + 1e-9:
+            raise ValueError(f"mix fractions sum to {vals.sum():.3f} > 1")
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [self.branch, self.load, self.store,
+             self.fp_sp, self.fp_dp, self.int_arith]
+        )
+
+    @property
+    def other(self) -> float:
+        return max(0.0, 1.0 - float(self.as_array().sum()))
+
+    def perturbed(self, factors: np.ndarray) -> "InstructionMix":
+        """Return a mix with each fraction scaled by ``factors`` (length 6),
+        renormalized if the perturbation pushes the sum above 1."""
+        vals = self.as_array() * np.asarray(factors, dtype=np.float64)
+        total = vals.sum()
+        if total > 0.97:
+            vals *= 0.97 / total
+        return InstructionMix(*vals)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel (CCT leaf) of an application.
+
+    Attributes
+    ----------
+    name:
+        Function name shown in the calling context tree.
+    weight:
+        Fraction of the application's dynamic instructions spent here.
+    offloadable:
+        Whether this kernel runs on the GPU in GPU builds.
+    """
+
+    name: str
+    weight: float
+    offloadable: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.weight <= 1:
+            raise ValueError(f"kernel weight must be in (0, 1]: {self}")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Analytical model of one Table II application.
+
+    Attributes
+    ----------
+    name, description:
+        Table II identity.
+    gpu_support:
+        Whether the code has a GPU backend (11 of the 20 do).
+    mix:
+        Baseline dynamic instruction mix.
+    kernels:
+        CCT structure; kernel weights must sum to ~1.
+    base_instructions:
+        Total dynamic instructions at input scale 1.0 (all ranks).
+    instr_exponent:
+        Work growth vs the input size knob (1.0 linear; >1 superlinear).
+    working_set_base:
+        Total working set in bytes at input scale 1.0.
+    ws_exponent:
+        Working-set growth vs the input size knob.
+    vectorizable:
+        Fraction of FP work that uses full SIMD width (dense stencils
+        ~0.9; irregular sparse ~0.2).
+    irregularity:
+        Multiplier on the CPU branch-misprediction rate and GPU
+        divergence (1 = well-predicted loops, 3 = data-dependent chaos).
+    mlp:
+        Memory-level parallelism: how many outstanding misses overlap
+        (higher hides latency; streaming codes ~8, pointer-chasing ~1.5).
+    parallel_fraction:
+        Amdahl parallel fraction for intra-node scaling.
+    comm_cost:
+        Multi-node communication time as a fraction of one-node compute
+        time at a 12.5 GB/s reference interconnect.
+    gpu_offload:
+        Fraction of work offloaded in GPU builds (0 when no GPU support).
+    gpu_kernel_launches:
+        Kernel launches per unit of input scale (launch-latency term).
+    io_read_base, io_write_base:
+        Bytes of file I/O at input scale 1.0.
+    runtime_noise_sigma:
+        Log-normal run-to-run variability (ML/Python stacks are noisier,
+        which the paper observes in its leave-one-app-out study).
+    python_stack:
+        True for the ML/Python applications (CANDLE, CosmoFlow, miniGAN,
+        DeepCam): adds interpreter overhead instructions and page-table
+        bloat from their large library stacks.
+    """
+
+    name: str
+    description: str
+    gpu_support: bool
+    mix: InstructionMix
+    kernels: tuple[KernelSpec, ...]
+    base_instructions: float
+    instr_exponent: float = 1.0
+    working_set_base: float = 512e6
+    ws_exponent: float = 1.0
+    vectorizable: float = 0.5
+    irregularity: float = 1.0
+    mlp: float = 4.0
+    parallel_fraction: float = 0.98
+    comm_cost: float = 0.10
+    gpu_offload: float = 0.0
+    gpu_kernel_launches: float = 2e4
+    io_read_base: float = 50e6
+    io_write_base: float = 20e6
+    runtime_noise_sigma: float = 0.03
+    python_stack: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        total = sum(k.weight for k in self.kernels)
+        if not self.kernels or abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"{self.name}: kernel weights must sum to 1 (got {total:.4f})"
+            )
+        if self.gpu_support and not 0 < self.gpu_offload <= 1:
+            raise ValueError(f"{self.name}: GPU app needs gpu_offload in (0,1]")
+        if not self.gpu_support and self.gpu_offload != 0:
+            raise ValueError(f"{self.name}: CPU-only app cannot offload")
+        if self.base_instructions <= 0 or self.working_set_base <= 0:
+            raise ValueError(f"{self.name}: sizes must be positive")
+        if not 0 <= self.parallel_fraction <= 1:
+            raise ValueError(f"{self.name}: parallel_fraction out of range")
+
+    def instructions(self, size_scale: float) -> float:
+        """Total dynamic instructions at an input size knob value."""
+        return self.base_instructions * size_scale**self.instr_exponent
+
+    def working_set(self, size_scale: float) -> float:
+        """Total working set in bytes at an input size knob value."""
+        return self.working_set_base * size_scale**self.ws_exponent

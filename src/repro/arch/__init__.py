@@ -1,0 +1,38 @@
+"""Architecture models for the four Table I systems.
+
+The paper collects its dataset on four physical LLNL machines.  Those
+machines are unavailable here, so this package models each one as a set
+of hardware parameters (cores, clock, vector width, cache hierarchy,
+memory bandwidth, GPU compute/bandwidth, interconnect) taken from
+Table I plus the public spec sheets of the constituent parts.  The
+analytical performance simulator (:mod:`repro.perfsim`) consumes these
+parameters to produce execution times and hardware-counter values with
+the same cross-architecture structure as real measurements: Quartz/Ruby
+are latency-oriented CPU machines (Ruby adds AVX-512 and more cores),
+Lassen and Corona are throughput-oriented GPU machines.
+"""
+
+from repro.arch.hardware import CacheLevel, CPUSpec, GPUSpec, MachineSpec
+from repro.arch.machines import (
+    CORONA,
+    LASSEN,
+    MACHINES,
+    QUARTZ,
+    RUBY,
+    SYSTEM_ORDER,
+    get_machine,
+)
+
+__all__ = [
+    "CacheLevel",
+    "CPUSpec",
+    "GPUSpec",
+    "MachineSpec",
+    "QUARTZ",
+    "RUBY",
+    "LASSEN",
+    "CORONA",
+    "MACHINES",
+    "SYSTEM_ORDER",
+    "get_machine",
+]

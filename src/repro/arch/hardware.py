@@ -1,0 +1,188 @@
+"""Hardware parameter dataclasses.
+
+These are deliberately *analytical-model-grade* descriptions: enough
+structure for a roofline-style simulator (peak rates, cache capacities,
+bandwidths, penalties), not a cycle-accurate microarchitecture.  All
+rates are per-node unless suffixed otherwise; sizes are bytes, clocks Hz,
+bandwidths bytes/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLevel", "CPUSpec", "GPUSpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """A single cache level as seen by one core (private) or node (shared)."""
+
+    size_bytes: int
+    latency_cycles: float
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.latency_cycles <= 0:
+            raise ValueError("cache latency must be positive")
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU socket-pair (node-level aggregate) description.
+
+    Attributes
+    ----------
+    model:
+        Marketing name (matches Table I).
+    cores:
+        Physical cores per node.
+    clock_ghz:
+        Nominal clock (Table I).
+    ipc_scalar:
+        Sustainable scalar instructions/cycle/core for integer-ish code.
+    vector_width_dp:
+        Double-precision lanes per SIMD instruction (4 = AVX2, 8 = AVX-512,
+        2 = Power9 VSX / 4 = AVX2 on Rome).
+    fma:
+        Whether fused multiply-add doubles the flop rate.
+    l1, l2, l3:
+        Cache hierarchy (l1/l2 per core, l3 per node).
+    mem_bw_gbs:
+        Sustained node memory bandwidth (STREAM-like), GB/s.
+    mem_latency_ns:
+        DRAM access latency.
+    branch_mispredict_penalty_cycles:
+        Pipeline refill cost on a mispredicted branch.
+    branch_mispredict_rate:
+        Baseline misprediction probability for branch instructions in
+        irregular code (the simulator scales this by app irregularity).
+    """
+
+    model: str
+    cores: int
+    clock_ghz: float
+    ipc_scalar: float
+    vector_width_dp: int
+    fma: bool
+    l1: CacheLevel
+    l2: CacheLevel
+    l3: CacheLevel
+    mem_bw_gbs: float
+    mem_latency_ns: float = 85.0
+    branch_mispredict_penalty_cycles: float = 16.0
+    branch_mispredict_rate: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.clock_ghz <= 0:
+            raise ValueError("cores and clock must be positive")
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        """Node peak double-precision GFLOP/s."""
+        mul = 2.0 if self.fma else 1.0
+        return self.cores * self.clock_ghz * self.vector_width_dp * mul
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Node peak single-precision GFLOP/s (2x DP lanes)."""
+        return 2.0 * self.peak_dp_gflops
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single GPU device description.
+
+    ``divergence_penalty_scale`` captures how strongly branchy control
+    flow serializes warps/wavefronts relative to the CPU's branch cost.
+    """
+
+    model: str
+    peak_sp_tflops: float
+    peak_dp_tflops: float
+    mem_bw_gbs: float
+    mem_bytes: int
+    kernel_launch_us: float = 8.0
+    divergence_penalty_scale: float = 4.0
+    l2_bytes: int = 6 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.peak_sp_tflops <= 0 or self.mem_bw_gbs <= 0:
+            raise ValueError("GPU rates must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One Table I system: a homogeneous cluster of identical nodes.
+
+    Attributes
+    ----------
+    name:
+        System name (Quartz / Ruby / Lassen / Corona).
+    cpu:
+        Node CPU description.
+    gpu:
+        Per-device GPU description, or None for CPU-only systems.
+    gpus_per_node:
+        Device count per node (0 when ``gpu is None``).
+    nodes:
+        Cluster size, used by the scheduling simulation.
+    interconnect_bw_gbs / interconnect_latency_us:
+        Inter-node network characteristics for the communication model.
+    counter_noise_sigma:
+        Log-normal sigma of counter measurement noise on this system.
+        GPU profiling (especially rocprof on AMD, Section VIII-B) is
+        noisier than mature CPU PAPI counters.
+    """
+
+    name: str
+    cpu: CPUSpec
+    gpu: GPUSpec | None = None
+    gpus_per_node: int = 0
+    nodes: int = 1
+    interconnect_bw_gbs: float = 12.5
+    interconnect_latency_us: float = 1.5
+    counter_noise_sigma: float = 0.04
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.gpu is None) != (self.gpus_per_node == 0):
+            raise ValueError("gpu and gpus_per_node must be consistent")
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def node_peak_gpu_sp_gflops(self) -> float:
+        """Aggregate single-precision GFLOP/s of all GPUs on a node."""
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.peak_sp_tflops * 1000.0 * self.gpus_per_node
+
+    @property
+    def node_peak_gpu_dp_gflops(self) -> float:
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.peak_dp_tflops * 1000.0 * self.gpus_per_node
+
+    @property
+    def node_gpu_mem_bw_gbs(self) -> float:
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.mem_bw_gbs * self.gpus_per_node
+
+    def describe(self) -> dict:
+        """Row for the Table I reproduction."""
+        return {
+            "System": self.name,
+            "CPU Type": self.cpu.model,
+            "CPU cores/node": self.cpu.cores,
+            "CPU Clock Rate (GHz)": self.cpu.clock_ghz,
+            "GPU Type": self.gpu.model if self.gpu else "--",
+            "GPUs/node": self.gpus_per_node if self.gpu else "--",
+        }

@@ -1,0 +1,153 @@
+"""The four Table I systems with public-spec-sheet parameters.
+
+Table I gives CPU/GPU types, core counts, and clocks; the remaining
+parameters (vector widths, caches, bandwidths, cluster sizes) come from
+the public specifications of the named parts and LLNL system pages.
+They feed the analytical simulator, so only their *relative* structure
+matters: Ruby is a wider, higher-bandwidth CPU node than Quartz; Lassen
+and Corona add high-throughput, high-bandwidth GPUs with different
+SP/DP balances.
+"""
+
+from __future__ import annotations
+
+from repro.arch.hardware import CacheLevel, CPUSpec, GPUSpec, MachineSpec
+
+__all__ = [
+    "QUARTZ",
+    "RUBY",
+    "LASSEN",
+    "CORONA",
+    "MACHINES",
+    "SYSTEM_ORDER",
+    "get_machine",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+QUARTZ = MachineSpec(
+    name="Quartz",
+    cpu=CPUSpec(
+        model="Intel Xeon E5-2695 v4",
+        cores=36,
+        clock_ghz=2.1,
+        ipc_scalar=2.2,
+        vector_width_dp=4,  # AVX2
+        fma=True,
+        l1=CacheLevel(32 * KiB, 4),
+        l2=CacheLevel(256 * KiB, 12),
+        l3=CacheLevel(45 * MiB, 38, shared=True),
+        mem_bw_gbs=77.0,  # 4ch DDR4-2400 x 2 sockets, STREAM-sustained
+        mem_latency_ns=90.0,
+        branch_mispredict_penalty_cycles=16.0,
+    ),
+    nodes=3004,
+    interconnect_bw_gbs=12.5,  # Omni-Path 100
+    interconnect_latency_us=1.5,
+    counter_noise_sigma=0.035,
+)
+
+RUBY = MachineSpec(
+    name="Ruby",
+    cpu=CPUSpec(
+        model="Intel Xeon CLX-8276",
+        cores=56,
+        clock_ghz=2.2,
+        ipc_scalar=2.4,
+        vector_width_dp=8,  # AVX-512
+        fma=True,
+        l1=CacheLevel(32 * KiB, 4),
+        l2=CacheLevel(1 * MiB, 14),
+        l3=CacheLevel(2 * 38 * MiB + 1 * MiB, 40, shared=True),
+        mem_bw_gbs=140.0,  # 6ch DDR4-2933 x 2 sockets
+        mem_latency_ns=85.0,
+        branch_mispredict_penalty_cycles=16.0,
+    ),
+    nodes=1512,
+    interconnect_bw_gbs=12.5,
+    interconnect_latency_us=1.4,
+    counter_noise_sigma=0.03,
+)
+
+LASSEN = MachineSpec(
+    name="Lassen",
+    cpu=CPUSpec(
+        model="IBM Power9",
+        cores=44,
+        clock_ghz=3.5,
+        ipc_scalar=2.0,
+        vector_width_dp=2,  # VSX 128-bit
+        fma=True,
+        l1=CacheLevel(32 * KiB, 3),
+        l2=CacheLevel(512 * KiB, 12),
+        l3=CacheLevel(120 * MiB, 36, shared=True),
+        mem_bw_gbs=270.0,  # 8ch DDR4 x 2 sockets
+        mem_latency_ns=80.0,
+        branch_mispredict_penalty_cycles=18.0,
+    ),
+    gpu=GPUSpec(
+        model="NVIDIA V100",
+        peak_sp_tflops=15.7,
+        peak_dp_tflops=7.8,
+        mem_bw_gbs=900.0,
+        mem_bytes=16 * GiB,
+        kernel_launch_us=7.0,
+        divergence_penalty_scale=4.0,
+        l2_bytes=6 * MiB,
+    ),
+    gpus_per_node=4,
+    nodes=795,
+    interconnect_bw_gbs=25.0,  # dual-rail EDR InfiniBand
+    interconnect_latency_us=1.0,
+    counter_noise_sigma=0.12,  # CUPTI-in-HPCToolkit GPU profiling is noisier than CPU PAPI
+)
+
+CORONA = MachineSpec(
+    name="Corona",
+    cpu=CPUSpec(
+        model="AMD Rome",
+        cores=48,
+        clock_ghz=2.8,
+        ipc_scalar=2.3,
+        vector_width_dp=4,  # AVX2
+        fma=True,
+        l1=CacheLevel(32 * KiB, 4),
+        l2=CacheLevel(512 * KiB, 13),
+        l3=CacheLevel(192 * MiB, 42, shared=True),
+        mem_bw_gbs=190.0,  # 8ch DDR4-3200 x 2 sockets
+        mem_latency_ns=95.0,
+        branch_mispredict_penalty_cycles=17.0,
+    ),
+    gpu=GPUSpec(
+        model="AMD MI50",
+        peak_sp_tflops=13.3,
+        peak_dp_tflops=6.6,
+        mem_bw_gbs=1024.0,
+        mem_bytes=32 * GiB,
+        kernel_launch_us=10.0,
+        divergence_penalty_scale=4.5,
+        l2_bytes=4 * MiB,
+    ),
+    gpus_per_node=8,
+    nodes=121,
+    interconnect_bw_gbs=12.5,
+    interconnect_latency_us=1.6,
+    counter_noise_sigma=0.18,  # rocprof support is the newest and least reliable (Sec. VIII-B)
+)
+
+#: Canonical system order used for RPVs, one-hot encodings, and reports.
+SYSTEM_ORDER: tuple[str, ...] = ("Quartz", "Ruby", "Lassen", "Corona")
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (QUARTZ, RUBY, LASSEN, CORONA)
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a Table I machine by name (case-insensitive)."""
+    for key, machine in MACHINES.items():
+        if key.lower() == name.lower():
+            return machine
+    raise KeyError(f"unknown machine {name!r}; known: {list(MACHINES)}")

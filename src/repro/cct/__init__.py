@@ -1,0 +1,11 @@
+"""Calling-context-tree substrate (HPCToolkit's data model).
+
+HPCToolkit attributes sampled counters to nodes of a calling context
+tree (CCT).  This package provides that structure: :class:`CCTNode`
+trees with per-node exclusive metrics, inclusive aggregation, traversal,
+pruning, and construction from an application's kernel list.
+"""
+
+from repro.cct.tree import CCTNode, build_app_cct
+
+__all__ = ["CCTNode", "build_app_cct"]

@@ -1,0 +1,143 @@
+"""Calling context tree structure and operations."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.apps.spec import AppSpec
+
+__all__ = ["CCTNode", "build_app_cct"]
+
+
+class CCTNode:
+    """One calling-context-tree frame.
+
+    Exclusive metrics live on the node; inclusive values are computed on
+    demand by summing the subtree.  Node identity is its path from the
+    root (names joined by ``/``), matching how profilers distinguish the
+    same function called from different contexts.
+    """
+
+    def __init__(self, name: str, parent: "CCTNode | None" = None):
+        if not name or "/" in name:
+            raise ValueError(f"invalid frame name {name!r}")
+        self.name = name
+        self.parent = parent
+        self.children: list[CCTNode] = []
+        self.metrics: dict[str, float] = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        parts = []
+        node: CCTNode | None = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        d = 0
+        node = self.parent
+        while node is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    def child(self, name: str) -> "CCTNode":
+        """Return the existing child *name* or create it."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        return CCTNode(name, parent=self)
+
+    def walk(self) -> Iterator["CCTNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def leaves(self) -> list["CCTNode"]:
+        return [n for n in self.walk() if n.is_leaf]
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    # ------------------------------------------------------------------
+    def inclusive(self, metric: str) -> float:
+        """Sum of *metric* over this subtree (0 where absent)."""
+        return sum(n.metrics.get(metric, 0.0) for n in self.walk())
+
+    def inclusive_all(self) -> dict[str, float]:
+        """Inclusive values of every metric present in the subtree."""
+        out: dict[str, float] = {}
+        for n in self.walk():
+            for k, v in n.metrics.items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
+    def prune(self, keep: Callable[["CCTNode"], bool]) -> "CCTNode":
+        """Return a copy of the subtree with nodes failing *keep* removed.
+
+        An interior node is kept if it passes *keep* itself or any
+        descendant is kept (so kept leaves stay reachable).  The root is
+        always kept.
+        """
+
+        def rebuild(src: CCTNode, dst_parent: CCTNode | None) -> CCTNode | None:
+            copied = CCTNode(src.name, parent=None)
+            copied.metrics = dict(src.metrics)
+            kept_children = []
+            for c in src.children:
+                r = rebuild(c, copied)
+                if r is not None:
+                    kept_children.append(r)
+            copied.children = kept_children
+            for kc in kept_children:
+                kc.parent = copied
+            if dst_parent is None or keep(src) or kept_children:
+                return copied
+            return None
+
+        result = rebuild(self, None)
+        assert result is not None  # root always kept
+        return result
+
+    def format_tree(self, metric: str | None = None) -> str:
+        """ASCII rendering (hpcviewer-style) for debugging and docs."""
+        lines = []
+        for node in self.walk():
+            suffix = ""
+            if metric is not None:
+                suffix = f"  [{node.metrics.get(metric, 0.0):.3g}]"
+            lines.append("  " * node.depth + node.name + suffix)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CCTNode({self.path!r}, {len(self.children)} children)"
+
+
+def build_app_cct(app: AppSpec) -> CCTNode:
+    """Build the canonical CCT skeleton for an application.
+
+    Shape: ``main -> initialize | solve -> <kernels...> | finalize``,
+    mirroring the init/loop/teardown structure of the proxy apps.
+    Kernel leaves carry a ``weight`` metric used by the profiler to
+    distribute run-level counters.
+    """
+    root = CCTNode("main")
+    CCTNode("initialize", parent=root)
+    solve = CCTNode("solve", parent=root)
+    for kernel in app.kernels:
+        leaf = CCTNode(kernel.name, parent=solve)
+        leaf.metrics["weight"] = kernel.weight
+    CCTNode("finalize", parent=root)
+    return root

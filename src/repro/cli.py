@@ -1,0 +1,332 @@
+"""Command-line interface.
+
+Exposes the reproduction's main workflows as ``repro <subcommand>``:
+
+* ``generate``  — build the MP-HPC dataset and write it as CSV.
+* ``train``     — train a predictor and save it (pickle).
+* ``evaluate``  — the Fig. 2 four-model comparison.
+* ``importance``— the Fig. 6 feature-importance report.
+* ``profile``   — profile one (app, machine, scale) run; print counters.
+* ``predict``   — profile a run and predict its RPV with a saved model.
+* ``schedule``  — the Section VII scheduling experiment.
+
+Every command is deterministic given ``--seed``.  See ``repro
+<subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-architecture performance prediction "
+                    "(IPPS 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate the MP-HPC dataset CSV")
+    p.add_argument("--inputs-per-app", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="mphpc.csv")
+
+    p = sub.add_parser("report", help="dataset summary report")
+    p.add_argument("--inputs-per-app", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("train", help="train a predictor and save it")
+    p.add_argument("--model", default="xgboost",
+                   choices=["xgboost", "forest", "linear", "mean"])
+    p.add_argument("--inputs-per-app", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--split-seed", type=int, default=42)
+    p.add_argument("--output", default="predictor.pkl")
+
+    p = sub.add_parser("evaluate", help="four-model comparison (Fig. 2)")
+    p.add_argument("--inputs-per-app", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cv", action="store_true",
+                   help="also run 5-fold cross-validation")
+
+    p = sub.add_parser("importance", help="feature importances (Fig. 6)")
+    p.add_argument("--inputs-per-app", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=21)
+
+    p = sub.add_parser("profile", help="profile one run, print counters")
+    p.add_argument("--app", required=True)
+    p.add_argument("--machine", required=True)
+    p.add_argument("--scale", default="1node",
+                   choices=["1core", "1node", "2node"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", help="write the profile JSON here")
+
+    p = sub.add_parser("predict", help="profile a run, predict its RPV")
+    p.add_argument("--predictor", required=True,
+                   help="path from `repro train --output`")
+    p.add_argument("--app", required=True)
+    p.add_argument("--machine", default="Quartz")
+    p.add_argument("--scale", default="1node",
+                   choices=["1core", "1node", "2node"])
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("whatif", help="porting shortlist from one system's "
+                                      "profiles (Section VIII-B use case)")
+    p.add_argument("--predictor", required=True)
+    p.add_argument("--apps", nargs="+", required=True)
+    p.add_argument("--source", default="Quartz")
+    p.add_argument("--scale", default="1node",
+                   choices=["1core", "1node", "2node"])
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("calibrate", help="measurement noise floor and "
+                                         "orderability diagnostics")
+    p.add_argument("--inputs-per-app", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("schedule", help="scheduling experiment (Figs. 7-8)")
+    p.add_argument("--jobs", type=int, default=5000)
+    p.add_argument("--inputs-per-app", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--strategies", nargs="+",
+                   default=["random", "round_robin", "user_rr", "model"],
+                   choices=["random", "round_robin", "user_rr", "model",
+                            "oracle"])
+    p.add_argument("--swf-output", help="write the model-strategy "
+                                        "schedule as an SWF trace")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations (each takes parsed args, returns exit code)
+# ---------------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    from repro.dataset import generate_dataset
+
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    dataset.save(args.output)
+    print(f"wrote {dataset.num_rows} rows x "
+          f"{dataset.frame.num_columns} columns to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.dataset import generate_dataset
+    from repro.dataset.report import dataset_report
+
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    print(dataset_report(dataset))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core import CrossArchPredictor
+    from repro.dataset import generate_dataset
+    from repro.ml import mean_absolute_error, same_order_score, train_test_split
+
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    train_rows, test_rows = train_test_split(
+        dataset.num_rows, 0.1, random_state=args.split_seed
+    )
+    predictor = CrossArchPredictor.train(dataset, model=args.model,
+                                         rows=train_rows)
+    pred = predictor.predict(dataset.X()[test_rows])
+    truth = dataset.Y()[test_rows]
+    print(f"{args.model}: test MAE {mean_absolute_error(truth, pred):.4f} "
+          f"SOS {same_order_score(truth, pred):.3f}")
+    predictor.save(args.output)
+    print(f"saved predictor to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.evaluation import model_comparison_study
+    from repro.dataset import generate_dataset
+
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    frame = model_comparison_study(dataset, seed=42, run_cv=args.cv)
+    print(f"{'model':>10s} {'MAE':>8s} {'SOS':>8s}")
+    for model, mae, sos in zip(frame["model"], frame["mae"], frame["sos"]):
+        print(f"{model:>10s} {mae:8.4f} {sos:8.3f}")
+    return 0
+
+
+def _cmd_importance(args) -> int:
+    from repro.core.evaluation import feature_importance_study
+    from repro.dataset import generate_dataset
+
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    frame = feature_importance_study(dataset, seed=42)
+    for label, value in list(zip(frame["label"], frame["importance"]))[: args.top]:
+        bar = "#" * int(round(50 * value))
+        print(f"{label:>22s} {value:7.4f} {bar}")
+    return 0
+
+
+def _profile(args):
+    from repro.apps import generate_inputs, get_app
+    from repro.arch import get_machine
+    from repro.perfsim.config import make_run_config
+    from repro.profiler import profile_run
+
+    app = get_app(args.app)
+    machine = get_machine(args.machine)
+    inp = generate_inputs(app, 1, seed=args.seed)[0]
+    config = make_run_config(app, machine, args.scale)
+    return profile_run(app, inp, machine, config, seed=args.seed)
+
+
+def _cmd_profile(args) -> int:
+    from repro.hatchet_lite import run_record
+    from repro.profiler import save_profile
+
+    profile = _profile(args)
+    print(f"{profile.meta['app']} on {profile.meta['machine']} "
+          f"({profile.meta['scale']}, {profile.meta['profiler']}): "
+          f"{profile.meta['time_seconds']:.2f}s")
+    record = run_record(profile)
+    for key in ("total_instructions", "branch", "load", "store", "fp_sp",
+                "fp_dp", "int_arith", "l1_load_miss", "l2_load_miss",
+                "mem_stall_cycles"):
+        print(f"  {key:20s} {record[key]:.4g}")
+    if args.save:
+        save_profile(profile, args.save)
+        print(f"profile written to {args.save}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.core import CrossArchPredictor
+    from repro.hatchet_lite import run_record
+
+    predictor = CrossArchPredictor.load(args.predictor)
+    profile = _profile(args)
+    record = run_record(profile)
+    rpv = predictor.predict_record(record)
+    print(f"predicted RPV for {args.app} (counters from {args.machine}, "
+          f"{args.scale}):")
+    for system, value in zip(predictor.systems, rpv):
+        print(f"  {system:8s} {value:.3f}")
+    order = [predictor.systems[i] for i in np.argsort(rpv)]
+    print("fastest first: " + ", ".join(order))
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.apps import generate_inputs, get_app
+    from repro.arch import get_machine
+    from repro.core import CrossArchPredictor, porting_value
+    from repro.hatchet_lite import run_record
+    from repro.perfsim.config import make_run_config
+    from repro.profiler import profile_run
+
+    predictor = CrossArchPredictor.load(args.predictor)
+    machine = get_machine(args.source)
+    records = []
+    for app_name in args.apps:
+        app = get_app(app_name)
+        inp = generate_inputs(app, 1, seed=args.seed)[0]
+        config = make_run_config(app, machine, args.scale)
+        records.append(
+            run_record(profile_run(app, inp, machine, config,
+                                   seed=args.seed))
+        )
+    ranked = porting_value(predictor, records, source_system=args.source)
+    print(f"porting shortlist (profiled on {args.source}, {args.scale}):")
+    for app_name, system, speedup in zip(
+        ranked["app"], ranked["best_gpu_system"],
+        ranked["speedup_vs_source"],
+    ):
+        print(f"  {app_name:14s} -> {system:8s} {speedup:5.1f}x")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.core import estimate_noise_floor, gap_statistics
+    from repro.dataset import generate_dataset
+
+    floor = estimate_noise_floor(inputs_per_app=args.inputs_per_app,
+                                 seed=args.seed)
+    print(f"test-retest SOS ceiling: {floor.sos_ceiling:.3f} "
+          f"({floor.groups} groups)")
+    print(f"RPV MAE noise floor:     {floor.rpv_mae_floor:.4f}")
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    stats = gap_statistics(dataset.Y())
+    print(f"median adjacent RPV gap: {stats['median']:.3f}")
+    print(f"near-tied rows (<0.05):  {stats['near_tied_fraction']:.0%}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.core import CrossArchPredictor
+    from repro.dataset import generate_dataset
+    from repro.ml import train_test_split
+    from repro.sched import (
+        Scheduler,
+        average_bounded_slowdown,
+        makespan,
+        strategy_by_name,
+    )
+    from repro.sched.machines import ClusterState
+    from repro.workloads import build_workload
+    from repro.workloads.swf import write_swf
+
+    dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
+                               seed=args.seed)
+    train_rows, _ = train_test_split(dataset.num_rows, 0.1, random_state=42)
+    predictor = CrossArchPredictor.train(dataset, rows=train_rows)
+    jobs = build_workload(dataset, n_jobs=args.jobs, seed=args.seed + 1,
+                          predictor=predictor)
+    print(f"{'strategy':>12s} {'makespan(h)':>12s} {'bounded slowdown':>17s}")
+    for name in args.strategies:
+        result = Scheduler(strategy_by_name(name, seed=11),
+                           ClusterState()).run(list(jobs))
+        print(f"{name:>12s} {makespan(result) / 3600:12.3f} "
+              f"{average_bounded_slowdown(result):17.2f}")
+        if name == "model" and args.swf_output:
+            write_swf(result, args.swf_output,
+                      header="repro scheduling experiment")
+            print(f"  SWF trace written to {args.swf_output}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "report": _cmd_report,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "importance": _cmd_importance,
+    "profile": _cmd_profile,
+    "predict": _cmd_predict,
+    "whatif": _cmd_whatif,
+    "calibrate": _cmd_calibrate,
+    "schedule": _cmd_schedule,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: cross-architecture RPV prediction.
+
+* :mod:`repro.core.rpv` — relative-performance-vector math (Section IV).
+* :mod:`repro.core.predictor` — :class:`CrossArchPredictor`, the
+  counters-in / RPV-out model API with feature importances and
+  serialization.
+* :mod:`repro.core.pipeline` — the paper's training protocol: 90/10
+  train-test split, 5-fold cross-validation, the four-model comparison,
+  and gain-based feature selection (Section VI).
+* :mod:`repro.core.evaluation` — the evaluation studies behind each
+  figure: per-architecture ablation, scale holdout, leave-one-app-out,
+  feature importances (Section VIII).
+"""
+
+from repro.core.predictor import CrossArchPredictor
+from repro.core.pipeline import (
+    MODEL_FACTORIES,
+    TrainedModel,
+    select_top_features,
+    train_all_models,
+    train_model,
+)
+from repro.core.calibration import estimate_noise_floor, gap_statistics
+from repro.core.rpv import rpv, rpv_relative_to_fastest, rpv_relative_to_slowest
+from repro.core.whatif import estimate_speedup, porting_value
+from repro.core.evaluation import (
+    app_holdout_study,
+    counter_noise_sensitivity_study,
+    feature_importance_study,
+    model_comparison_study,
+    per_architecture_study,
+    robustness_study,
+    scale_holdout_study,
+)
+
+__all__ = [
+    "rpv",
+    "rpv_relative_to_slowest",
+    "rpv_relative_to_fastest",
+    "CrossArchPredictor",
+    "MODEL_FACTORIES",
+    "TrainedModel",
+    "train_model",
+    "train_all_models",
+    "select_top_features",
+    "model_comparison_study",
+    "per_architecture_study",
+    "scale_holdout_study",
+    "app_holdout_study",
+    "feature_importance_study",
+    "counter_noise_sensitivity_study",
+    "robustness_study",
+    "estimate_speedup",
+    "porting_value",
+    "estimate_noise_floor",
+    "gap_statistics",
+]

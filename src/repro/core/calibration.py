@@ -1,0 +1,113 @@
+"""Measurement-floor and orderability diagnostics.
+
+Before trusting an RPV model (or comparing SOS numbers across papers),
+two questions must be answered about the underlying measurements:
+
+1. **Noise floor** — if the same configuration is run twice, how often
+   does the system ordering even agree with itself?  That test-retest
+   agreement is a hard ceiling on any model's SOS.
+2. **Orderability** — how large are the gaps between adjacent systems
+   in the true RPVs, relative to the prediction error?  Orderings of
+   near-tied systems are not learnable.
+
+Both diagnostics are cheap on the simulator (re-run with a different
+trial index) and would cost one repeat campaign on real clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.catalog import APPLICATIONS
+from repro.apps.inputs import generate_inputs
+from repro.arch.machines import MACHINES, SYSTEM_ORDER
+from repro.perfsim.config import SCALES, make_run_config
+from repro.perfsim.execution import simulate_run
+
+__all__ = ["NoiseFloor", "estimate_noise_floor", "gap_statistics"]
+
+
+@dataclass(frozen=True)
+class NoiseFloor:
+    """Test-retest stability of the simulated measurements.
+
+    Attributes
+    ----------
+    sos_ceiling:
+        Fraction of (app, input, scale) groups whose full system
+        ordering agrees between two independent trials — the maximum
+        SOS any model can score against single-trial targets.
+    rpv_mae_floor:
+        Mean absolute difference between the two trials' RPVs — the
+        minimum MAE achievable by a perfect model of the expectation.
+    groups:
+        Number of groups measured.
+    """
+
+    sos_ceiling: float
+    rpv_mae_floor: float
+    groups: int
+
+
+def estimate_noise_floor(
+    inputs_per_app: int = 4,
+    seed: int = 0,
+    apps: list[str] | None = None,
+    scales: tuple[str, ...] = SCALES,
+) -> NoiseFloor:
+    """Measure test-retest SOS ceiling and RPV MAE floor."""
+    if inputs_per_app < 1:
+        raise ValueError("inputs_per_app must be >= 1")
+    app_names = list(apps) if apps is not None else sorted(APPLICATIONS)
+    agree = 0
+    diffs: list[float] = []
+    groups = 0
+    for app_name in app_names:
+        app = APPLICATIONS[app_name]
+        for inp in generate_inputs(app, inputs_per_app, seed=seed):
+            for scale in scales:
+                t1 = np.empty(len(SYSTEM_ORDER))
+                t2 = np.empty(len(SYSTEM_ORDER))
+                for j, system in enumerate(SYSTEM_ORDER):
+                    machine = MACHINES[system]
+                    config = make_run_config(app, machine, scale)
+                    t1[j] = simulate_run(app, inp, machine, config,
+                                         seed=seed, trial=0).time_seconds
+                    t2[j] = simulate_run(app, inp, machine, config,
+                                         seed=seed, trial=1).time_seconds
+                rpv1 = t1 / t1.max()
+                rpv2 = t2 / t2.max()
+                agree += int(
+                    (np.argsort(rpv1, kind="stable")
+                     == np.argsort(rpv2, kind="stable")).all()
+                )
+                diffs.append(float(np.abs(rpv1 - rpv2).mean()))
+                groups += 1
+    return NoiseFloor(
+        sos_ceiling=agree / groups,
+        rpv_mae_floor=float(np.mean(diffs)),
+        groups=groups,
+    )
+
+
+def gap_statistics(Y: np.ndarray) -> dict[str, float]:
+    """Adjacent-gap statistics of an RPV target matrix.
+
+    For each row, the minimum absolute gap between adjacent sorted
+    components — the margin a predictor must beat to rank that row
+    correctly.  Returns the quartiles and the fraction of rows whose
+    minimum gap is under 0.05 RPV units ("near-tied" rows).
+    """
+    Y = np.asarray(Y, dtype=np.float64)
+    if Y.ndim != 2 or Y.shape[1] < 2:
+        raise ValueError("Y must be (rows, >=2 systems)")
+    sorted_rows = np.sort(Y, axis=1)
+    min_gaps = np.diff(sorted_rows, axis=1).min(axis=1)
+    return {
+        "p25": float(np.percentile(min_gaps, 25)),
+        "median": float(np.median(min_gaps)),
+        "p75": float(np.percentile(min_gaps, 75)),
+        "near_tied_fraction": float((min_gaps < 0.05).mean()),
+    }

@@ -1,0 +1,145 @@
+"""Training protocol (Section VI-A/B).
+
+"During this training, 10% of the data is set aside as a testing data
+set, while the other 90% is shown to the model as a training data set.
+While training on the training data set, the data is further split into
+five folds as part of k-fold cross-validation."
+
+Model selection then optionally retrains every model on the top
+features reported by the tree models (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.generate import MPHPCDataset
+from repro.dataset.schema import FEATURE_COLUMNS
+from repro.core.predictor import CrossArchPredictor
+from repro.ml import (
+    cross_validate,
+    mean_absolute_error,
+    same_order_score,
+    train_test_split,
+)
+
+__all__ = [
+    "MODEL_FACTORIES",
+    "TrainedModel",
+    "train_model",
+    "train_all_models",
+    "select_top_features",
+]
+
+#: The paper's four-model comparison (Fig. 2), in presentation order.
+MODEL_FACTORIES: tuple[str, ...] = ("mean", "linear", "forest", "xgboost")
+
+
+@dataclass
+class TrainedModel:
+    """One trained model plus its evaluation under the paper's protocol.
+
+    Attributes
+    ----------
+    predictor:
+        Fitted :class:`CrossArchPredictor`.
+    test_mae, test_sos:
+        Metrics on the held-out 10% test split (the Fig. 2 numbers).
+    cv_mae, cv_sos:
+        Mean 5-fold cross-validation metrics within the 90% train split.
+    train_rows, test_rows:
+        The split indices (reproducible from the seed).
+    """
+
+    name: str
+    predictor: CrossArchPredictor
+    test_mae: float
+    test_sos: float
+    cv_mae: float
+    cv_sos: float
+    train_rows: np.ndarray = field(repr=False, default=None)
+    test_rows: np.ndarray = field(repr=False, default=None)
+
+
+def train_model(
+    dataset: MPHPCDataset,
+    model: str = "xgboost",
+    seed: int = 42,
+    test_fraction: float = 0.1,
+    n_folds: int = 5,
+    run_cv: bool = True,
+    feature_columns: tuple[str, ...] = FEATURE_COLUMNS,
+    **model_kwargs,
+) -> TrainedModel:
+    """Train one model with the paper's split + CV protocol."""
+    X = dataset.frame.to_matrix(list(feature_columns))
+    Y = dataset.Y()
+    train_rows, test_rows = train_test_split(
+        len(X), test_fraction, random_state=seed
+    )
+
+    cv_mae = cv_sos = float("nan")
+    if run_cv:
+        cv = cross_validate(
+            lambda: CrossArchPredictor(
+                model=model, feature_columns=feature_columns,
+                random_state=seed, **model_kwargs
+            ).model,
+            X[train_rows],
+            Y[train_rows],
+            n_splits=n_folds,
+            random_state=seed,
+        )
+        cv_mae = cv["mae"]
+        cv_sos = cv.get("sos", float("nan"))
+
+    predictor = CrossArchPredictor(
+        model=model, feature_columns=feature_columns,
+        random_state=seed, **model_kwargs
+    )
+    predictor.fit(dataset, rows=train_rows)
+    pred = predictor.predict(X[test_rows])
+    return TrainedModel(
+        name=model,
+        predictor=predictor,
+        test_mae=mean_absolute_error(Y[test_rows], pred),
+        test_sos=same_order_score(Y[test_rows], pred),
+        cv_mae=cv_mae,
+        cv_sos=cv_sos,
+        train_rows=train_rows,
+        test_rows=test_rows,
+    )
+
+
+def train_all_models(
+    dataset: MPHPCDataset,
+    seed: int = 42,
+    run_cv: bool = False,
+    feature_columns: tuple[str, ...] = FEATURE_COLUMNS,
+) -> dict[str, TrainedModel]:
+    """Train the paper's four models on identical splits (Fig. 2)."""
+    return {
+        name: train_model(
+            dataset, model=name, seed=seed, run_cv=run_cv,
+            feature_columns=feature_columns,
+        )
+        for name in MODEL_FACTORIES
+    }
+
+
+def select_top_features(
+    trained: TrainedModel | CrossArchPredictor, k: int = 12
+) -> tuple[str, ...]:
+    """Top-*k* features by average gain from a trained tree model.
+
+    Section VI-B: "After training we select the best set of features
+    using those reported by XGBoost and the decision forest".  The
+    returned tuple feeds ``feature_columns`` of a retraining pass.
+    """
+    predictor = trained.predictor if isinstance(trained, TrainedModel) else trained
+    importances = predictor.feature_importances()
+    if k < 1 or k > len(importances):
+        raise ValueError(f"k must be in [1, {len(importances)}]")
+    return tuple(list(importances)[:k])

@@ -1,0 +1,202 @@
+"""CrossArchPredictor: the user-facing counters-to-RPV model.
+
+Wraps a regression model behind the feature pipeline so downstream code
+(the scheduler, the examples) can go straight from a profiled run to a
+predicted relative-performance vector:
+
+>>> # doctest-style sketch; see examples/quickstart.py for a real run
+>>> # predictor = CrossArchPredictor.train(dataset)
+>>> # rpv = predictor.predict_record(run_record(profile))
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.machines import SYSTEM_ORDER
+from repro.dataset.features import FeatureNormalizer, derive_feature_frame
+from repro.dataset.generate import MPHPCDataset
+from repro.dataset.schema import FEATURE_COLUMNS, FEATURE_LABELS
+from repro.frame import Frame
+from repro.ml import (
+    GradientBoostedTrees,
+    LinearRegression,
+    MeanPredictor,
+    RandomForestRegressor,
+)
+
+__all__ = ["CrossArchPredictor"]
+
+_MODEL_KINDS = ("xgboost", "forest", "linear", "mean")
+
+
+def _make_model(kind: str, random_state: int | None, **kwargs):
+    if kind == "xgboost":
+        # Vector-leaf trees ("multi_output_tree") predict the four RPV
+        # components jointly, which preserves cross-component orderings
+        # (the SOS metric) far better than independent per-output
+        # ensembles; gain is averaged over outputs exactly as the paper
+        # describes its importance computation.
+        defaults = dict(n_estimators=400, max_depth=9, learning_rate=0.07,
+                        multi_strategy="multi_output_tree")
+        defaults.update(kwargs)
+        return GradientBoostedTrees(random_state=random_state, **defaults)
+    if kind == "forest":
+        defaults = dict(n_estimators=40, max_depth=14, min_samples_leaf=2)
+        defaults.update(kwargs)
+        return RandomForestRegressor(random_state=random_state, **defaults)
+    if kind == "linear":
+        return LinearRegression()
+    if kind == "mean":
+        return MeanPredictor()
+    raise ValueError(f"unknown model kind {kind!r}; expected one of {_MODEL_KINDS}")
+
+
+class CrossArchPredictor:
+    """Predicts RPVs (relative to the slowest system) from run counters.
+
+    Parameters
+    ----------
+    model:
+        One of ``"xgboost"`` (default; the paper's best model),
+        ``"forest"``, ``"linear"``, ``"mean"``.
+    feature_columns:
+        Feature subset to use (default: all 21; pass the output of
+        :func:`repro.core.pipeline.select_top_features` to retrain on
+        the most important features, Section VI-B).
+    random_state, **model_kwargs:
+        Forwarded to the underlying model.
+    """
+
+    def __init__(
+        self,
+        model: str = "xgboost",
+        feature_columns: tuple[str, ...] = FEATURE_COLUMNS,
+        random_state: int | None = 0,
+        **model_kwargs,
+    ):
+        self.kind = model
+        self.feature_columns = tuple(feature_columns)
+        self.model = _make_model(model, random_state, **model_kwargs)
+        self.normalizer: FeatureNormalizer | None = None
+        self.systems = tuple(SYSTEM_ORDER)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        dataset: MPHPCDataset,
+        model: str = "xgboost",
+        rows: np.ndarray | None = None,
+        **kwargs,
+    ) -> "CrossArchPredictor":
+        """Fit a predictor on (a subset of) the MP-HPC dataset."""
+        predictor = cls(model=model, **kwargs)
+        predictor.fit(dataset, rows=rows)
+        return predictor
+
+    def fit(
+        self, dataset: MPHPCDataset, rows: np.ndarray | None = None
+    ) -> "CrossArchPredictor":
+        frame = dataset.frame if rows is None else dataset.frame.take(rows)
+        X = frame.to_matrix(list(self.feature_columns))
+        Y = frame.to_matrix(list(dataset.target_columns))
+        self.model.fit(X, Y)
+        self.normalizer = dataset.normalizer
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict RPVs from an already-featurized matrix."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_columns):
+            raise ValueError(
+                f"X has shape {X.shape}, expected (n, {len(self.feature_columns)})"
+            )
+        return self.model.predict(X)
+
+    def predict_frame(self, frame: Frame) -> np.ndarray:
+        """Predict RPVs for rows of a frame containing feature columns."""
+        return self.predict(frame.to_matrix(list(self.feature_columns)))
+
+    def predict_record(self, record: dict) -> np.ndarray:
+        """Predict the RPV for one raw run record.
+
+        *record* is the output of :func:`repro.hatchet_lite.run_record`
+        (canonical counters + run metadata).  Features are derived with
+        the normalizer fitted during training, matching the deployment
+        path: profile once on one machine, predict everywhere.
+        """
+        if self.normalizer is None:
+            raise RuntimeError("predict_record called before fit")
+        frame = Frame.from_records([record])
+        featured, _ = derive_feature_frame(frame, normalizer=self.normalizer)
+        return self.predict_frame(featured)[0]
+
+    def rank_systems(self, record: dict) -> list[str]:
+        """System names ordered fastest to slowest for one run record."""
+        order = np.argsort(self.predict_record(record), kind="stable")
+        return [self.systems[i] for i in order]
+
+    def predict_with_uncertainty(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Predict RPVs with a per-component uncertainty estimate.
+
+        Only the ``forest`` model supports this (bagging spread: the
+        standard deviation of the per-tree predictions).  Returns
+        ``(mean, std)``, both shaped ``(n, n_outputs)``.  A scheduler
+        can use the std to fall back to safer placements when the model
+        is unsure which system wins.
+        """
+        if not hasattr(self.model, "predict_per_tree"):
+            raise TypeError(
+                f"{self.kind} model has no uncertainty estimate; "
+                "use model='forest'"
+            )
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_columns):
+            raise ValueError(
+                f"X has shape {X.shape}, expected (n, {len(self.feature_columns)})"
+            )
+        per_tree = self.model.predict_per_tree(X)
+        return per_tree.mean(axis=0), per_tree.std(axis=0)
+
+    # ------------------------------------------------------------------
+    def feature_importances(self) -> dict[str, float]:
+        """Per-feature importance (average gain), highest first.
+
+        Only tree models expose importances, matching the paper ("the
+        best set of features using those reported by XGBoost and the
+        decision forest, since these models expose feature importances").
+        """
+        if not hasattr(self.model, "feature_importances"):
+            raise TypeError(f"{self.kind} model has no feature importances")
+        values = self.model.feature_importances()
+        pairs = sorted(
+            zip(self.feature_columns, values), key=lambda kv: -kv[1]
+        )
+        return {name: float(v) for name, v in pairs}
+
+    def feature_importances_labeled(self) -> dict[str, float]:
+        """Importances keyed by the paper's Fig. 6 feature labels."""
+        return {
+            FEATURE_LABELS.get(name, name): value
+            for name, value in self.feature_importances().items()
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the trained predictor ("This model is exported and
+        used in downstream relative performance prediction tasks")."""
+        Path(path).write_bytes(pickle.dumps(self))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CrossArchPredictor":
+        obj = pickle.loads(Path(path).read_bytes())
+        if not isinstance(obj, cls):
+            raise TypeError(f"{path} does not contain a CrossArchPredictor")
+        return obj

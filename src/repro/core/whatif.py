@@ -1,0 +1,97 @@
+"""What-if analysis API (the Section VIII-B use case).
+
+"Users can obtain an estimate of the speedup from running on a given
+architecture without actually having access to or being capable of
+running that architecture."  This module wraps that workflow:
+
+* :func:`estimate_speedup` — predicted speedup of moving one profiled
+  run from one system to another.
+* :func:`porting_value` — for a batch of profiled runs, rank how much
+  each would gain from the best GPU system; the "is the port worth it?"
+  report for a code team considering GPU support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.machines import MACHINES, SYSTEM_ORDER
+from repro.core.predictor import CrossArchPredictor
+from repro.frame import Frame
+
+__all__ = ["estimate_speedup", "porting_value", "PortingEstimate"]
+
+
+def _system_index(name: str) -> int:
+    for i, system in enumerate(SYSTEM_ORDER):
+        if system.lower() == name.lower():
+            return i
+    raise KeyError(f"unknown system {name!r}; known: {list(SYSTEM_ORDER)}")
+
+
+def estimate_speedup(
+    predictor: CrossArchPredictor,
+    record: dict,
+    from_system: str,
+    to_system: str,
+) -> float:
+    """Predicted speedup of moving *record*'s run between systems.
+
+    A value above 1 means *to_system* is predicted faster.  RPVs are
+    time ratios, so the speedup is ``rpv[from] / rpv[to]``.
+    """
+    rpv = predictor.predict_record(record)
+    i = _system_index(from_system)
+    j = _system_index(to_system)
+    if rpv[j] <= 0:
+        raise ValueError("non-positive predicted RPV component")
+    return float(rpv[i] / rpv[j])
+
+
+@dataclass(frozen=True)
+class PortingEstimate:
+    """One run's predicted value of moving to the best GPU system."""
+
+    app: str
+    input_label: str
+    best_gpu_system: str
+    speedup_vs_source: float
+    predicted_rpv: np.ndarray
+
+
+def porting_value(
+    predictor: CrossArchPredictor,
+    records: list[dict],
+    source_system: str = "Quartz",
+) -> Frame:
+    """Rank profiled runs by predicted gain from the best GPU system.
+
+    *records* are run records (profiled on *source_system* or anywhere —
+    the features carry their own provenance).  Returns a frame sorted by
+    descending speedup with one row per record: the team's shortlist of
+    which codes to port first.
+    """
+    if not records:
+        raise ValueError("no records given")
+    gpu_systems = [
+        name for name in SYSTEM_ORDER if MACHINES[name].has_gpu
+    ]
+    src = _system_index(source_system)
+    rows = []
+    for record in records:
+        rpv = predictor.predict_record(record)
+        best = min(gpu_systems, key=lambda s: rpv[_system_index(s)])
+        rows.append(
+            {
+                "app": str(record.get("app", "?")),
+                "input": str(record.get("input", "?")),
+                "best_gpu_system": best,
+                "speedup_vs_source": float(
+                    rpv[src] / rpv[_system_index(best)]
+                ),
+            }
+        )
+    frame = Frame.from_records(rows)
+    return frame.sort_values("speedup_vs_source", descending=True)

@@ -1,0 +1,51 @@
+"""MP-HPC dataset construction (Section V).
+
+Builds the paper's Multi-Platform HPC dataset out of simulated profiled
+runs: every (application, input, scale, system) tuple contributes one
+row of derived Table III features, and every (application, input,
+scale) group contributes a relative-performance-vector target over the
+four systems.
+
+Feature layout (21 columns, matching the paper's "21 columns" /
+Table III):
+
+* six instruction-ratio features (branch/store/load/single-FP/double-FP/
+  integer intensity), each the category count over total instructions;
+* eight magnitude features (L1/L2 load/store misses, IO bytes
+  read/written, extended-page-table size, memory stalls), z-scored over
+  the dataset;
+* ``nodes``, ``cores``, ``uses_gpu``;
+* a four-way one-hot architecture encoding.
+
+Targets: the RPV relative to the slowest system, ``t_s / max_s t_s``
+for each system ``s`` — see DESIGN.md for why this reading of the
+paper's RPV (its ``rpv(.,.,min)`` form) is the one consistent with the
+reported error magnitudes.
+"""
+
+from repro.dataset.features import (
+    FeatureNormalizer,
+    derive_feature_frame,
+)
+from repro.dataset.generate import MPHPCDataset, generate_dataset
+from repro.dataset.schema import (
+    ARCH_COLUMNS,
+    FEATURE_COLUMNS,
+    MAGNITUDE_FEATURES,
+    META_COLUMNS,
+    RATIO_FEATURES,
+    TARGET_COLUMNS,
+)
+
+__all__ = [
+    "FEATURE_COLUMNS",
+    "RATIO_FEATURES",
+    "MAGNITUDE_FEATURES",
+    "ARCH_COLUMNS",
+    "META_COLUMNS",
+    "TARGET_COLUMNS",
+    "FeatureNormalizer",
+    "derive_feature_frame",
+    "MPHPCDataset",
+    "generate_dataset",
+]

@@ -1,0 +1,71 @@
+"""Counter-category taxonomy (Section V-C).
+
+"Most of these counters fit into one of three categories: control flow,
+data intensity, or I/O.  These categories capture the main performance
+characteristics of applications across different architectures."
+
+This module assigns every feature to the paper's taxonomy (plus the
+run-configuration and architecture-indicator groups the model also
+sees) and aggregates feature importances to category level — the view
+behind the paper's qualitative claim that branchy control flow favors
+CPUs while data intensity favors GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.schema import FEATURE_COLUMNS
+
+__all__ = ["FEATURE_CATEGORIES", "CATEGORY_OF", "category_importances"]
+
+#: The paper's three counter categories plus the two non-counter groups.
+FEATURE_CATEGORIES: dict[str, tuple[str, ...]] = {
+    "control_flow": ("branch_intensity",),
+    "data_intensity": (
+        "load_intensity",
+        "store_intensity",
+        "fp_sp_intensity",
+        "fp_dp_intensity",
+        "int_intensity",
+        "l1_load_misses",
+        "l1_store_misses",
+        "l2_load_misses",
+        "l2_store_misses",
+        "mem_stalls",
+        "ept_size",
+    ),
+    "io": ("io_bytes_read", "io_bytes_written"),
+    "run_configuration": ("nodes", "cores", "uses_gpu"),
+    "architecture": (
+        "arch_quartz", "arch_ruby", "arch_lassen", "arch_corona",
+    ),
+}
+
+#: Inverse mapping: feature name -> category name.
+CATEGORY_OF: dict[str, str] = {
+    feature: category
+    for category, features in FEATURE_CATEGORIES.items()
+    for feature in features
+}
+
+# Every schema feature must be categorized exactly once.
+_missing = set(FEATURE_COLUMNS) - set(CATEGORY_OF)
+assert not _missing, f"uncategorized features: {_missing}"
+
+
+def category_importances(
+    importances: dict[str, float]
+) -> dict[str, float]:
+    """Aggregate per-feature importances into Section V-C categories.
+
+    *importances* maps feature name to importance (e.g. the output of
+    :meth:`repro.core.CrossArchPredictor.feature_importances`); the
+    result maps category name to summed importance, sorted descending.
+    Unknown feature names raise.
+    """
+    unknown = set(importances) - set(CATEGORY_OF)
+    if unknown:
+        raise KeyError(f"unknown features: {sorted(unknown)}")
+    totals: dict[str, float] = {name: 0.0 for name in FEATURE_CATEGORIES}
+    for feature, value in importances.items():
+        totals[CATEGORY_OF[feature]] += value
+    return dict(sorted(totals.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,86 @@
+"""Dataset summary reporting.
+
+A generated dataset should be inspected before modeling: row coverage
+per application/system/scale, target distribution, orderability, and
+who wins where.  :func:`dataset_report` collects those views; the CLI
+and examples print them.  All views are plain frames so they compose
+with the rest of the analysis tooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.machines import SYSTEM_ORDER
+from repro.dataset.generate import MPHPCDataset
+from repro.frame import Frame
+
+__all__ = ["coverage_table", "target_summary", "winner_table",
+           "dataset_report"]
+
+
+def coverage_table(dataset: MPHPCDataset) -> Frame:
+    """Rows per (application, system) — the dataset's coverage grid."""
+    frame = dataset.frame
+    counts = frame.groupby(
+        ["app", "machine"], {"rows": ("time_seconds", len)}
+    )
+    return counts.pivot("app", "machine", "rows")
+
+
+def target_summary(dataset: MPHPCDataset) -> dict[str, float]:
+    """Distributional summary of the RPV targets."""
+    Y = dataset.Y()
+    from repro.core.calibration import gap_statistics
+
+    stats = gap_statistics(Y)
+    return {
+        "rows": float(Y.shape[0]),
+        "rpv_mean": float(Y.mean()),
+        "rpv_std": float(Y.std()),
+        "rpv_min": float(Y.min()),
+        "min_gap_median": stats["median"],
+        "near_tied_fraction": stats["near_tied_fraction"],
+    }
+
+
+def winner_table(dataset: MPHPCDataset) -> Frame:
+    """How often each system is fastest, overall and per scale."""
+    Y = dataset.Y()
+    scales = np.array([str(s) for s in dataset.frame["scale"]])
+    winners = Y.argmin(axis=1)
+    rows = []
+    for j, system in enumerate(SYSTEM_ORDER):
+        row: dict = {"system": system,
+                     "overall": float((winners == j).mean())}
+        for scale in sorted(set(scales)):
+            mask = scales == scale
+            row[scale] = float((winners[mask] == j).mean())
+        rows.append(row)
+    return Frame.from_records(rows)
+
+
+def dataset_report(dataset: MPHPCDataset) -> str:
+    """Human-readable multi-section dataset report."""
+    lines = ["=== MP-HPC dataset report ==="]
+    summary = target_summary(dataset)
+    lines.append(
+        f"rows: {int(summary['rows'])}  "
+        f"apps: {len(dataset.apps())}  "
+        f"features: {len(dataset.feature_columns)}"
+    )
+    lines.append(
+        f"RPV targets: mean {summary['rpv_mean']:.3f}  "
+        f"std {summary['rpv_std']:.3f}  min {summary['rpv_min']:.3f}"
+    )
+    lines.append(
+        f"orderability: median adjacent gap {summary['min_gap_median']:.3f}, "
+        f"{summary['near_tied_fraction']:.0%} of rows near-tied (<0.05)"
+    )
+    lines.append("")
+    lines.append("fastest-system share (overall):")
+    winners = winner_table(dataset)
+    for system, share in zip(winners["system"], winners["overall"]):
+        bar = "#" * int(round(40 * share))
+        lines.append(f"  {system:8s} {share:6.1%} {bar}")
+    return "\n".join(lines)

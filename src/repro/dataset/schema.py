@@ -1,0 +1,91 @@
+"""Column-name schema of the MP-HPC dataset."""
+
+from __future__ import annotations
+
+from repro.arch.machines import SYSTEM_ORDER
+
+__all__ = [
+    "RATIO_FEATURES",
+    "MAGNITUDE_FEATURES",
+    "CONFIG_FEATURES",
+    "ARCH_COLUMNS",
+    "FEATURE_COLUMNS",
+    "TARGET_COLUMNS",
+    "META_COLUMNS",
+    "FEATURE_LABELS",
+]
+
+#: Instruction-ratio features (Table III, top block): category counts
+#: divided by total instructions.  "Arithmetic Intensity" in the paper
+#: "refers to the ratio of arithmetic instructions, not the conventional
+#: flop-to-bandwidth ratio".
+RATIO_FEATURES: tuple[str, ...] = (
+    "branch_intensity",
+    "store_intensity",
+    "load_intensity",
+    "fp_sp_intensity",
+    "fp_dp_intensity",
+    "int_intensity",
+)
+
+#: Magnitude features, z-scored over the dataset (Table III middle block).
+MAGNITUDE_FEATURES: tuple[str, ...] = (
+    "l1_load_misses",
+    "l1_store_misses",
+    "l2_load_misses",
+    "l2_store_misses",
+    "io_bytes_read",
+    "io_bytes_written",
+    "ept_size",
+    "mem_stalls",
+)
+
+#: Run-configuration features.
+CONFIG_FEATURES: tuple[str, ...] = ("nodes", "cores", "uses_gpu")
+
+#: One-hot architecture encoding, in canonical system order.
+ARCH_COLUMNS: tuple[str, ...] = tuple(
+    f"arch_{name.lower()}" for name in SYSTEM_ORDER
+)
+
+#: All 21 model features, in canonical order.
+FEATURE_COLUMNS: tuple[str, ...] = (
+    RATIO_FEATURES + MAGNITUDE_FEATURES + CONFIG_FEATURES + ARCH_COLUMNS
+)
+
+#: Regression targets: RPV component per system (relative to slowest).
+TARGET_COLUMNS: tuple[str, ...] = tuple(
+    f"rpv_{name.lower()}" for name in SYSTEM_ORDER
+)
+
+#: Identity columns kept alongside features for grouping and analysis.
+META_COLUMNS: tuple[str, ...] = (
+    "app", "input", "machine", "scale", "time_seconds",
+)
+
+#: Human-readable labels for reports (Fig. 6 axis labels).
+FEATURE_LABELS: dict[str, str] = {
+    "branch_intensity": "Branch Intensity",
+    "store_intensity": "Store Intensity",
+    "load_intensity": "Load Intensity",
+    "fp_sp_intensity": "Single FP Intensity",
+    "fp_dp_intensity": "Double FP Intensity",
+    "int_intensity": "Arithmetic Intensity",
+    "l1_load_misses": "L1 Load Misses",
+    "l1_store_misses": "L1 Store Misses",
+    "l2_load_misses": "L2 Load Misses",
+    "l2_store_misses": "L2 Store Misses",
+    "io_bytes_read": "IO Bytes Read",
+    "io_bytes_written": "IO Bytes Written",
+    "ept_size": "Extended Page Table",
+    "mem_stalls": "Memory Stalls",
+    "nodes": "Nodes",
+    "cores": "Cores",
+    "uses_gpu": "Uses GPU",
+    "arch_quartz": "Quartz",
+    "arch_ruby": "Ruby",
+    "arch_lassen": "Lassen",
+    "arch_corona": "Corona",
+}
+
+assert len(FEATURE_COLUMNS) == 21, "paper: 21 feature columns"

@@ -1,0 +1,77 @@
+"""Fast binary persistence for the MP-HPC dataset.
+
+CSV round-trips (``MPHPCDataset.save``/``load``) are portable but slow
+at paper scale; this module adds an ``.npz`` format: numeric columns as
+float arrays, string columns as object arrays, the normalizer as an
+embedded JSON sidecar so reloaded datasets can featurize *new* raw runs
+consistently.  Round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset.features import FeatureNormalizer
+from repro.dataset.generate import MPHPCDataset
+from repro.frame import Frame
+
+__all__ = ["save_npz", "load_npz"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_npz(dataset: MPHPCDataset, path: str | Path) -> None:
+    """Write the dataset (columns + normalizer) as a compressed npz."""
+    frame = dataset.frame
+    arrays: dict[str, np.ndarray] = {}
+    column_types: dict[str, str] = {}
+    for name in frame.columns:
+        col = frame[name]
+        if col.dtype == object:
+            arrays[f"col_{name}"] = np.array([str(v) for v in col])
+            column_types[name] = "str"
+        else:
+            arrays[f"col_{name}"] = np.asarray(col)
+            column_types[name] = str(col.dtype)
+    try:
+        normalizer = dataset.normalizer.to_dict()
+    except RuntimeError:
+        normalizer = None
+    meta = {
+        "columns": frame.columns,
+        "column_types": column_types,
+        "normalizer": normalizer,
+        "feature_columns": list(dataset.feature_columns),
+        "target_columns": list(dataset.target_columns),
+    }
+    arrays[_META_KEY] = np.array(json.dumps(meta))
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: str | Path) -> MPHPCDataset:
+    """Read a dataset written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro dataset archive")
+        meta = json.loads(str(archive[_META_KEY]))
+        data: dict[str, np.ndarray] = {}
+        for name in meta["columns"]:
+            arr = archive[f"col_{name}"]
+            if meta["column_types"][name] == "str":
+                data[name] = arr.astype(object)
+            else:
+                data[name] = arr
+    frame = Frame(data)
+    if meta["normalizer"] is not None:
+        normalizer = FeatureNormalizer.from_dict(meta["normalizer"])
+    else:
+        normalizer = FeatureNormalizer.identity()
+    return MPHPCDataset(
+        frame=frame,
+        normalizer=normalizer,
+        feature_columns=tuple(meta["feature_columns"]),
+        target_columns=tuple(meta["target_columns"]),
+    )

@@ -1,0 +1,22 @@
+"""Lightweight columnar dataframe substrate.
+
+The paper's data pipeline (Section V) collects profiler output into a
+pandas ``DataFrame``.  pandas is unavailable in this environment, so
+:mod:`repro.frame` provides the small, typed, NumPy-backed subset of the
+dataframe API that the rest of the reproduction needs:
+
+* :class:`Frame` — ordered mapping of named, equal-length NumPy columns.
+* selection / boolean filtering / row slicing
+* ``groupby`` aggregation with named reducers
+* ``sort_values``, ``concat``, ``join`` (left/inner on a single key)
+* CSV round-tripping for dataset persistence
+
+Numeric columns are stored as ``float64`` or ``int64`` arrays; string
+columns as object arrays.  All operations return new frames; columns are
+copied on construction so a ``Frame`` never aliases caller-owned storage.
+"""
+
+from repro.frame.frame import Frame, concat
+from repro.frame.io import read_csv, write_csv
+
+__all__ = ["Frame", "concat", "read_csv", "write_csv"]

@@ -1,0 +1,450 @@
+"""Core :class:`Frame` implementation.
+
+A :class:`Frame` is an ordered mapping ``name -> numpy array`` where every
+column has the same length.  It supports the subset of dataframe behaviour
+the reproduction pipeline needs, with copy-on-construction semantics so
+frames never alias caller data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Frame", "concat"]
+
+
+def _as_column(values: Any, length: int | None = None) -> np.ndarray:
+    """Coerce *values* into a 1-D column array.
+
+    Scalars are broadcast to *length*.  Numeric inputs become ``float64``
+    or ``int64``; booleans stay boolean; everything else becomes an object
+    array (used for strings).
+    """
+    if np.isscalar(values) or values is None:
+        if length is None:
+            raise ValueError("scalar column requires a frame length")
+        values = [values] * length
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in "iu":
+        arr = arr.astype(np.int64)
+    elif arr.dtype.kind == "f":
+        arr = arr.astype(np.float64)
+    elif arr.dtype.kind == "b":
+        arr = arr.astype(bool)
+    elif arr.dtype.kind in "US O":
+        arr = arr.astype(object)
+    else:
+        arr = arr.astype(object)
+    return arr.copy()
+
+
+class Frame:
+    """An immutable-by-convention columnar table.
+
+    Parameters
+    ----------
+    data:
+        Mapping from column name to a 1-D sequence.  All columns must have
+        equal length.  Scalars broadcast to the length of the other columns.
+
+    Examples
+    --------
+    >>> f = Frame({"app": ["amg", "comd"], "time": [1.5, 2.0]})
+    >>> f.num_rows
+    2
+    >>> f.filter(f["time"] > 1.6)["app"][0]
+    'comd'
+    """
+
+    def __init__(self, data: Mapping[str, Any] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        if not data:
+            return
+        # First pass: find the length from the first non-scalar value.
+        length: int | None = None
+        for v in data.values():
+            if not np.isscalar(v) and v is not None:
+                length = len(v)
+                break
+        for name, values in data.items():
+            col = _as_column(values, length)
+            if length is None:
+                length = len(col)
+            if len(col) != length:
+                raise ValueError(
+                    f"column {name!r} has length {len(col)}, expected {length}"
+                )
+            self._columns[str(name)] = col
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Column names, in insertion order."""
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, key: str | Sequence[str]) -> np.ndarray | "Frame":
+        """``frame["col"]`` returns the column array (a view of internal
+        storage — do not mutate); ``frame[["a","b"]]`` returns a sub-frame."""
+        if isinstance(key, str):
+            try:
+                return self._columns[key]
+            except KeyError:
+                raise KeyError(
+                    f"no column {key!r}; available: {self.columns}"
+                ) from None
+        return self.select(list(key))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self.columns != other.columns or self.num_rows != other.num_rows:
+            return False
+        for name in self.columns:
+            a, b = self._columns[name], other._columns[name]
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                if not np.allclose(a, b, equal_nan=True):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"Frame({self.num_rows} rows x {self.num_columns} cols: {self.columns})"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]]) -> "Frame":
+        """Build a frame from an iterable of dict rows.
+
+        Keys are unioned across records; missing numeric values become NaN
+        and missing object values ``None``.
+        """
+        rows = list(records)
+        if not rows:
+            return cls()
+        names: list[str] = []
+        for row in rows:
+            for k in row:
+                if k not in names:
+                    names.append(k)
+        data = {
+            name: [row.get(name, np.nan if _looks_numeric(rows, name) else None)
+                   for row in rows]
+            for name in names
+        }
+        return cls(data)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Return rows as a list of dicts (scalars unboxed to Python types)."""
+        out = []
+        for i in range(self.num_rows):
+            out.append({name: _unbox(col[i]) for name, col in self._columns.items()})
+        return out
+
+    def copy(self) -> "Frame":
+        return Frame(self._columns)
+
+    def with_column(self, name: str, values: Any) -> "Frame":
+        """Return a new frame with *name* added or replaced."""
+        new = self.copy()
+        new._columns[str(name)] = _as_column(values, self.num_rows)
+        if len(new._columns[str(name)]) != self.num_rows and self.num_columns:
+            raise ValueError("column length mismatch")
+        return new
+
+    def drop(self, names: str | Sequence[str]) -> "Frame":
+        """Return a new frame without the given columns."""
+        if isinstance(names, str):
+            names = [names]
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise KeyError(f"cannot drop missing columns {missing}")
+        return self.select([c for c in self.columns if c not in set(names)])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """Return a new frame with columns renamed via *mapping*."""
+        missing = [n for n in mapping if n not in self._columns]
+        if missing:
+            raise KeyError(f"cannot rename missing columns {missing}")
+        new = Frame()
+        for name, col in self._columns.items():
+            new._columns[mapping.get(name, name)] = col.copy()
+        return new
+
+    # ------------------------------------------------------------------
+    # Row / column selection
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Return a sub-frame with just the named columns, in given order."""
+        new = Frame()
+        for name in names:
+            if name not in self._columns:
+                raise KeyError(f"no column {name!r}; available: {self.columns}")
+            new._columns[name] = self._columns[name].copy()
+        return new
+
+    def filter(self, mask: np.ndarray) -> "Frame":
+        """Return the rows where boolean *mask* is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (self.num_rows,):
+            raise ValueError(
+                f"mask must be boolean of length {self.num_rows}, "
+                f"got dtype={mask.dtype} shape={mask.shape}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Frame":
+        """Return rows at integer *indices* (with repetition allowed)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        new = Frame()
+        for name, col in self._columns.items():
+            new._columns[name] = col[idx]
+        return new
+
+    def head(self, n: int = 5) -> "Frame":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def sort_values(self, by: str | Sequence[str], descending: bool = False) -> "Frame":
+        """Return a new frame sorted by one or more columns (stable)."""
+        if isinstance(by, str):
+            by = [by]
+        keys = []
+        for name in reversed(list(by)):
+            col = self[name]
+            keys.append(col.astype(str) if col.dtype == object else col)
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def unique(self, name: str) -> np.ndarray:
+        """Sorted unique values of a column."""
+        return np.unique(self[name].astype(str) if self[name].dtype == object
+                         else self[name])
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def groupby(
+        self,
+        by: str | Sequence[str],
+        aggregations: Mapping[str, tuple[str, Callable[[np.ndarray], Any]] | str],
+    ) -> "Frame":
+        """Group rows and aggregate columns.
+
+        Parameters
+        ----------
+        by:
+            Key column(s).
+        aggregations:
+            ``{output_name: (input_column, reducer)}`` where *reducer* is a
+            callable over the group's values, or ``{column: "mean"|"sum"|
+            "min"|"max"|"count"|"std"}`` shorthand aggregating a column into
+            itself.
+
+        Returns
+        -------
+        Frame
+            One row per distinct key combination, sorted by key.
+        """
+        if isinstance(by, str):
+            by = [by]
+        normalized: dict[str, tuple[str, Callable[[np.ndarray], Any]]] = {}
+        named = {
+            "mean": np.mean, "sum": np.sum, "min": np.min,
+            "max": np.max, "count": len, "std": np.std,
+        }
+        for out, spec in aggregations.items():
+            if isinstance(spec, str):
+                normalized[out] = (out, named[spec])
+            else:
+                col, fn = spec
+                normalized[out] = (col, named[fn] if isinstance(fn, str) else fn)
+
+        # Build composite group keys.
+        key_cols = [self[name] for name in by]
+        key_strs = np.array(
+            ["\x1f".join(str(c[i]) for c in key_cols) for i in range(self.num_rows)],
+            dtype=object,
+        )
+        uniq, inverse = np.unique(key_strs.astype(str), return_inverse=True)
+        n_groups = len(uniq)
+        # Representative row index per group (first occurrence).
+        first_idx = np.full(n_groups, -1, dtype=np.int64)
+        for i, g in enumerate(inverse):
+            if first_idx[g] < 0:
+                first_idx[g] = i
+
+        data: dict[str, list] = {name: [] for name in by}
+        data.update({out: [] for out in normalized})
+        for g in range(n_groups):
+            rows = np.flatnonzero(inverse == g)
+            for name in by:
+                data[name].append(_unbox(self[name][first_idx[g]]))
+            for out, (col, fn) in normalized.items():
+                data[out].append(fn(self[col][rows]))
+        return Frame(data)
+
+    def pivot(self, index: str, columns: str, values: str) -> "Frame":
+        """Reshape long-form rows into a wide table.
+
+        One output row per distinct *index* value; one output column per
+        distinct *columns* value (prefixed with the column name),
+        holding the corresponding *values* entry.  Missing combinations
+        become NaN; duplicate combinations raise.
+        """
+        idx_vals = [str(v) for v in self[index]]
+        col_vals = [str(v) for v in self[columns]]
+        val_col = self[values]
+        if val_col.dtype == object:
+            raise TypeError(f"values column {values!r} must be numeric")
+        row_order = list(dict.fromkeys(idx_vals))
+        col_order = list(dict.fromkeys(col_vals))
+        grid = {
+            (r, c): np.nan for r in row_order for c in col_order
+        }
+        seen = set()
+        for r, c, v in zip(idx_vals, col_vals, val_col):
+            if (r, c) in seen:
+                raise ValueError(f"duplicate entry for ({r!r}, {c!r})")
+            seen.add((r, c))
+            grid[(r, c)] = float(v)
+        data: dict[str, Any] = {index: row_order}
+        for c in col_order:
+            data[f"{values}_{c}"] = [grid[(r, c)] for r in row_order]
+        return Frame(data)
+
+    def describe(self, name: str) -> dict[str, float]:
+        """Summary statistics for a numeric column."""
+        col = self[name]
+        if col.dtype == object:
+            raise TypeError(f"column {name!r} is not numeric")
+        return {
+            "count": float(len(col)),
+            "mean": float(np.mean(col)),
+            "std": float(np.std(col)),
+            "min": float(np.min(col)),
+            "max": float(np.max(col)),
+        }
+
+    # ------------------------------------------------------------------
+    # Joins and matrix export
+    # ------------------------------------------------------------------
+    def join(self, other: "Frame", on: str, how: str = "inner",
+             suffix: str = "_right") -> "Frame":
+        """Join with *other* on a single key column.
+
+        Supports ``how`` in {"inner", "left"}.  Non-key columns of *other*
+        that collide with ours are suffixed.  For left joins, unmatched
+        numeric columns get NaN and object columns ``None``.
+        """
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type {how!r}")
+        right_index: dict[Any, int] = {}
+        for i, v in enumerate(other[on]):
+            right_index.setdefault(_unbox(v), i)
+
+        left_rows: list[int] = []
+        right_rows: list[int | None] = []
+        for i, v in enumerate(self[on]):
+            j = right_index.get(_unbox(v))
+            if j is None:
+                if how == "left":
+                    left_rows.append(i)
+                    right_rows.append(None)
+            else:
+                left_rows.append(i)
+                right_rows.append(j)
+
+        result = self.take(np.asarray(left_rows, dtype=np.int64))
+        for name in other.columns:
+            if name == on:
+                continue
+            out_name = name if name not in self._columns else name + suffix
+            col = other[name]
+            if col.dtype == object:
+                vals = [None if j is None else col[j] for j in right_rows]
+            else:
+                vals = [np.nan if j is None else float(col[j]) for j in right_rows]
+            result = result.with_column(out_name, vals)
+        return result
+
+    def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stack numeric columns into a ``(rows, cols)`` float64 matrix."""
+        names = list(names) if names is not None else self.columns
+        cols = []
+        for name in names:
+            col = self[name]
+            if col.dtype == object:
+                raise TypeError(f"column {name!r} is not numeric")
+            cols.append(col.astype(np.float64))
+        if not cols:
+            return np.empty((self.num_rows, 0))
+        return np.column_stack(cols)
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Vertically concatenate frames with identical column sets."""
+    frames = [f for f in frames if f.num_columns]
+    if not frames:
+        return Frame()
+    names = frames[0].columns
+    for f in frames[1:]:
+        if f.columns != names:
+            raise ValueError(
+                f"cannot concat: column mismatch {f.columns} vs {names}"
+            )
+    out = Frame()
+    for name in names:
+        parts = [f[name] for f in frames]
+        if any(p.dtype == object for p in parts):
+            merged = np.concatenate([p.astype(object) for p in parts])
+        else:
+            merged = np.concatenate(parts)
+        out._columns[name] = _as_column(merged)
+    return out
+
+
+def _looks_numeric(rows: list[Mapping[str, Any]], name: str) -> bool:
+    for row in rows:
+        if name in row and row[name] is not None:
+            return isinstance(row[name], (int, float, np.integer, np.floating))
+    return True
+
+
+def _unbox(value: Any) -> Any:
+    """Convert NumPy scalars to plain Python scalars."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

@@ -1,0 +1,99 @@
+"""CSV persistence for :class:`repro.frame.Frame`.
+
+The MP-HPC dataset is materialized to disk as CSV so that the ML stage can
+be decoupled from the (simulated) data-collection stage, mirroring the
+paper's pipeline in which profiling runs happen on HPC systems and
+modeling happens later on a workstation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame.frame import Frame
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def write_csv(frame: Frame, path: str | Path) -> None:
+    """Write *frame* to *path* as RFC-4180 CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(frame.columns)
+        cols = [frame[name] for name in frame.columns]
+        for i in range(frame.num_rows):
+            writer.writerow([_render(col[i]) for col in cols])
+
+
+def read_csv(path_or_buffer: str | Path | io.TextIOBase) -> Frame:
+    """Read a CSV written by :func:`write_csv` back into a :class:`Frame`.
+
+    Column types are inferred: a column parses as int64 if every value is
+    an integer literal, float64 if every value parses as float (empty cells
+    become NaN), and object (str) otherwise.
+    """
+    if isinstance(path_or_buffer, (str, Path)):
+        with Path(path_or_buffer).open(newline="") as fh:
+            return _read(fh)
+    return _read(path_or_buffer)
+
+
+def _read(fh) -> Frame:
+    reader = csv.reader(fh)
+    try:
+        header = next(reader)
+    except StopIteration:
+        return Frame()
+    raw: list[list[str]] = [[] for _ in header]
+    for row in reader:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} fields, expected {len(header)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            raw[i].append(cell)
+    data = {name: _infer(values) for name, values in zip(header, raw)}
+    return Frame(data)
+
+
+def _render(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))
+    return str(value)
+
+
+def _infer(values: list[str]) -> np.ndarray:
+    if _all(values, _is_int):
+        return np.array([int(v) for v in values], dtype=np.int64)
+    if _all(values, _is_float):
+        return np.array(
+            [np.nan if v == "" else float(v) for v in values], dtype=np.float64
+        )
+    return np.array(values, dtype=object)
+
+
+def _all(values: list[str], pred) -> bool:
+    return bool(values) and all(pred(v) for v in values)
+
+
+def _is_int(s: str) -> bool:
+    try:
+        int(s)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_float(s: str) -> bool:
+    if s == "":
+        return True
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False

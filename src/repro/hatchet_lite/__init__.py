@@ -1,0 +1,25 @@
+"""Hatchet substitute: programmatic analysis of profiler output.
+
+The paper uses Hatchet to parse HPCToolkit databases into pandas
+dataframes ("Hatchet is used to parse these counters from the HPCToolkit
+output", Section V-B).  :class:`GraphFrame` fills the same role here:
+it loads a :class:`repro.profiler.Profile` into a :class:`repro.frame.
+Frame` (one row per CCT node) while retaining the tree for structural
+operations (pruning, hot-path queries), and reduces a profile to the
+run-level canonical counter record the dataset builder consumes.
+"""
+
+from repro.hatchet_lite.analysis import (
+    cross_arch_table,
+    diff_profiles,
+    flat_profile,
+)
+from repro.hatchet_lite.graphframe import GraphFrame, run_record
+
+__all__ = [
+    "GraphFrame",
+    "run_record",
+    "flat_profile",
+    "diff_profiles",
+    "cross_arch_table",
+]

@@ -1,0 +1,109 @@
+"""Cross-profile analysis operations (Hatchet's analysis layer).
+
+Hatchet's value proposition (Section II-A of the paper) is programmatic
+*comparison* of many profiles — "studying trends in large numbers of
+profiles" that hpcviewer cannot do.  This module provides the core
+comparison operations over our profiles:
+
+* :func:`flat_profile` — collapse a CCT to per-function totals.
+* :func:`diff_profiles` — align two profiles by call path and compare a
+  metric (the classic A/B analysis between two runs or two builds).
+* :func:`cross_arch_table` — align the *same* run profiled on several
+  architectures on canonical counter fields, the operation underlying
+  the MP-HPC dataset's premise that similarly-named counters are
+  comparable across systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.machines import get_machine
+from repro.frame import Frame
+from repro.profiler.counters import schema_for
+from repro.profiler.profile import Profile
+
+__all__ = ["flat_profile", "diff_profiles", "cross_arch_table"]
+
+
+def flat_profile(profile: Profile, metric: str) -> Frame:
+    """Aggregate a metric by function name, ignoring calling context.
+
+    Returns one row per function, sorted by descending total, with the
+    fraction of the run total (the classic "flat profile" view).
+    """
+    totals: dict[str, float] = {}
+    for node in profile.root.walk():
+        if metric in node.metrics:
+            totals[node.name] = totals.get(node.name, 0.0) + \
+                node.metrics[metric]
+    if not totals:
+        raise KeyError(f"metric {metric!r} not present in profile")
+    grand = sum(totals.values())
+    rows = [
+        {"function": name, metric: value,
+         "fraction": value / grand if grand else 0.0}
+        for name, value in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    return Frame.from_records(rows)
+
+
+def diff_profiles(a: Profile, b: Profile, metric: str) -> Frame:
+    """Align two profiles by call path and compare *metric*.
+
+    Returns one row per path present in either profile with columns
+    ``value_a``, ``value_b``, ``ratio`` (b/a; NaN when a is 0) — sorted
+    by the largest absolute difference first.
+    """
+    values_a = {n.path: n.metrics.get(metric) for n in a.root.walk()}
+    values_b = {n.path: n.metrics.get(metric) for n in b.root.walk()}
+    paths = sorted(set(values_a) | set(values_b))
+    rows = []
+    for path in paths:
+        va = values_a.get(path)
+        vb = values_b.get(path)
+        if va is None and vb is None:
+            continue
+        va = 0.0 if va is None else va
+        vb = 0.0 if vb is None else vb
+        rows.append(
+            {
+                "path": path,
+                "value_a": va,
+                "value_b": vb,
+                "ratio": vb / va if va else float("nan"),
+                "abs_diff": abs(vb - va),
+            }
+        )
+    if not rows:
+        raise KeyError(f"metric {metric!r} not present in either profile")
+    frame = Frame.from_records(rows)
+    return frame.sort_values("abs_diff", descending=True)
+
+
+def cross_arch_table(profiles: list[Profile]) -> Frame:
+    """Canonical counter fields of the same run across architectures.
+
+    Decodes each profile through its machine's schema and returns one
+    row per machine with the canonical fields plus measured time — the
+    side-by-side view behind Table III's premise.
+    """
+    if not profiles:
+        raise ValueError("need at least one profile")
+    apps = {p.meta["app"] for p in profiles}
+    inputs = {p.meta["input"] for p in profiles}
+    if len(apps) > 1 or len(inputs) > 1:
+        raise ValueError(
+            f"profiles must describe one (app, input): got {apps} x {inputs}"
+        )
+    rows = []
+    for profile in profiles:
+        machine = get_machine(profile.meta["machine"])
+        gpu = bool(profile.meta["uses_gpu"]) and machine.has_gpu
+        canonical = schema_for(machine, gpu).decode(profile.run_totals())
+        row = {"machine": profile.meta["machine"],
+               "profiler": profile.meta["profiler"],
+               "time_seconds": float(profile.meta["time_seconds"])}
+        row.update({k: float(v) for k, v in canonical.items()})
+        rows.append(row)
+    return Frame.from_records(rows)

@@ -1,0 +1,99 @@
+"""GraphFrame: tabular + structural view of one profile."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.arch.machines import get_machine
+from repro.cct.tree import CCTNode
+from repro.frame import Frame
+from repro.profiler.counters import schema_for
+from repro.profiler.profile import Profile
+
+__all__ = ["GraphFrame", "run_record"]
+
+
+class GraphFrame:
+    """A profile as a dataframe over CCT nodes plus the tree itself.
+
+    Mirrors Hatchet's core design: the ``dataframe`` holds one row per
+    calling-context node with columns for name/path/depth and every
+    counter; the ``graph`` (here the root :class:`CCTNode`) preserves
+    structure for tree-aware operations.
+    """
+
+    def __init__(self, profile: Profile):
+        self.profile = profile
+        self.root: CCTNode = profile.root
+        self.dataframe = self._build_frame(profile)
+
+    @staticmethod
+    def _build_frame(profile: Profile) -> Frame:
+        counters = profile.counter_names
+        rows: dict[str, list] = {
+            "name": [], "path": [], "depth": [], "is_leaf": [],
+        }
+        for c in counters:
+            rows[c] = []
+        for node in profile.root.walk():
+            rows["name"].append(node.name)
+            rows["path"].append(node.path)
+            rows["depth"].append(node.depth)
+            rows["is_leaf"].append(1 if node.is_leaf else 0)
+            for c in counters:
+                rows[c].append(float(node.metrics.get(c, 0.0)))
+        return Frame(rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def counter_names(self) -> list[str]:
+        return self.profile.counter_names
+
+    def hot_nodes(self, metric: str, top: int = 5) -> Frame:
+        """The *top* nodes by exclusive value of *metric*."""
+        if metric not in self.dataframe:
+            raise KeyError(f"unknown metric {metric!r}")
+        ordered = self.dataframe.sort_values(metric, descending=True)
+        return ordered.head(top)
+
+    def filter(self, keep: Callable[[CCTNode], bool]) -> "GraphFrame":
+        """Hatchet-style structural filter: prune the tree, rebuild."""
+        pruned = self.root.prune(keep)
+        clone = Profile(meta=dict(self.profile.meta), root=pruned)
+        return GraphFrame(clone)
+
+    def exclusive_fraction(self, metric: str) -> Frame:
+        """Each node's share of the run total for *metric*."""
+        if metric not in self.dataframe:
+            raise KeyError(f"unknown metric {metric!r}")
+        total = float(np.sum(self.dataframe[metric]))
+        frac = self.dataframe[metric] / total if total else self.dataframe[metric]
+        return self.dataframe.select(["path"]).with_column("fraction", frac)
+
+
+def run_record(profile: Profile) -> dict[str, float | str | bool]:
+    """Reduce a profile to one flat run-level record.
+
+    Decodes the machine-specific counter names back to the canonical
+    event fields through the same schema that produced them, and merges
+    the run metadata — this is the row format the MP-HPC dataset builder
+    collects "into a Pandas dataframe" in the paper.
+    """
+    meta = profile.meta
+    machine = get_machine(meta["machine"])
+    schema = schema_for(machine, bool(meta["uses_gpu"]) and machine.has_gpu)
+    canonical = schema.decode(profile.run_totals())
+    record: dict[str, float | str | bool] = {
+        "app": meta["app"],
+        "input": meta["input"],
+        "machine": meta["machine"],
+        "scale": meta["scale"],
+        "nodes": float(meta["nodes"]),
+        "cores": float(meta["cores"]),
+        "uses_gpu": float(bool(meta["uses_gpu"])),
+        "time_seconds": float(meta["time_seconds"]),
+    }
+    record.update(canonical)
+    return record

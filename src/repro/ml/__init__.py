@@ -1,0 +1,66 @@
+"""From-scratch machine-learning stack used by the reproduction.
+
+The paper trains an XGBoost regressor (v1.7.1) and compares it against
+scikit-learn linear regression, a decision forest, and a mean-prediction
+baseline (Section VI).  Neither XGBoost nor scikit-learn is available in
+this environment, so this package implements the required model family
+from scratch on NumPy:
+
+* :class:`GradientBoostedTrees` — regularized second-order gradient tree
+  boosting with histogram splits, shrinkage, row/column subsampling, and
+  average-gain feature importances (the paper's importance definition).
+* :class:`RandomForestRegressor` — bagged variance-reduction trees.
+* :class:`LinearRegression` / :class:`RidgeRegression` — least squares.
+* :class:`MeanPredictor` — the paper's baseline that predicts the mean
+  training-set RPV for every test sample.
+* metrics: :func:`mean_absolute_error`, :func:`mean_squared_error`,
+  :func:`r2_score`, and the paper's :func:`same_order_score`.
+* model selection: :func:`train_test_split`, :class:`KFold`,
+  :func:`cross_validate` (the paper's 90/10 split + 5-fold CV protocol).
+
+All estimators share the ``fit(X, Y) -> self`` / ``predict(X) -> Y``
+protocol with dense float64 arrays; multi-output targets are first-class
+(``Y`` of shape ``(n, k)``) because RPVs are 4-vectors.
+"""
+
+from repro.ml.baseline import MeanPredictor
+from repro.ml.boosting import GradientBoostedTrees
+from repro.ml.forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    same_order_score,
+)
+from repro.ml.model_selection import KFold, cross_validate, train_test_split
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.serialization import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.ml.tuning import GridSearchCV
+
+__all__ = [
+    "GradientBoostedTrees",
+    "RandomForestRegressor",
+    "DecisionTreeRegressor",
+    "LinearRegression",
+    "RidgeRegression",
+    "MeanPredictor",
+    "KNeighborsRegressor",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "same_order_score",
+    "train_test_split",
+    "KFold",
+    "cross_validate",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+    "GridSearchCV",
+]

@@ -1,0 +1,42 @@
+"""Mean-prediction baseline.
+
+The paper tests "against mean prediction as a baseline for the ML models.
+This regressor guesses the mean RPV in the training set for all samples
+in the test set" (Section VI-A).  XGBoost's reported MAE of 0.11 is an
+81.6% improvement over this baseline, which anchors the claim that the
+model correlates counters with performance rather than memorizing the
+runtime distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MeanPredictor"]
+
+
+class MeanPredictor:
+    """Predicts the training-set mean target for every sample."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.n_features_ = 0
+        self.n_outputs_ = 0
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "MeanPredictor":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.ndim != 2 or Y.shape[0] != X.shape[0]:
+            raise ValueError(f"bad shapes X={X.shape} Y={Y.shape}")
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = Y.shape[1]
+        self.mean_ = Y.mean(axis=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        return np.tile(self.mean_, (X.shape[0], 1))

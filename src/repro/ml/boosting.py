@@ -1,0 +1,297 @@
+"""Regularized gradient tree boosting (from-scratch XGBoost equivalent).
+
+Implements the training objective from Section VI-A of the paper:
+
+    L(theta) = sum_i l(yhat_i, y_i) + sum_k Omega(f_k)
+
+optimized greedily, one tree per boosting round, using the standard
+second-order approximation.  Supported loss functions:
+
+* ``"squared"`` — l = 1/2 (yhat - y)^2, the XGBoost default
+  (``reg:squarederror``); constant unit hessian.
+* ``"pseudo_huber"`` — a smooth approximation of absolute error, matching
+  the paper's use of MAE as the minimization objective (exact MAE has a
+  zero hessian and cannot be used with second-order boosting; XGBoost
+  itself offers ``reg:pseudohubererror`` for the same reason).
+
+Multi-output targets (the 4-component RPVs) are handled with one of two
+strategies:
+
+* ``"per_output"`` (default) — an independent tree per output per round,
+  which is what running XGBoost 1.7 under a multi-output wrapper does and
+  matches the paper's description of averaging gain over outputs when
+  reporting importances.
+* ``"multi_output_tree"`` — a single tree per round with vector leaves and
+  gain averaged across outputs during growth (cheaper; kept for ablation).
+
+Feature importances follow the paper's definition exactly: the *average
+gain* of all splits on a feature, across all trees (and averaged over
+outputs), normalized to sum to one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import Binner, Tree, TreeParams, grow_tree
+
+__all__ = ["GradientBoostedTrees"]
+
+
+class GradientBoostedTrees:
+    """Gradient-boosted regression trees with XGBoost-style regularization.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to every leaf weight.
+    max_depth, min_child_weight, reg_lambda, gamma, min_samples_leaf:
+        Tree growth controls (see :class:`repro.ml.tree.TreeParams`).
+    n_bins:
+        Histogram resolution for split finding.
+    subsample:
+        Row subsampling fraction per round (without replacement).
+    colsample_bytree:
+        Feature subsampling fraction per tree.
+    objective:
+        ``"squared"`` or ``"pseudo_huber"``.
+    huber_delta:
+        Transition scale for the pseudo-Huber loss.
+    multi_strategy:
+        ``"per_output"`` or ``"multi_output_tree"`` (see module docstring).
+    random_state:
+        Seed for row/column subsampling.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.normal(size=(200, 3))
+    >>> y = X[:, 0] * 2 + np.sin(X[:, 1])
+    >>> model = GradientBoostedTrees(n_estimators=50, max_depth=3).fit(X, y)
+    >>> float(np.abs(model.predict(X)[:, 0] - y).mean()) < 0.2
+    True
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        learning_rate: float = 0.1,
+        max_depth: int = 6,
+        min_child_weight: float = 1.0,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        min_samples_leaf: int = 1,
+        n_bins: int = 64,
+        subsample: float = 1.0,
+        colsample_bytree: float = 1.0,
+        objective: str = "squared",
+        huber_delta: float = 1.0,
+        multi_strategy: str = "per_output",
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0 < subsample <= 1 or not 0 < colsample_bytree <= 1:
+            raise ValueError("subsample fractions must be in (0, 1]")
+        if objective not in ("squared", "pseudo_huber"):
+            raise ValueError(f"unknown objective {objective!r}")
+        if multi_strategy not in ("per_output", "multi_output_tree"):
+            raise ValueError(f"unknown multi_strategy {multi_strategy!r}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.params = TreeParams(
+            max_depth=max_depth,
+            min_child_weight=min_child_weight,
+            reg_lambda=reg_lambda,
+            gamma=gamma,
+            min_samples_leaf=min_samples_leaf,
+        )
+        self.n_bins = n_bins
+        self.subsample = subsample
+        self.colsample_bytree = colsample_bytree
+        self.objective = objective
+        self.huber_delta = huber_delta
+        self.multi_strategy = multi_strategy
+        self.random_state = random_state
+
+        self.binner_: Binner | None = None
+        self.trees_: list[list[Tree]] = []  # trees_[round] = trees that round
+        self.base_score_: np.ndarray | None = None
+        self.n_features_: int = 0
+        self.n_outputs_: int = 0
+        self._single_output_input = False
+        #: Per-round metrics recorded during fit: train MAE always, and
+        #: validation MAE when an eval_set is supplied.
+        self.eval_history_: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        eval_set: tuple[np.ndarray, np.ndarray] | None = None,
+        early_stopping_rounds: int | None = None,
+    ) -> "GradientBoostedTrees":
+        """Fit the ensemble.
+
+        If *eval_set* ``(X_val, Y_val)`` and *early_stopping_rounds* are
+        given, training stops when validation MAE has not improved for
+        that many consecutive rounds and the ensemble is truncated to the
+        best round.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        self._single_output_input = Y.ndim == 1
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.ndim != 2 or Y.shape[0] != X.shape[0]:
+            raise ValueError(f"bad shapes X={X.shape} Y={Y.shape}")
+        n, f = X.shape
+        k = Y.shape[1]
+        self.n_features_ = f
+        self.n_outputs_ = k
+        rng = np.random.default_rng(self.random_state)
+
+        self.binner_ = Binner(self.n_bins)
+        Xb = self.binner_.fit_transform(X)
+        self.base_score_ = Y.mean(axis=0)
+        pred = np.tile(self.base_score_, (n, 1))
+        self.trees_ = []
+
+        val_pack = None
+        if eval_set is not None:
+            Xv, Yv = eval_set
+            Xv = np.asarray(Xv, dtype=np.float64)
+            Yv = np.asarray(Yv, dtype=np.float64)
+            if Yv.ndim == 1:
+                Yv = Yv[:, None]
+            Xvb = self.binner_.transform(Xv)
+            val_pred = np.tile(self.base_score_, (Xv.shape[0], 1))
+            val_pack = (Xvb, Yv, val_pred)
+        best_mae = np.inf
+        best_round = -1
+        stall = 0
+        self.eval_history_ = {"train_mae": []}
+        if val_pack is not None:
+            self.eval_history_["val_mae"] = []
+
+        for round_idx in range(self.n_estimators):
+            g, h = self._grad_hess(pred, Y)
+            rows = self._sample_rows(rng, n)
+            round_trees: list[Tree] = []
+            if self.multi_strategy == "multi_output_tree":
+                cols = self._sample_cols(rng, f)
+                tree = grow_tree(
+                    Xb, g, h, self.params, self.n_bins,
+                    rows=rows, feature_subset=cols,
+                    leaf_scale=self.learning_rate,
+                )
+                pred += tree.predict_binned(Xb)
+                round_trees.append(tree)
+            else:
+                for out in range(k):
+                    cols = self._sample_cols(rng, f)
+                    tree = grow_tree(
+                        Xb, g[:, out], h[:, out], self.params, self.n_bins,
+                        rows=rows, feature_subset=cols,
+                        leaf_scale=self.learning_rate,
+                    )
+                    pred[:, out] += tree.predict_binned(Xb)[:, 0]
+                    round_trees.append(tree)
+            self.trees_.append(round_trees)
+            self.eval_history_["train_mae"].append(
+                float(np.abs(pred - Y).mean())
+            )
+
+            if val_pack is not None:
+                Xvb, Yv, val_pred = val_pack
+                if self.multi_strategy == "multi_output_tree":
+                    val_pred += round_trees[0].predict_binned(Xvb)
+                else:
+                    for out, tree in enumerate(round_trees):
+                        val_pred[:, out] += tree.predict_binned(Xvb)[:, 0]
+                mae = float(np.abs(val_pred - Yv).mean())
+                self.eval_history_["val_mae"].append(mae)
+                if early_stopping_rounds is not None:
+                    if mae < best_mae - 1e-12:
+                        best_mae, best_round, stall = mae, round_idx, 0
+                    else:
+                        stall += 1
+                        if stall >= early_stopping_rounds:
+                            self.trees_ = self.trees_[: best_round + 1]
+                            break
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets; always returns shape ``(n, n_outputs)``."""
+        if self.binner_ is None or self.base_score_ is None:
+            raise RuntimeError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        Xb = self.binner_.transform(X)
+        pred = np.tile(self.base_score_, (X.shape[0], 1))
+        for round_trees in self.trees_:
+            if self.multi_strategy == "multi_output_tree":
+                pred += round_trees[0].predict_binned(Xb)
+            else:
+                for out, tree in enumerate(round_trees):
+                    pred[:, out] += tree.predict_binned(Xb)[:, 0]
+        return pred
+
+    # ------------------------------------------------------------------
+    def feature_importances(self, kind: str = "gain") -> np.ndarray:
+        """Per-feature importances, normalized to sum to 1.
+
+        ``kind="gain"`` (default) is the paper's definition: the average
+        gain across all splits on the feature, over all trees and outputs.
+        ``kind="weight"`` counts splits instead (mentioned by the paper as
+        biased towards high-cardinality features; provided for comparison).
+        """
+        if not self.trees_:
+            raise RuntimeError("feature_importances called before fit")
+        if kind not in ("gain", "weight"):
+            raise ValueError(f"unknown importance kind {kind!r}")
+        total_gain = np.zeros(self.n_features_)
+        total_count = np.zeros(self.n_features_)
+        for round_trees in self.trees_:
+            for tree in round_trees:
+                total_gain += tree.feature_gains()
+                total_count += tree.feature_split_counts()
+        if kind == "weight":
+            raw = total_count
+        else:
+            with np.errstate(invalid="ignore"):
+                raw = np.where(total_count > 0, total_gain / np.maximum(total_count, 1), 0.0)
+        s = raw.sum()
+        return raw / s if s > 0 else raw
+
+    @property
+    def n_trees_(self) -> int:
+        """Total number of individual trees in the fitted ensemble."""
+        return sum(len(r) for r in self.trees_)
+
+    # ------------------------------------------------------------------
+    def _grad_hess(self, pred: np.ndarray, Y: np.ndarray):
+        resid = pred - Y
+        if self.objective == "squared":
+            return resid, np.ones_like(resid)
+        # Pseudo-Huber: l = d^2 (sqrt(1 + (r/d)^2) - 1)
+        d = self.huber_delta
+        scale = np.sqrt(1.0 + (resid / d) ** 2)
+        g = resid / scale
+        h = 1.0 / scale**3
+        return g, h
+
+    def _sample_rows(self, rng: np.random.Generator, n: int) -> np.ndarray | None:
+        if self.subsample >= 1.0:
+            return None
+        m = max(1, int(round(self.subsample * n)))
+        return np.sort(rng.choice(n, size=m, replace=False))
+
+    def _sample_cols(self, rng: np.random.Generator, f: int) -> np.ndarray | None:
+        if self.colsample_bytree >= 1.0:
+            return None
+        m = max(1, int(round(self.colsample_bytree * f)))
+        return np.sort(rng.choice(f, size=m, replace=False))

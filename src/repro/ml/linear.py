@@ -1,0 +1,93 @@
+"""Linear least-squares regressors (scikit-learn comparator substitutes).
+
+:class:`LinearRegression` solves ordinary least squares via
+``numpy.linalg.lstsq`` (rank-robust SVD path); :class:`RidgeRegression`
+adds an L2 penalty solved in closed form.  Both support multi-output
+targets, which is how they predict the 4-component RPVs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+class LinearRegression:
+    """Ordinary least squares with an intercept.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [1.0], [2.0]])
+    >>> y = np.array([1.0, 3.0, 5.0])
+    >>> m = LinearRegression().fit(X, y)
+    >>> np.allclose(m.predict(np.array([[3.0]])), [[7.0]])
+    True
+    """
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None  # (features, outputs)
+        self.intercept_: np.ndarray | None = None  # (outputs,)
+        self.n_features_ = 0
+        self.n_outputs_ = 0
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.ndim != 2 or Y.shape[0] != X.shape[0]:
+            raise ValueError(f"bad shapes X={X.shape} Y={Y.shape}")
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = Y.shape[1]
+        # Center so the intercept absorbs the means; improves conditioning.
+        x_mean = X.mean(axis=0)
+        y_mean = Y.mean(axis=0)
+        coef, *_ = np.linalg.lstsq(X - x_mean, Y - y_mean, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = y_mean - x_mean @ coef
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has shape {X.shape}, expected (n, {self.n_features_})"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularized least squares, solved in closed form.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength; 0 recovers OLS (on full-rank problems).
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.ndim != 2 or Y.shape[0] != X.shape[0]:
+            raise ValueError(f"bad shapes X={X.shape} Y={Y.shape}")
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = Y.shape[1]
+        x_mean = X.mean(axis=0)
+        y_mean = Y.mean(axis=0)
+        Xc = X - x_mean
+        A = Xc.T @ Xc + self.alpha * np.eye(self.n_features_)
+        self.coef_ = np.linalg.solve(A, Xc.T @ (Y - y_mean))
+        self.intercept_ = y_mean - x_mean @ self.coef_
+        return self

@@ -1,0 +1,80 @@
+"""Evaluation metrics (Section VI-C of the paper).
+
+* :func:`mean_absolute_error` — average elementwise |error| over all RPV
+  components; the paper's headline metric (0.11 for XGBoost).
+* :func:`same_order_score` — fraction of samples whose predicted RPV is
+  in exactly the same rank order as the true RPV; the paper's secondary
+  metric (0.86 for XGBoost).
+* :func:`mean_squared_error` and :func:`r2_score` for completeness
+  (mentioned in Section II-B as common regression objectives).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "same_order_score",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.ndim == 1:
+        y_true = y_true[:, None]
+    if y_pred.ndim == 1:
+        y_pred = y_pred[:, None]
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    return y_true, y_pred
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean over samples and outputs of ``|y_pred - y_true|``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.abs(y_pred - y_true).mean())
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean over samples and outputs of ``(y_pred - y_true)^2``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(((y_pred - y_true) ** 2).mean())
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination, uniformly averaged over outputs.
+
+    Returns 0 for outputs with zero variance where predictions are exact,
+    matching the usual convention.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = ((y_true - y_pred) ** 2).sum(axis=0)
+    ss_tot = ((y_true - y_true.mean(axis=0)) ** 2).sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r2 = 1.0 - ss_res / ss_tot
+    r2 = np.where(ss_tot == 0, np.where(ss_res == 0, 1.0, 0.0), r2)
+    return float(r2.mean())
+
+
+def same_order_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of rows where predicted and true vectors share rank order.
+
+    Two vectors are "in the same order" when, for every position ``i``,
+    the i-th elements are the n-th largest in their respective vectors —
+    i.e. ``argsort`` of the two rows agree.  Ranking uses a stable sort so
+    exact ties resolve identically on both sides.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    if y_true.shape[1] < 2:
+        raise ValueError("same_order_score needs vectors of length >= 2")
+    order_true = np.argsort(y_true, axis=1, kind="stable")
+    order_pred = np.argsort(y_pred, axis=1, kind="stable")
+    return float((order_true == order_pred).all(axis=1).mean())

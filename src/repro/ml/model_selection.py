@@ -1,0 +1,134 @@
+"""Train/test splitting and cross-validation (the paper's protocol).
+
+Section VI-A: "10% of the data is set aside as a testing data set, while
+the other 90% is shown to the model ... the data is further split into
+five folds as part of k-fold cross-validation.  The model is trained on
+four out of the five folds at a time, while the other is used as
+validation.  This is done for all five combinations and the average MAE
+is reported."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.metrics import mean_absolute_error, same_order_score
+
+__all__ = ["train_test_split", "KFold", "cross_validate", "GroupShuffleSplit"]
+
+
+def train_test_split(
+    n: int,
+    test_fraction: float = 0.1,
+    random_state: int | None = None,
+    groups: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random index split into (train, test).
+
+    When *groups* is given (one label per row), whole groups are assigned
+    to a side so no group straddles the split — used to keep all runs of
+    the same application-input pair on one side when desired.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = np.random.default_rng(random_state)
+    if groups is None:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(test_fraction * n)))
+        return np.sort(perm[n_test:]), np.sort(perm[:n_test])
+    groups = np.asarray(groups)
+    if groups.shape != (n,):
+        raise ValueError(f"groups must have shape ({n},)")
+    uniq = np.unique(groups.astype(str))
+    perm = rng.permutation(len(uniq))
+    n_test_groups = max(1, int(round(test_fraction * len(uniq))))
+    test_groups = set(uniq[perm[:n_test_groups]])
+    mask = np.array([str(v) in test_groups for v in groups])
+    return np.flatnonzero(~mask), np.flatnonzero(mask)
+
+
+class KFold:
+    """K-fold cross-validation index generator.
+
+    Yields ``(train_idx, val_idx)`` pairs covering every sample exactly
+    once as validation.
+    """
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            indices = rng.permutation(n)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=np.int64)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            val = np.sort(indices[start : start + size])
+            train = np.sort(np.concatenate(
+                [indices[:start], indices[start + size :]]
+            ))
+            yield train, val
+            start += size
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    Y: np.ndarray,
+    n_splits: int = 5,
+    random_state: int | None = None,
+) -> dict[str, float]:
+    """Run k-fold CV and return mean validation MAE / SOS across folds.
+
+    *model_factory* builds a fresh estimator per fold (so folds never
+    share state).  Returns ``{"mae": ..., "sos": ..., "mae_per_fold": [...]}``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    maes: list[float] = []
+    soses: list[float] = []
+    for train_idx, val_idx in KFold(n_splits, random_state=random_state).split(len(X)):
+        model = model_factory()
+        model.fit(X[train_idx], Y[train_idx])
+        pred = model.predict(X[val_idx])
+        maes.append(mean_absolute_error(Y[val_idx], pred))
+        if Y.ndim == 2 and Y.shape[1] >= 2:
+            soses.append(same_order_score(Y[val_idx], pred))
+    out = {"mae": float(np.mean(maes)), "mae_per_fold": maes}
+    if soses:
+        out["sos"] = float(np.mean(soses))
+        out["sos_per_fold"] = soses
+    return out
+
+
+class GroupShuffleSplit:
+    """Repeated group-aware random splits (used for leave-group-out sweeps)."""
+
+    def __init__(self, test_fraction: float = 0.1, n_repeats: int = 1,
+                 random_state: int | None = None):
+        self.test_fraction = test_fraction
+        self.n_repeats = n_repeats
+        self.random_state = random_state
+
+    def split(self, groups: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        groups = np.asarray(groups)
+        seed_seq = np.random.SeedSequence(self.random_state)
+        for child in seed_seq.spawn(self.n_repeats):
+            seed = int(child.generate_state(1)[0])
+            yield train_test_split(
+                len(groups), self.test_fraction, random_state=seed, groups=groups
+            )

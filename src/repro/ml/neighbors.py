@@ -1,0 +1,89 @@
+"""k-nearest-neighbors regression.
+
+The paper's related-work section highlights k-NN among the standard ML
+techniques used for performance modeling (Section III-A cites its use
+for MPI collective tuning).  This implementation rounds out the model
+zoo as an instance-based comparator: features are standardized at fit
+time and queries use a SciPy cKDTree, with uniform or inverse-distance
+weighting over the k neighbors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor:
+    """k-NN regression over standardized features.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighborhood size.
+    weights:
+        ``"uniform"`` averages neighbors equally; ``"distance"`` weights
+        by inverse distance (exact matches dominate).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._tree: cKDTree | None = None
+        self._Y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.n_features_ = 0
+        self.n_outputs_ = 0
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "KNeighborsRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.ndim != 2 or Y.shape[0] != X.shape[0]:
+            raise ValueError(f"bad shapes X={X.shape} Y={Y.shape}")
+        if X.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need >= {self.n_neighbors} samples, got {X.shape[0]}"
+            )
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = Y.shape[1]
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        self._tree = cKDTree((X - self._mean) / std)
+        self._Y = Y.copy()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._tree is None or self._Y is None:
+            raise RuntimeError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has shape {X.shape}, expected (n, {self.n_features_})"
+            )
+        Xs = (X - self._mean) / self._std
+        dist, idx = self._tree.query(Xs, k=self.n_neighbors)
+        if self.n_neighbors == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        neighbors = self._Y[idx]  # (n, k, outputs)
+        if self.weights == "uniform":
+            return neighbors.mean(axis=1)
+        # Inverse-distance weights; exact hits (d == 0) take over.
+        with np.errstate(divide="ignore"):
+            w = 1.0 / dist
+        exact = np.isinf(w)
+        w = np.where(exact.any(axis=1, keepdims=True),
+                     exact.astype(float), w)
+        w = w / w.sum(axis=1, keepdims=True)
+        return (neighbors * w[:, :, None]).sum(axis=1)

@@ -1,0 +1,57 @@
+"""Analytical cross-architecture performance simulator.
+
+This package substitutes for the paper's physical application runs: given
+an application model (:mod:`repro.apps`), an input configuration, a
+machine model (:mod:`repro.arch`), and a run configuration (1 core /
+1 node / 2 nodes, Section V-B), it produces an execution time and the raw
+hardware event counts a profiler would observe.
+
+The model is roofline-style and intentionally analytical rather than
+cycle-accurate:
+
+* CPU: instruction-mix-weighted issue cycles (with SIMD width and FMA
+  folded into FP throughput), branch misprediction penalties, a
+  three-level cache model driving latency stalls, a DRAM bandwidth bound,
+  communication and I/O terms, and Amdahl intra-node scaling.
+* GPU: offloaded work at device compute/bandwidth rates with branch
+  divergence and utilization penalties, kernel-launch overheads, and the
+  non-offloaded remainder on the host.
+
+What matters downstream is that (a) relative performance across the four
+Table I machines depends on application character in the physically
+expected directions, and (b) the event counts a profiler sees correlate
+with that character — exactly the structure the paper's ML model learns.
+"""
+
+from repro.perfsim.config import RunConfig, SCALES, run_configs_for
+from repro.perfsim.cache import hierarchy_miss_ratios, miss_ratio
+from repro.perfsim.execution import ExecutionResult, RawCounts, simulate_run
+from repro.perfsim.noise import NoiseModel
+from repro.perfsim.roofline import (
+    BoundClassification,
+    Roofline,
+    app_operational_intensity,
+    attainable_gflops,
+    classify_bound,
+    cpu_roofline,
+    gpu_roofline,
+)
+
+__all__ = [
+    "RunConfig",
+    "SCALES",
+    "run_configs_for",
+    "miss_ratio",
+    "hierarchy_miss_ratios",
+    "ExecutionResult",
+    "RawCounts",
+    "simulate_run",
+    "NoiseModel",
+    "Roofline",
+    "cpu_roofline",
+    "gpu_roofline",
+    "app_operational_intensity",
+    "attainable_gflops",
+    "BoundClassification",
+    "classify_bound",
+]

@@ -1,0 +1,81 @@
+"""Working-set cache-miss model.
+
+A classic capacity-style approximation: when a level's capacity covers
+the per-core (or per-device) working set, only a small compulsory miss
+ratio remains; beyond capacity the miss ratio grows following a
+power-law tail of the capacity ratio.  Application irregularity scales
+both components (pointer-chasing codes miss more at every level, dense
+stencils less).  The three global miss ratios are forced monotone
+non-increasing with capacity so the hierarchy is always consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["miss_ratio", "hierarchy_miss_ratios"]
+
+#: Compulsory (cold) miss ratio for a perfectly cache-resident working set.
+_COMPULSORY = 0.012
+#: Slope of the capacity tail (regular, streaming access benefits from
+#: spatial locality within lines, so the base slope is modest).
+_CAPACITY_WEIGHT = 0.06
+#: Irregularity contribution to the capacity tail.
+_IRREGULAR_WEIGHT = 0.20
+
+
+def miss_ratio(
+    working_set_bytes: float, cache_bytes: float, irregularity: float = 1.0
+) -> float:
+    """Global miss ratio of one cache level for a given working set.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Actively-touched bytes per core (private levels) or per node /
+        device (shared levels).
+    cache_bytes:
+        Level capacity.
+    irregularity:
+        Application access-pattern irregularity (1.0 nominal; see
+        :class:`repro.apps.AppSpec`).
+
+    Returns
+    -------
+    float in [0.002, 0.98].
+    """
+    if working_set_bytes <= 0 or cache_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    if irregularity <= 0:
+        raise ValueError("irregularity must be positive")
+    base = _COMPULSORY * irregularity
+    ratio = cache_bytes / working_set_bytes
+    if ratio >= 1.0:
+        mr = base
+    else:
+        tail = (1.0 - np.sqrt(ratio)) * (
+            _CAPACITY_WEIGHT + _IRREGULAR_WEIGHT * irregularity
+        )
+        mr = base + tail
+    return float(np.clip(mr, 0.002, 0.98))
+
+
+def hierarchy_miss_ratios(
+    ws_private: float,
+    ws_shared: float,
+    l1_bytes: float,
+    l2_bytes: float,
+    l3_bytes: float,
+    irregularity: float = 1.0,
+) -> tuple[float, float, float]:
+    """Global miss ratios (g1, g2, g3) for a three-level hierarchy.
+
+    ``ws_private`` is the per-core working set seen by the private L1/L2;
+    ``ws_shared`` the per-node working set competing for the shared L3.
+    Ratios are clamped monotone (g1 >= g2 >= g3) so local miss ratios
+    ``g_{i+1}/g_i`` are always valid probabilities.
+    """
+    g1 = miss_ratio(ws_private, l1_bytes, irregularity)
+    g2 = min(g1, miss_ratio(ws_private, l2_bytes, irregularity))
+    g3 = min(g2, miss_ratio(ws_shared, l3_bytes, irregularity))
+    return g1, g2, g3

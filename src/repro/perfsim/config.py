@@ -1,0 +1,89 @@
+"""Run configurations (Section V-B).
+
+"On each of these systems the applications are run in three
+configurations — on one core, on one node using all the cores, and on
+two nodes.  The one-core runs use one GPU if applicable.  MPI is used
+for the one and two node runs to make use of all the cores and GPUs on
+the node."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.hardware import MachineSpec
+from repro.apps.spec import AppSpec
+
+__all__ = ["SCALES", "RunConfig", "run_configs_for"]
+
+#: Canonical scale labels, in the paper's order.
+SCALES: tuple[str, ...] = ("1core", "1node", "2node")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """A concrete resource allocation for one run.
+
+    Attributes
+    ----------
+    scale:
+        One of :data:`SCALES`.
+    nodes:
+        Node count (1 or 2).
+    cores:
+        Total CPU cores in use across all nodes.
+    ranks:
+        MPI ranks.  CPU runs use one rank per core; GPU runs use one
+        rank per GPU (the common proxy-app convention).
+    gpus:
+        Total GPUs in use (0 for CPU runs).
+    uses_gpu:
+        True when the application's GPU backend is active, which also
+        selects GPU counters during profiling (Section V-B).
+    """
+
+    scale: str
+    nodes: int
+    cores: int
+    ranks: int
+    gpus: int
+    uses_gpu: bool
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            raise ValueError(f"unknown scale {self.scale!r}")
+        if self.nodes < 1 or self.cores < 1 or self.ranks < 1:
+            raise ValueError("nodes/cores/ranks must be positive")
+        if self.uses_gpu and self.gpus < 1:
+            raise ValueError("uses_gpu requires gpus >= 1")
+
+
+def make_run_config(app: AppSpec, machine: MachineSpec, scale: str) -> RunConfig:
+    """Build the :class:`RunConfig` for (app, machine, scale).
+
+    GPU-capable applications use the GPUs on GPU machines; CPU-only
+    applications run CPU-only everywhere ("If an application does not
+    support running on a GPU, we run it on the CPU only and use
+    comparable CPU counters").
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    gpu_run = app.gpu_support and machine.has_gpu
+    nodes = 2 if scale == "2node" else 1
+    if scale == "1core":
+        cores = 1
+        gpus = 1 if gpu_run else 0
+        ranks = 1
+    else:
+        cores = machine.cpu.cores * nodes
+        gpus = machine.gpus_per_node * nodes if gpu_run else 0
+        ranks = gpus if gpu_run else cores
+    return RunConfig(
+        scale=scale, nodes=nodes, cores=cores, ranks=ranks,
+        gpus=gpus, uses_gpu=gpu_run,
+    )
+
+
+def run_configs_for(app: AppSpec, machine: MachineSpec) -> list[RunConfig]:
+    """The paper's three run configurations for (app, machine)."""
+    return [make_run_config(app, machine, scale) for scale in SCALES]

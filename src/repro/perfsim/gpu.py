@@ -1,0 +1,120 @@
+"""GPU execution-time model.
+
+The offloaded fraction of the application's work runs at device rates
+under a roofline ``max(compute, memory)`` with three GPU-specific
+penalties:
+
+* **Divergence** — branchy, irregular control flow serializes SIMT
+  execution; the penalty grows with the app's branch fraction and
+  irregularity, scaled by the device's ``divergence_penalty_scale``.
+  This is the physical mechanism behind the paper's top feature (branch
+  intensity separates CPU-friendly from GPU-friendly codes).
+* **Utilization** — small working sets cannot fill a large device, so
+  achievable rates scale sublinearly below a saturation size.
+* **Launch overhead** — per-kernel launch latency, significant for
+  frameworks that launch hundreds of thousands of small kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.spec import AppSpec, InstructionMix
+from repro.arch.hardware import MachineSpec
+from repro.perfsim.cache import miss_ratio
+
+__all__ = ["GPURun", "simulate_gpu"]
+
+#: Fraction of peak a well-tuned kernel sustains.
+ACHIEVABLE = 0.55
+#: Working-set size (bytes/GPU) at which a device saturates.
+SATURATION_WS = 1.5e9
+#: Nominal device clock for converting stall time to cycles.
+GPU_CLOCK = 1.4e9
+#: Bytes per scalar-equivalent memory access.
+ACCESS_BYTES = 8.0
+
+
+@dataclass(frozen=True)
+class GPURun:
+    """Outcome of the device model (times in seconds, counts per-GPU means)."""
+
+    time: float
+    time_compute: float
+    time_memory: float
+    time_launch: float
+    utilization: float
+    divergence_factor: float
+    g_l1: float
+    g_l2: float
+    loads_gpu: float
+    stores_gpu: float
+    stall_cycles_gpu: float
+
+
+def simulate_gpu(
+    app: AppSpec,
+    mix: InstructionMix,
+    machine: MachineSpec,
+    instructions_offloaded: float,
+    working_set: float,
+    gpus: int,
+    size_scale: float,
+) -> GPURun:
+    """Model the offloaded portion of a run on *gpus* devices."""
+    if machine.gpu is None:
+        raise ValueError(f"{machine.name} has no GPU")
+    if gpus < 1:
+        raise ValueError("gpus must be >= 1")
+    gpu = machine.gpu
+
+    ws_per_gpu = working_set / gpus
+    utilization = float(min(1.0, max(0.15, (ws_per_gpu / SATURATION_WS) ** 0.35)))
+    divergence = 1.0 + gpu.divergence_penalty_scale * mix.branch * app.irregularity
+
+    # --- compute roofline ----------------------------------------------
+    sp_ops = instructions_offloaded * mix.fp_sp
+    dp_ops = instructions_offloaded * mix.fp_dp
+    int_ops = instructions_offloaded * mix.int_arith
+    eff = ACHIEVABLE * utilization * gpus
+    peak_sp = gpu.peak_sp_tflops * 1e12 * eff
+    peak_dp = gpu.peak_dp_tflops * 1e12 * eff
+    time_compute = (
+        sp_ops / peak_sp + dp_ops / peak_dp + int_ops / peak_sp
+    ) * divergence
+
+    # --- memory roofline -------------------------------------------------
+    accesses = instructions_offloaded * (mix.load + mix.store)
+    l1_equiv = max(1.0, gpu.l2_bytes / 4.0)
+    g_l1 = miss_ratio(ws_per_gpu, l1_equiv, app.irregularity)
+    g_l2 = min(g_l1, miss_ratio(ws_per_gpu, gpu.l2_bytes, app.irregularity))
+    # Uncoalesced access wastes bandwidth on irregular apps.
+    coalesce_waste = 1.0 + 0.6 * max(0.0, app.irregularity - 0.5)
+    hbm_bytes = accesses * ACCESS_BYTES * g_l2 * coalesce_waste
+    time_memory = hbm_bytes / (gpu.mem_bw_gbs * 1e9 * gpus * utilization)
+
+    # --- launch overhead -------------------------------------------------
+    launches = app.gpu_kernel_launches * max(1.0, size_scale) ** 0.5
+    time_launch = launches * gpu.kernel_launch_us * 1e-6
+
+    time_kernel = max(time_compute, time_memory)
+
+    # Per-GPU mean event counts.
+    instr_gpu = instructions_offloaded / gpus
+    loads_gpu = instr_gpu * mix.load
+    stores_gpu = instr_gpu * mix.store
+    stall_cycles_gpu = (time_memory / gpus) * GPU_CLOCK
+
+    return GPURun(
+        time=time_kernel + time_launch,
+        time_compute=time_compute,
+        time_memory=time_memory,
+        time_launch=time_launch,
+        utilization=utilization,
+        divergence_factor=divergence,
+        g_l1=g_l1,
+        g_l2=g_l2,
+        loads_gpu=loads_gpu,
+        stores_gpu=stores_gpu,
+        stall_cycles_gpu=stall_cycles_gpu,
+    )

@@ -1,0 +1,73 @@
+"""Measurement and run-to-run noise models.
+
+Two noise sources mirror reality:
+
+* **Runtime noise** — log-normal multiplicative jitter on execution time
+  (OS interference, network contention, nondeterministic library
+  kernels).  The sigma is application-specific: ML/Python stacks are the
+  noisiest (the paper attributes their worse leave-one-app-out accuracy
+  to exactly this).
+* **Counter noise** — log-normal multiplicative jitter on every recorded
+  counter, with a machine-specific sigma: mature CPU PAPI counters are
+  less noisy than GPU profiling, and rocprof (Corona) is the newest
+  (Section VIII-B discusses this asymmetry).  Each (machine, counter)
+  pair additionally carries a small deterministic bias factor modelling
+  the paper's observation that "counter names are not consistent across
+  different architectures and they may also represent slightly different
+  data".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NoiseModel", "stable_hash"]
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic FNV-1a 32-bit hash (process-independent)."""
+    h = 2166136261
+    for ch in text.encode():
+        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+    return h
+
+
+class NoiseModel:
+    """Deterministic noise generator for one run.
+
+    Seeded by the (app, input, machine, scale, trial) identity so every
+    run in the dataset is reproducible yet independently jittered.
+    """
+
+    def __init__(self, *identity: str | int, seed: int = 0):
+        parts = [seed] + [
+            stable_hash(p) if isinstance(p, str) else int(p) for p in identity
+        ]
+        self._rng = np.random.default_rng(np.random.SeedSequence(parts))
+
+    def runtime_factor(self, sigma: float) -> float:
+        """Multiplicative log-normal runtime jitter (mean approximately 1)."""
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if sigma == 0:
+            return 1.0
+        return float(np.exp(self._rng.normal(-0.5 * sigma**2, sigma)))
+
+    def counter_factor(self, counter: str, machine: str, sigma: float) -> float:
+        """Multiplicative jitter for one counter on one machine.
+
+        Combines a random log-normal term with a deterministic per
+        (machine, counter) bias in [0.85, 1.18] modelling systematic
+        semantic differences between similarly-named counters.
+        """
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        bias_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [stable_hash(machine), stable_hash(counter), 77]
+            )
+        )
+        bias = float(np.exp(bias_rng.uniform(np.log(0.85), np.log(1.18))))
+        if sigma == 0:
+            return bias
+        return bias * float(np.exp(self._rng.normal(-0.5 * sigma**2, sigma)))

@@ -1,0 +1,181 @@
+"""Roofline analysis utilities.
+
+The simulator's time model is roofline-style; this module exposes that
+structure for analysis: attainable performance as a function of
+arithmetic intensity for each machine (CPU and GPU rooflines), each
+application's operational intensity, and a classification of which
+bound (compute, memory bandwidth, latency, communication) dominates a
+given run.  These are the standard plots/narratives a performance
+engineer builds before trusting a cross-architecture model, and they
+back the ``machine_balance`` example analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.inputs import InputConfig
+from repro.apps.spec import AppSpec
+from repro.arch.hardware import MachineSpec
+from repro.perfsim.config import RunConfig
+from repro.perfsim.cpu import ACCESS_BYTES, simulate_cpu
+from repro.perfsim.gpu import simulate_gpu
+
+__all__ = [
+    "Roofline",
+    "cpu_roofline",
+    "gpu_roofline",
+    "app_operational_intensity",
+    "attainable_gflops",
+    "BoundClassification",
+    "classify_bound",
+]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One roof: peak compute rate and memory bandwidth.
+
+    Attributes
+    ----------
+    label:
+        e.g. ``"Quartz CPU (DP)"``.
+    peak_gflops:
+        Compute ceiling (GFLOP/s).
+    bandwidth_gbs:
+        Memory ceiling (GB/s).
+    """
+
+    label: str
+    peak_gflops: float
+    bandwidth_gbs: float
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (flops/byte) where the roofs meet."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable GFLOP/s at the given arithmetic intensity."""
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        return min(self.peak_gflops, self.bandwidth_gbs * intensity)
+
+
+def cpu_roofline(machine: MachineSpec, precision: str = "dp") -> Roofline:
+    """The node-level CPU roofline of a machine."""
+    if precision == "dp":
+        peak = machine.cpu.peak_dp_gflops
+    elif precision == "sp":
+        peak = machine.cpu.peak_sp_gflops
+    else:
+        raise ValueError(f"unknown precision {precision!r}")
+    return Roofline(
+        label=f"{machine.name} CPU ({precision.upper()})",
+        peak_gflops=peak,
+        bandwidth_gbs=machine.cpu.mem_bw_gbs,
+    )
+
+
+def gpu_roofline(machine: MachineSpec, precision: str = "dp") -> Roofline:
+    """The node-level GPU roofline (all devices aggregated)."""
+    if not machine.has_gpu:
+        raise ValueError(f"{machine.name} has no GPUs")
+    if precision == "dp":
+        peak = machine.node_peak_gpu_dp_gflops
+    elif precision == "sp":
+        peak = machine.node_peak_gpu_sp_gflops
+    else:
+        raise ValueError(f"unknown precision {precision!r}")
+    return Roofline(
+        label=f"{machine.name} GPU ({precision.upper()})",
+        peak_gflops=peak,
+        bandwidth_gbs=machine.node_gpu_mem_bw_gbs,
+    )
+
+
+def app_operational_intensity(app: AppSpec) -> float:
+    """Flops per byte of memory traffic for an application's mix.
+
+    Uses the simulator's convention: every load/store moves
+    ``ACCESS_BYTES`` bytes, every FP instruction is one scalar flop.
+    """
+    mix = app.mix
+    flops = mix.fp_sp + mix.fp_dp
+    bytes_moved = (mix.load + mix.store) * ACCESS_BYTES
+    if bytes_moved <= 0:
+        raise ValueError(f"{app.name} has no memory traffic in its mix")
+    return flops / bytes_moved
+
+
+def attainable_gflops(
+    roofline: Roofline, intensities: np.ndarray
+) -> np.ndarray:
+    """Vectorized attainable-performance curve (the roofline plot)."""
+    intensities = np.asarray(intensities, dtype=np.float64)
+    if (intensities <= 0).any():
+        raise ValueError("intensities must be positive")
+    return np.minimum(roofline.peak_gflops,
+                      roofline.bandwidth_gbs * intensities)
+
+
+@dataclass(frozen=True)
+class BoundClassification:
+    """Which term of the time model dominates a run."""
+
+    bound: str  # "compute" | "bandwidth" | "communication" | "io"
+    time_seconds: float
+    shares: dict[str, float]
+
+
+def classify_bound(
+    app: AppSpec,
+    inp: InputConfig,
+    machine: MachineSpec,
+    config: RunConfig,
+) -> BoundClassification:
+    """Classify the dominant bound of one (noise-free) CPU-side run.
+
+    For GPU runs, classifies the device roofline (compute vs memory vs
+    launch overhead) instead.
+    """
+    instructions = app.instructions(inp.size_scale)
+    working_set = app.working_set(inp.size_scale)
+    if config.uses_gpu:
+        gpu_run = simulate_gpu(
+            app, inp.mix, machine, instructions * app.gpu_offload,
+            working_set, gpus=config.gpus, size_scale=inp.size_scale,
+        )
+        shares = {
+            "compute": gpu_run.time_compute,
+            "bandwidth": gpu_run.time_memory,
+            "launch": gpu_run.time_launch,
+        }
+        total = sum(shares.values())
+        shares = {k: v / total for k, v in shares.items()}
+        return BoundClassification(
+            bound=max(shares, key=shares.get),
+            time_seconds=gpu_run.time,
+            shares=shares,
+        )
+    cpu_run = simulate_cpu(
+        app, inp.mix, machine, instructions, working_set,
+        nodes=config.nodes, cores=config.cores, ranks=config.ranks,
+        io_bytes=app.io_read_base + app.io_write_base,
+        comm_active=True,
+    )
+    shares = {
+        "compute": cpu_run.time_issue,
+        "bandwidth": cpu_run.time_bandwidth,
+        "communication": cpu_run.time_comm,
+        "io": cpu_run.time_io,
+    }
+    total = sum(shares.values())
+    shares = {k: v / total for k, v in shares.items()}
+    return BoundClassification(
+        bound=max(shares, key=shares.get),
+        time_seconds=cpu_run.time,
+        shares=shares,
+    )

@@ -1,0 +1,102 @@
+"""Model-consistency audits for the simulator's inputs.
+
+Analytical models fail silently when their parameters drift out of
+physical ranges.  :func:`audit_machines` and :func:`audit_applications`
+check every machine and application model against invariants (positive
+rates, sane ridge points, mix fractions, kernel weights, GPU balance)
+and return the violations as a frame — empty means clean.  The test
+suite runs these audits so any future catalog edit that breaks an
+invariant fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.apps.catalog import APPLICATIONS
+from repro.arch.machines import MACHINES
+from repro.frame import Frame
+
+__all__ = ["audit_machines", "audit_applications", "audit_all"]
+
+
+def _violation(kind: str, subject: str, check: str, detail: str) -> dict:
+    return {"kind": kind, "subject": subject, "check": check,
+            "detail": detail}
+
+
+def audit_machines() -> Frame:
+    """Invariant checks over every machine model."""
+    rows: list[dict] = []
+    for name, machine in MACHINES.items():
+        cpu = machine.cpu
+        if not 0.5 <= cpu.clock_ghz <= 6.0:
+            rows.append(_violation("machine", name, "clock_range",
+                                   f"{cpu.clock_ghz} GHz"))
+        if not 1 <= cpu.cores <= 512:
+            rows.append(_violation("machine", name, "core_range",
+                                   str(cpu.cores)))
+        if cpu.l1.size_bytes >= cpu.l2.size_bytes >= cpu.l3.size_bytes:
+            rows.append(_violation("machine", name, "cache_hierarchy",
+                                   "sizes must strictly grow"))
+        ridge = cpu.peak_dp_gflops / cpu.mem_bw_gbs
+        if not 0.5 <= ridge <= 64:
+            rows.append(_violation("machine", name, "cpu_ridge_point",
+                                   f"{ridge:.1f} flops/byte"))
+        if machine.has_gpu:
+            gpu = machine.gpu
+            if gpu.peak_dp_tflops > gpu.peak_sp_tflops:
+                rows.append(_violation("machine", name, "gpu_precision",
+                                       "DP peak exceeds SP peak"))
+            node_gpu = machine.node_peak_gpu_dp_gflops
+            if node_gpu < 5 * cpu.peak_dp_gflops:
+                rows.append(_violation(
+                    "machine", name, "gpu_dominance",
+                    "node GPU peak should dwarf CPU peak"))
+        if not 0 < machine.counter_noise_sigma < 1:
+            rows.append(_violation("machine", name, "counter_noise",
+                                   str(machine.counter_noise_sigma)))
+    return Frame.from_records(rows) if rows else Frame(
+        {"kind": [], "subject": [], "check": [], "detail": []}
+    )
+
+
+def audit_applications() -> Frame:
+    """Invariant checks over every application model."""
+    rows: list[dict] = []
+    for name, app in APPLICATIONS.items():
+        mix_sum = float(app.mix.as_array().sum())
+        if not 0.3 <= mix_sum <= 1.0:
+            rows.append(_violation("app", name, "mix_coverage",
+                                   f"named mix covers {mix_sum:.2f}"))
+        if not 1e9 <= app.base_instructions <= 1e14:
+            rows.append(_violation("app", name, "work_range",
+                                   f"{app.base_instructions:.2g} instr"))
+        if not 1e7 <= app.working_set_base <= 1e12:
+            rows.append(_violation("app", name, "working_set_range",
+                                   f"{app.working_set_base:.2g} B"))
+        if not 0.2 <= app.irregularity <= 4.0:
+            rows.append(_violation("app", name, "irregularity_range",
+                                   str(app.irregularity)))
+        if not 0 <= app.vectorizable <= 1:
+            rows.append(_violation("app", name, "vectorizable_range",
+                                   str(app.vectorizable)))
+        if app.gpu_support and app.gpu_offload < 0.5:
+            rows.append(_violation("app", name, "offload_fraction",
+                                   "GPU port offloading under half the work"))
+        if app.python_stack and app.runtime_noise_sigma <= 0.02:
+            rows.append(_violation("app", name, "ml_noise",
+                                   "Python stacks should be noisier"))
+    return Frame.from_records(rows) if rows else Frame(
+        {"kind": [], "subject": [], "check": [], "detail": []}
+    )
+
+
+def audit_all() -> Frame:
+    """All audits; empty frame means every model is consistent."""
+    from repro.frame import concat
+
+    machines = audit_machines()
+    apps = audit_applications()
+    parts = [f for f in (machines, apps) if f.num_rows]
+    if not parts:
+        return machines
+    return concat(parts)

@@ -1,0 +1,30 @@
+"""Simulated profiling layer (HPCToolkit + CUPTI + rocprof substitute).
+
+Wraps the performance simulator with what the paper's measurement stack
+adds on top of an execution:
+
+* **Architecture-specific counter names** (Table III): PAPI names on the
+  CPU systems, CUPTI names on Lassen's NVIDIA GPUs, rocprof names on
+  Corona's AMD GPUs — including the paper's cross-counter derivations
+  (e.g. AMD L2 load misses come from ``TCC_MISS_sum`` apportioned by the
+  ``TCC_EA_RDREQ``/``TCC_EA_WRREQ`` request counters, and NVIDIA L1
+  misses from ``local_load_requests`` x (1 - ``local_hit_rate``)).
+* **Attribution to a calling context tree**, one metric set per node.
+* **Measurement noise and per-architecture counter bias** (mature CPU
+  PAPI counters are cleaner than GPU profiling; rocprof is noisiest).
+
+The output :class:`Profile` is this reproduction's "HPCToolkit
+database"; :mod:`repro.hatchet_lite` parses it back into tabular form.
+"""
+
+from repro.profiler.counters import CounterSchema, schema_for
+from repro.profiler.profile import Profile, load_profile, profile_run, save_profile
+
+__all__ = [
+    "CounterSchema",
+    "schema_for",
+    "Profile",
+    "profile_run",
+    "save_profile",
+    "load_profile",
+]

@@ -1,0 +1,303 @@
+"""Per-architecture counter schemas (Table III "Source Counters").
+
+A :class:`CounterSchema` maps between the simulator's canonical event
+fields (:class:`repro.perfsim.RawCounts`) and the named counters a real
+profiler would report on that architecture.  Three rule kinds cover the
+mappings the paper describes:
+
+* ``SumRule`` — one canonical field split across one or more named
+  counters with fixed shares (e.g. CUPTI separates local and global
+  loads; the reader sums them back).
+* ``RateMissRule`` — the NVIDIA idiom: a request counter plus a hit-rate
+  counter; misses are reconstructed as ``requests * (1 - hit_rate)``.
+* ``TccSplitRule`` — the AMD idiom: one total L2 miss counter
+  (``TCC_MISS_sum``) apportioned into load/store misses by the DRAM
+  read/write request counters (``TCC_EA_RDREQ`` / ``TCC_EA_WRREQ``).
+
+``encode`` produces noisy named-counter values for a run; ``decode``
+recovers canonical fields from named counters (noise and per-machine
+bias included, exactly as the paper's features inherit measurement
+error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.hardware import MachineSpec
+from repro.perfsim.execution import RawCounts
+from repro.perfsim.noise import NoiseModel, stable_hash
+
+__all__ = [
+    "SumRule",
+    "RateMissRule",
+    "TccSplitRule",
+    "CounterSchema",
+    "schema_for",
+    "CANONICAL_FIELDS",
+]
+
+#: Canonical event fields every schema must cover.
+CANONICAL_FIELDS: tuple[str, ...] = (
+    "total_instructions",
+    "branch",
+    "load",
+    "store",
+    "fp_sp",
+    "fp_dp",
+    "int_arith",
+    "l1_load_miss",
+    "l1_store_miss",
+    "l2_load_miss",
+    "l2_store_miss",
+    "io_read_bytes",
+    "io_write_bytes",
+    "ept_bytes",
+    "mem_stall_cycles",
+)
+
+
+@dataclass(frozen=True)
+class SumRule:
+    """Canonical value = sum of the named counters (written with shares)."""
+
+    field: str
+    names: tuple[str, ...]
+    shares: tuple[float, ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.shares):
+            raise ValueError(f"{self.field}: names/shares length mismatch")
+        if abs(sum(self.shares) - 1.0) > 1e-9:
+            raise ValueError(f"{self.field}: shares must sum to 1")
+
+    def encode(self, value: float, noisy) -> dict[str, float]:
+        return {n: noisy(n, value * s) for n, s in zip(self.names, self.shares)}
+
+    def decode(self, counters: dict[str, float]) -> float:
+        return sum(counters[n] for n in self.names)
+
+    def counter_names(self) -> tuple[str, ...]:
+        return self.names
+
+
+@dataclass(frozen=True)
+class RateMissRule:
+    """NVIDIA-style: requests counter + hit-rate counter.
+
+    ``misses = requests * (1 - hit_rate)``.  The hit rate is a
+    deterministic function of the machine/counter identity (a device
+    property), so encode/decode round-trips.
+    """
+
+    field: str
+    requests_name: str
+    rate_name: str
+
+    def _hit_rate(self) -> float:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [stable_hash(self.requests_name), stable_hash(self.rate_name)]
+            )
+        )
+        return float(rng.uniform(0.55, 0.85))
+
+    def encode(self, value: float, noisy) -> dict[str, float]:
+        hr = self._hit_rate()
+        return {
+            self.requests_name: noisy(self.requests_name, value / (1.0 - hr)),
+            self.rate_name: hr,
+        }
+
+    def decode(self, counters: dict[str, float]) -> float:
+        return counters[self.requests_name] * (1.0 - counters[self.rate_name])
+
+    def counter_names(self) -> tuple[str, ...]:
+        return (self.requests_name, self.rate_name)
+
+
+@dataclass(frozen=True)
+class TccSplitRule:
+    """AMD-style: one total-miss counter apportioned by request counters.
+
+    Handles *two* canonical fields at once (``l2_load_miss`` and
+    ``l2_store_miss``) because they share the ``TCC_MISS_sum`` total.
+    """
+
+    total_name: str = "TCC_MISS_sum"
+    read_req_name: str = "TCC_EA_RDREQ"
+    write_req_name: str = "TCC_EA_WRREQ"
+
+    def encode(self, load_miss: float, store_miss: float, noisy) -> dict[str, float]:
+        return {
+            self.total_name: noisy(self.total_name, load_miss + store_miss),
+            self.read_req_name: noisy(self.read_req_name, load_miss),
+            self.write_req_name: noisy(self.write_req_name, store_miss),
+        }
+
+    def decode(self, counters: dict[str, float]) -> tuple[float, float]:
+        total = counters[self.total_name]
+        rd = counters[self.read_req_name]
+        wr = counters[self.write_req_name]
+        denom = rd + wr
+        if denom <= 0:
+            return 0.0, 0.0
+        return total * rd / denom, total * wr / denom
+
+    def counter_names(self) -> tuple[str, ...]:
+        return (self.total_name, self.read_req_name, self.write_req_name)
+
+
+class CounterSchema:
+    """All rules for one (machine, CPU-or-GPU) measurement context."""
+
+    def __init__(
+        self,
+        machine_name: str,
+        gpu: bool,
+        rules: dict[str, SumRule | RateMissRule],
+        tcc: TccSplitRule | None = None,
+    ):
+        self.machine_name = machine_name
+        self.gpu = gpu
+        self.rules = rules
+        self.tcc = tcc
+        covered = set(rules)
+        if tcc is not None:
+            covered |= {"l2_load_miss", "l2_store_miss"}
+        missing = set(CANONICAL_FIELDS) - covered
+        if missing:
+            raise ValueError(
+                f"schema {machine_name}/gpu={gpu} missing fields: {sorted(missing)}"
+            )
+
+    def counter_names(self) -> list[str]:
+        names: list[str] = []
+        for rule in self.rules.values():
+            names.extend(rule.counter_names())
+        if self.tcc is not None:
+            names.extend(self.tcc.counter_names())
+        return sorted(set(names))
+
+    def encode(self, raw: RawCounts, noise: NoiseModel, sigma: float) -> dict[str, float]:
+        """Named, noisy counter values for one run's raw events."""
+
+        def noisy(counter: str, value: float) -> float:
+            return value * noise.counter_factor(counter, self.machine_name, sigma)
+
+        out: dict[str, float] = {}
+        for field, rule in self.rules.items():
+            out.update(rule.encode(getattr(raw, field), noisy))
+        if self.tcc is not None:
+            out.update(self.tcc.encode(raw.l2_load_miss, raw.l2_store_miss, noisy))
+        return out
+
+    def decode(self, counters: dict[str, float]) -> dict[str, float]:
+        """Canonical field values from named counters (noise included)."""
+        out = {field: rule.decode(counters) for field, rule in self.rules.items()}
+        if self.tcc is not None:
+            ld, st = self.tcc.decode(counters)
+            out["l2_load_miss"] = ld
+            out["l2_store_miss"] = st
+        return out
+
+
+def _papi_schema(machine_name: str, arith_prefix: str) -> CounterSchema:
+    rules: dict[str, SumRule | RateMissRule] = {
+        "total_instructions": SumRule("total_instructions", ("PAPI_TOT_INS",)),
+        "branch": SumRule("branch", ("PAPI_BR_INS",)),
+        "load": SumRule("load", ("PAPI_LD_INS",)),
+        "store": SumRule("store", ("PAPI_SR_INS",)),
+        "fp_sp": SumRule("fp_sp", ("PAPI_SP_OPS",)),
+        "fp_dp": SumRule("fp_dp", ("PAPI_DP_OPS",)),
+        "int_arith": SumRule("int_arith", (f"{arith_prefix}::ARITH",)),
+        "l1_load_miss": SumRule("l1_load_miss", ("PAPI_L1_LDM",)),
+        "l1_store_miss": SumRule("l1_store_miss", ("PAPI_L1_STM",)),
+        "l2_load_miss": SumRule("l2_load_miss", ("PAPI_L2_LDM",)),
+        "l2_store_miss": SumRule("l2_store_miss", ("PAPI_L2_STM",)),
+        "io_read_bytes": SumRule("io_read_bytes", ("IO_BYTES_READ",)),
+        "io_write_bytes": SumRule("io_write_bytes", ("IO_BYTES_WRITTEN",)),
+        "ept_bytes": SumRule("ept_bytes", ("EPT_SIZE",)),
+        "mem_stall_cycles": SumRule("mem_stall_cycles", ("PAPI_MEM_SCY",)),
+    }
+    return CounterSchema(machine_name, gpu=False, rules=rules)
+
+
+def _cupti_schema(machine_name: str) -> CounterSchema:
+    rules: dict[str, SumRule | RateMissRule] = {
+        "total_instructions": SumRule("total_instructions", ("inst_executed",)),
+        "branch": SumRule("branch", ("cf_executed",)),
+        "load": SumRule(
+            "load",
+            ("inst_executed_global_loads", "inst_executed_local_loads"),
+            (0.75, 0.25),
+        ),
+        "store": SumRule(
+            "store",
+            ("inst_executed_global_stores", "inst_executed_local_stores"),
+            (0.75, 0.25),
+        ),
+        "fp_sp": SumRule("fp_sp", ("flop_count_sp",)),
+        "fp_dp": SumRule("fp_dp", ("flop_count_dp",)),
+        "int_arith": SumRule("int_arith", ("inst_integer",)),
+        "l1_load_miss": RateMissRule(
+            "l1_load_miss", "local_load_requests", "local_load_hit_rate"
+        ),
+        "l1_store_miss": RateMissRule(
+            "l1_store_miss", "local_store_requests", "local_store_hit_rate"
+        ),
+        "l2_load_miss": SumRule("l2_load_miss", ("l2_tex_read_transactions_miss",)),
+        "l2_store_miss": SumRule("l2_store_miss", ("l2_tex_write_transactions_miss",)),
+        "io_read_bytes": SumRule("io_read_bytes", ("IO_BYTES_READ",)),
+        "io_write_bytes": SumRule("io_write_bytes", ("IO_BYTES_WRITTEN",)),
+        "ept_bytes": SumRule("ept_bytes", ("EPT_SIZE",)),
+        "mem_stall_cycles": SumRule("mem_stall_cycles", ("GINST_STL_ANY",)),
+    }
+    return CounterSchema(machine_name, gpu=True, rules=rules)
+
+
+def _rocprof_schema(machine_name: str) -> CounterSchema:
+    rules: dict[str, SumRule | RateMissRule] = {
+        "total_instructions": SumRule("total_instructions", ("SQ_INSTS",)),
+        "branch": SumRule("branch", ("SQ_INSTS_BRANCH",)),
+        "load": SumRule("load", ("SQ_INSTS_VMEM_RD",)),
+        "store": SumRule("store", ("SQ_INSTS_VMEM_WR",)),
+        "fp_sp": SumRule("fp_sp", ("SQ_INSTS_VALU_FP32",)),
+        "fp_dp": SumRule("fp_dp", ("SQ_INSTS_VALU_FP64",)),
+        "int_arith": SumRule("int_arith", ("SQ_INSTS_VALU_INT32",)),
+        "l1_load_miss": SumRule("l1_load_miss", ("TCP_MISS_RD_sum",)),
+        "l1_store_miss": SumRule("l1_store_miss", ("TCP_MISS_WR_sum",)),
+        "io_read_bytes": SumRule("io_read_bytes", ("IO_BYTES_READ",)),
+        "io_write_bytes": SumRule("io_write_bytes", ("IO_BYTES_WRITTEN",)),
+        "ept_bytes": SumRule("ept_bytes", ("EPT_SIZE",)),
+        "mem_stall_cycles": SumRule("mem_stall_cycles", ("MemUnitStalled",)),
+    }
+    return CounterSchema(machine_name, gpu=True, rules=rules, tcc=TccSplitRule())
+
+
+#: PAPI integer-arithmetic event prefixes per CPU microarchitecture.
+_ARITH_PREFIX = {
+    "Quartz": "bdw",
+    "Ruby": "clx",
+    "Lassen": "pwr9",
+    "Corona": "zen2",
+}
+
+
+def schema_for(machine: MachineSpec, from_gpu: bool) -> CounterSchema:
+    """The counter schema used when profiling on *machine*.
+
+    ``from_gpu`` selects GPU counters (GPU-capable app on a GPU system)
+    versus CPU PAPI counters (everything else), per Section V-B.
+    """
+    if from_gpu:
+        if not machine.has_gpu:
+            raise ValueError(f"{machine.name} has no GPU to profile")
+        assert machine.gpu is not None
+        if machine.gpu.model.startswith("NVIDIA"):
+            return _cupti_schema(machine.name)
+        return _rocprof_schema(machine.name)
+    prefix = _ARITH_PREFIX.get(machine.name, "cpu")
+    return _papi_schema(machine.name, prefix)

@@ -1,0 +1,189 @@
+"""Profile objects: one simulated HPCToolkit database per run.
+
+:func:`profile_run` executes (app, input, machine, config) on the
+performance simulator, encodes the raw events through the machine's
+counter schema, and attributes the named counters across the
+application's calling context tree.  The resulting :class:`Profile`
+serializes to a JSON document, the stand-in for an HPCToolkit measurement
+directory; :mod:`repro.hatchet_lite` reads it back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.inputs import InputConfig
+from repro.apps.spec import AppSpec
+from repro.arch.hardware import MachineSpec
+from repro.cct.tree import CCTNode, build_app_cct
+from repro.perfsim.config import RunConfig
+from repro.perfsim.execution import simulate_run
+from repro.perfsim.noise import NoiseModel, stable_hash
+
+__all__ = ["Profile", "profile_run", "save_profile", "load_profile"]
+
+#: Fraction of every counter attributed to init/teardown frames.
+_OVERHEAD_SHARE = 0.04
+
+
+@dataclass
+class Profile:
+    """One profiled run: metadata plus a CCT annotated with counters.
+
+    ``meta`` carries run identity (app, input, machine, scale, ranks,
+    nodes, cores, gpus, uses_gpu) and the measured wall time; every CCT
+    node's ``metrics`` holds that node's exclusive share of each named
+    counter.  Root-inclusive sums therefore recover run totals.
+    """
+
+    meta: dict
+    root: CCTNode
+
+    @property
+    def counter_names(self) -> list[str]:
+        names = set()
+        for node in self.root.walk():
+            names.update(node.metrics)
+        names.discard("weight")
+        return sorted(names)
+
+    def run_totals(self) -> dict[str, float]:
+        """Run-level counter values.
+
+        Count-type counters are root-inclusive sums; rate-type counters
+        (names ending in ``hit_rate``) are device properties identical
+        on every node, so they aggregate by mean rather than sum.
+        """
+        totals: dict[str, float] = {}
+        rate_counts: dict[str, int] = {}
+        for node in self.root.walk():
+            for k, v in node.metrics.items():
+                if k == "weight":
+                    continue
+                totals[k] = totals.get(k, 0.0) + v
+                if k.endswith("hit_rate"):
+                    rate_counts[k] = rate_counts.get(k, 0) + 1
+        for k, n in rate_counts.items():
+            totals[k] /= n
+        return totals
+
+    def to_dict(self) -> dict:
+        nodes = []
+        index: dict[int, int] = {}
+        for i, node in enumerate(self.root.walk()):
+            index[id(node)] = i
+            nodes.append(
+                {
+                    "id": i,
+                    "parent": index[id(node.parent)] if node.parent else None,
+                    "name": node.name,
+                    "metrics": dict(node.metrics),
+                }
+            )
+        return {"meta": dict(self.meta), "nodes": nodes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Profile":
+        nodes = data["nodes"]
+        if not nodes or nodes[0]["parent"] is not None:
+            raise ValueError("profile must start with a parentless root node")
+        built: list[CCTNode] = []
+        for spec in nodes:
+            parent = built[spec["parent"]] if spec["parent"] is not None else None
+            node = CCTNode(spec["name"], parent=parent)
+            node.metrics = {k: float(v) for k, v in spec["metrics"].items()}
+            built.append(node)
+        return cls(meta=dict(data["meta"]), root=built[0])
+
+
+def profile_run(
+    app: AppSpec,
+    inp: InputConfig,
+    machine: MachineSpec,
+    config: RunConfig,
+    seed: int = 0,
+    trial: int = 0,
+) -> Profile:
+    """Simulate one run under the profiler and return its Profile.
+
+    Counter noise uses the machine's ``counter_noise_sigma``; every
+    counter is then distributed across the app's kernels proportionally
+    to kernel weight with small per-kernel attribution jitter (sampling
+    attribution is never exact), with a small share landing in the
+    ``initialize``/``finalize`` frames.
+    """
+    from repro.profiler.counters import schema_for
+
+    result = simulate_run(app, inp, machine, config, seed=seed, trial=trial)
+    schema = schema_for(machine, result.counts.from_gpu)
+    noise = NoiseModel(
+        "profiler", app.name, inp.label, machine.name, config.scale, trial,
+        seed=seed,
+    )
+    # The machine's counter_noise_sigma characterizes its *GPU* profiling
+    # stack; CPU PAPI counters are mature everywhere, so CPU-counter runs
+    # on GPU machines still measure at CPU-grade noise.
+    sigma = machine.counter_noise_sigma
+    if not result.counts.from_gpu:
+        sigma = min(sigma, 0.035)
+    counters = schema.encode(result.counts, noise, sigma)
+
+    root = build_app_cct(app)
+    leaves = [n for n in root.walk() if "weight" in n.metrics]
+    init = next(n for n in root.walk() if n.name == "initialize")
+    fini = next(n for n in root.walk() if n.name == "finalize")
+
+    # Deterministic attribution jitter per (run, kernel).
+    jitter_rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [seed, stable_hash(app.name), stable_hash(inp.label),
+             stable_hash(machine.name), stable_hash(config.scale), trial, 13]
+        )
+    )
+    weights = np.array([n.metrics["weight"] for n in leaves])
+    jitter = np.exp(jitter_rng.normal(0.0, 0.05, size=len(leaves)))
+    shares = weights * jitter
+    shares = shares / shares.sum() * (1.0 - _OVERHEAD_SHARE)
+
+    for name, value in counters.items():
+        if name.endswith("hit_rate"):
+            # Rates are properties, not distributable counts: every node
+            # observes the same rate.
+            for node in leaves + [init, fini]:
+                node.metrics[name] = value
+            continue
+        for node, share in zip(leaves, shares):
+            node.metrics[name] = value * float(share)
+        init.metrics[name] = value * _OVERHEAD_SHARE * 0.6
+        fini.metrics[name] = value * _OVERHEAD_SHARE * 0.4
+
+    meta = {
+        "app": app.name,
+        "input": inp.label,
+        "machine": machine.name,
+        "scale": config.scale,
+        "nodes": config.nodes,
+        "cores": config.cores,
+        "ranks": config.ranks,
+        "gpus": config.gpus,
+        "uses_gpu": config.uses_gpu,
+        "time_seconds": result.time_seconds,
+        "profiler": "cupti" if result.counts.from_gpu and
+                    machine.gpu and machine.gpu.model.startswith("NVIDIA")
+                    else ("rocprof" if result.counts.from_gpu else "papi"),
+    }
+    return Profile(meta=meta, root=root)
+
+
+def save_profile(profile: Profile, path: str | Path) -> None:
+    """Write a profile as JSON (the 'HPCToolkit database' of this repo)."""
+    Path(path).write_text(json.dumps(profile.to_dict(), indent=1))
+
+
+def load_profile(path: str | Path) -> Profile:
+    """Read a profile written by :func:`save_profile`."""
+    return Profile.from_dict(json.loads(Path(path).read_text()))

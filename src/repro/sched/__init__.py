@@ -1,0 +1,64 @@
+"""Multi-resource scheduling simulation (Section VII).
+
+Implements the paper's scheduling experiment: a global FCFS queue over
+the four Table I machines with EASY backfilling (Algorithm 1), four
+machine-assignment strategies (Round-Robin, Random, User+RR, and the
+Model-based strategy of Algorithm 2), and the two evaluation metrics
+(makespan and average bounded slowdown).
+
+Job runtimes come from observed per-system times in the MP-HPC dataset,
+exactly as the paper does ("We use the observed run times on each
+machine from the data set to determine how long the job would run").
+"""
+
+from repro.sched.job import Job
+from repro.sched.machines import ClusterState, MachineState
+from repro.sched.metrics import (
+    average_bounded_slowdown,
+    average_wait_time,
+    makespan,
+    per_machine_job_counts,
+)
+from repro.sched.policies import (
+    FCFSPolicy,
+    LJFPolicy,
+    SJFPolicy,
+    SmallestFirstPolicy,
+    WidestFirstPolicy,
+    policy_by_name,
+)
+from repro.sched.simulator import ScheduleResult, Scheduler
+from repro.sched.strategies import (
+    ModelBasedStrategy,
+    OracleStrategy,
+    RandomStrategy,
+    RoundRobinStrategy,
+    UncertaintyAwareStrategy,
+    UserRRStrategy,
+    strategy_by_name,
+)
+
+__all__ = [
+    "Job",
+    "MachineState",
+    "ClusterState",
+    "Scheduler",
+    "ScheduleResult",
+    "RoundRobinStrategy",
+    "RandomStrategy",
+    "UserRRStrategy",
+    "ModelBasedStrategy",
+    "OracleStrategy",
+    "UncertaintyAwareStrategy",
+    "strategy_by_name",
+    "FCFSPolicy",
+    "SJFPolicy",
+    "LJFPolicy",
+    "WidestFirstPolicy",
+    "SmallestFirstPolicy",
+    "policy_by_name",
+    "makespan",
+    "average_bounded_slowdown",
+    "average_wait_time",
+    "per_machine_job_counts",
+]

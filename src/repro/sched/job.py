@@ -1,0 +1,67 @@
+"""Job model for the scheduling simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One schedulable job sampled from the MP-HPC dataset.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id (also the FCFS tiebreaker).
+    app:
+        Application name (drives the User+RR strategy).
+    uses_gpu:
+        Whether the application has GPU support.
+    nodes_required:
+        Node allocation (1 for the 1-core/1-node configurations, 2 for
+        the 2-node configuration).
+    runtimes:
+        Observed execution time (seconds) per system name; the simulator
+        uses these both as actual runtimes and as the (perfect) walltime
+        estimates EASY backfilling needs.
+    submit_time:
+        Arrival time in seconds.
+    predicted_rpv:
+        Model-predicted RPV over systems (time ratios, smaller=faster)
+        in canonical system order; required by the Model-based strategy.
+    true_rpv:
+        Ground-truth RPV, kept for oracle comparisons.
+    """
+
+    job_id: int
+    app: str
+    uses_gpu: bool
+    nodes_required: int
+    runtimes: dict[str, float]
+    submit_time: float = 0.0
+    predicted_rpv: np.ndarray | None = None
+    true_rpv: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes_required < 1:
+            raise ValueError("nodes_required must be >= 1")
+        if not self.runtimes:
+            raise ValueError("runtimes must not be empty")
+        for system, t in self.runtimes.items():
+            if t <= 0:
+                raise ValueError(f"non-positive runtime on {system}")
+        if self.submit_time < 0:
+            raise ValueError("submit_time must be >= 0")
+
+    def runtime_on(self, system: str) -> float:
+        try:
+            return self.runtimes[system]
+        except KeyError:
+            raise KeyError(
+                f"job {self.job_id} has no runtime for {system!r}; "
+                f"known: {sorted(self.runtimes)}"
+            ) from None

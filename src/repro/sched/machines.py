@@ -1,0 +1,113 @@
+"""Cluster state: per-machine node accounting and completion tracking."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch.machines import MACHINES
+
+__all__ = ["MachineState", "ClusterState"]
+
+
+class MachineState:
+    """One machine's node pool and running-job completion heap."""
+
+    def __init__(self, name: str, total_nodes: int):
+        if total_nodes < 1:
+            raise ValueError("total_nodes must be >= 1")
+        self.name = name
+        self.total_nodes = total_nodes
+        self.free_nodes = total_nodes
+        # Min-heap of (end_time, seq, nodes) for running allocations.
+        self._running: list[tuple[float, int, int]] = []
+        self._seq = 0
+
+    def can_fit(self, nodes: int) -> bool:
+        return self.free_nodes >= nodes
+
+    def can_ever_fit(self, nodes: int) -> bool:
+        return self.total_nodes >= nodes
+
+    def start(self, nodes: int, end_time: float) -> None:
+        if nodes > self.free_nodes:
+            raise RuntimeError(
+                f"{self.name}: cannot start {nodes} nodes, {self.free_nodes} free"
+            )
+        self.free_nodes -= nodes
+        heapq.heappush(self._running, (end_time, self._seq, nodes))
+        self._seq += 1
+
+    def next_completion(self) -> float | None:
+        return self._running[0][0] if self._running else None
+
+    def release_until(self, time: float) -> int:
+        """Free all allocations ending at or before *time*; returns count."""
+        released = 0
+        while self._running and self._running[0][0] <= time:
+            _, _, nodes = heapq.heappop(self._running)
+            self.free_nodes += nodes
+            released += 1
+        return released
+
+    def shadow_time(self, nodes_needed: int, now: float) -> float:
+        """Earliest time *nodes_needed* nodes could be available.
+
+        Walks the completion heap accumulating freed nodes; returns
+        *now* if they are already free.  This is the EASY reservation
+        time for a blocked head-of-queue job.
+        """
+        if self.free_nodes >= nodes_needed:
+            return now
+        available = self.free_nodes
+        for end_time, _, nodes in sorted(self._running):
+            available += nodes
+            if available >= nodes_needed:
+                return max(now, end_time)
+        raise RuntimeError(
+            f"{self.name}: {nodes_needed} nodes exceed machine capacity"
+        )
+
+    @property
+    def used_nodes(self) -> int:
+        return self.total_nodes - self.free_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineState({self.name}, {self.used_nodes}/{self.total_nodes} used)"
+        )
+
+
+class ClusterState:
+    """The set of machines participating in multi-resource scheduling."""
+
+    def __init__(self, node_counts: dict[str, int] | None = None):
+        """*node_counts* defaults to the Table I cluster sizes."""
+        if node_counts is None:
+            node_counts = {name: spec.nodes for name, spec in MACHINES.items()}
+        if not node_counts:
+            raise ValueError("need at least one machine")
+        self.machines: dict[str, MachineState] = {
+            name: MachineState(name, count) for name, count in node_counts.items()
+        }
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.machines)
+
+    def __getitem__(self, name: str) -> MachineState:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown machine {name!r}; known: {self.names}"
+            ) from None
+
+    def next_completion(self) -> float | None:
+        times = [
+            t for m in self.machines.values()
+            if (t := m.next_completion()) is not None
+        ]
+        return min(times) if times else None
+
+    def release_until(self, time: float) -> int:
+        return sum(m.release_until(time) for m in self.machines.values())

@@ -1,0 +1,94 @@
+"""Queue ordering policies — the R1/R2 parameters of Algorithm 1.
+
+The paper's Algorithm 1 is parameterized by a queue ordering policy
+``R1`` and a backfill ordering policy ``R2`` ("FCFS in our case" for
+both).  This module implements the standard policy family so the
+scheduler can be exercised beyond the paper's configuration:
+
+* :class:`FCFSPolicy` — submission order (the paper's choice).
+* :class:`SJFPolicy` — shortest job first (by the job's runtime on its
+  fastest machine; favors turnaround).
+* :class:`LJFPolicy` — longest job first (favors makespan when the
+  tail is long).
+* :class:`WidestFirstPolicy` — most nodes first (packs big jobs early).
+* :class:`SmallestFirstPolicy` — fewest nodes first.
+
+A policy is a key function over jobs; the scheduler sorts its queue by
+``policy.key(job)`` with the submission-time/job-id pair as the final
+tiebreaker, so every ordering is total and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.sched.job import Job
+
+__all__ = [
+    "FCFSPolicy",
+    "SJFPolicy",
+    "LJFPolicy",
+    "WidestFirstPolicy",
+    "SmallestFirstPolicy",
+    "policy_by_name",
+]
+
+
+class FCFSPolicy:
+    """First-come-first-serve: order by (submit_time, job_id)."""
+
+    name = "fcfs"
+
+    def key(self, job: Job) -> tuple:
+        return (job.submit_time, job.job_id)
+
+
+class SJFPolicy:
+    """Shortest job first, by best-case runtime across machines."""
+
+    name = "sjf"
+
+    def key(self, job: Job) -> tuple:
+        return (min(job.runtimes.values()), job.submit_time, job.job_id)
+
+
+class LJFPolicy:
+    """Longest job first, by best-case runtime across machines."""
+
+    name = "ljf"
+
+    def key(self, job: Job) -> tuple:
+        return (-min(job.runtimes.values()), job.submit_time, job.job_id)
+
+
+class WidestFirstPolicy:
+    """Jobs needing the most nodes first."""
+
+    name = "widest"
+
+    def key(self, job: Job) -> tuple:
+        return (-job.nodes_required, job.submit_time, job.job_id)
+
+
+class SmallestFirstPolicy:
+    """Jobs needing the fewest nodes first."""
+
+    name = "smallest"
+
+    def key(self, job: Job) -> tuple:
+        return (job.nodes_required, job.submit_time, job.job_id)
+
+
+_POLICIES = {
+    p.name: p
+    for p in (FCFSPolicy, SJFPolicy, LJFPolicy, WidestFirstPolicy,
+              SmallestFirstPolicy)
+}
+
+
+def policy_by_name(name: str):
+    """Instantiate a queue policy by its short name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

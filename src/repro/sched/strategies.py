@@ -1,0 +1,210 @@
+"""Machine-assignment strategies (Section VII).
+
+All strategies implement ``assign(job, index, cluster) -> machine name``
+— the paper's ``Machine(j, i, M)`` interface, where *index* is the count
+of jobs started so far (Algorithm 1 increments it per ``Start``).
+
+* :class:`RoundRobinStrategy` — rotate machines per started job.
+* :class:`RandomStrategy` — uniform random machine, sticky per job.
+* :class:`UserRRStrategy` — "mimics typical user behavior": GPU-enabled
+  applications round-robin over GPU systems, CPU-only applications over
+  CPU-only systems.
+* :class:`ModelBasedStrategy` — Algorithm 2: pick the fastest machine
+  by predicted RPV; if it has no free nodes, fall through to the next
+  fastest, returning the overall fastest when everything is full (so
+  the job waits for its best machine).  Note: the paper's pseudocode
+  says ``argmax``; RPVs are time ratios so the fastest machine is the
+  *argmin* (see :mod:`repro.core.rpv`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.machines import MACHINES, SYSTEM_ORDER
+from repro.sched.job import Job
+from repro.sched.machines import ClusterState
+
+__all__ = [
+    "RoundRobinStrategy",
+    "RandomStrategy",
+    "UserRRStrategy",
+    "ModelBasedStrategy",
+    "OracleStrategy",
+    "strategy_by_name",
+]
+
+
+class RoundRobinStrategy:
+    """Rotate across all machines by started-job index."""
+
+    name = "round_robin"
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        names = cluster.names
+        return names[index % len(names)]
+
+
+class RandomStrategy:
+    """Uniform random machine, deterministic and sticky per job id."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._cache: dict[int, str] = {}
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        choice = self._cache.get(job.job_id)
+        if choice is None:
+            names = cluster.names
+            choice = names[int(self._rng.integers(len(names)))]
+            self._cache[job.job_id] = choice
+        return choice
+
+
+class UserRRStrategy:
+    """GPU apps round-robin over GPU systems, CPU apps over CPU systems."""
+
+    name = "user_rr"
+
+    def __init__(self) -> None:
+        self._gpu_index = 0
+        self._cpu_index = 0
+        self._cache: dict[int, str] = {}
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        # Sticky per job so scheduler retries do not advance the rotation.
+        choice = self._cache.get(job.job_id)
+        if choice is not None:
+            return choice
+        gpu_names = [
+            n for n in cluster.names
+            if n in MACHINES and MACHINES[n].has_gpu
+        ]
+        cpu_names = [
+            n for n in cluster.names
+            if n not in MACHINES or not MACHINES[n].has_gpu
+        ]
+        if job.uses_gpu and gpu_names:
+            choice = gpu_names[self._gpu_index % len(gpu_names)]
+            self._gpu_index += 1
+        else:
+            pool = cpu_names or cluster.names
+            choice = pool[self._cpu_index % len(pool)]
+            self._cpu_index += 1
+        self._cache[job.job_id] = choice
+        return choice
+
+
+class ModelBasedStrategy:
+    """Algorithm 2: fastest predicted machine with full-machine fallback."""
+
+    name = "model"
+    #: Which RPV each job carries for this strategy.
+    rpv_attr = "predicted_rpv"
+
+    def __init__(self, systems: tuple[str, ...] = SYSTEM_ORDER):
+        self.systems = tuple(systems)
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        rpv = getattr(job, self.rpv_attr)
+        if rpv is None:
+            raise ValueError(
+                f"job {job.job_id} lacks {self.rpv_attr}; build the workload "
+                "with a predictor attached"
+            )
+        rpv = np.asarray(rpv, dtype=np.float64)
+        candidates = [s for s in self.systems if s in cluster.machines]
+        if not candidates:
+            raise RuntimeError("no strategy systems present in cluster")
+        order = sorted(
+            candidates, key=lambda s: rpv[self.systems.index(s)]
+        )
+        # Fastest machine with room now; if all full, the overall fastest
+        # (Algorithm 2 lines 4-5: "if all s in M are full: return m").
+        for name in order:
+            machine = cluster[name]
+            if machine.can_ever_fit(job.nodes_required) and machine.can_fit(
+                job.nodes_required
+            ):
+                return name
+        for name in order:
+            if cluster[name].can_ever_fit(job.nodes_required):
+                return name
+        raise RuntimeError(
+            f"job {job.job_id} ({job.nodes_required} nodes) fits no machine"
+        )
+
+
+class OracleStrategy(ModelBasedStrategy):
+    """Model-based assignment using ground-truth RPVs (upper bound)."""
+
+    name = "oracle"
+    rpv_attr = "true_rpv"
+
+
+class UncertaintyAwareStrategy(ModelBasedStrategy):
+    """Model-based assignment that breaks near-ties by machine load.
+
+    Extension beyond the paper: when the predicted fastest machine and
+    a rival are within ``tie_margin`` (in RPV units — compare to the
+    model's error), the prediction cannot reliably separate them, so
+    the strategy prefers whichever near-tied machine currently has the
+    most free nodes.  Jobs carrying a ``rpv_std`` entry in
+    ``Job.extra``-style attributes could widen the margin further; the
+    default uses a fixed margin.
+    """
+
+    name = "uncertainty"
+
+    def __init__(self, tie_margin: float = 0.05,
+                 systems: tuple[str, ...] = SYSTEM_ORDER):
+        super().__init__(systems=systems)
+        if tie_margin < 0:
+            raise ValueError("tie_margin must be non-negative")
+        self.tie_margin = tie_margin
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        rpv = getattr(job, self.rpv_attr)
+        if rpv is None:
+            raise ValueError(
+                f"job {job.job_id} lacks {self.rpv_attr}; build the "
+                "workload with a predictor attached"
+            )
+        rpv = np.asarray(rpv, dtype=np.float64)
+        candidates = [s for s in self.systems if s in cluster.machines]
+        fit = [s for s in candidates
+               if cluster[s].can_ever_fit(job.nodes_required)]
+        if not fit:
+            raise RuntimeError(
+                f"job {job.job_id} ({job.nodes_required} nodes) fits "
+                "no machine"
+            )
+        best_value = min(rpv[self.systems.index(s)] for s in fit)
+        tied = [
+            s for s in fit
+            if rpv[self.systems.index(s)] <= best_value + self.tie_margin
+        ]
+        with_room = [s for s in tied if cluster[s].can_fit(job.nodes_required)]
+        if with_room:
+            return max(with_room, key=lambda s: cluster[s].free_nodes)
+        # No near-tied machine has room now: fall back to standard
+        # model-based behavior (next-fastest with room, else fastest).
+        return super().assign(job, index, cluster)
+
+
+def strategy_by_name(name: str, seed: int = 0):
+    """Factory for the four paper strategies plus the extensions."""
+    table = {
+        "round_robin": RoundRobinStrategy,
+        "random": lambda: RandomStrategy(seed),
+        "user_rr": UserRRStrategy,
+        "model": ModelBasedStrategy,
+        "oracle": OracleStrategy,
+        "uncertainty": UncertaintyAwareStrategy,
+    }
+    if name not in table:
+        raise KeyError(f"unknown strategy {name!r}; known: {sorted(table)}")
+    return table[name]()

@@ -1,0 +1,125 @@
+"""Terminal-friendly visualization of study frames.
+
+The benchmarks and examples print their reproduced figures; this module
+renders the standard shapes — horizontal bar charts, two-metric bars,
+and heatmaps — as plain text, so every "figure" in this repository is
+viewable without a plotting stack.  All functions take
+:class:`repro.frame.Frame` inputs shaped like the evaluation studies'
+outputs and return strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import Frame
+
+__all__ = ["bar_chart", "grouped_bars", "heatmap"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def bar_chart(
+    frame: Frame,
+    label_column: str,
+    value_column: str,
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of one numeric column.
+
+    Bars scale to the maximum value; each row shows label, value, bar.
+    """
+    labels = [str(v) for v in frame[label_column]]
+    values = np.asarray(frame[value_column], dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("empty frame")
+    if (values < 0).any():
+        raise ValueError("bar_chart requires non-negative values")
+    top = values.max() if values.max() > 0 else 1.0
+    label_width = max(len(s) for s in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / top))
+        lines.append(f"{label:>{label_width}s} {value:10.4g} |{bar}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    frame: Frame,
+    label_column: str,
+    value_columns: list[str],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Side-by-side bars for several metrics of the same rows.
+
+    The Fig. 2 shape: one label per model, one bar per metric, each
+    metric scaled independently to its own maximum.
+    """
+    if not value_columns:
+        raise ValueError("need at least one value column")
+    labels = [str(v) for v in frame[label_column]]
+    label_width = max(len(s) for s in labels)
+    lines = [title] if title else []
+    for column in value_columns:
+        values = np.asarray(frame[column], dtype=np.float64)
+        top = np.abs(values).max() or 1.0
+        lines.append(f"[{column}]")
+        for label, value in zip(labels, values):
+            bar = "#" * int(round(width * abs(value) / top))
+            lines.append(f"  {label:>{label_width}s} {value:9.4g} |{bar}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    frame: Frame,
+    row_column: str,
+    col_column: str,
+    value_column: str,
+    title: str = "",
+    invert: bool = False,
+) -> str:
+    """Character-shaded heatmap of a long-form (row, col, value) frame.
+
+    Values map onto a 10-level character ramp, normalized over the whole
+    grid; ``invert=True`` makes *small* values dark (e.g. for MAE grids
+    where lower is better).  Cell values are printed alongside.
+    """
+    rows = [str(v) for v in frame[row_column]]
+    cols = [str(v) for v in frame[col_column]]
+    values = np.asarray(frame[value_column], dtype=np.float64)
+    row_order = list(dict.fromkeys(rows))
+    col_order = list(dict.fromkeys(cols))
+    grid = {(r, c): np.nan for r in row_order for c in col_order}
+    for r, c, v in zip(rows, cols, values):
+        grid[(r, c)] = v
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ValueError("no finite values to plot")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = (hi - lo) or 1.0
+
+    def shade(v: float) -> str:
+        if not np.isfinite(v):
+            return "?"
+        t = (v - lo) / span
+        if invert:
+            t = 1.0 - t
+        return _BLOCKS[int(round(t * (len(_BLOCKS) - 1)))]
+
+    label_width = max(len(r) for r in row_order)
+    cell_width = max(max(len(c) for c in col_order), 7)
+    lines = [title] if title else []
+    header = " " * (label_width + 1) + " ".join(
+        f"{c:>{cell_width}s}" for c in col_order
+    )
+    lines.append(header)
+    for r in row_order:
+        cells = []
+        for c in col_order:
+            v = grid[(r, c)]
+            cells.append(f"{shade(v) * 2}{v:>{cell_width - 2}.3f}"
+                         if np.isfinite(v) else "?" * cell_width)
+        lines.append(f"{r:>{label_width}s} " + " ".join(cells))
+    return "\n".join(lines)

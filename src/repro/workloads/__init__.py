@@ -1,0 +1,15 @@
+"""Job-trace construction for the scheduling experiment (Section VII).
+
+"We create a workload of 50,000 jobs randomly sampled from our existing
+data set with replacement."  :func:`build_workload` samples (app, input,
+scale) execution groups from an :class:`repro.dataset.MPHPCDataset`,
+carries each group's observed per-system runtimes onto a
+:class:`repro.sched.Job`, and (optionally) attaches model-predicted
+RPVs for the Model-based strategy — predicted from the counters of one
+randomly chosen source system per job, mirroring deployment where a
+user profiles wherever they happen to have access.
+"""
+
+from repro.workloads.trace import build_workload, poisson_arrivals
+
+__all__ = ["build_workload", "poisson_arrivals"]

@@ -1,0 +1,235 @@
+"""Workflow (task-DAG) scheduling with cross-architecture placement.
+
+The paper's motivation (Section I) is *workflows*: "sets of
+computational tasks and dependencies between them ... different tasks
+or jobs might be better suited for different hardware architectures."
+Its evaluation schedules independent jobs; this module completes the
+motivating story by modeling workflows as DAGs (via networkx) whose
+tasks each carry per-system runtimes, and by placing each task on a
+machine with either a blind or an RPV-model-guided policy.
+
+The executor is a list scheduler: tasks become ready when all
+predecessors finish; ready tasks start immediately on their chosen
+machine if it has a free node (machines here are small dedicated
+allocations).  ``workflow_makespan`` returns the end-to-end time, and
+``critical_path_lower_bound`` the best possible time given per-task
+best-case runtimes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.arch.machines import SYSTEM_ORDER
+
+__all__ = [
+    "WorkflowTask",
+    "Workflow",
+    "make_pipeline_workflow",
+    "make_ensemble_workflow",
+    "WorkflowSchedule",
+    "schedule_workflow",
+    "critical_path_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class WorkflowTask:
+    """One workflow task with per-system runtimes.
+
+    ``rpv`` (predicted time ratios, canonical system order) guides the
+    model-based placement; ``runtimes`` are ground truth.
+    """
+
+    name: str
+    runtimes: dict[str, float]
+    rpv: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not self.runtimes:
+            raise ValueError(f"task {self.name}: empty runtimes")
+        for system, t in self.runtimes.items():
+            if t <= 0:
+                raise ValueError(f"task {self.name}: bad runtime on {system}")
+
+
+class Workflow:
+    """A DAG of named tasks."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+
+    def add_task(self, task: WorkflowTask,
+                 after: list[str] | None = None) -> None:
+        if task.name in self.graph:
+            raise ValueError(f"duplicate task {task.name!r}")
+        self.graph.add_node(task.name, task=task)
+        for dep in after or []:
+            if dep not in self.graph:
+                raise KeyError(f"unknown dependency {dep!r}")
+            self.graph.add_edge(dep, task.name)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_node(task.name)
+            raise ValueError(f"adding {task.name!r} creates a cycle")
+
+    def task(self, name: str) -> WorkflowTask:
+        return self.graph.nodes[name]["task"]
+
+    @property
+    def tasks(self) -> list[WorkflowTask]:
+        return [self.graph.nodes[n]["task"]
+                for n in nx.topological_sort(self.graph)]
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+
+def make_pipeline_workflow(
+    stages: list[WorkflowTask],
+) -> Workflow:
+    """A linear pipeline: stage i depends on stage i-1."""
+    wf = Workflow()
+    prev: str | None = None
+    for task in stages:
+        wf.add_task(task, after=[prev] if prev else None)
+        prev = task.name
+    return wf
+
+
+def make_ensemble_workflow(
+    setup: WorkflowTask,
+    members: list[WorkflowTask],
+    analysis: WorkflowTask,
+) -> Workflow:
+    """Fan-out/fan-in: setup -> N parallel members -> analysis.
+
+    The canonical UQ-ensemble shape the paper's introduction describes
+    (simulation ensembles followed by analysis/ML stages).
+    """
+    wf = Workflow()
+    wf.add_task(setup)
+    for member in members:
+        wf.add_task(member, after=[setup.name])
+    wf.add_task(analysis, after=[m.name for m in members])
+    return wf
+
+
+@dataclass
+class WorkflowSchedule:
+    """Per-task placements and times for one workflow execution."""
+
+    placements: dict[str, str]
+    start_times: dict[str, float]
+    end_times: dict[str, float]
+    makespan: float
+    extra: dict = field(default_factory=dict)
+
+
+def _choose_machine(task: WorkflowTask, policy: str,
+                    free: dict[str, int]) -> str:
+    systems = [s for s in SYSTEM_ORDER if s in free]
+    if policy == "model":
+        if task.rpv is None:
+            raise ValueError(f"task {task.name}: model policy needs an rpv")
+        order = sorted(systems,
+                       key=lambda s: task.rpv[SYSTEM_ORDER.index(s)])
+        for system in order:
+            if free[system] > 0:
+                return system
+        return order[0]
+    if policy == "first_machine":
+        return systems[0]
+    if policy == "best_true":
+        order = sorted(systems, key=lambda s: task.runtimes[s])
+        for system in order:
+            if free[system] > 0:
+                return system
+        return order[0]
+    raise ValueError(f"unknown placement policy {policy!r}")
+
+
+def schedule_workflow(
+    workflow: Workflow,
+    policy: str = "model",
+    nodes_per_machine: int = 2,
+    machines: tuple[str, ...] = SYSTEM_ORDER,
+) -> WorkflowSchedule:
+    """List-schedule a workflow onto small per-machine allocations.
+
+    ``policy`` is ``"model"`` (place each ready task on its
+    predicted-fastest machine with a free node), ``"best_true"`` (oracle),
+    or ``"first_machine"`` (everything on one machine — the
+    single-cluster user the paper's intro contrasts against).
+    """
+    if len(workflow) == 0:
+        raise ValueError("empty workflow")
+    graph = workflow.graph
+    free = {name: nodes_per_machine for name in machines}
+    indegree = {n: graph.in_degree(n) for n in graph.nodes}
+    ready = sorted(n for n, d in indegree.items() if d == 0)
+    running: list[tuple[float, int, str, str]] = []  # (end, seq, task, machine)
+    seq = 0
+    now = 0.0
+    placements: dict[str, str] = {}
+    starts: dict[str, float] = {}
+    ends: dict[str, float] = {}
+
+    while ready or running:
+        # Start every ready task that can get a node now.
+        progressed = True
+        while progressed:
+            progressed = False
+            for name in list(ready):
+                task = workflow.task(name)
+                machine = _choose_machine(task, policy, free)
+                if free[machine] > 0:
+                    free[machine] -= 1
+                    runtime = task.runtimes[machine]
+                    heapq.heappush(running,
+                                   (now + runtime, seq, name, machine))
+                    seq += 1
+                    placements[name] = machine
+                    starts[name] = now
+                    ends[name] = now + runtime
+                    ready.remove(name)
+                    progressed = True
+        if not running:
+            if ready:
+                raise RuntimeError("deadlock: ready tasks but no capacity")
+            break
+        end, _, name, machine = heapq.heappop(running)
+        now = end
+        free[machine] += 1
+        for succ in graph.successors(name):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+
+    return WorkflowSchedule(
+        placements=placements,
+        start_times=starts,
+        end_times=ends,
+        makespan=max(ends.values()),
+    )
+
+
+def critical_path_lower_bound(workflow: Workflow) -> float:
+    """Longest path through the DAG using each task's best-case runtime.
+
+    No schedule can beat this regardless of capacity.
+    """
+    if len(workflow) == 0:
+        raise ValueError("empty workflow")
+    graph = workflow.graph
+    best: dict[str, float] = {}
+    for name in nx.topological_sort(graph):
+        task = workflow.graph.nodes[name]["task"]
+        own = min(task.runtimes.values())
+        preds = [best[p] for p in graph.predecessors(name)]
+        best[name] = own + (max(preds) if preds else 0.0)
+    return max(best.values())

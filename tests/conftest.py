@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+The MP-HPC dataset and trained predictors are expensive relative to unit
+tests, so small session-scoped instances are shared across test modules.
+All fixtures are deterministic (fixed seeds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import CrossArchPredictor
+from repro.dataset.generate import MPHPCDataset, generate_dataset
+from repro.ml import train_test_split
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> MPHPCDataset:
+    """A 4-inputs-per-app dataset: 20 x 4 x 3 x 4 = 960 rows."""
+    return generate_dataset(inputs_per_app=4, seed=123)
+
+
+@pytest.fixture(scope="session")
+def split_indices(small_dataset) -> tuple[np.ndarray, np.ndarray]:
+    return train_test_split(small_dataset.num_rows, 0.1, random_state=7)
+
+
+@pytest.fixture(scope="session")
+def trained_xgb(small_dataset, split_indices) -> CrossArchPredictor:
+    """An XGBoost predictor trained on the small dataset's train split."""
+    train_rows, _ = split_indices
+    return CrossArchPredictor.train(
+        small_dataset, model="xgboost", rows=train_rows,
+        n_estimators=60, max_depth=6,
+    )

@@ -1,0 +1,225 @@
+"""Tests for the Table II application catalog and input generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    APPLICATIONS,
+    CPU_ONLY_APPS,
+    GPU_APPS,
+    ML_PYTHON_APPS,
+    AppSpec,
+    InputConfig,
+    InstructionMix,
+    KernelSpec,
+    generate_inputs,
+    get_app,
+)
+
+TABLE_II_NAMES = {
+    "AMG", "CANDLE", "CoMD", "CosmoFlow", "CRADL", "Ember", "ExaMiniMD",
+    "Laghos", "miniFE", "miniGAN", "miniQMC", "miniTri", "miniVite",
+    "DeepCam", "Nekbone", "PICSARLite", "SW4lite", "SWFFT",
+    "Thornado-mini", "XSBench",
+}
+
+
+class TestCatalog:
+    def test_twenty_applications(self):
+        assert len(APPLICATIONS) == 20
+        assert set(APPLICATIONS) == TABLE_II_NAMES
+
+    def test_eleven_gpu_apps(self):
+        # "There are twenty applications in total, and eleven of them
+        # have GPU support."
+        assert len(GPU_APPS) == 11
+        assert len(CPU_ONLY_APPS) == 9
+
+    def test_ml_python_apps(self):
+        # The apps Fig. 5 singles out as ML/Python-based.
+        assert set(ML_PYTHON_APPS) == {
+            "CANDLE", "CosmoFlow", "miniGAN", "DeepCam"
+        }
+        assert all(APPLICATIONS[a].gpu_support for a in ML_PYTHON_APPS)
+
+    def test_kernel_weights_sum_to_one(self):
+        for app in APPLICATIONS.values():
+            assert sum(k.weight for k in app.kernels) == pytest.approx(1.0)
+
+    def test_mix_fractions_valid(self):
+        for app in APPLICATIONS.values():
+            vals = app.mix.as_array()
+            assert (vals >= 0).all()
+            assert vals.sum() <= 1.0
+
+    def test_gpu_apps_have_offload(self):
+        for name in GPU_APPS:
+            assert 0 < APPLICATIONS[name].gpu_offload <= 1
+        for name in CPU_ONLY_APPS:
+            assert APPLICATIONS[name].gpu_offload == 0
+
+    def test_ml_apps_are_noisiest(self):
+        ml_noise = min(APPLICATIONS[a].runtime_noise_sigma
+                       for a in ML_PYTHON_APPS)
+        other_noise = max(
+            APPLICATIONS[a].runtime_noise_sigma
+            for a in APPLICATIONS if a not in ML_PYTHON_APPS
+        )
+        assert ml_noise > other_noise
+
+    def test_app_characters(self):
+        # Spot checks that catalog parameters encode known app behavior.
+        assert APPLICATIONS["XSBench"].irregularity > 2  # random lookups
+        assert APPLICATIONS["Nekbone"].vectorizable > 0.8  # dense spectral
+        assert APPLICATIONS["Ember"].comm_cost > 1.0  # comm benchmark
+        assert APPLICATIONS["CANDLE"].mix.fp_sp > 0.3  # fp32 tensor code
+        assert APPLICATIONS["SW4lite"].mix.fp_dp > 0.25  # fp64 stencil
+
+    def test_get_app(self):
+        assert get_app("xsbench").name == "XSBench"
+        with pytest.raises(KeyError):
+            get_app("linpack")
+
+    def test_instruction_scaling(self):
+        app = APPLICATIONS["SWFFT"]
+        # superlinear work growth (n log n modeled as exponent > 1)
+        assert app.instructions(2.0) > 2.0 * app.instructions(1.0)
+
+    def test_working_set_scaling(self):
+        app = APPLICATIONS["AMG"]
+        assert app.working_set(4.0) == pytest.approx(
+            4.0 * app.working_set(1.0)
+        )
+
+
+class TestSpecValidation:
+    def _mix(self):
+        return InstructionMix(0.1, 0.3, 0.1, 0.1, 0.1, 0.1)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(-0.1, 0.3, 0.1, 0.1, 0.1, 0.1)
+
+    def test_oversum_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(0.5, 0.5, 0.5, 0.1, 0.1, 0.1)
+
+    def test_other_fraction(self):
+        assert self._mix().other == pytest.approx(0.2)
+
+    def test_perturbed_keeps_validity(self):
+        m = self._mix().perturbed(np.array([3.0, 3.0, 3.0, 3.0, 3.0, 3.0]))
+        assert m.as_array().sum() <= 0.97 + 1e-9
+
+    def test_kernel_weight_bounds(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", 0.0)
+        with pytest.raises(ValueError):
+            KernelSpec("k", 1.5)
+
+    def test_app_kernel_sum_enforced(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AppSpec(
+                name="bad", description="", gpu_support=False,
+                mix=self._mix(),
+                kernels=(KernelSpec("a", 0.5),),
+                base_instructions=1e9,
+            )
+
+    def test_cpu_app_cannot_offload(self):
+        with pytest.raises(ValueError):
+            AppSpec(
+                name="bad", description="", gpu_support=False,
+                mix=self._mix(),
+                kernels=(KernelSpec("a", 1.0),),
+                base_instructions=1e9, gpu_offload=0.5,
+            )
+
+    def test_gpu_app_requires_offload(self):
+        with pytest.raises(ValueError):
+            AppSpec(
+                name="bad", description="", gpu_support=True,
+                mix=self._mix(),
+                kernels=(KernelSpec("a", 1.0),),
+                base_instructions=1e9, gpu_offload=0.0,
+            )
+
+
+class TestInputGeneration:
+    def test_deterministic(self):
+        app = APPLICATIONS["CoMD"]
+        a = generate_inputs(app, 10, seed=4)
+        b = generate_inputs(app, 10, seed=4)
+        assert [i.label for i in a] == [i.label for i in b]
+        assert [i.size_scale for i in a] == [i.size_scale for i in b]
+
+    def test_seed_changes_inputs(self):
+        app = APPLICATIONS["CoMD"]
+        a = generate_inputs(app, 10, seed=1)
+        b = generate_inputs(app, 10, seed=2)
+        assert [i.size_scale for i in a] != [i.size_scale for i in b]
+
+    def test_sizes_within_range(self):
+        app = APPLICATIONS["AMG"]
+        inputs = generate_inputs(app, 50, seed=0, size_range=(0.5, 2.0))
+        for inp in inputs:
+            assert 0.5 <= inp.size_scale <= 2.0
+
+    def test_labels_unique(self):
+        app = APPLICATIONS["AMG"]
+        labels = [i.label for i in generate_inputs(app, 30, seed=0)]
+        assert len(set(labels)) == 30
+
+    def test_labels_use_app_cli_idiom(self):
+        xs = generate_inputs(APPLICATIONS["XSBench"], 1, seed=0)[0]
+        assert xs.label.startswith("-l ")  # lookups knob
+        sw = generate_inputs(APPLICATIONS["SW4lite"], 1, seed=0)[0]
+        assert sw.label.startswith("-h ")  # grid spacing
+
+    def test_label_value_scales_with_size(self):
+        inputs = generate_inputs(APPLICATIONS["miniFE"], 20, seed=0)
+        by_size = sorted(inputs, key=lambda i: i.size_scale)
+        small = int(by_size[0].label.split()[1])
+        large = int(by_size[-1].label.split()[1])
+        assert large > small
+
+    def test_inverse_knob_for_grid_spacing(self):
+        inputs = generate_inputs(APPLICATIONS["SW4lite"], 20, seed=0)
+        by_size = sorted(inputs, key=lambda i: i.size_scale)
+        coarse = float(by_size[0].label.split()[1])
+        fine = float(by_size[-1].label.split()[1])
+        assert fine < coarse  # bigger problem = finer spacing
+
+    def test_mix_jitter_perturbs(self):
+        app = APPLICATIONS["AMG"]
+        inputs = generate_inputs(app, 5, seed=0)
+        branches = {i.mix.branch for i in inputs}
+        assert len(branches) == 5  # all differ
+
+    def test_apps_get_independent_streams(self):
+        a = generate_inputs(APPLICATIONS["AMG"], 5, seed=0)
+        b = generate_inputs(APPLICATIONS["CoMD"], 5, seed=0)
+        assert [i.size_scale for i in a] != [i.size_scale for i in b]
+
+    def test_validation(self):
+        app = APPLICATIONS["AMG"]
+        with pytest.raises(ValueError):
+            generate_inputs(app, 0)
+        with pytest.raises(ValueError):
+            generate_inputs(app, 5, size_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            InputConfig("AMG", "x", size_scale=0.0, mix=app.mix)
+
+
+@given(count=st.integers(1, 20), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_inputs_always_valid(count, seed):
+    app = APPLICATIONS["miniFE"]
+    for inp in generate_inputs(app, count, seed=seed):
+        assert inp.size_scale > 0
+        assert inp.mix.as_array().sum() <= 1.0
+        assert 0.5 <= inp.io_scale <= 2.0

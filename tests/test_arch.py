@@ -1,0 +1,124 @@
+"""Tests for the Table I machine models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    CORONA,
+    LASSEN,
+    MACHINES,
+    QUARTZ,
+    RUBY,
+    SYSTEM_ORDER,
+    CacheLevel,
+    CPUSpec,
+    GPUSpec,
+    MachineSpec,
+    get_machine,
+)
+
+
+class TestTableI:
+    """The reproduction must match the published Table I cells exactly."""
+
+    @pytest.mark.parametrize(
+        "machine, cpu_model, cores, clock, gpu_model, gpus",
+        [
+            (QUARTZ, "Intel Xeon E5-2695 v4", 36, 2.1, None, 0),
+            (RUBY, "Intel Xeon CLX-8276", 56, 2.2, None, 0),
+            (LASSEN, "IBM Power9", 44, 3.5, "NVIDIA V100", 4),
+            (CORONA, "AMD Rome", 48, 2.8, "AMD MI50", 8),
+        ],
+    )
+    def test_table1_cells(self, machine, cpu_model, cores, clock,
+                          gpu_model, gpus):
+        assert machine.cpu.model == cpu_model
+        assert machine.cpu.cores == cores
+        assert machine.cpu.clock_ghz == clock
+        if gpu_model is None:
+            assert machine.gpu is None
+        else:
+            assert machine.gpu.model == gpu_model
+        assert machine.gpus_per_node == gpus
+
+    def test_four_systems_in_order(self):
+        assert SYSTEM_ORDER == ("Quartz", "Ruby", "Lassen", "Corona")
+        assert set(MACHINES) == set(SYSTEM_ORDER)
+
+    def test_two_cpu_two_gpu(self):
+        gpu_systems = [m for m in MACHINES.values() if m.has_gpu]
+        assert len(gpu_systems) == 2
+
+    def test_describe_matches_table_layout(self):
+        row = QUARTZ.describe()
+        assert row["System"] == "Quartz"
+        assert row["GPU Type"] == "--"
+        row = LASSEN.describe()
+        assert row["GPUs/node"] == 4
+
+
+class TestDerivedQuantities:
+    def test_ruby_peak_exceeds_quartz(self):
+        # AVX-512 + more cores: Ruby is the stronger CPU system.
+        assert RUBY.cpu.peak_dp_gflops > QUARTZ.cpu.peak_dp_gflops
+
+    def test_sp_is_twice_dp(self):
+        assert QUARTZ.cpu.peak_sp_gflops == pytest.approx(
+            2 * QUARTZ.cpu.peak_dp_gflops
+        )
+
+    def test_gpu_node_aggregates(self):
+        assert LASSEN.node_peak_gpu_sp_gflops == pytest.approx(4 * 15700.0)
+        assert CORONA.node_gpu_mem_bw_gbs == pytest.approx(8 * 1024.0)
+
+    def test_cpu_only_gpu_aggregates_zero(self):
+        assert QUARTZ.node_peak_gpu_sp_gflops == 0.0
+        assert QUARTZ.node_gpu_mem_bw_gbs == 0.0
+
+    def test_gpu_counter_noise_exceeds_cpu(self):
+        # Section VIII-B: GPU profiling (esp. rocprof) is less mature.
+        cpu_noise = max(QUARTZ.counter_noise_sigma, RUBY.counter_noise_sigma)
+        assert LASSEN.counter_noise_sigma > cpu_noise
+        assert CORONA.counter_noise_sigma > LASSEN.counter_noise_sigma
+
+
+class TestLookupAndValidation:
+    def test_get_machine_case_insensitive(self):
+        assert get_machine("quartz") is QUARTZ
+        assert get_machine("CORONA") is CORONA
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError, match="known"):
+            get_machine("summit")
+
+    def test_inconsistent_gpu_config_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", cpu=QUARTZ.cpu, gpu=None, gpus_per_node=2)
+
+    def test_nonpositive_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", cpu=QUARTZ.cpu, nodes=0)
+
+    def test_cache_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel(size_bytes=0, latency_cycles=4)
+        with pytest.raises(ValueError):
+            CacheLevel(size_bytes=1024, latency_cycles=0)
+
+    def test_cpu_validation(self):
+        with pytest.raises(ValueError):
+            CPUSpec(
+                model="x", cores=0, clock_ghz=1.0, ipc_scalar=1.0,
+                vector_width_dp=2, fma=True, l1=QUARTZ.cpu.l1,
+                l2=QUARTZ.cpu.l2, l3=QUARTZ.cpu.l3, mem_bw_gbs=50.0,
+            )
+
+    def test_gpu_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec(model="x", peak_sp_tflops=0.0, peak_dp_tflops=1.0,
+                    mem_bw_gbs=100.0, mem_bytes=1)
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            QUARTZ.nodes = 5  # type: ignore[misc]

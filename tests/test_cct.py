@@ -1,0 +1,122 @@
+"""Tests for the calling-context-tree substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.cct import CCTNode, build_app_cct
+
+
+@pytest.fixture
+def tree() -> CCTNode:
+    root = CCTNode("main")
+    a = CCTNode("solve", parent=root)
+    k1 = CCTNode("kernel_a", parent=a)
+    k2 = CCTNode("kernel_b", parent=a)
+    CCTNode("finalize", parent=root)
+    k1.metrics["cycles"] = 70.0
+    k2.metrics["cycles"] = 25.0
+    a.metrics["cycles"] = 5.0
+    return root
+
+
+class TestStructure:
+    def test_paths(self, tree):
+        leaves = tree.leaves()
+        assert "main/solve/kernel_a" in [n.path for n in leaves]
+
+    def test_depth(self, tree):
+        assert tree.depth == 0
+        assert tree.leaves()[0].depth == 2
+
+    def test_num_nodes(self, tree):
+        assert tree.num_nodes == 5
+
+    def test_walk_preorder(self, tree):
+        names = [n.name for n in tree.walk()]
+        assert names[0] == "main"
+        assert names.index("solve") < names.index("kernel_a")
+
+    def test_child_get_or_create(self, tree):
+        solve = tree.child("solve")
+        assert solve.name == "solve"
+        assert tree.num_nodes == 5  # existing, not duplicated
+        tree.child("new_phase")
+        assert tree.num_nodes == 6
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            CCTNode("")
+        with pytest.raises(ValueError):
+            CCTNode("a/b")
+
+
+class TestMetrics:
+    def test_inclusive_sums_subtree(self, tree):
+        assert tree.inclusive("cycles") == pytest.approx(100.0)
+        solve = tree.child("solve")
+        assert solve.inclusive("cycles") == pytest.approx(100.0)
+
+    def test_inclusive_missing_metric_zero(self, tree):
+        assert tree.inclusive("nonexistent") == 0.0
+
+    def test_inclusive_all(self, tree):
+        totals = tree.inclusive_all()
+        assert totals == {"cycles": pytest.approx(100.0)}
+
+
+class TestPrune:
+    def test_prune_keeps_matching_leaves(self, tree):
+        pruned = tree.prune(lambda n: n.metrics.get("cycles", 0) > 50)
+        paths = [n.path for n in pruned.walk()]
+        assert "main/solve/kernel_a" in paths
+        assert "main/solve/kernel_b" not in paths
+
+    def test_prune_preserves_original(self, tree):
+        before = tree.num_nodes
+        tree.prune(lambda n: False)
+        assert tree.num_nodes == before
+
+    def test_prune_root_always_kept(self, tree):
+        pruned = tree.prune(lambda n: False)
+        assert pruned.name == "main"
+        assert pruned.num_nodes == 1
+
+    def test_prune_inclusive_of_kept_subtree(self, tree):
+        pruned = tree.prune(lambda n: n.metrics.get("cycles", 0) >= 25)
+        assert pruned.inclusive("cycles") == pytest.approx(100.0)
+
+
+class TestFormatting:
+    def test_format_tree_contains_all_names(self, tree):
+        text = tree.format_tree()
+        for node in tree.walk():
+            assert node.name in text
+
+    def test_format_tree_with_metric(self, tree):
+        text = tree.format_tree("cycles")
+        assert "[70]" in text
+
+
+class TestBuildAppCCT:
+    def test_canonical_shape(self):
+        app = APPLICATIONS["AMG"]
+        root = build_app_cct(app)
+        names = [n.name for n in root.children]
+        assert names == ["initialize", "solve", "finalize"]
+        solve = root.child("solve")
+        assert len(solve.children) == len(app.kernels)
+
+    def test_kernel_weights_attached(self):
+        app = APPLICATIONS["miniFE"]
+        root = build_app_cct(app)
+        total = sum(
+            n.metrics["weight"] for n in root.walk() if "weight" in n.metrics
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_all_apps_build(self):
+        for app in APPLICATIONS.values():
+            root = build_app_cct(app)
+            assert root.num_nodes == 3 + len(app.kernels) + 1

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.command == "generate"
+        assert args.inputs_per_app == 12
+
+    def test_bad_model_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "svm"])
+
+    def test_bad_scale_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "--app", "AMG", "--machine", "Quartz",
+                 "--scale", "4node"]
+            )
+
+
+class TestCommands:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code = main(["generate", "--inputs-per-app", "1", "--seed", "3",
+                     "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "240 rows" in capsys.readouterr().out  # 20*1*3*4
+
+    def test_profile_prints_counters(self, capsys):
+        code = main(["profile", "--app", "XSBench", "--machine", "Quartz",
+                     "--scale", "1core"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "XSBench on Quartz" in out
+        assert "total_instructions" in out
+
+    def test_profile_save(self, tmp_path):
+        out = tmp_path / "p.json"
+        code = main(["profile", "--app", "AMG", "--machine", "Corona",
+                     "--save", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_profile_unknown_app_fails_cleanly(self, capsys):
+        code = main(["profile", "--app", "HPL", "--machine", "Quartz"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_train_then_predict(self, tmp_path, capsys):
+        model_path = tmp_path / "m.pkl"
+        code = main(["train", "--inputs-per-app", "2", "--seed", "1",
+                     "--model", "linear", "--output", str(model_path)])
+        assert code == 0
+        assert model_path.exists()
+        code = main(["predict", "--predictor", str(model_path),
+                     "--app", "CANDLE", "--machine", "Ruby"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fastest first" in out
+
+    def test_evaluate(self, capsys):
+        code = main(["evaluate", "--inputs-per-app", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for model in ("mean", "linear", "forest", "xgboost"):
+            assert model in out
+
+    def test_importance_top(self, capsys):
+        code = main(["importance", "--inputs-per-app", "2", "--seed", "1",
+                     "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+
+    def test_whatif(self, tmp_path, capsys):
+        model_path = tmp_path / "m.pkl"
+        assert main(["train", "--inputs-per-app", "2", "--seed", "1",
+                     "--model", "linear", "--output", str(model_path)]) == 0
+        capsys.readouterr()
+        code = main(["whatif", "--predictor", str(model_path),
+                     "--apps", "CANDLE", "XSBench", "--source", "Ruby"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "porting shortlist" in out
+        assert "CANDLE" in out and "XSBench" in out
+
+    def test_calibrate(self, capsys):
+        code = main(["calibrate", "--inputs-per-app", "1", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SOS ceiling" in out
+        assert "noise floor" in out
+
+    def test_report(self, capsys):
+        code = main(["report", "--inputs-per-app", "1", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MP-HPC dataset report" in out
+        assert "fastest-system share" in out
+
+    def test_schedule_with_swf(self, tmp_path, capsys):
+        swf = tmp_path / "trace.swf"
+        code = main(["schedule", "--jobs", "200", "--inputs-per-app", "2",
+                     "--seed", "1", "--strategies", "model",
+                     "--swf-output", str(swf)])
+        assert code == 0
+        assert swf.exists()
+        assert "model" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Tests for noise-floor and orderability diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    NoiseFloor,
+    estimate_noise_floor,
+    gap_statistics,
+)
+
+
+class TestNoiseFloor:
+    @pytest.fixture(scope="class")
+    def floor(self) -> NoiseFloor:
+        return estimate_noise_floor(inputs_per_app=2, seed=0,
+                                    apps=["CoMD", "CANDLE", "XSBench"])
+
+    def test_group_count(self, floor):
+        assert floor.groups == 3 * 2 * 3  # apps x inputs x scales
+
+    def test_ceiling_in_unit_interval(self, floor):
+        assert 0.0 <= floor.sos_ceiling <= 1.0
+
+    def test_floor_positive_with_noise(self, floor):
+        assert floor.rpv_mae_floor > 0.0
+
+    def test_ceiling_reasonably_high(self, floor):
+        # Calibration target: orderings mostly stable across trials
+        # (the paper's SOS of 0.86 implies its measurements were).
+        assert floor.sos_ceiling >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_noise_floor(inputs_per_app=0)
+
+
+class TestGapStatistics:
+    def test_known_gaps(self):
+        Y = np.array([[1.0, 0.5, 0.25, 0.19]])
+        stats = gap_statistics(Y)
+        assert stats["median"] == pytest.approx(0.06)
+        assert stats["near_tied_fraction"] == 0.0
+
+    def test_near_tied_detection(self):
+        Y = np.array([[1.0, 0.99, 0.5, 0.2],
+                      [1.0, 0.7, 0.4, 0.1]])
+        stats = gap_statistics(Y)
+        assert stats["near_tied_fraction"] == pytest.approx(0.5)
+
+    def test_quartiles_ordered(self):
+        rng = np.random.default_rng(0)
+        Y = rng.uniform(0.1, 1.0, size=(100, 4))
+        stats = gap_statistics(Y)
+        assert stats["p25"] <= stats["median"] <= stats["p75"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gap_statistics(np.ones((3,)))
+        with pytest.raises(ValueError):
+            gap_statistics(np.ones((3, 1)))
+
+    def test_on_real_dataset(self, small_dataset):
+        stats = gap_statistics(small_dataset.Y())
+        assert 0.0 <= stats["near_tied_fraction"] <= 1.0
+        assert stats["median"] > 0.0

@@ -1,0 +1,116 @@
+"""Tests for RPV math (Section IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rpv import (
+    fastest_system,
+    rpv,
+    rpv_relative_to_fastest,
+    rpv_relative_to_slowest,
+    system_order,
+)
+
+
+class TestPaperExample:
+    """Section IV: (TestApp, "-s 5") at 10/8/21 minutes on X/Y/Z."""
+
+    def test_relative_to_x(self):
+        np.testing.assert_allclose(
+            rpv([10.0, 8.0, 21.0], base=0), [1.0, 0.8, 2.1]
+        )
+
+    def test_relative_to_slowest(self):
+        np.testing.assert_allclose(
+            rpv_relative_to_slowest([10.0, 8.0, 21.0]),
+            [10 / 21, 8 / 21, 1.0],
+        )
+
+    def test_relative_to_fastest(self):
+        np.testing.assert_allclose(
+            rpv_relative_to_fastest([10.0, 8.0, 21.0]),
+            [10 / 8, 1.0, 21 / 8],
+        )
+
+    def test_fastest_is_argmin(self):
+        # Algorithm 2's corrected machine choice.
+        assert fastest_system(np.array([1.0, 0.8, 2.1])) == 1
+
+    def test_system_order(self):
+        np.testing.assert_array_equal(
+            system_order(np.array([1.0, 0.8, 2.1])), [1, 0, 2]
+        )
+
+
+class TestValidation:
+    def test_base_component_is_one(self):
+        times = np.array([5.0, 2.0, 9.0, 4.0])
+        for base in range(4):
+            assert rpv(times, base)[base] == 1.0
+
+    def test_base_out_of_range(self):
+        with pytest.raises(IndexError):
+            rpv([1.0, 2.0], base=2)
+
+    def test_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            rpv([1.0, 0.0], base=0)
+        with pytest.raises(ValueError):
+            rpv_relative_to_slowest([1.0, -2.0])
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            rpv_relative_to_slowest([5.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            rpv([1.0, np.nan], base=0)
+
+
+@given(
+    times=st.lists(st.floats(1e-3, 1e6), min_size=2, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_slowest_form_bounded(times):
+    v = rpv_relative_to_slowest(np.array(times))
+    assert v.max() == pytest.approx(1.0)
+    assert (v > 0).all() and (v <= 1.0 + 1e-12).all()
+
+
+@given(times=st.lists(st.floats(1e-3, 1e6), min_size=2, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_property_fastest_form_bounded_below(times):
+    v = rpv_relative_to_fastest(np.array(times))
+    assert v.min() == pytest.approx(1.0)
+    assert (v >= 1.0 - 1e-12).all()
+
+
+@given(
+    times=st.lists(st.floats(1e-3, 1e6), min_size=2, max_size=6),
+    scale=st.floats(1e-3, 1e3),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_rpv_scale_invariant(times, scale):
+    """RPVs are invariant to a common rescaling of times (unit change)."""
+    t = np.array(times)
+    np.testing.assert_allclose(
+        rpv_relative_to_slowest(t), rpv_relative_to_slowest(t * scale),
+        rtol=1e-9,
+    )
+
+
+@given(times=st.lists(st.floats(1e-3, 1e6), min_size=2, max_size=6),
+       base=st.integers(0, 5))
+@settings(max_examples=100, deadline=None)
+def test_property_order_preserved_across_bases(times, base):
+    """The induced system ordering is independent of the base choice."""
+    t = np.array(times)
+    if base >= len(t):
+        base = 0
+    np.testing.assert_array_equal(
+        system_order(rpv(t, base)), system_order(rpv_relative_to_slowest(t))
+    )

@@ -1,0 +1,56 @@
+"""Tests for the Section V-C counter-category taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.categories import (
+    CATEGORY_OF,
+    FEATURE_CATEGORIES,
+    category_importances,
+)
+from repro.dataset.schema import FEATURE_COLUMNS
+
+
+class TestTaxonomy:
+    def test_partition_is_complete_and_disjoint(self):
+        all_features = [
+            f for features in FEATURE_CATEGORIES.values() for f in features
+        ]
+        assert sorted(all_features) == sorted(set(all_features))
+        assert set(all_features) == set(FEATURE_COLUMNS)
+
+    def test_paper_categories_present(self):
+        # Section V-C names control flow, data intensity, and I/O.
+        for category in ("control_flow", "data_intensity", "io"):
+            assert category in FEATURE_CATEGORIES
+
+    def test_branch_is_control_flow(self):
+        assert CATEGORY_OF["branch_intensity"] == "control_flow"
+
+    def test_cache_misses_are_data_intensity(self):
+        for f in ("l1_load_misses", "l2_store_misses", "mem_stalls"):
+            assert CATEGORY_OF[f] == "data_intensity"
+
+
+class TestAggregation:
+    def test_sums_preserved(self):
+        imps = {f: 1.0 / len(FEATURE_COLUMNS) for f in FEATURE_COLUMNS}
+        agg = category_importances(imps)
+        assert sum(agg.values()) == pytest.approx(1.0)
+
+    def test_sorted_descending(self):
+        imps = {f: 0.0 for f in FEATURE_COLUMNS}
+        imps["branch_intensity"] = 0.7
+        imps["io_bytes_read"] = 0.3
+        agg = category_importances(imps)
+        assert list(agg)[:2] == ["control_flow", "io"]
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            category_importances({"flux_capacitance": 1.0})
+
+    def test_with_trained_model(self, trained_xgb):
+        agg = category_importances(trained_xgb.feature_importances())
+        assert sum(agg.values()) == pytest.approx(1.0)
+        assert set(agg) == set(FEATURE_CATEGORIES)

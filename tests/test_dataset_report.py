@@ -1,0 +1,117 @@
+"""Tests for the dataset report and conservative backfilling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.report import (
+    coverage_table,
+    dataset_report,
+    target_summary,
+    winner_table,
+)
+from repro.sched import ClusterState, Job, RoundRobinStrategy, Scheduler
+
+SYSTEMS = ("Quartz", "Ruby", "Lassen", "Corona")
+
+
+class TestDatasetReport:
+    def test_coverage_grid(self, small_dataset):
+        grid = coverage_table(small_dataset)
+        assert grid.num_rows == 20  # one row per app
+        # every (app, system) cell holds inputs x scales rows
+        for col in grid.columns[1:]:
+            assert (np.asarray(grid[col]) == 4 * 3).all()
+
+    def test_target_summary_fields(self, small_dataset):
+        s = target_summary(small_dataset)
+        assert s["rows"] == small_dataset.num_rows
+        assert 0 < s["rpv_mean"] < 1
+        assert 0 <= s["near_tied_fraction"] <= 1
+
+    def test_winner_table_shares_sum_to_one(self, small_dataset):
+        winners = winner_table(small_dataset)
+        assert np.asarray(winners["overall"]).sum() == pytest.approx(1.0)
+        for scale in ("1core", "1node", "2node"):
+            assert np.asarray(winners[scale]).sum() == pytest.approx(1.0)
+
+    def test_report_text(self, small_dataset):
+        text = dataset_report(small_dataset)
+        assert "MP-HPC dataset report" in text
+        for system in SYSTEMS:
+            assert system in text
+
+
+class MapStrategy:
+    """Test helper: fixed job-id -> machine assignment."""
+
+    name = "map"
+
+    def __init__(self, mapping: dict[int, str], default: str):
+        self.mapping = mapping
+        self.default = default
+
+    def assign(self, job, index, cluster):
+        return self.mapping.get(job.job_id, self.default)
+
+
+class TestConservativeBackfill:
+    def _job(self, job_id, runtime, nodes=1, submit=0.0):
+        return Job(job_id=job_id, app="CoMD", uses_gpu=False,
+                   nodes_required=nodes,
+                   runtimes={s: runtime for s in SYSTEMS},
+                   submit_time=submit)
+
+    def _workload(self):
+        # job0 fills Quartz; job1 (head) blocks on Quartz with a
+        # reservation at t=50; jobs 2 and 3 target Ruby where nodes are
+        # free — one fits under the reservation horizon, one does not.
+        return [
+            self._job(0, runtime=50.0, nodes=2, submit=0.0),
+            self._job(1, runtime=50.0, nodes=2, submit=1.0),
+            self._job(2, runtime=10.0, nodes=1, submit=2.0),
+            self._job(3, runtime=500.0, nodes=1, submit=3.0),
+        ]
+
+    def _strategy(self):
+        return MapStrategy({2: "Ruby", 3: "Ruby"}, default="Quartz")
+
+    def test_easy_lets_long_job_backfill_elsewhere(self):
+        cluster = ClusterState({"Quartz": 2, "Ruby": 2})
+        sched = Scheduler(self._strategy(), cluster, conservative=False)
+        result = sched.run(self._workload())
+        starts = dict(zip(result.job_ids, result.start_times))
+        assert starts[3] < 50.0  # long job backfilled before the shadow
+
+    def test_conservative_blocks_long_backfill(self):
+        cluster = ClusterState({"Quartz": 2, "Ruby": 2})
+        sched = Scheduler(self._strategy(), cluster, conservative=True)
+        result = sched.run(self._workload())
+        starts = dict(zip(result.job_ids, result.start_times))
+        # The 500s job would outlive the reservation horizon; it may
+        # not jump ahead even on another machine.
+        assert starts[3] >= starts[1]
+
+    def test_conservative_still_allows_short_backfill(self):
+        cluster = ClusterState({"Quartz": 2, "Ruby": 2})
+        sched = Scheduler(self._strategy(), cluster, conservative=True)
+        result = sched.run(self._workload())
+        starts = dict(zip(result.job_ids, result.start_times))
+        assert starts[2] < starts[1]  # 10s job fits under the horizon
+
+    def test_conservative_never_more_backfills_than_easy(self):
+        rng = np.random.default_rng(4)
+        jobs = [
+            self._job(i, runtime=float(rng.uniform(1, 60)),
+                      nodes=int(rng.integers(1, 3)))
+            for i in range(60)
+        ]
+        easy = Scheduler(RoundRobinStrategy(),
+                         ClusterState({s: 2 for s in SYSTEMS}),
+                         conservative=False).run(list(jobs))
+        cons = Scheduler(RoundRobinStrategy(),
+                         ClusterState({s: 2 for s in SYSTEMS}),
+                         conservative=True).run(list(jobs))
+        assert cons.backfilled <= easy.backfilled
+        assert cons.num_jobs == easy.num_jobs == 60

@@ -1,0 +1,96 @@
+"""Additional property-based tests for the frame substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Frame, concat
+
+keys = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+                max_size=30)
+
+
+@given(left_keys=keys, right_keys=st.lists(
+    st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4,
+    unique=True,
+))
+@settings(max_examples=50, deadline=None)
+def test_property_inner_join_row_bounds(left_keys, right_keys):
+    """Inner-join output has between 0 and len(left) rows when the right
+    key column is unique."""
+    left = Frame({"k": left_keys,
+                  "x": np.arange(len(left_keys), dtype=np.float64)})
+    right = Frame({"k": right_keys,
+                   "y": np.arange(len(right_keys), dtype=np.float64)})
+    joined = left.join(right, on="k", how="inner")
+    assert 0 <= joined.num_rows <= left.num_rows
+    matched = set(left_keys) & set(right_keys)
+    expected = sum(1 for k in left_keys if k in matched)
+    assert joined.num_rows == expected
+
+
+@given(left_keys=keys)
+@settings(max_examples=50, deadline=None)
+def test_property_left_join_preserves_rows(left_keys):
+    left = Frame({"k": left_keys,
+                  "x": np.arange(len(left_keys), dtype=np.float64)})
+    right = Frame({"k": ["a"], "y": [1.0]})
+    joined = left.join(right, on="k", how="left")
+    assert joined.num_rows == left.num_rows
+
+
+@given(
+    chunks=st.lists(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=10),
+        min_size=1, max_size=5,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_concat_lengths_add(chunks):
+    frames = [Frame({"v": np.array(c, dtype=np.float64)}) for c in chunks]
+    merged = concat(frames)
+    assert merged.num_rows == sum(len(c) for c in chunks)
+    np.testing.assert_array_equal(
+        merged["v"], np.concatenate([np.array(c) for c in chunks])
+    )
+
+
+@given(values=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=25),
+       group_count=st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_property_groupby_sum_preserves_total(values, group_count):
+    groups = [f"g{i % group_count}" for i in range(len(values))]
+    f = Frame({"g": groups, "v": np.array(values, dtype=np.float64)})
+    agg = f.groupby("g", {"v": "sum"})
+    assert float(np.sum(agg["v"])) == pytest.approx(float(np.sum(values)),
+                                                    rel=1e-9, abs=1e-9)
+
+
+@given(values=st.lists(
+    st.tuples(st.sampled_from(["r1", "r2"]), st.sampled_from(["c1", "c2"])),
+    min_size=1, max_size=4, unique=True,
+))
+@settings(max_examples=50, deadline=None)
+def test_property_pivot_preserves_values(values):
+    rows = [r for r, _ in values]
+    cols = [c for _, c in values]
+    vals = np.arange(len(values), dtype=np.float64)
+    f = Frame({"r": rows, "c": cols, "v": vals})
+    wide = f.pivot("r", "c", "v")
+    for (r, c), v in zip(values, vals):
+        i = list(wide["r"]).index(r)
+        assert wide[f"v_{c}"][i] == v
+
+
+@given(n=st.integers(1, 40), seed=st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_property_take_filter_consistency(n, seed):
+    rng = np.random.default_rng(seed)
+    f = Frame({"v": rng.normal(size=n)})
+    mask = f["v"] > 0
+    filtered = f.filter(mask)
+    taken = f.take(np.flatnonzero(mask))
+    assert filtered == taken

@@ -1,0 +1,100 @@
+"""Tests for cross-profile analysis (flat profile, diff, cross-arch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import CORONA, LASSEN, QUARTZ, RUBY
+from repro.hatchet_lite import cross_arch_table, diff_profiles, flat_profile
+from repro.perfsim.config import make_run_config
+from repro.profiler import profile_run
+
+
+def _profile(app_name="AMG", machine=QUARTZ, scale="1node", seed=0):
+    app = APPLICATIONS[app_name]
+    inp = generate_inputs(app, 1, seed=seed)[0]
+    config = make_run_config(app, machine, scale)
+    return profile_run(app, inp, machine, config, seed=seed)
+
+
+class TestFlatProfile:
+    def test_fractions_sum_to_one(self):
+        flat = flat_profile(_profile(), "PAPI_TOT_INS")
+        assert float(np.sum(flat["fraction"])) == pytest.approx(1.0)
+
+    def test_sorted_descending(self):
+        flat = flat_profile(_profile(), "PAPI_TOT_INS")
+        vals = flat["PAPI_TOT_INS"]
+        assert (np.diff(vals) <= 1e-9).all()
+
+    def test_dominant_kernel_first(self):
+        flat = flat_profile(_profile("XSBench"), "PAPI_TOT_INS")
+        assert flat["function"][0] == "xs_lookup"
+
+    def test_missing_metric(self):
+        with pytest.raises(KeyError):
+            flat_profile(_profile(), "nonexistent")
+
+
+class TestDiffProfiles:
+    def test_self_diff_is_identity(self):
+        p = _profile()
+        diff = diff_profiles(p, p, "PAPI_TOT_INS")
+        ratios = diff["ratio"][np.asarray(diff["value_a"]) > 0]
+        np.testing.assert_allclose(ratios.astype(float), 1.0)
+
+    def test_diff_across_scales_detects_change(self):
+        a = _profile(scale="1core")
+        b = _profile(scale="1node")
+        diff = diff_profiles(a, b, "PAPI_TOT_INS")
+        # per-rank counters shrink at scale; ratios below 1
+        finite = np.asarray(
+            [r for r in diff["ratio"] if np.isfinite(r) and r > 0]
+        )
+        assert (finite < 1.0).all()
+
+    def test_sorted_by_abs_difference(self):
+        a = _profile(scale="1core")
+        b = _profile(scale="1node")
+        diff = diff_profiles(a, b, "PAPI_TOT_INS")
+        vals = diff["abs_diff"]
+        assert (np.diff(vals) <= 1e-9).all()
+
+    def test_missing_metric(self):
+        p = _profile()
+        with pytest.raises(KeyError):
+            diff_profiles(p, p, "nope")
+
+
+class TestCrossArchTable:
+    def test_one_row_per_machine(self):
+        profiles = [
+            _profile(machine=m) for m in (QUARTZ, RUBY, LASSEN, CORONA)
+        ]
+        table = cross_arch_table(profiles)
+        assert table.num_rows == 4
+        assert set(table["profiler"]) == {"papi", "cupti", "rocprof"}
+
+    def test_canonical_fields_present(self):
+        table = cross_arch_table([_profile(machine=QUARTZ)])
+        for field in ("total_instructions", "branch", "l2_load_miss",
+                      "mem_stall_cycles", "time_seconds"):
+            assert field in table
+
+    def test_mixed_apps_rejected(self):
+        with pytest.raises(ValueError):
+            cross_arch_table([_profile("AMG"), _profile("CoMD")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cross_arch_table([])
+
+    def test_branch_ratios_comparable_across_archs(self):
+        profiles = [_profile(machine=m) for m in (QUARTZ, RUBY)]
+        table = cross_arch_table(profiles)
+        ratios = np.asarray(table["branch"]) / np.asarray(
+            table["total_instructions"]
+        )
+        assert ratios.max() / ratios.min() < 2.0

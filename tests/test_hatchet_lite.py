@@ -1,0 +1,101 @@
+"""Tests for the Hatchet-substitute profile analysis layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import CORONA, LASSEN, QUARTZ
+from repro.hatchet_lite import GraphFrame, run_record
+from repro.perfsim.config import make_run_config
+from repro.profiler import profile_run
+from repro.profiler.counters import CANONICAL_FIELDS
+
+
+@pytest.fixture(scope="module")
+def quartz_profile():
+    app = APPLICATIONS["XSBench"]
+    inp = generate_inputs(app, 1, seed=0)[0]
+    config = make_run_config(app, QUARTZ, "1node")
+    return profile_run(app, inp, QUARTZ, config, seed=0)
+
+
+class TestGraphFrame:
+    def test_one_row_per_node(self, quartz_profile):
+        gf = GraphFrame(quartz_profile)
+        assert gf.dataframe.num_rows == quartz_profile.root.num_nodes
+
+    def test_counter_columns_present(self, quartz_profile):
+        gf = GraphFrame(quartz_profile)
+        for name in quartz_profile.counter_names:
+            assert name in gf.dataframe
+
+    def test_hot_nodes_sorted(self, quartz_profile):
+        gf = GraphFrame(quartz_profile)
+        hot = gf.hot_nodes("PAPI_TOT_INS", top=3)
+        vals = hot["PAPI_TOT_INS"]
+        assert (np.diff(vals) <= 0).all()
+        # XSBench's dominant kernel is the cross-section lookup.
+        assert "xs_lookup" in hot["path"][0]
+
+    def test_hot_nodes_unknown_metric(self, quartz_profile):
+        with pytest.raises(KeyError):
+            GraphFrame(quartz_profile).hot_nodes("nope")
+
+    def test_filter_prunes_tree_and_frame(self, quartz_profile):
+        gf = GraphFrame(quartz_profile)
+        total = gf.dataframe["PAPI_TOT_INS"].sum()
+        big = gf.filter(
+            lambda n: n.metrics.get("PAPI_TOT_INS", 0) > 0.2 * total
+        )
+        assert big.dataframe.num_rows < gf.dataframe.num_rows
+
+    def test_exclusive_fraction_sums_to_one(self, quartz_profile):
+        gf = GraphFrame(quartz_profile)
+        frac = gf.exclusive_fraction("PAPI_TOT_INS")
+        assert float(np.sum(frac["fraction"])) == pytest.approx(1.0)
+
+
+class TestRunRecord:
+    def test_contains_meta_and_canonical_fields(self, quartz_profile):
+        rec = run_record(quartz_profile)
+        for key in ("app", "input", "machine", "scale", "nodes", "cores",
+                    "uses_gpu", "time_seconds"):
+            assert key in rec
+        for field in CANONICAL_FIELDS:
+            assert field in rec
+
+    def test_gpu_run_decodes_gpu_counters(self):
+        app = APPLICATIONS["CANDLE"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        for machine in (LASSEN, CORONA):
+            config = make_run_config(app, machine, "1node")
+            p = profile_run(app, inp, machine, config, seed=0)
+            rec = run_record(p)
+            assert rec["uses_gpu"] == 1.0
+            # fp32-dominated tensor code
+            assert rec["fp_sp"] > rec["fp_dp"]
+
+    def test_ratio_consistency(self, quartz_profile):
+        rec = run_record(quartz_profile)
+        total = rec["total_instructions"]
+        mix_sum = (rec["branch"] + rec["load"] + rec["store"] +
+                   rec["fp_sp"] + rec["fp_dp"] + rec["int_arith"])
+        assert 0 < mix_sum < 1.4 * total  # ratios sane despite biases
+
+    def test_cross_arch_records_comparable(self):
+        """The same run decoded on different architectures must produce
+        canonical values in the same ballpark (the paper's premise that
+        similarly-named counters are comparable)."""
+        app = APPLICATIONS["CoMD"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        recs = {}
+        for machine in (QUARTZ, LASSEN):
+            config = make_run_config(app, machine, "1node")
+            recs[machine.name] = run_record(
+                profile_run(app, inp, machine, config, seed=0)
+            )
+        r_q = recs["Quartz"]["branch"] / recs["Quartz"]["total_instructions"]
+        r_l = recs["Lassen"]["branch"] / recs["Lassen"]["total_instructions"]
+        assert 0.5 < r_q / r_l < 2.0

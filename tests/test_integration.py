@@ -1,0 +1,149 @@
+"""End-to-end integration tests: the paper's full pipeline at small scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrossArchPredictor,
+    Scheduler,
+    average_bounded_slowdown,
+    build_workload,
+    makespan,
+    strategy_by_name,
+)
+from repro.core.evaluation import (
+    app_holdout_study,
+    feature_importance_study,
+    model_comparison_study,
+    per_architecture_study,
+    scale_holdout_study,
+)
+from repro.sched.machines import ClusterState
+
+
+#: Light tree settings so the studies stay fast in unit tests; the
+#: benchmarks run them at full strength.
+LIGHT = {"n_estimators": 60, "max_depth": 6}
+
+
+class TestEvaluationStudies:
+    """Each study returns the frame backing one paper figure."""
+
+    def test_model_comparison_fig2(self, small_dataset):
+        frame = model_comparison_study(small_dataset, seed=11,
+                                       model_kwargs=LIGHT)
+        assert list(frame["model"]) == ["mean", "linear", "forest", "xgboost"]
+        by_model = dict(zip(frame["model"], frame["mae"]))
+        assert by_model["xgboost"] < by_model["mean"]
+        sos = dict(zip(frame["model"], frame["sos"]))
+        assert sos["xgboost"] > sos["mean"]
+
+    def test_per_architecture_fig3(self, small_dataset):
+        frame = per_architecture_study(small_dataset, seed=11,
+                                       model_kwargs=LIGHT)
+        assert frame.num_rows == 16  # 4 models x 4 archs
+        assert set(frame.unique("source_arch")) == {
+            "Quartz", "Ruby", "Lassen", "Corona"
+        }
+        # Structural checks only at this tiny dataset size; the
+        # directional Fig. 3 assertions live in the benchmark (see
+        # EXPERIMENTS.md for the partial-reproduction discussion).
+        xgb = frame.filter(
+            np.array([m == "xgboost" for m in frame["model"]])
+        )
+        mean_rows = frame.filter(
+            np.array([m == "mean" for m in frame["model"]])
+        )
+        # The learned model beats the mean baseline from every source.
+        for arch, mae in zip(xgb["source_arch"], xgb["mae"]):
+            base = [m for a, m in zip(mean_rows["source_arch"],
+                                      mean_rows["mae"]) if a == arch][0]
+            assert mae < base
+
+    def test_scale_holdout_fig4(self, small_dataset):
+        frame = scale_holdout_study(small_dataset, seed=11,
+                                    model_kwargs=LIGHT)
+        assert set(frame.unique("held_out_scale")) == {
+            "1core", "1node", "2node"
+        }
+        assert (frame.to_matrix(["mae"]) > 0).all()
+
+    def test_app_holdout_fig5(self, small_dataset):
+        frame = app_holdout_study(small_dataset, seed=11,
+                                  apps=["CoMD", "CANDLE"],
+                                  model_kwargs=LIGHT)
+        assert frame.num_rows == 2
+        assert (frame.to_matrix(["mae"]) > 0).all()
+
+    def test_app_holdout_unknown_app(self, small_dataset):
+        with pytest.raises(KeyError):
+            app_holdout_study(small_dataset, apps=["HPL"])
+
+    def test_feature_importance_fig6(self, small_dataset):
+        frame = feature_importance_study(small_dataset, seed=11,
+                                         model_kwargs=LIGHT)
+        assert frame.num_rows == 21
+        imps = frame.to_matrix(["importance"])[:, 0]
+        assert imps.sum() == pytest.approx(1.0)
+        assert (np.diff(imps) <= 1e-12).all()  # sorted descending
+        assert "Branch Intensity" in list(frame["label"])
+
+
+class TestSchedulingPipeline:
+    @pytest.fixture(scope="class")
+    def sched_results(self, small_dataset, trained_xgb):
+        jobs = build_workload(small_dataset, n_jobs=1500, seed=21,
+                              predictor=trained_xgb)
+        results = {}
+        for name in ("round_robin", "random", "user_rr", "model"):
+            cluster = ClusterState({"Quartz": 120, "Ruby": 60,
+                                    "Lassen": 32, "Corona": 12})
+            strategy = strategy_by_name(name, seed=5)
+            results[name] = Scheduler(strategy, cluster).run(list(jobs))
+        return results
+
+    def test_all_strategies_complete_workload(self, sched_results):
+        for result in sched_results.values():
+            assert result.num_jobs == 1500
+
+    def test_model_based_has_best_makespan(self, sched_results):
+        spans = {n: makespan(r) for n, r in sched_results.items()}
+        assert spans["model"] <= min(spans["round_robin"], spans["random"])
+
+    def test_model_based_has_best_slowdown(self, sched_results):
+        slow = {n: average_bounded_slowdown(r)
+                for n, r in sched_results.items()}
+        assert slow["model"] <= min(slow["round_robin"], slow["random"])
+
+    def test_user_rr_beats_blind_strategies_on_slowdown(self, sched_results):
+        slow = {n: average_bounded_slowdown(r)
+                for n, r in sched_results.items()}
+        assert slow["user_rr"] <= max(slow["round_robin"], slow["random"])
+
+
+class TestDeploymentRoundTrip:
+    def test_profile_predict_schedule(self, small_dataset, trained_xgb,
+                                      tmp_path):
+        """The full deployment story: save model, reload, predict, place."""
+        path = tmp_path / "predictor.pkl"
+        trained_xgb.save(path)
+        predictor = CrossArchPredictor.load(path)
+
+        from repro.apps import APPLICATIONS, generate_inputs
+        from repro.arch import RUBY
+        from repro.hatchet_lite import run_record
+        from repro.perfsim.config import make_run_config
+        from repro.profiler import profile_run
+
+        app = APPLICATIONS["XSBench"]
+        inp = generate_inputs(app, 1, seed=404)[0]
+        config = make_run_config(app, RUBY, "1node")
+        profile = profile_run(app, inp, RUBY, config, seed=404)
+        record = run_record(profile)
+
+        order = predictor.rank_systems(record)
+        assert len(order) == 4
+        rpv = predictor.predict_record(record)
+        assert np.argsort(rpv)[0] == list(predictor.systems).index(order[0])

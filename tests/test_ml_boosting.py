@@ -1,0 +1,170 @@
+"""Tests for the gradient-boosted-trees regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import GradientBoostedTrees, mean_absolute_error
+
+
+def _regression_data(n=600, k=2, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    Y = np.column_stack(
+        [np.sin(X[:, 0]) + 0.5 * X[:, 1] for _ in range(k)]
+    ) + 0.05 * rng.normal(size=(n, k))
+    return X, Y
+
+
+class TestFitPredict:
+    def test_fits_nonlinear_signal(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=80, max_depth=4,
+                                 random_state=0).fit(X, Y)
+        assert mean_absolute_error(Y, m.predict(X)) < 0.1
+
+    def test_single_output_input_keeps_2d_prediction(self):
+        X, Y = _regression_data(k=1)
+        m = GradientBoostedTrees(n_estimators=10).fit(X, Y[:, 0])
+        assert m.predict(X).shape == (len(X), 1)
+
+    def test_improves_over_base_score(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=30, max_depth=3,
+                                 random_state=0).fit(X, Y)
+        base_mae = np.abs(Y - Y.mean(axis=0)).mean()
+        assert mean_absolute_error(Y, m.predict(X)) < 0.5 * base_mae
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, Y = _regression_data()
+        p1 = GradientBoostedTrees(n_estimators=20, subsample=0.7,
+                                  random_state=9).fit(X, Y).predict(X)
+        p2 = GradientBoostedTrees(n_estimators=20, subsample=0.7,
+                                  random_state=9).fit(X, Y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_multi_output_tree_strategy(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(
+            n_estimators=40, multi_strategy="multi_output_tree",
+            random_state=0,
+        ).fit(X, Y)
+        assert m.n_trees_ == 40  # one tree per round, not per output
+        assert mean_absolute_error(Y, m.predict(X)) < 0.15
+
+    def test_per_output_strategy_tree_count(self):
+        X, Y = _regression_data(k=3)
+        m = GradientBoostedTrees(n_estimators=10).fit(X, Y)
+        assert m.n_trees_ == 30
+
+    def test_pseudo_huber_objective(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=60, objective="pseudo_huber",
+                                 random_state=0).fit(X, Y)
+        assert mean_absolute_error(Y, m.predict(X)) < 0.15
+
+    def test_pseudo_huber_resists_outliers(self):
+        X, Y = _regression_data(k=1)
+        Yc = Y.copy()
+        Yc[:10] += 100.0  # corrupt a few targets
+        sq = GradientBoostedTrees(n_estimators=60, random_state=0,
+                                  objective="squared").fit(X, Yc)
+        hu = GradientBoostedTrees(n_estimators=60, random_state=0,
+                                  objective="pseudo_huber").fit(X, Yc)
+        clean = slice(10, None)
+        err_sq = mean_absolute_error(Y[clean], sq.predict(X)[clean])
+        err_hu = mean_absolute_error(Y[clean], hu.predict(X)[clean])
+        assert err_hu < err_sq
+
+    def test_early_stopping_truncates(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=300, max_depth=3,
+                                 random_state=0)
+        m.fit(X[:400], Y[:400], eval_set=(X[400:], Y[400:]),
+              early_stopping_rounds=5)
+        assert len(m.trees_) < 300
+
+    def test_subsample_colsample(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=40, subsample=0.5,
+                                 colsample_bytree=0.5,
+                                 random_state=0).fit(X, Y)
+        assert mean_absolute_error(Y, m.predict(X)) < 0.25
+
+
+class TestValidation:
+    def test_bad_objective(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(objective="mae")
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(multi_strategy="bogus")
+
+    def test_bad_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0)
+
+    def test_bad_n_estimators(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestImportances:
+    def test_importances_sum_to_one(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=20, random_state=0).fit(X, Y)
+        imp = m.feature_importances()
+        assert imp.shape == (5,)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_signal_feature_dominates(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 4))
+        y = 3.0 * X[:, 2] + 0.01 * rng.normal(size=500)
+        m = GradientBoostedTrees(n_estimators=30, max_depth=3,
+                                 random_state=0).fit(X, y)
+        imp = m.feature_importances()
+        assert imp.argmax() == 2
+        assert imp[2] > 0.8
+
+    def test_weight_importance_kind(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=15, random_state=0).fit(X, Y)
+        w = m.feature_importances(kind="weight")
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_bad_kind(self):
+        X, Y = _regression_data()
+        m = GradientBoostedTrees(n_estimators=5, random_state=0).fit(X, Y)
+        with pytest.raises(ValueError):
+            m.feature_importances(kind="cover")
+
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().feature_importances()
+
+
+@given(lr=st.floats(0.05, 0.5), seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_property_train_error_decreases_with_rounds(lr, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(200, 3))
+    y = X[:, 0] ** 2 + rng.normal(0, 0.1, 200)
+    errs = []
+    for ne in (1, 10, 50):
+        m = GradientBoostedTrees(n_estimators=ne, max_depth=3,
+                                 learning_rate=lr, random_state=0).fit(X, y)
+        errs.append(mean_absolute_error(y, m.predict(X)))
+    assert errs[2] <= errs[1] <= errs[0] + 1e-9

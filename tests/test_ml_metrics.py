@@ -1,0 +1,128 @@
+"""Tests for evaluation metrics (MAE, MSE, R2, SOS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    same_order_score,
+)
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_zero_for_exact(self):
+        y = np.random.default_rng(0).normal(size=(10, 3))
+        assert mean_absolute_error(y, y) == 0.0
+
+    def test_multi_output_averages_components(self):
+        y = np.zeros((2, 2))
+        p = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert mean_absolute_error(y, p) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros((0, 2)), np.zeros((0, 2)))
+
+
+class TestMSEAndR2:
+    def test_mse_known(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_r2_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_prediction_is_zero(self):
+        y = np.arange(10.0)
+        p = np.full(10, y.mean())
+        assert r2_score(y, p) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        y = np.full(5, 2.0)
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, y + 1.0) == pytest.approx(0.0)
+
+
+class TestSOS:
+    def test_identical_orders(self):
+        y = np.array([[1.0, 0.5, 2.0]])
+        p = np.array([[0.9, 0.1, 5.0]])  # same ranking
+        assert same_order_score(y, p) == 1.0
+
+    def test_swapped_order(self):
+        y = np.array([[1.0, 2.0]])
+        p = np.array([[2.0, 1.0]])
+        assert same_order_score(y, p) == 0.0
+
+    def test_fractional(self):
+        y = np.array([[1.0, 2.0], [1.0, 2.0]])
+        p = np.array([[1.5, 2.5], [3.0, 2.0]])
+        assert same_order_score(y, p) == pytest.approx(0.5)
+
+    def test_paper_example_vector(self):
+        # RPV [1.0, 0.8, 2.1] (times 10/8/21 rel. X): any prediction
+        # preserving Y < X < Z counts as same order.
+        y = np.array([[1.0, 0.8, 2.1]])
+        p = np.array([[0.95, 0.7, 3.0]])
+        assert same_order_score(y, p) == 1.0
+
+    def test_requires_vector_targets(self):
+        with pytest.raises(ValueError):
+            same_order_score(np.zeros(5), np.zeros(5))
+
+    def test_ties_resolve_consistently(self):
+        y = np.array([[1.0, 1.0, 2.0]])
+        assert same_order_score(y, y) == 1.0
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=3),
+        min_size=1, max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_mae_symmetry_and_nonnegativity(rows):
+    a = np.array(rows)
+    b = np.zeros_like(a)
+    assert mean_absolute_error(a, b) == mean_absolute_error(b, a) >= 0
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_property_sos_reflexive(seed):
+    y = np.random.default_rng(seed).normal(size=(10, 4))
+    assert same_order_score(y, y) == 1.0
+
+
+@given(st.integers(0, 5000), st.floats(0.1, 10.0))
+@settings(max_examples=30, deadline=None)
+def test_property_sos_invariant_to_positive_scaling(seed, scale):
+    """Rank order is unchanged by positive scaling of predictions."""
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=(10, 4))
+    p = rng.normal(size=(10, 4))
+    assert same_order_score(y, p) == same_order_score(y, p * scale)
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_property_mae_le_sqrt_mse(seed):
+    """Jensen: MAE <= sqrt(MSE)."""
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=(20, 3))
+    p = rng.normal(size=(20, 3))
+    assert mean_absolute_error(y, p) <= np.sqrt(mean_squared_error(y, p)) + 1e-12

@@ -1,0 +1,136 @@
+"""Tests for the split / cross-validation protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import KFold, cross_validate, train_test_split
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import GroupShuffleSplit
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        tr, te = train_test_split(100, 0.1, random_state=0)
+        assert len(tr) == 90 and len(te) == 10
+        assert set(tr) | set(te) == set(range(100))
+        assert not set(tr) & set(te)
+
+    def test_deterministic(self):
+        a = train_test_split(50, 0.2, random_state=5)
+        b = train_test_split(50, 0.2, random_state=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_different_seeds_differ(self):
+        a = train_test_split(100, 0.2, random_state=1)
+        b = train_test_split(100, 0.2, random_state=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5)
+
+    def test_group_split_keeps_groups_together(self):
+        groups = np.repeat(np.arange(10), 4)
+        tr, te = train_test_split(40, 0.3, random_state=0, groups=groups)
+        tr_groups = set(groups[tr])
+        te_groups = set(groups[te])
+        assert not tr_groups & te_groups
+
+    def test_group_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.2, groups=np.arange(5))
+
+
+class TestKFold:
+    def test_every_sample_validated_once(self):
+        folds = list(KFold(5, random_state=0).split(23))
+        seen = np.concatenate([val for _, val in folds])
+        assert sorted(seen) == list(range(23))
+
+    def test_train_val_disjoint(self):
+        for tr, val in KFold(4, random_state=1).split(20):
+            assert not set(tr) & set(val)
+            assert len(tr) + len(val) == 20
+
+    def test_unshuffled_contiguous(self):
+        folds = list(KFold(2, shuffle=False).split(10))
+        np.testing.assert_array_equal(folds[0][1], np.arange(5))
+
+    def test_too_many_splits(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossValidate:
+    def test_returns_mean_of_folds(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        Y = X @ rng.normal(size=(3, 2))
+        out = cross_validate(LinearRegression, X, Y, n_splits=5,
+                             random_state=0)
+        assert out["mae"] == pytest.approx(np.mean(out["mae_per_fold"]))
+        assert len(out["mae_per_fold"]) == 5
+        assert out["mae"] < 1e-8  # linear data, exact fit
+
+    def test_sos_included_for_vector_targets(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        Y = np.column_stack([X[:, 0], X[:, 0] + 1])
+        out = cross_validate(LinearRegression, X, Y, n_splits=3)
+        assert "sos" in out
+
+    def test_sos_absent_for_scalar_targets(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        out = cross_validate(LinearRegression, X, X[:, 0], n_splits=3)
+        assert "sos" not in out
+
+
+class TestGroupShuffleSplit:
+    def test_repeats_and_group_integrity(self):
+        groups = np.repeat(np.arange(8), 3)
+        splitter = GroupShuffleSplit(0.25, n_repeats=4, random_state=0)
+        splits = list(splitter.split(groups))
+        assert len(splits) == 4
+        for tr, te in splits:
+            assert not set(groups[tr]) & set(groups[te])
+
+    def test_deterministic(self):
+        groups = np.repeat(np.arange(5), 2)
+        a = list(GroupShuffleSplit(0.2, 2, random_state=3).split(groups))
+        b = list(GroupShuffleSplit(0.2, 2, random_state=3).split(groups))
+        for (t1, v1), (t2, v2) in zip(a, b):
+            np.testing.assert_array_equal(t1, t2)
+
+
+@given(n=st.integers(10, 200), frac=st.floats(0.05, 0.5),
+       seed=st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_split_sizes(n, frac, seed):
+    tr, te = train_test_split(n, frac, random_state=seed)
+    assert len(te) == max(1, int(round(frac * n)))
+    assert len(tr) + len(te) == n
+
+
+@given(n=st.integers(6, 100), k=st.integers(2, 6), seed=st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_kfold_balanced(n, k, seed):
+    if n < k:
+        return
+    sizes = [len(val) for _, val in KFold(k, random_state=seed).split(n)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == n

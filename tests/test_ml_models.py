@@ -1,0 +1,181 @@
+"""Tests for forest, linear, and baseline regressors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    LinearRegression,
+    MeanPredictor,
+    RandomForestRegressor,
+    RidgeRegression,
+    mean_absolute_error,
+)
+
+
+def _data(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    Y = np.column_stack([2 * X[:, 0] - X[:, 1], np.abs(X[:, 2])])
+    return X, Y + 0.05 * rng.normal(size=Y.shape)
+
+
+class TestDecisionTree:
+    def test_fit_predict(self):
+        X, Y = _data()
+        m = DecisionTreeRegressor(max_depth=8).fit(X, Y)
+        assert mean_absolute_error(Y, m.predict(X)) < 0.25
+
+    def test_importances_normalized(self):
+        X, Y = _data()
+        m = DecisionTreeRegressor(max_depth=6).fit(X, Y)
+        assert m.feature_importances().sum() == pytest.approx(1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 4)))
+
+    def test_single_output(self):
+        X, Y = _data()
+        m = DecisionTreeRegressor().fit(X, Y[:, 0])
+        assert m.predict(X).shape == (len(X), 1)
+
+
+class TestRandomForest:
+    def test_beats_single_tree_out_of_sample(self):
+        X, Y = _data(n=800)
+        Xtr, Ytr, Xte, Yte = X[:600], Y[:600], X[600:], Y[600:]
+        tree = DecisionTreeRegressor(max_depth=12).fit(Xtr, Ytr)
+        forest = RandomForestRegressor(
+            n_estimators=30, max_depth=12, random_state=0
+        ).fit(Xtr, Ytr)
+        assert mean_absolute_error(Yte, forest.predict(Xte)) <= \
+            mean_absolute_error(Yte, tree.predict(Xte)) + 0.01
+
+    def test_deterministic(self):
+        X, Y = _data()
+        p1 = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, Y).predict(X)
+        p2 = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, Y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_no_bootstrap_trees_identical(self):
+        X, Y = _data()
+        m = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=1.0, random_state=0
+        ).fit(X, Y)
+        p0 = m.trees_[0].predict_binned(m.binner_.transform(X))
+        p1 = m.trees_[1].predict_binned(m.binner_.transform(X))
+        np.testing.assert_array_equal(p0, p1)
+
+    def test_max_features(self):
+        X, Y = _data()
+        m = RandomForestRegressor(
+            n_estimators=10, max_features=0.5, random_state=0
+        ).fit(X, Y)
+        assert mean_absolute_error(Y, m.predict(X)) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features=0.0)
+
+    def test_importances(self):
+        X, Y = _data()
+        m = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, Y)
+        imp = m.feature_importances()
+        assert imp.shape == (4,)
+        assert imp.sum() == pytest.approx(1.0)
+
+
+class TestLinear:
+    def test_exact_on_linear_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        W = np.array([[1.0, -2.0], [0.5, 0.0], [0.0, 3.0]])
+        Y = X @ W + np.array([5.0, -1.0])
+        m = LinearRegression().fit(X, Y)
+        np.testing.assert_allclose(m.predict(X), Y, atol=1e-8)
+        np.testing.assert_allclose(m.coef_, W, atol=1e-8)
+
+    def test_1d_target(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        m = LinearRegression().fit(X, np.array([1.0, 3.0, 5.0]))
+        assert m.predict(np.array([[3.0]]))[0, 0] == pytest.approx(7.0)
+
+    def test_rank_deficient_does_not_crash(self):
+        X = np.ones((10, 3))  # constant features
+        y = np.arange(10.0)
+        m = LinearRegression().fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_feature_count_mismatch_raises(self):
+        m = LinearRegression().fit(np.zeros((5, 2)), np.zeros(5))
+        with pytest.raises(ValueError):
+            m.predict(np.zeros((5, 3)))
+
+    def test_ridge_shrinks_towards_zero(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 5))
+        y = X[:, 0] * 10
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=1000.0).fit(X, y)
+        assert np.abs(ridge.coef_).sum() < np.abs(ols.coef_).sum()
+
+    def test_ridge_alpha_zero_matches_ols(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(60, 3))
+        Y = rng.normal(size=(60, 2))
+        np.testing.assert_allclose(
+            RidgeRegression(alpha=0.0).fit(X, Y).predict(X),
+            LinearRegression().fit(X, Y).predict(X),
+            atol=1e-8,
+        )
+
+    def test_ridge_negative_alpha(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestMeanPredictor:
+    def test_predicts_training_mean(self):
+        X, Y = _data()
+        m = MeanPredictor().fit(X, Y)
+        pred = m.predict(X[:7])
+        np.testing.assert_allclose(pred, np.tile(Y.mean(axis=0), (7, 1)))
+
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MeanPredictor().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanPredictor().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+@given(seed=st.integers(0, 5000), alpha=st.floats(0.01, 100))
+@settings(max_examples=25, deadline=None)
+def test_property_ridge_prediction_finite(seed, alpha):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(30, 4))
+    Y = rng.normal(size=(30, 2))
+    m = RidgeRegression(alpha=alpha).fit(X, Y)
+    assert np.isfinite(m.predict(X)).all()
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=25, deadline=None)
+def test_property_forest_prediction_within_target_range(seed):
+    """Bagged means of means can never exceed the target envelope."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(80, 3))
+    y = rng.normal(size=80)
+    m = RandomForestRegressor(n_estimators=5, max_depth=4,
+                              random_state=seed).fit(X, y)
+    pred = m.predict(X)[:, 0]
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9

@@ -1,0 +1,229 @@
+"""Unit and property tests for the histogram tree engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import Binner, TreeParams, grow_tree
+
+
+class TestBinner:
+    def test_bins_in_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        b = Binner(n_bins=16)
+        codes = b.fit_transform(X)
+        assert codes.dtype == np.uint8
+        assert codes.max() < 16
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Binner().transform(np.zeros((2, 2)))
+
+    def test_out_of_range_values_clamp(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        b = Binner(n_bins=8).fit(X)
+        lo = b.transform(np.array([[-100.0]]))
+        hi = b.transform(np.array([[100.0]]))
+        assert lo[0, 0] == 0
+        assert hi[0, 0] == b.transform(np.array([[1.0]]))[0, 0]
+
+    def test_constant_feature(self):
+        X = np.ones((50, 1))
+        codes = Binner(n_bins=8).fit_transform(X)
+        assert (codes == codes[0, 0]).all()
+
+    def test_bad_n_bins(self):
+        with pytest.raises(ValueError):
+            Binner(n_bins=1)
+        with pytest.raises(ValueError):
+            Binner(n_bins=1000)
+
+    def test_shape_mismatch_raises(self):
+        b = Binner().fit(np.zeros((10, 3)))
+        with pytest.raises(ValueError):
+            b.transform(np.zeros((5, 2)))
+
+    def test_binning_preserves_order(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=200)
+        b = Binner(n_bins=32).fit(x[:, None])
+        codes = b.transform(np.sort(x)[:, None])[:, 0]
+        assert (np.diff(codes.astype(int)) >= 0).all()
+
+
+class TestGrowTree:
+    def _simple_data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, size=(n, 2))
+        y = np.where(X[:, 0] > 0.5, 2.0, -1.0)
+        return X, y
+
+    def test_learns_step_function(self):
+        X, y = self._simple_data()
+        b = Binner(32)
+        Xb = b.fit_transform(X)
+        tree = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=2),
+                         n_bins=32)
+        pred = tree.predict_binned(Xb)[:, 0]
+        assert np.abs(pred - y).mean() < 0.05
+
+    def test_max_depth_zero_gives_mean_leaf(self):
+        X, y = self._simple_data()
+        Xb = Binner(16).fit_transform(X)
+        tree = grow_tree(Xb, -y, np.ones_like(y),
+                         TreeParams(max_depth=0, reg_lambda=0.0), n_bins=16)
+        assert tree.n_nodes == 1
+        assert tree.predict_binned(Xb)[0, 0] == pytest.approx(y.mean())
+
+    def test_depth_bound_respected(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(500, 4))
+        y = rng.normal(size=500)
+        Xb = Binner(16).fit_transform(X)
+        tree = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=3),
+                         n_bins=16)
+        assert tree.max_depth_reached <= 3
+
+    def test_min_samples_leaf(self):
+        X, y = self._simple_data(n=100)
+        Xb = Binner(16).fit_transform(X)
+        tree = grow_tree(Xb, -y, np.ones_like(y),
+                         TreeParams(max_depth=10, min_samples_leaf=30),
+                         n_bins=16)
+        for node in tree._nodes:
+            if node.feature < 0:
+                assert node.n_samples >= 30 or node.n_samples == 0
+
+    def test_multi_output_leaves(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(size=(300, 3))
+        Y = np.column_stack([X[:, 0] > 0.5, X[:, 0] <= 0.5]).astype(float)
+        Xb = Binner(16).fit_transform(X)
+        tree = grow_tree(Xb, -Y, np.ones_like(Y), TreeParams(max_depth=2),
+                         n_bins=16)
+        pred = tree.predict_binned(Xb)
+        assert pred.shape == (300, 2)
+        assert np.abs(pred - Y).mean() < 0.1
+
+    def test_pure_target_makes_no_split(self):
+        X = np.random.default_rng(0).uniform(size=(100, 2))
+        y = np.full(100, 3.0)
+        Xb = Binner(16).fit_transform(X)
+        tree = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=5),
+                         n_bins=16)
+        assert tree.n_nodes == 1
+
+    def test_gamma_blocks_weak_splits(self):
+        X, y = self._simple_data()
+        Xb = Binner(16).fit_transform(X)
+        strong = grow_tree(Xb, -y, np.ones_like(y),
+                           TreeParams(max_depth=3, gamma=0.0), n_bins=16)
+        blocked = grow_tree(Xb, -y, np.ones_like(y),
+                            TreeParams(max_depth=3, gamma=1e12), n_bins=16)
+        assert strong.n_nodes > 1
+        assert blocked.n_nodes == 1
+
+    def test_feature_subset_restricts_splits(self):
+        X, y = self._simple_data()
+        Xb = Binner(16).fit_transform(X)
+        # Feature 0 carries the signal; restrict to feature 1 only.
+        tree = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=3),
+                         n_bins=16, feature_subset=np.array([1]))
+        gains = tree.feature_gains()
+        assert gains[0] == 0.0
+
+    def test_row_subset(self):
+        X, y = self._simple_data()
+        Xb = Binner(16).fit_transform(X)
+        rows = np.arange(50)
+        tree = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=2),
+                         n_bins=16, rows=rows)
+        assert tree._nodes[0].n_samples == 50
+
+    def test_leaf_scale(self):
+        X, y = self._simple_data()
+        Xb = Binner(16).fit_transform(X)
+        full = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=2),
+                         n_bins=16, leaf_scale=1.0)
+        half = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=2),
+                         n_bins=16, leaf_scale=0.5)
+        np.testing.assert_allclose(
+            half.predict_binned(Xb), 0.5 * full.predict_binned(Xb)
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            grow_tree(np.zeros((10, 2), dtype=np.uint8), np.zeros(5),
+                      np.ones(5), TreeParams(), n_bins=8)
+
+    def test_gain_counts_match_split_counts(self):
+        X, y = self._simple_data()
+        Xb = Binner(16).fit_transform(X)
+        tree = grow_tree(Xb, -y, np.ones_like(y), TreeParams(max_depth=4),
+                         n_bins=16)
+        n_splits = sum(1 for n in tree._nodes if n.feature >= 0)
+        assert tree.feature_split_counts().sum() == n_splits
+        assert tree.n_leaves == tree.n_nodes - n_splits
+
+
+class TestTreeParamsValidation:
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            TreeParams(max_depth=-1)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValueError):
+            TreeParams(reg_lambda=-0.1)
+
+
+@given(
+    n=st.integers(20, 200),
+    seed=st.integers(0, 10_000),
+    depth=st.integers(0, 6),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_prediction_bounded_by_target_range(n, seed, depth):
+    """A variance-reduction tree's leaf means stay within [min(y), max(y)]."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = rng.normal(size=n)
+    Xb = Binner(16).fit_transform(X)
+    tree = grow_tree(Xb, -y, np.ones_like(y),
+                     TreeParams(max_depth=depth, reg_lambda=0.0), n_bins=16)
+    pred = tree.predict_binned(Xb)[:, 0]
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+@given(n=st.integers(10, 100), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_root_value_is_shrunk_mean(n, seed):
+    """With lambda=0 the root leaf equals the target mean."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = rng.normal(size=n)
+    Xb = Binner(8).fit_transform(X)
+    tree = grow_tree(Xb, -y, np.ones_like(y),
+                     TreeParams(max_depth=0, reg_lambda=0.0), n_bins=8)
+    assert tree._nodes[0].value[0] == pytest.approx(y.mean())
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_property_deeper_trees_fit_no_worse_on_train(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(150, 3))
+    y = np.sin(X[:, 0]) + rng.normal(0, 0.1, 150)
+    Xb = Binner(16).fit_transform(X)
+    errs = []
+    for depth in (0, 2, 4):
+        tree = grow_tree(Xb, -y, np.ones_like(y),
+                         TreeParams(max_depth=depth, reg_lambda=0.0),
+                         n_bins=16)
+        errs.append(((tree.predict_binned(Xb)[:, 0] - y) ** 2).mean())
+    assert errs[0] >= errs[1] - 1e-9
+    assert errs[1] >= errs[2] - 1e-9

@@ -1,0 +1,100 @@
+"""Tests for grid search and the frame pivot helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.ml import RidgeRegression
+from repro.ml.tuning import GridSearchCV
+
+
+def _linear_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = X @ np.array([1.0, -2.0, 0.5]) + 0.01 * rng.normal(size=n)
+    return X, y
+
+
+class TestGridSearchCV:
+    def test_finds_low_regularization_for_clean_linear_data(self):
+        X, y = _linear_data()
+        gs = GridSearchCV(
+            RidgeRegression, {"alpha": [1000.0, 0.01]}, n_splits=3,
+            random_state=0,
+        ).fit(X, y)
+        assert gs.best_params_ == {"alpha": 0.01}
+        assert gs.best_score_ < 0.05
+
+    def test_results_cover_grid(self):
+        X, y = _linear_data()
+        gs = GridSearchCV(
+            RidgeRegression, {"alpha": [0.1, 1.0, 10.0]}, n_splits=3
+        ).fit(X, y)
+        assert len(gs.results_) == 3
+        assert {r["params"]["alpha"] for r in gs.results_} == {0.1, 1.0, 10.0}
+
+    def test_best_estimator_refit_on_all_data(self):
+        X, y = _linear_data()
+        gs = GridSearchCV(RidgeRegression, {"alpha": [0.01]},
+                          n_splits=3).fit(X, y)
+        pred = gs.predict(X)
+        assert np.abs(pred[:, 0] - y).mean() < 0.05
+
+    def test_deterministic(self):
+        X, y = _linear_data()
+        a = GridSearchCV(RidgeRegression, {"alpha": [0.1, 1.0]},
+                         random_state=1).fit(X, y)
+        b = GridSearchCV(RidgeRegression, {"alpha": [0.1, 1.0]},
+                         random_state=1).fit(X, y)
+        assert a.best_params_ == b.best_params_
+        assert a.best_score_ == b.best_score_
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSearchCV(RidgeRegression, {})
+        with pytest.raises(ValueError):
+            GridSearchCV(RidgeRegression, {"alpha": []})
+
+    def test_predict_before_fit(self):
+        gs = GridSearchCV(RidgeRegression, {"alpha": [1.0]})
+        with pytest.raises(RuntimeError):
+            gs.predict(np.zeros((1, 3)))
+
+
+class TestFramePivot:
+    def _long(self):
+        return Frame(
+            {
+                "model": ["xgb", "xgb", "lin", "lin"],
+                "arch": ["Quartz", "Ruby", "Quartz", "Ruby"],
+                "mae": [0.1, 0.2, 0.3, 0.4],
+            }
+        )
+
+    def test_wide_shape(self):
+        wide = self._long().pivot("model", "arch", "mae")
+        assert wide.num_rows == 2
+        assert wide.columns == ["model", "mae_Quartz", "mae_Ruby"]
+
+    def test_values_placed_correctly(self):
+        wide = self._long().pivot("model", "arch", "mae")
+        row = {m: i for i, m in enumerate(wide["model"])}
+        assert wide["mae_Ruby"][row["xgb"]] == pytest.approx(0.2)
+        assert wide["mae_Quartz"][row["lin"]] == pytest.approx(0.3)
+
+    def test_missing_combination_is_nan(self):
+        f = Frame({"a": ["x", "y"], "b": ["p", "q"], "v": [1.0, 2.0]})
+        wide = f.pivot("a", "b", "v")
+        assert np.isnan(wide["v_q"][0])
+
+    def test_duplicate_combination_rejected(self):
+        f = Frame({"a": ["x", "x"], "b": ["p", "p"], "v": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            f.pivot("a", "b", "v")
+
+    def test_object_values_rejected(self):
+        f = Frame({"a": ["x"], "b": ["p"], "v": ["hello"]})
+        with pytest.raises(TypeError):
+            f.pivot("a", "b", "v")

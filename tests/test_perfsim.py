@@ -1,0 +1,312 @@
+"""Tests for the analytical performance simulator.
+
+These assert *directional physics* — the cross-architecture structure
+the ML model is supposed to learn — rather than absolute times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import CORONA, LASSEN, MACHINES, QUARTZ, RUBY
+from repro.perfsim import (
+    NoiseModel,
+    RunConfig,
+    SCALES,
+    hierarchy_miss_ratios,
+    miss_ratio,
+    run_configs_for,
+    simulate_run,
+)
+from repro.perfsim.config import make_run_config
+from repro.perfsim.cpu import simulate_cpu
+from repro.perfsim.gpu import simulate_gpu
+
+
+def _input(app_name: str, seed: int = 0):
+    app = APPLICATIONS[app_name]
+    return app, generate_inputs(app, 1, seed=seed)[0]
+
+
+def _time(app, inp, machine, scale, trial=0, stack_effects=True):
+    config = make_run_config(app, machine, scale)
+    return simulate_run(app, inp, machine, config, seed=0, trial=trial,
+                        stack_effects=stack_effects).time_seconds
+
+
+class TestCacheModel:
+    def test_fits_in_cache_small_miss(self):
+        assert miss_ratio(16 * 1024, 32 * 1024) < 0.05
+
+    def test_monotone_in_working_set(self):
+        cache = 1 << 20
+        ratios = [miss_ratio(ws, cache) for ws in (1e5, 1e6, 1e7, 1e9)]
+        assert ratios == sorted(ratios)
+
+    def test_monotone_in_cache_size(self):
+        ws = 1e9
+        ratios = [miss_ratio(ws, c) for c in (1e5, 1e7, 1e9, 1e10)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_irregularity_increases_misses(self):
+        assert miss_ratio(1e9, 1e6, 3.0) > miss_ratio(1e9, 1e6, 0.5)
+
+    def test_bounded(self):
+        assert 0.002 <= miss_ratio(1e12, 1e3, 5.0) <= 0.98
+
+    def test_hierarchy_monotone(self):
+        g1, g2, g3 = hierarchy_miss_ratios(1e8, 1e9, 32e3, 1e6, 4e7)
+        assert g1 >= g2 >= g3 > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            miss_ratio(0, 100)
+        with pytest.raises(ValueError):
+            miss_ratio(100, 100, irregularity=0)
+
+
+class TestRunConfig:
+    def test_three_scales(self):
+        app = APPLICATIONS["AMG"]
+        configs = run_configs_for(app, QUARTZ)
+        assert [c.scale for c in configs] == list(SCALES)
+
+    def test_one_core_config(self):
+        app = APPLICATIONS["AMG"]  # GPU app
+        c = make_run_config(app, LASSEN, "1core")
+        assert c.cores == 1 and c.ranks == 1 and c.gpus == 1
+        assert c.uses_gpu
+
+    def test_one_node_gpu_ranks_match_gpus(self):
+        app = APPLICATIONS["AMG"]
+        c = make_run_config(app, CORONA, "1node")
+        assert c.gpus == 8 and c.ranks == 8
+        assert c.cores == 48
+
+    def test_cpu_app_on_gpu_machine_is_cpu_run(self):
+        app = APPLICATIONS["CoMD"]  # CPU-only
+        c = make_run_config(app, LASSEN, "1node")
+        assert not c.uses_gpu and c.gpus == 0
+        assert c.ranks == 44
+
+    def test_two_node_doubles(self):
+        app = APPLICATIONS["CoMD"]
+        c1 = make_run_config(app, RUBY, "1node")
+        c2 = make_run_config(app, RUBY, "2node")
+        assert c2.cores == 2 * c1.cores and c2.nodes == 2
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            make_run_config(APPLICATIONS["CoMD"], RUBY, "4node")
+
+    def test_runconfig_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(scale="1core", nodes=0, cores=1, ranks=1, gpus=0,
+                      uses_gpu=False)
+        with pytest.raises(ValueError):
+            RunConfig(scale="1core", nodes=1, cores=1, ranks=1, gpus=0,
+                      uses_gpu=True)
+
+
+class TestNoise:
+    def test_runtime_factor_deterministic(self):
+        a = NoiseModel("x", "y", seed=1).runtime_factor(0.1)
+        b = NoiseModel("x", "y", seed=1).runtime_factor(0.1)
+        assert a == b
+
+    def test_zero_sigma_is_unity(self):
+        assert NoiseModel("x", seed=0).runtime_factor(0.0) == 1.0
+
+    def test_counter_bias_is_machine_specific(self):
+        n = NoiseModel("r", seed=0)
+        a = n.counter_factor("PAPI_BR_INS", "Quartz", 0.0)
+        b = NoiseModel("r", seed=0).counter_factor("PAPI_BR_INS", "Ruby", 0.0)
+        assert a != b
+        assert 0.8 < a < 1.2
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel("x", seed=0).runtime_factor(-0.1)
+
+
+class TestExecutionPhysics:
+    def test_deterministic(self):
+        app, inp = _input("AMG")
+        assert _time(app, inp, QUARTZ, "1node") == _time(app, inp, QUARTZ, "1node")
+
+    def test_trials_differ(self):
+        app, inp = _input("AMG")
+        assert _time(app, inp, QUARTZ, "1node", trial=0) != \
+            _time(app, inp, QUARTZ, "1node", trial=1)
+
+    def test_one_node_faster_than_one_core(self):
+        for name in ("AMG", "CoMD", "Nekbone", "CANDLE"):
+            app, inp = _input(name)
+            assert _time(app, inp, QUARTZ, "1node") < \
+                _time(app, inp, QUARTZ, "1core")
+
+    def test_gpu_app_much_faster_on_gpu_machine_at_one_core(self):
+        # 1 core + 1 V100 vs 1 Broadwell core: order-of-magnitude gap.
+        app, inp = _input("CANDLE")
+        assert _time(app, inp, QUARTZ, "1core") > \
+            5 * _time(app, inp, LASSEN, "1core")
+
+    def test_branchy_app_benefits_less_from_gpu(self):
+        """GPU speedup of branchy XSBench < GPU speedup of dense CANDLE.
+
+        Evaluated on the pure hardware model (stack_effects=False): the
+        per-(app, machine) software-stack factor is an orthogonal effect
+        that can mask single-pair physics comparisons.
+        """
+        xs_app, xs_inp = _input("XSBench")
+        ca_app, ca_inp = _input("CANDLE")
+        xs_speedup = _time(xs_app, xs_inp, QUARTZ, "1node", stack_effects=False) / \
+            _time(xs_app, xs_inp, LASSEN, "1node", stack_effects=False)
+        ca_speedup = _time(ca_app, ca_inp, QUARTZ, "1node", stack_effects=False) / \
+            _time(ca_app, ca_inp, LASSEN, "1node", stack_effects=False)
+        assert ca_speedup > xs_speedup
+
+    def test_gpu_run_collects_gpu_counters(self):
+        app, inp = _input("AMG")
+        config = make_run_config(app, LASSEN, "1node")
+        res = simulate_run(app, inp, LASSEN, config, seed=0)
+        assert res.counts.from_gpu
+
+    def test_cpu_only_app_collects_cpu_counters_everywhere(self):
+        app, inp = _input("CoMD")
+        for machine in MACHINES.values():
+            config = make_run_config(app, machine, "1node")
+            res = simulate_run(app, inp, machine, config, seed=0)
+            assert not res.counts.from_gpu
+
+    def test_counts_reflect_mix(self):
+        app, inp = _input("SW4lite")
+        config = make_run_config(app, QUARTZ, "1core")
+        res = simulate_run(app, inp, QUARTZ, config, seed=0)
+        c = res.counts
+        assert c.branch / c.total_instructions == pytest.approx(
+            inp.mix.branch
+        )
+        assert c.fp_dp > c.fp_sp  # fp64 stencil code
+
+    def test_counts_scale_with_ranks(self):
+        """Per-rank mean counters shrink as ranks increase."""
+        app, inp = _input("CoMD")
+        c1 = simulate_run(app, inp, QUARTZ,
+                          make_run_config(app, QUARTZ, "1core"), seed=0).counts
+        cn = simulate_run(app, inp, QUARTZ,
+                          make_run_config(app, QUARTZ, "1node"), seed=0).counts
+        assert cn.total_instructions < c1.total_instructions
+
+    def test_l1_misses_exceed_l2_misses(self):
+        app, inp = _input("miniFE")
+        res = simulate_run(app, inp, QUARTZ,
+                           make_run_config(app, QUARTZ, "1node"), seed=0)
+        assert res.counts.l1_load_miss >= res.counts.l2_load_miss
+
+    def test_python_stack_has_bigger_page_tables(self):
+        ml_app, ml_inp = _input("CANDLE")
+        c_app, c_inp = _input("CoMD")
+        ml = simulate_run(ml_app, ml_inp, QUARTZ,
+                          make_run_config(ml_app, QUARTZ, "1core"), seed=0)
+        cc = simulate_run(c_app, c_inp, QUARTZ,
+                          make_run_config(c_app, QUARTZ, "1core"), seed=0)
+        assert ml.counts.ept_bytes > cc.counts.ept_bytes
+
+    def test_comm_bound_app_scales_worst(self):
+        """Ember's 2-node slowdown factor is the worst among apps."""
+        def two_node_gain(name):
+            app, inp = _input(name)
+            return _time(app, inp, QUARTZ, "1node") / \
+                _time(app, inp, QUARTZ, "2node")
+        assert two_node_gain("Ember") < two_node_gain("Nekbone")
+
+    def test_wrong_input_app_rejected(self):
+        app, inp = _input("AMG")
+        other = APPLICATIONS["CoMD"]
+        with pytest.raises(ValueError):
+            simulate_run(other, inp, QUARTZ,
+                         make_run_config(other, QUARTZ, "1core"), seed=0)
+
+
+class TestCPUModelDirect:
+    def test_bandwidth_bound_detected(self):
+        app = APPLICATIONS["SW4lite"]
+        run = simulate_cpu(
+            app, app.mix, QUARTZ, instructions=1e12,
+            working_set=8e9, nodes=1, cores=36, ranks=36,
+            io_bytes=0, comm_active=False,
+        )
+        assert run.time >= run.time_bandwidth
+
+    def test_negative_instructions_rejected(self):
+        app = APPLICATIONS["SW4lite"]
+        with pytest.raises(ValueError):
+            simulate_cpu(app, app.mix, QUARTZ, instructions=-1,
+                         working_set=1e9, nodes=1, cores=1, ranks=1,
+                         io_bytes=0, comm_active=False)
+
+    def test_vector_machine_faster_on_dense_fp(self):
+        app = APPLICATIONS["Nekbone"]  # vectorizable 0.9
+        kwargs = dict(instructions=1e12, working_set=1.6e9, nodes=1,
+                      io_bytes=0, comm_active=False)
+        t_ruby = simulate_cpu(app, app.mix, RUBY, cores=56, ranks=56,
+                              **kwargs).time
+        t_quartz = simulate_cpu(app, app.mix, QUARTZ, cores=36, ranks=36,
+                                **kwargs).time
+        assert t_ruby < t_quartz
+
+
+class TestGPUModelDirect:
+    def test_divergence_penalty_grows_with_branching(self):
+        xs = APPLICATIONS["XSBench"]
+        ca = APPLICATIONS["CANDLE"]
+        r_xs = simulate_gpu(xs, xs.mix, LASSEN, 1e12, 5e9, gpus=4,
+                            size_scale=1.0)
+        r_ca = simulate_gpu(ca, ca.mix, LASSEN, 1e12, 5e9, gpus=4,
+                            size_scale=1.0)
+        assert r_xs.divergence_factor > r_ca.divergence_factor
+
+    def test_small_problems_underutilize(self):
+        app = APPLICATIONS["CANDLE"]
+        small = simulate_gpu(app, app.mix, LASSEN, 1e11, 1e8, gpus=4,
+                             size_scale=0.1)
+        big = simulate_gpu(app, app.mix, LASSEN, 1e11, 1e10, gpus=4,
+                           size_scale=4.0)
+        assert small.utilization < big.utilization
+
+    def test_no_gpu_machine_rejected(self):
+        app = APPLICATIONS["CANDLE"]
+        with pytest.raises(ValueError):
+            simulate_gpu(app, app.mix, QUARTZ, 1e10, 1e9, gpus=1,
+                         size_scale=1.0)
+
+
+@given(scale=st.sampled_from(list(SCALES)),
+       app_name=st.sampled_from(sorted(APPLICATIONS)),
+       trial=st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_property_times_positive_and_finite(scale, app_name, trial):
+    app, inp = _input(app_name)
+    for machine in MACHINES.values():
+        config = make_run_config(app, machine, scale)
+        res = simulate_run(app, inp, machine, config, seed=0, trial=trial)
+        assert np.isfinite(res.time_seconds) and res.time_seconds > 0
+        assert res.counts.total_instructions > 0
+
+
+@given(size=st.floats(0.25, 8.0))
+@settings(max_examples=20, deadline=None)
+def test_property_bigger_inputs_run_longer(size):
+    app = APPLICATIONS["CoMD"]
+    from repro.apps.inputs import InputConfig
+    small = InputConfig(app.name, "a", size_scale=size, mix=app.mix)
+    large = InputConfig(app.name, "a", size_scale=size * 2, mix=app.mix)
+    config = make_run_config(app, QUARTZ, "1node")
+    t_small = simulate_run(app, small, QUARTZ, config, seed=0).time_seconds
+    t_large = simulate_run(app, large, QUARTZ, config, seed=0).time_seconds
+    assert t_large > t_small

@@ -1,0 +1,98 @@
+"""Tests for the software-stack efficiency model and noise study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import LASSEN, QUARTZ
+from repro.perfsim.config import make_run_config
+from repro.perfsim.execution import (
+    PYTHON_STACK_SIGMA_SCALE,
+    _stack_efficiency,
+    simulate_run,
+)
+
+
+class TestStackEfficiency:
+    def test_deterministic(self):
+        a = _stack_efficiency("AMG", "Quartz", "1node")
+        b = _stack_efficiency("AMG", "Quartz", "1node")
+        assert a == b
+
+    def test_varies_by_machine(self):
+        factors = {
+            m: _stack_efficiency("AMG", m, "1node")
+            for m in ("Quartz", "Ruby", "Lassen", "Corona")
+        }
+        assert len(set(factors.values())) == 4
+
+    def test_varies_by_scale(self):
+        assert _stack_efficiency("AMG", "Quartz", "1core") != \
+            _stack_efficiency("AMG", "Quartz", "2node")
+
+    def test_positive(self):
+        for app in APPLICATIONS:
+            assert _stack_efficiency(app, "Ruby", "1node") > 0
+
+    def test_python_stack_spread_is_wider(self):
+        """Across many synthetic app names, the python-stack factor
+        distribution has larger log-spread (the Fig. 5 mechanism)."""
+        names = [f"app{i}" for i in range(300)]
+        native = np.log([
+            _stack_efficiency(n, "Lassen", "1node", python_stack=False)
+            for n in names
+        ])
+        python = np.log([
+            _stack_efficiency(n, "Lassen", "1node", python_stack=True)
+            for n in names
+        ])
+        assert python.std() > 1.3 * native.std()
+        assert PYTHON_STACK_SIGMA_SCALE > 1.0
+
+    def test_stack_effects_flag(self):
+        app = APPLICATIONS["CoMD"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, QUARTZ, "1node")
+        with_stack = simulate_run(app, inp, QUARTZ, config, seed=0,
+                                  stack_effects=True).time_seconds
+        without = simulate_run(app, inp, QUARTZ, config, seed=0,
+                               stack_effects=False).time_seconds
+        assert with_stack != without
+
+    def test_counters_unaffected_by_stack_effects(self):
+        """The stack factor scales time, never the event counts."""
+        app = APPLICATIONS["CoMD"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, QUARTZ, "1node")
+        a = simulate_run(app, inp, QUARTZ, config, seed=0,
+                         stack_effects=True).counts
+        b = simulate_run(app, inp, QUARTZ, config, seed=0,
+                         stack_effects=False).counts
+        assert a == b
+
+
+class TestCounterNoiseStudy:
+    def test_tiny_run_shape(self):
+        from repro.core.evaluation import counter_noise_sensitivity_study
+
+        frame = counter_noise_sensitivity_study(
+            noise_scales=(1.0,), inputs_per_app=2,
+            model_kwargs={"n_estimators": 20, "max_depth": 4},
+        )
+        assert frame.num_rows == 2  # cpu_source + gpu_source
+        assert set(frame.unique("source")) == {"cpu_source", "gpu_source"}
+        assert (frame.to_matrix(["mae"]) > 0).all()
+
+    def test_restores_machine_noise(self):
+        from repro.arch.machines import MACHINES
+        from repro.core.evaluation import counter_noise_sensitivity_study
+
+        before = {m: MACHINES[m].counter_noise_sigma for m in MACHINES}
+        counter_noise_sensitivity_study(
+            noise_scales=(0.5,), inputs_per_app=1,
+            model_kwargs={"n_estimators": 5, "max_depth": 3},
+        )
+        after = {m: MACHINES[m].counter_noise_sigma for m in MACHINES}
+        assert before == after

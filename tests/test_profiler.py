@@ -1,0 +1,191 @@
+"""Tests for counter schemas and the simulated profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import CORONA, LASSEN, MACHINES, QUARTZ, RUBY
+from repro.perfsim.config import make_run_config
+from repro.perfsim.execution import simulate_run
+from repro.perfsim.noise import NoiseModel
+from repro.profiler import (
+    Profile,
+    load_profile,
+    profile_run,
+    save_profile,
+    schema_for,
+)
+from repro.profiler.counters import (
+    CANONICAL_FIELDS,
+    RateMissRule,
+    SumRule,
+    TccSplitRule,
+)
+
+
+def _raw_counts(app_name="AMG", machine=QUARTZ, scale="1node"):
+    app = APPLICATIONS[app_name]
+    inp = generate_inputs(app, 1, seed=0)[0]
+    config = make_run_config(app, machine, scale)
+    return app, inp, config, simulate_run(app, inp, machine, config, seed=0)
+
+
+class TestSchemas:
+    def test_papi_names_on_cpu_systems(self):
+        schema = schema_for(QUARTZ, from_gpu=False)
+        names = schema.counter_names()
+        assert "PAPI_BR_INS" in names
+        assert "PAPI_TOT_INS" in names
+        assert "bdw::ARITH" in names
+
+    def test_arith_prefix_differs_per_cpu(self):
+        assert "clx::ARITH" in schema_for(RUBY, False).counter_names()
+        assert "pwr9::ARITH" in schema_for(LASSEN, False).counter_names()
+        assert "zen2::ARITH" in schema_for(CORONA, False).counter_names()
+
+    def test_cupti_names_on_lassen_gpu(self):
+        names = schema_for(LASSEN, from_gpu=True).counter_names()
+        assert "cf_executed" in names
+        assert "inst_executed_global_loads" in names
+        assert "flop_count_sp" in names
+        assert "local_load_hit_rate" in names
+
+    def test_rocprof_names_on_corona_gpu(self):
+        names = schema_for(CORONA, from_gpu=True).counter_names()
+        assert "TCC_MISS_sum" in names
+        assert "TCC_EA_RDREQ" in names
+        assert "SQ_INSTS_VALU_FP64" in names
+        assert "MemUnitStalled" in names
+
+    def test_gpu_schema_on_cpu_machine_rejected(self):
+        with pytest.raises(ValueError):
+            schema_for(QUARTZ, from_gpu=True)
+
+    @pytest.mark.parametrize("machine,gpu", [
+        (QUARTZ, False), (RUBY, False), (LASSEN, False), (CORONA, False),
+        (LASSEN, True), (CORONA, True),
+    ])
+    def test_encode_decode_roundtrip(self, machine, gpu):
+        """decode(encode(x)) recovers canonical fields up to noise/bias."""
+        app_name = "AMG" if gpu else "CoMD"
+        app, inp, config, res = _raw_counts(app_name, machine)
+        schema = schema_for(machine, gpu and res.counts.from_gpu)
+        noise = NoiseModel("t", seed=0)
+        # Zero noise isolates the deterministic bias, bounded in [0.85, 1.18].
+        encoded = schema.encode(res.counts, noise, sigma=0.0)
+        decoded = schema.decode(encoded)
+        for field in CANONICAL_FIELDS:
+            truth = getattr(res.counts, field)
+            if truth == 0:
+                continue
+            ratio = decoded[field] / truth
+            assert 0.7 < ratio < 1.4, (field, ratio)
+
+    def test_all_canonical_fields_covered(self):
+        for machine, gpu in [(QUARTZ, False), (LASSEN, True), (CORONA, True)]:
+            schema = schema_for(machine, gpu)
+            decoded_fields = set(schema.rules)
+            if schema.tcc:
+                decoded_fields |= {"l2_load_miss", "l2_store_miss"}
+            assert set(CANONICAL_FIELDS) <= decoded_fields
+
+
+class TestRules:
+    def test_sum_rule_shares_roundtrip(self):
+        rule = SumRule("load", ("a", "b"), (0.7, 0.3))
+        enc = rule.encode(100.0, lambda n, v: v)
+        assert enc == {"a": 70.0, "b": 30.0}
+        assert rule.decode(enc) == pytest.approx(100.0)
+
+    def test_sum_rule_bad_shares(self):
+        with pytest.raises(ValueError):
+            SumRule("x", ("a", "b"), (0.5, 0.6))
+
+    def test_rate_miss_rule_roundtrip(self):
+        rule = RateMissRule("l1", "reqs", "hit_rate")
+        enc = rule.encode(500.0, lambda n, v: v)
+        assert rule.decode(enc) == pytest.approx(500.0)
+        assert 0.55 <= enc["hit_rate"] <= 0.85
+
+    def test_tcc_split_roundtrip(self):
+        rule = TccSplitRule()
+        enc = rule.encode(300.0, 100.0, lambda n, v: v)
+        ld, st = rule.decode(enc)
+        assert ld == pytest.approx(300.0)
+        assert st == pytest.approx(100.0)
+
+    def test_tcc_split_zero_requests(self):
+        rule = TccSplitRule()
+        assert rule.decode(
+            {"TCC_MISS_sum": 0.0, "TCC_EA_RDREQ": 0.0, "TCC_EA_WRREQ": 0.0}
+        ) == (0.0, 0.0)
+
+
+class TestProfileRun:
+    def test_deterministic(self):
+        app, inp, config, _ = _raw_counts()
+        p1 = profile_run(app, inp, QUARTZ, config, seed=0)
+        p2 = profile_run(app, inp, QUARTZ, config, seed=0)
+        assert p1.run_totals() == p2.run_totals()
+        assert p1.meta == p2.meta
+
+    def test_meta_fields(self):
+        app, inp, config, _ = _raw_counts()
+        p = profile_run(app, inp, QUARTZ, config, seed=0)
+        assert p.meta["app"] == "AMG"
+        assert p.meta["machine"] == "Quartz"
+        assert p.meta["profiler"] == "papi"
+        assert p.meta["time_seconds"] > 0
+
+    def test_profiler_field_per_arch(self):
+        app = APPLICATIONS["AMG"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        for machine, expect in [(LASSEN, "cupti"), (CORONA, "rocprof")]:
+            config = make_run_config(app, machine, "1node")
+            p = profile_run(app, inp, machine, config, seed=0)
+            assert p.meta["profiler"] == expect
+
+    def test_counters_attributed_to_kernels(self):
+        app, inp, config, _ = _raw_counts()
+        p = profile_run(app, inp, QUARTZ, config, seed=0)
+        solve = p.root.child("solve")
+        kernel_share = solve.inclusive("PAPI_TOT_INS")
+        total = p.run_totals()["PAPI_TOT_INS"]
+        assert kernel_share / total > 0.9  # most work in kernels
+
+    def test_root_inclusive_recovers_encoded_totals(self):
+        app, inp, config, res = _raw_counts()
+        p = profile_run(app, inp, QUARTZ, config, seed=0)
+        totals = p.run_totals()
+        # Total instructions should be within bias+noise of the raw count.
+        ratio = totals["PAPI_TOT_INS"] / res.counts.total_instructions
+        assert 0.7 < ratio < 1.4
+
+    def test_hit_rates_not_summed(self):
+        app = APPLICATIONS["AMG"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, LASSEN, "1node")
+        p = profile_run(app, inp, LASSEN, config, seed=0)
+        totals = p.run_totals()
+        assert 0.0 < totals["local_load_hit_rate"] < 1.0
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        app, inp, config, _ = _raw_counts()
+        p = profile_run(app, inp, QUARTZ, config, seed=0)
+        path = tmp_path / "profile.json"
+        save_profile(p, path)
+        p2 = load_profile(path)
+        assert p2.meta == p.meta
+        assert p2.run_totals() == pytest.approx(p.run_totals())
+        assert [n.path for n in p2.root.walk()] == \
+            [n.path for n in p.root.walk()]
+
+    def test_from_dict_requires_root_first(self):
+        with pytest.raises(ValueError):
+            Profile.from_dict({"meta": {}, "nodes": [
+                {"id": 0, "parent": 0, "name": "x", "metrics": {}}
+            ]})

@@ -1,0 +1,100 @@
+"""Tests for roofline analysis utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import CORONA, LASSEN, QUARTZ, RUBY
+from repro.perfsim import (
+    Roofline,
+    app_operational_intensity,
+    attainable_gflops,
+    classify_bound,
+    cpu_roofline,
+    gpu_roofline,
+)
+from repro.perfsim.config import make_run_config
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = Roofline("x", peak_gflops=100.0, bandwidth_gbs=50.0)
+        assert r.ridge_point == pytest.approx(2.0)
+
+    def test_attainable_below_and_above_ridge(self):
+        r = Roofline("x", peak_gflops=100.0, bandwidth_gbs=50.0)
+        assert r.attainable(1.0) == pytest.approx(50.0)   # memory bound
+        assert r.attainable(10.0) == pytest.approx(100.0)  # compute bound
+
+    def test_attainable_invalid_intensity(self):
+        r = Roofline("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            r.attainable(0.0)
+
+    def test_vectorized_curve_monotone(self):
+        r = cpu_roofline(QUARTZ)
+        xs = np.logspace(-2, 2, 50)
+        ys = attainable_gflops(r, xs)
+        assert (np.diff(ys) >= -1e-9).all()
+        assert ys[-1] == pytest.approx(r.peak_gflops)
+
+    def test_cpu_rooflines_ordered(self):
+        # Ruby's AVX-512 node out-peaks Quartz's AVX2 node.
+        assert cpu_roofline(RUBY).peak_gflops > cpu_roofline(QUARTZ).peak_gflops
+
+    def test_gpu_roofline_dwarfs_cpu(self):
+        for machine in (LASSEN, CORONA):
+            assert gpu_roofline(machine, "sp").peak_gflops > \
+                10 * cpu_roofline(machine, "sp").peak_gflops
+
+    def test_gpu_roofline_requires_gpu(self):
+        with pytest.raises(ValueError):
+            gpu_roofline(QUARTZ)
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            cpu_roofline(QUARTZ, "fp16")
+
+
+class TestOperationalIntensity:
+    def test_dense_codes_higher_than_graph_codes(self):
+        dense = app_operational_intensity(APPLICATIONS["Nekbone"])
+        graph = app_operational_intensity(APPLICATIONS["miniVite"])
+        assert dense > graph
+
+    def test_positive_for_all_apps(self):
+        for app in APPLICATIONS.values():
+            assert app_operational_intensity(app) > 0
+
+
+class TestClassifyBound:
+    def test_shares_sum_to_one(self):
+        app = APPLICATIONS["SW4lite"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, QUARTZ, "1node")
+        c = classify_bound(app, inp, QUARTZ, config)
+        assert sum(c.shares.values()) == pytest.approx(1.0)
+        assert c.bound in c.shares
+
+    def test_comm_benchmark_is_comm_bound_at_two_nodes(self):
+        app = APPLICATIONS["Ember"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, QUARTZ, "2node")
+        c = classify_bound(app, inp, QUARTZ, config)
+        assert c.bound == "communication"
+
+    def test_gpu_run_classified_on_device(self):
+        app = APPLICATIONS["CANDLE"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, LASSEN, "1node")
+        c = classify_bound(app, inp, LASSEN, config)
+        assert set(c.shares) == {"compute", "bandwidth", "launch"}
+
+    def test_single_core_not_comm_bound(self):
+        app = APPLICATIONS["Ember"]
+        inp = generate_inputs(app, 1, seed=0)[0]
+        config = make_run_config(app, QUARTZ, "1core")
+        c = classify_bound(app, inp, QUARTZ, config)
+        assert c.shares["communication"] == 0.0

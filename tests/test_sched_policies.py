@@ -1,0 +1,193 @@
+"""Tests for queue policies (R1/R2), SWF traces, and extended metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    ClusterState,
+    FCFSPolicy,
+    Job,
+    LJFPolicy,
+    RoundRobinStrategy,
+    Scheduler,
+    SJFPolicy,
+    SmallestFirstPolicy,
+    WidestFirstPolicy,
+    policy_by_name,
+)
+from repro.sched.metrics import (
+    jain_fairness,
+    machine_utilization,
+    makespan,
+    utilization_timeline,
+)
+from repro.workloads.swf import jobs_from_swf, read_swf, write_swf
+
+SYSTEMS = ("Quartz", "Ruby", "Lassen", "Corona")
+
+
+def _job(job_id, runtime=10.0, nodes=1, submit=0.0):
+    return Job(
+        job_id=job_id, app="CoMD", uses_gpu=False, nodes_required=nodes,
+        runtimes={s: runtime for s in SYSTEMS}, submit_time=submit,
+    )
+
+
+class TestPolicies:
+    def test_fcfs_orders_by_submission(self):
+        jobs = [_job(0, submit=5.0), _job(1, submit=1.0)]
+        keys = sorted(jobs, key=FCFSPolicy().key)
+        assert keys[0].job_id == 1
+
+    def test_sjf_orders_by_best_runtime(self):
+        jobs = [_job(0, runtime=50.0), _job(1, runtime=5.0)]
+        keys = sorted(jobs, key=SJFPolicy().key)
+        assert keys[0].job_id == 1
+
+    def test_ljf_is_reverse_of_sjf(self):
+        jobs = [_job(i, runtime=float(10 + i)) for i in range(5)]
+        sjf = [j.job_id for j in sorted(jobs, key=SJFPolicy().key)]
+        ljf = [j.job_id for j in sorted(jobs, key=LJFPolicy().key)]
+        assert sjf == ljf[::-1]
+
+    def test_widest_and_smallest(self):
+        jobs = [_job(0, nodes=1), _job(1, nodes=2)]
+        assert sorted(jobs, key=WidestFirstPolicy().key)[0].job_id == 1
+        assert sorted(jobs, key=SmallestFirstPolicy().key)[0].job_id == 0
+
+    def test_policy_by_name(self):
+        for name in ("fcfs", "sjf", "ljf", "widest", "smallest"):
+            assert policy_by_name(name).name == name
+        with pytest.raises(KeyError):
+            policy_by_name("lifo")
+
+    def test_sjf_queue_reduces_avg_wait_on_single_machine(self):
+        cluster_f = ClusterState({"Quartz": 1})
+        cluster_s = ClusterState({"Quartz": 1})
+        jobs = [_job(0, runtime=100.0), _job(1, runtime=1.0),
+                _job(2, runtime=1.0)]
+        fcfs = Scheduler(RoundRobinStrategy(), cluster_f,
+                         backfill=False).run(jobs)
+        sjf = Scheduler(RoundRobinStrategy(), cluster_s, backfill=False,
+                        queue_policy=SJFPolicy()).run(jobs)
+        assert sjf.wait_times.mean() < fcfs.wait_times.mean()
+
+    def test_policy_scheduler_completes_all_jobs(self):
+        rng = np.random.default_rng(0)
+        jobs = [_job(i, runtime=float(rng.uniform(1, 20)),
+                     submit=float(rng.uniform(0, 30)))
+                for i in range(50)]
+        for policy_name in ("sjf", "ljf", "widest", "smallest"):
+            cluster = ClusterState({s: 2 for s in SYSTEMS})
+            result = Scheduler(
+                RoundRobinStrategy(), cluster,
+                queue_policy=policy_by_name(policy_name),
+                backfill_policy=policy_by_name("sjf"),
+            ).run(jobs)
+            assert result.num_jobs == 50
+            assert (result.start_times >= result.submit_times - 1e-9).all()
+
+
+class TestSWF:
+    def _result(self):
+        jobs = [_job(i, runtime=10.0 + i, submit=float(i)) for i in range(6)]
+        return Scheduler(RoundRobinStrategy(),
+                         ClusterState({s: 2 for s in SYSTEMS})).run(jobs)
+
+    def test_write_read_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "trace.swf"
+        write_swf(result, path, header="unit test trace")
+        records = read_swf(path)
+        assert len(records) == 6
+        assert records[0]["job_id"] == 0
+        assert all(r["run"] >= 10 for r in records)
+
+    def test_header_preserved(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(self._result(), path, header="my cluster")
+        assert "; my cluster" in path.read_text()
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_swf(path)
+
+    def test_jobs_from_swf(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(self._result(), path)
+        jobs = jobs_from_swf(path, seed=1)
+        assert len(jobs) == 6
+        for job in jobs:
+            assert set(job.runtimes) == set(SYSTEMS)
+            assert job.true_rpv.max() == pytest.approx(1.0)
+        # Round-trip: the reconstructed jobs schedule fine.
+        result = Scheduler(RoundRobinStrategy(),
+                           ClusterState({s: 2 for s in SYSTEMS})).run(jobs)
+        assert result.num_jobs == 6
+
+    def test_jobs_from_swf_custom_rpv(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(self._result(), path)
+        jobs = jobs_from_swf(
+            path, rpv_fn=lambda rec: [1.0, 0.5, 0.25, 0.125]
+        )
+        assert jobs[0].runtimes["Corona"] == pytest.approx(
+            jobs[0].runtimes["Quartz"] * 0.125
+        )
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.swf"
+        path.write_text("; nothing here\n")
+        with pytest.raises(ValueError):
+            jobs_from_swf(path)
+
+
+class TestExtendedMetrics:
+    def _result(self):
+        jobs = [_job(i, runtime=10.0) for i in range(8)]
+        return Scheduler(RoundRobinStrategy(),
+                         ClusterState({s: 2 for s in SYSTEMS})).run(jobs)
+
+    def test_machine_utilization_bounds(self):
+        result = self._result()
+        util = machine_utilization(result, {s: 2 for s in SYSTEMS})
+        for value in util.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_utilization_accounts_all_node_time(self):
+        result = self._result()
+        util = machine_utilization(result, {s: 2 for s in SYSTEMS})
+        total_busy = sum(
+            u * 2 * makespan(result) for u in util.values()
+        )
+        assert total_busy == pytest.approx(float(result.runtimes.sum()))
+
+    def test_unknown_machine_rejected(self):
+        result = self._result()
+        with pytest.raises(KeyError):
+            machine_utilization(result, {"OnlyQuartz": 2})
+
+    def test_timeline_shape_and_peak(self):
+        result = self._result()
+        times, busy = utilization_timeline(result, "Quartz", resolution=50)
+        assert times.shape == busy.shape == (50,)
+        assert busy.max() <= 2  # machine has 2 nodes
+
+    def test_timeline_resolution_validated(self):
+        with pytest.raises(ValueError):
+            utilization_timeline(self._result(), "Quartz", resolution=1)
+
+    def test_jain_fairness_bounds(self):
+        result = self._result()
+        f = jain_fairness(result)
+        assert 1.0 / result.num_jobs <= f <= 1.0
+
+    def test_jain_fairness_perfect_for_no_wait(self):
+        jobs = [_job(0, runtime=50.0)]
+        result = Scheduler(RoundRobinStrategy(),
+                           ClusterState({s: 2 for s in SYSTEMS})).run(jobs)
+        assert jain_fairness(result) == pytest.approx(1.0)

@@ -1,0 +1,207 @@
+"""Tests for terminal viz, npz store, walltime factor, eval history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.store import load_npz, save_npz
+from repro.frame import Frame
+from repro.viz import bar_chart, grouped_bars, heatmap
+
+
+class TestViz:
+    def _frame(self):
+        return Frame({"model": ["mean", "xgb"], "mae": [0.2, 0.07],
+                      "sos": [0.13, 0.61]})
+
+    def test_bar_chart_contains_labels_and_bars(self):
+        text = bar_chart(self._frame(), "model", "mae", title="MAE")
+        assert "MAE" in text and "xgb" in text
+        assert text.count("|") == 2
+        # larger value gets the longer bar
+        lines = text.splitlines()[1:]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bar_chart_rejects_negative(self):
+        f = Frame({"m": ["a"], "v": [-1.0]})
+        with pytest.raises(ValueError):
+            bar_chart(f, "m", "v")
+
+    def test_bar_chart_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart(Frame({"m": [], "v": []}), "m", "v")
+
+    def test_grouped_bars_sections(self):
+        text = grouped_bars(self._frame(), "model", ["mae", "sos"])
+        assert "[mae]" in text and "[sos]" in text
+
+    def test_grouped_bars_requires_columns(self):
+        with pytest.raises(ValueError):
+            grouped_bars(self._frame(), "model", [])
+
+    def test_heatmap_renders_grid(self):
+        f = Frame({
+            "model": ["xgb", "xgb", "lin", "lin"],
+            "arch": ["Q", "R", "Q", "R"],
+            "mae": [0.1, 0.2, 0.3, 0.4],
+        })
+        text = heatmap(f, "model", "arch", "mae", invert=True)
+        assert "xgb" in text and "Q" in text
+        assert "0.100" in text
+
+    def test_heatmap_missing_cell(self):
+        f = Frame({"r": ["a"], "c": ["x"], "v": [1.0]})
+        text = heatmap(f, "r", "c", "v")
+        assert "1.000" in text
+
+    def test_heatmap_all_nan_rejected(self):
+        f = Frame({"r": ["a"], "c": ["x"], "v": [np.nan]})
+        with pytest.raises(ValueError):
+            heatmap(f, "r", "c", "v")
+
+
+class TestNpzStore:
+    def test_roundtrip_exact(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_npz(small_dataset, path)
+        back = load_npz(path)
+        assert back.frame == small_dataset.frame
+        assert back.feature_columns == small_dataset.feature_columns
+        np.testing.assert_array_equal(back.X(), small_dataset.X())
+        np.testing.assert_array_equal(back.Y(), small_dataset.Y())
+
+    def test_normalizer_preserved(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_npz(small_dataset, path)
+        back = load_npz(path)
+        assert back.normalizer.means_ == small_dataset.normalizer.means_
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_npz(path)
+
+
+class TestWalltimeFactor:
+    def _jobs(self):
+        from repro.sched import Job
+
+        systems = ("Quartz", "Ruby", "Lassen", "Corona")
+
+        def job(jid, runtime, nodes=1, submit=0.0):
+            return Job(job_id=jid, app="CoMD", uses_gpu=False,
+                       nodes_required=nodes,
+                       runtimes={s: runtime for s in systems},
+                       submit_time=submit)
+
+        # head blocked at t in [0,50); a 30s candidate fits under the
+        # shadow with perfect estimates but not at 2x inflation.
+        return [
+            job(0, 50.0, nodes=2, submit=0.0),
+            job(1, 50.0, nodes=2, submit=1.0),
+            job(2, 30.0, nodes=1, submit=2.0),
+        ]
+
+    def _run(self, factor):
+        from repro.sched import ClusterState, Scheduler
+        from tests.test_dataset_report import MapStrategy
+
+        cluster = ClusterState({"Quartz": 2, "Ruby": 2})
+        strategy = MapStrategy({2: "Quartz"}, default="Quartz")
+        sched = Scheduler(strategy, cluster, walltime_factor=factor)
+        return sched.run(self._jobs())
+
+    def test_perfect_estimates_backfill(self):
+        # job2 targets Quartz; it cannot start (no free node) either
+        # way — instead verify via the cross-machine conservative case.
+        from repro.sched import ClusterState, Scheduler
+        from tests.test_dataset_report import MapStrategy
+
+        jobs = self._jobs()
+        cluster = ClusterState({"Quartz": 2, "Ruby": 1})
+        strategy = MapStrategy({2: "Ruby"}, default="Quartz")
+        ok = Scheduler(strategy, cluster, conservative=True,
+                       walltime_factor=1.0).run(list(jobs))
+        starts = dict(zip(ok.job_ids, ok.start_times))
+        assert starts[2] < 50.0  # 30s fits under the 50s horizon
+
+    def test_inflated_estimates_block_backfill(self):
+        from repro.sched import ClusterState, Scheduler
+        from tests.test_dataset_report import MapStrategy
+
+        jobs = self._jobs()
+        cluster = ClusterState({"Quartz": 2, "Ruby": 1})
+        strategy = MapStrategy({2: "Ruby"}, default="Quartz")
+        blocked = Scheduler(strategy, cluster, conservative=True,
+                            walltime_factor=2.0).run(list(jobs))
+        starts = dict(zip(blocked.job_ids, blocked.start_times))
+        # Estimated 60s > 50s horizon: conservative mode refuses it.
+        assert starts[2] >= 50.0
+
+    def test_factor_validation(self):
+        from repro.sched import RoundRobinStrategy, Scheduler
+
+        with pytest.raises(ValueError):
+            Scheduler(RoundRobinStrategy(), walltime_factor=0.5)
+
+
+class TestEventTrace:
+    def test_trace_off_by_default(self):
+        from repro.sched import ClusterState, Job, RoundRobinStrategy, Scheduler
+
+        systems = ("Quartz", "Ruby", "Lassen", "Corona")
+        jobs = [Job(job_id=0, app="CoMD", uses_gpu=False, nodes_required=1,
+                    runtimes={s: 5.0 for s in systems})]
+        result = Scheduler(RoundRobinStrategy(),
+                           ClusterState({s: 1 for s in systems})).run(jobs)
+        assert "events" not in result.extra
+
+    def test_trace_records_starts_and_backfills(self):
+        from repro.sched import ClusterState, Scheduler
+        from tests.test_dataset_report import MapStrategy, Job
+
+        systems = ("Quartz", "Ruby", "Lassen", "Corona")
+
+        def job(jid, runtime, nodes=1, submit=0.0):
+            return Job(job_id=jid, app="CoMD", uses_gpu=False,
+                       nodes_required=nodes,
+                       runtimes={s: runtime for s in systems},
+                       submit_time=submit)
+
+        jobs = [job(0, 50.0, nodes=2), job(1, 50.0, nodes=2, submit=1.0),
+                job(2, 5.0, nodes=1, submit=2.0)]
+        strategy = MapStrategy({2: "Ruby"}, default="Quartz")
+        result = Scheduler(strategy, ClusterState({"Quartz": 2, "Ruby": 2}),
+                           trace=True).run(jobs)
+        kinds = [e[1] for e in result.extra["events"]]
+        assert "start" in kinds
+        assert "reserve" in kinds
+        assert "backfill_start" in kinds
+        # Events are (time, kind, job_id, machine) tuples.
+        t, kind, jid, machine = result.extra["events"][0]
+        assert kind == "start" and machine in systems
+
+
+class TestEvalHistory:
+    def test_train_history_recorded(self):
+        from repro.ml import GradientBoostedTrees
+
+        rng = np.random.default_rng(0)
+        X, y = rng.normal(size=(100, 3)), rng.normal(size=100)
+        m = GradientBoostedTrees(n_estimators=12, max_depth=3,
+                                 random_state=0).fit(X, y)
+        assert len(m.eval_history_["train_mae"]) == 12
+        hist = m.eval_history_["train_mae"]
+        assert hist[-1] <= hist[0]
+
+    def test_val_history_with_eval_set(self):
+        from repro.ml import GradientBoostedTrees
+
+        rng = np.random.default_rng(0)
+        X, y = rng.normal(size=(120, 3)), rng.normal(size=120)
+        m = GradientBoostedTrees(n_estimators=10, max_depth=3,
+                                 random_state=0)
+        m.fit(X[:90], y[:90], eval_set=(X[90:], y[90:]))
+        assert len(m.eval_history_["val_mae"]) == 10

@@ -1,0 +1,111 @@
+"""Tests for the what-if API and model audits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, generate_inputs
+from repro.arch import QUARTZ
+from repro.core.whatif import estimate_speedup, porting_value
+from repro.hatchet_lite import run_record
+from repro.perfsim.config import make_run_config
+from repro.perfsim.validate import audit_all, audit_applications, audit_machines
+from repro.profiler import profile_run
+
+
+def _record(app_name, seed=0):
+    app = APPLICATIONS[app_name]
+    inp = generate_inputs(app, 1, seed=seed)[0]
+    config = make_run_config(app, QUARTZ, "1node")
+    return run_record(profile_run(app, inp, QUARTZ, config, seed=seed))
+
+
+class TestWhatIf:
+    def test_speedup_self_is_one(self, trained_xgb):
+        record = _record("CANDLE")
+        assert estimate_speedup(trained_xgb, record,
+                                "Quartz", "Quartz") == pytest.approx(1.0)
+
+    def test_speedup_reciprocal(self, trained_xgb):
+        record = _record("CANDLE")
+        ab = estimate_speedup(trained_xgb, record, "Quartz", "Lassen")
+        ba = estimate_speedup(trained_xgb, record, "Lassen", "Quartz")
+        assert ab * ba == pytest.approx(1.0)
+
+    def test_gpu_apps_gain_on_gpu_systems_on_average(self, trained_xgb):
+        """Averaged over the ML apps and both GPU systems — a single
+        (app, system) pair can legitimately lose to Quartz via its
+        software-stack draw."""
+        speedups = []
+        for app in ("CANDLE", "CosmoFlow", "miniGAN", "DeepCam"):
+            record = _record(app)
+            for system in ("Lassen", "Corona"):
+                speedups.append(
+                    estimate_speedup(trained_xgb, record, "Quartz", system)
+                )
+        assert np.mean(speedups) > 1.0
+
+    def test_unknown_system(self, trained_xgb):
+        with pytest.raises(KeyError):
+            estimate_speedup(trained_xgb, _record("CoMD"),
+                             "Quartz", "Summit")
+
+    def test_case_insensitive(self, trained_xgb):
+        record = _record("CoMD")
+        a = estimate_speedup(trained_xgb, record, "quartz", "RUBY")
+        b = estimate_speedup(trained_xgb, record, "Quartz", "Ruby")
+        assert a == b
+
+    def test_porting_value_ranked(self, trained_xgb):
+        records = [_record(a) for a in ("CANDLE", "miniVite", "XSBench")]
+        frame = porting_value(trained_xgb, records)
+        assert frame.num_rows == 3
+        speedups = np.asarray(frame["speedup_vs_source"])
+        assert (np.diff(speedups) <= 1e-12).all()  # descending
+        assert (speedups > 0).all()
+        assert set(frame["best_gpu_system"]) <= {"Lassen", "Corona"}
+        # Note: "best GPU system" includes that system's CPUs, so
+        # CPU-only apps can legitimately rank high (e.g. via Corona's
+        # Rome CPUs); the ranking itself is what the API guarantees.
+
+    def test_porting_value_empty(self, trained_xgb):
+        with pytest.raises(ValueError):
+            porting_value(trained_xgb, [])
+
+
+class TestAudits:
+    def test_machines_clean(self):
+        assert audit_machines().num_rows == 0
+
+    def test_applications_clean(self):
+        assert audit_applications().num_rows == 0
+
+    def test_audit_all_clean(self):
+        frame = audit_all()
+        assert frame.num_rows == 0
+        assert frame.columns == ["kind", "subject", "check", "detail"]
+
+    def test_audit_catches_broken_machine(self, monkeypatch):
+        from dataclasses import replace
+
+        import repro.arch.machines as am
+
+        broken = replace(am.MACHINES["Quartz"].cpu, clock_ghz=99.0)
+        monkeypatch.setitem(
+            am.MACHINES, "Quartz",
+            replace(am.MACHINES["Quartz"], cpu=broken),
+        )
+        frame = audit_machines()
+        assert frame.num_rows >= 1
+        assert "clock_range" in list(frame["check"])
+
+    def test_audit_catches_broken_app(self, monkeypatch):
+        from dataclasses import replace
+
+        import repro.apps.catalog as cat
+
+        broken = replace(cat.APPLICATIONS["CoMD"], irregularity=50.0)
+        monkeypatch.setitem(cat.APPLICATIONS, "CoMD", broken)
+        frame = audit_applications()
+        assert "irregularity_range" in list(frame["check"])

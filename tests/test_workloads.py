@@ -1,0 +1,93 @@
+"""Tests for job-trace construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.arch import SYSTEM_ORDER
+from repro.workloads import build_workload, poisson_arrivals
+
+
+class TestPoissonArrivals:
+    def test_monotone_nondecreasing(self):
+        t = poisson_arrivals(100, rate_per_second=2.0, seed=0)
+        assert (np.diff(t) >= 0).all()
+
+    def test_rate_controls_density(self):
+        fast = poisson_arrivals(1000, 10.0, seed=0)[-1]
+        slow = poisson_arrivals(1000, 1.0, seed=0)[-1]
+        assert slow > 5 * fast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0)
+
+
+class TestBuildWorkload:
+    def test_job_count_and_ids(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=100, seed=0)
+        assert len(jobs) == 100
+        assert [j.job_id for j in jobs] == list(range(100))
+
+    def test_runtimes_cover_all_systems(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=20, seed=0)
+        for job in jobs:
+            assert set(job.runtimes) == set(SYSTEM_ORDER)
+            assert all(t > 0 for t in job.runtimes.values())
+
+    def test_true_rpv_attached(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=20, seed=0)
+        for job in jobs:
+            assert job.true_rpv is not None
+            assert job.true_rpv.max() == pytest.approx(1.0)
+
+    def test_nodes_from_scale(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=300, seed=0)
+        assert {j.nodes_required for j in jobs} <= {1, 2}
+        assert any(j.nodes_required == 2 for j in jobs)
+
+    def test_gpu_flag_matches_app(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=100, seed=0)
+        for job in jobs:
+            assert job.uses_gpu == APPLICATIONS[job.app].gpu_support
+
+    def test_deterministic(self, small_dataset):
+        a = build_workload(small_dataset, n_jobs=50, seed=3)
+        b = build_workload(small_dataset, n_jobs=50, seed=3)
+        assert all(x.runtimes == y.runtimes for x, y in zip(a, b))
+
+    def test_batch_submission_default(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=20, seed=0)
+        assert all(j.submit_time == 0.0 for j in jobs)
+
+    def test_poisson_arrival_mode(self, small_dataset):
+        jobs = build_workload(small_dataset, n_jobs=20, seed=0,
+                              arrival_rate=1.0)
+        assert any(j.submit_time > 0 for j in jobs)
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_predictor_attaches_rpv(self, small_dataset, trained_xgb):
+        jobs = build_workload(small_dataset, n_jobs=30, seed=0,
+                              predictor=trained_xgb)
+        for job in jobs:
+            assert job.predicted_rpv is not None
+            assert job.predicted_rpv.shape == (4,)
+
+    def test_predictions_correlate_with_truth(self, small_dataset,
+                                              trained_xgb):
+        jobs = build_workload(small_dataset, n_jobs=300, seed=0,
+                              predictor=trained_xgb)
+        agree = np.mean([
+            int(np.argmin(j.predicted_rpv) == np.argmin(j.true_rpv))
+            for j in jobs
+        ])
+        assert agree > 0.5  # far better than the 0.25 random baseline
+
+    def test_bad_n_jobs(self, small_dataset):
+        with pytest.raises(ValueError):
+            build_workload(small_dataset, n_jobs=0)
