@@ -1,0 +1,165 @@
+"""Extension: assignment strategies under injected failures.
+
+The paper evaluates Algorithm 1 in a perfect world — no node ever
+fails, no job ever crashes, every counter is readable.  This extension
+re-runs the Fig. 7 strategy comparison in hostile worlds: the ``light``
+and ``heavy`` fault profiles inject node failures (MTBF per machine),
+job crashes, and counter corruption, with crashed jobs retried under
+exponential backoff and corrupted counters served by the
+:class:`~repro.resilience.ResilientPredictor` degradation chain.
+
+Questions answered:
+
+* Does the model-based strategy's advantage survive failures, or do
+  retries and degraded predictions erase it?
+* How much throughput (goodput) do crashes cost, and how much does
+  checkpoint/restart recover?
+"""
+
+from __future__ import annotations
+
+from repro.frame import Frame
+from repro.resilience import (
+    FAULT_PROFILES,
+    CorruptingPredictor,
+    FaultInjector,
+    ResilientPredictor,
+    RetryPolicy,
+)
+from repro.sched import (
+    Scheduler,
+    completed_fraction,
+    goodput,
+    makespan,
+    retry_count,
+    strategy_by_name,
+    wasted_node_seconds,
+)
+from repro.sched.machines import ClusterState
+from repro.workloads import build_workload
+
+from conftest import BENCH_SEED, PAPER_SCALE, report
+
+#: Jobs in the scheduling workload (Fig. 7 uses 50,000 at paper scale).
+N_JOBS = 20_000 if PAPER_SCALE else 4_000
+STRATEGIES = ("round_robin", "random", "user_rr", "model")
+PROFILES = ("light", "heavy")
+
+
+def _run_all(dataset, predictor):
+    rows = []
+    degraded = {}
+    spans: dict[tuple[str, str], float] = {}
+    for profile_name in PROFILES:
+        profile = FAULT_PROFILES[profile_name]
+        # Predictions degrade too: the injector corrupts each job's
+        # counters before the resilient chain sees them.
+        resilient = ResilientPredictor.from_training(predictor, dataset)
+        corrupting = CorruptingPredictor(
+            resilient, FaultInjector(profile, seed=BENCH_SEED + 2)
+        )
+        jobs = build_workload(dataset, n_jobs=N_JOBS, seed=7,
+                              predictor=corrupting)
+        degraded[profile_name] = resilient.degraded_fraction()
+        for name in STRATEGIES:
+            # Fresh identically-seeded injector per strategy: every
+            # strategy faces the same hostile world.
+            result = Scheduler(
+                strategy_by_name(name, seed=11), ClusterState(),
+                faults=FaultInjector(profile, seed=BENCH_SEED),
+                retry=RetryPolicy(),
+            ).run(list(jobs))
+            info = result.extra["faults"]
+            spans[(profile_name, name)] = makespan(result)
+            rows.append(
+                {
+                    "profile": profile_name,
+                    "strategy": name,
+                    "makespan_hours": makespan(result) / 3600.0,
+                    "goodput": goodput(result),
+                    "retries": retry_count(result),
+                    "node_failures": info["node_failures"],
+                    "job_crashes": info["job_crashes"],
+                    "completed": completed_fraction(result),
+                }
+            )
+    return Frame.from_records(rows), spans, degraded
+
+
+def _run_checkpoint_comparison(dataset, predictor):
+    """Heavy profile, model strategy: restart-from-zero vs checkpoint."""
+    jobs = build_workload(dataset, n_jobs=N_JOBS, seed=7,
+                          predictor=predictor)
+    rows = []
+    results = {}
+    for label, retry in (
+        ("restart", RetryPolicy(checkpoint=False)),
+        ("checkpoint", RetryPolicy(checkpoint=True)),
+    ):
+        result = Scheduler(
+            strategy_by_name("model", seed=11), ClusterState(),
+            faults=FaultInjector(FAULT_PROFILES["heavy"], seed=BENCH_SEED),
+            retry=retry,
+        ).run(list(jobs))
+        results[label] = result
+        rows.append(
+            {
+                "recovery": label,
+                "makespan_hours": makespan(result) / 3600.0,
+                "goodput": goodput(result),
+                "wasted_node_hours": wasted_node_seconds(result) / 3600.0,
+                "retries": retry_count(result),
+            }
+        )
+    return Frame.from_records(rows), results
+
+
+def test_strategies_under_failures(benchmark, bench_dataset,
+                                   bench_predictor):
+    frame, spans, degraded = benchmark.pedantic(
+        lambda: _run_all(bench_dataset, bench_predictor),
+        rounds=1, iterations=1,
+    )
+    note = ", ".join(
+        f"{p}: {100 * degraded[p]:.1f}% degraded predictions"
+        for p in PROFILES
+    )
+    report(
+        "ext_fault_tolerance",
+        f"Extension — strategies under fault injection ({N_JOBS} jobs)",
+        frame,
+        paper_notes="beyond the paper (perfect-world Fig. 7); " + note,
+    )
+    # Unlimited retries: every job completes despite the chaos.
+    assert all(c == 1.0 for c in frame["completed"])
+    # Failures cost real throughput under the heavy profile.
+    heavy_goodput = [
+        g for p, g in zip(frame["profile"], frame["goodput"]) if p == "heavy"
+    ]
+    assert all(g < 1.0 for g in heavy_goodput)
+    # The model keeps its edge over blind placement even when nodes
+    # fail, jobs crash, and a quarter of predictions run degraded.
+    for profile in PROFILES:
+        assert spans[(profile, "model")] < spans[(profile, "random")]
+        assert spans[(profile, "model")] < spans[(profile, "round_robin")]
+    # Degraded-prediction fraction roughly tracks the corruption rate.
+    assert 0.0 < degraded["light"] < degraded["heavy"]
+
+
+def test_checkpoint_recovers_goodput(benchmark, bench_dataset,
+                                     bench_predictor):
+    frame, results = benchmark.pedantic(
+        lambda: _run_checkpoint_comparison(bench_dataset, bench_predictor),
+        rounds=1, iterations=1,
+    )
+    report(
+        "ext_fault_tolerance_checkpoint",
+        f"Extension — checkpoint/restart under heavy faults ({N_JOBS} jobs)",
+        frame,
+        paper_notes="beyond the paper; heavy profile, model strategy",
+    )
+    by_label = dict(zip(frame["recovery"], frame["goodput"]))
+    assert by_label["restart"] < 1.0
+    assert by_label["checkpoint"] == 1.0
+    assert wasted_node_seconds(results["checkpoint"]) == 0.0
+    assert wasted_node_seconds(results["restart"]) > 0.0

@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "oracle"])
     p.add_argument("--swf-output", help="write the model-strategy "
                                         "schedule as an SWF trace")
+    p.add_argument("--fault-profile", default="none",
+                   choices=["none", "light", "heavy"],
+                   help="inject node failures, job crashes, and counter "
+                        "corruption (none = the paper's perfect world)")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="killed jobs restart from their completed "
+                        "fraction instead of from scratch")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="abandon a job after this many attempts "
+                        "(default: retry forever)")
 
     return parser
 
@@ -176,14 +186,39 @@ def _cmd_importance(args) -> int:
     return 0
 
 
+def _lookup_app(name: str):
+    """``get_app`` with a CLI-grade error: list the valid choices."""
+    from repro.apps import APPLICATIONS, get_app
+
+    try:
+        return get_app(name)
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}\n"
+            f"valid --app choices: {', '.join(sorted(APPLICATIONS))}"
+        ) from None
+
+
+def _lookup_machine(name: str):
+    """``get_machine`` with a CLI-grade error: list the valid choices."""
+    from repro.arch import MACHINES, get_machine
+
+    try:
+        return get_machine(name)
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}\n"
+            f"valid --machine choices: {', '.join(MACHINES)}"
+        ) from None
+
+
 def _profile(args):
-    from repro.apps import generate_inputs, get_app
-    from repro.arch import get_machine
+    from repro.apps import generate_inputs
     from repro.perfsim.config import make_run_config
     from repro.profiler import profile_run
 
-    app = get_app(args.app)
-    machine = get_machine(args.machine)
+    app = _lookup_app(args.app)
+    machine = _lookup_machine(args.machine)
     inp = generate_inputs(app, 1, seed=args.seed)[0]
     config = make_run_config(app, machine, args.scale)
     return profile_run(app, inp, machine, config, seed=args.seed)
@@ -226,18 +261,17 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_whatif(args) -> int:
-    from repro.apps import generate_inputs, get_app
-    from repro.arch import get_machine
+    from repro.apps import generate_inputs
     from repro.core import CrossArchPredictor, porting_value
     from repro.hatchet_lite import run_record
     from repro.perfsim.config import make_run_config
     from repro.profiler import profile_run
 
     predictor = CrossArchPredictor.load(args.predictor)
-    machine = get_machine(args.source)
+    machine = _lookup_machine(args.source)
     records = []
     for app_name in args.apps:
-        app = get_app(app_name)
+        app = _lookup_app(app_name)
         inp = generate_inputs(app, 1, seed=args.seed)[0]
         config = make_run_config(app, machine, args.scale)
         records.append(
@@ -289,6 +323,9 @@ def _cmd_schedule(args) -> int:
                                seed=args.seed)
     train_rows, _ = train_test_split(dataset.num_rows, 0.1, random_state=42)
     predictor = CrossArchPredictor.train(dataset, rows=train_rows)
+    fault_profile = getattr(args, "fault_profile", "none")
+    if fault_profile != "none":
+        return _schedule_with_faults(args, dataset, predictor)
     jobs = build_workload(dataset, n_jobs=args.jobs, seed=args.seed + 1,
                           predictor=predictor)
     print(f"{'strategy':>12s} {'makespan(h)':>12s} {'bounded slowdown':>17s}")
@@ -301,6 +338,69 @@ def _cmd_schedule(args) -> int:
             write_swf(result, args.swf_output,
                       header="repro scheduling experiment")
             print(f"  SWF trace written to {args.swf_output}")
+    return 0
+
+
+def _schedule_with_faults(args, dataset, predictor) -> int:
+    """The Fig. 7 experiment re-run in a hostile world.
+
+    The workload's counter vectors pass through the fault injector's
+    corruption channel and the :class:`ResilientPredictor` degradation
+    chain before scheduling; each strategy then runs under its own
+    (identically-seeded) injector so every strategy faces the same
+    failure sequence.
+    """
+    from repro.resilience import (
+        CorruptingPredictor,
+        FaultInjector,
+        FaultProfile,
+        ResilientPredictor,
+        RetryPolicy,
+    )
+    from repro.sched import (
+        Scheduler,
+        average_bounded_slowdown,
+        degraded_prediction_fraction,
+        goodput,
+        makespan,
+        resilience_summary,
+        strategy_by_name,
+    )
+    from repro.sched.machines import ClusterState
+    from repro.workloads import build_workload
+
+    profile = FaultProfile.preset(args.fault_profile)
+    resilient = ResilientPredictor.from_training(predictor, dataset)
+    corrupting = CorruptingPredictor(
+        resilient, FaultInjector(profile, seed=args.seed + 2)
+    )
+    jobs = build_workload(dataset, n_jobs=args.jobs, seed=args.seed + 1,
+                          predictor=corrupting)
+    retry = RetryPolicy(max_attempts=args.max_attempts,
+                        checkpoint=args.checkpoint)
+    degraded = degraded_prediction_fraction(resilient.tier_counts)
+    print(f"fault profile {profile.name}: node MTBF/machine "
+          f"{profile.node_mtbf:.0f}s, crash prob {profile.crash_prob:.0%}, "
+          f"counter corruption {profile.corruption_prob:.0%}")
+    print(f"degraded predictions: {degraded:.1%} "
+          f"(tiers: {dict(resilient.tier_counts)})")
+    print(f"{'strategy':>12s} {'makespan(h)':>12s} {'slowdown':>9s} "
+          f"{'goodput':>8s} {'retries':>8s} {'completed':>10s}")
+    for name in args.strategies:
+        # A fresh injector per strategy: every strategy sees the same
+        # failure sequence.
+        scheduler = Scheduler(
+            strategy_by_name(name, seed=11), ClusterState(),
+            faults=FaultInjector(profile, seed=args.seed + 2), retry=retry,
+        )
+        result = scheduler.run(list(jobs))
+        summary = resilience_summary(result)
+        completed = result.num_jobs
+        total = completed + summary["failed_jobs"]
+        print(f"{name:>12s} {makespan(result) / 3600:12.3f} "
+              f"{average_bounded_slowdown(result):9.2f} "
+              f"{goodput(result):8.3f} {summary['retries']:8d} "
+              f"{completed:6d}/{total:<4d}")
     return 0
 
 
@@ -320,11 +420,18 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (KeyError, ValueError, FileNotFoundError) as exc:
+    except (ReproError, ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # KeyError's str() wraps the message in quotes; unwrap it.
+        reason = exc.args[0] if exc.args else exc
+        print(f"error: {reason}", file=sys.stderr)
         return 2
 
 

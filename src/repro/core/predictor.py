@@ -17,7 +17,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.arch.machines import SYSTEM_ORDER
-from repro.dataset.features import FeatureNormalizer, derive_feature_frame
+from repro.dataset.features import (
+    REQUIRED_RECORD_FIELDS,
+    FeatureNormalizer,
+    derive_feature_frame,
+)
 from repro.dataset.generate import MPHPCDataset
 from repro.dataset.schema import FEATURE_COLUMNS, FEATURE_LABELS
 from repro.frame import Frame
@@ -129,9 +133,28 @@ class CrossArchPredictor:
         (canonical counters + run metadata).  Features are derived with
         the normalizer fitted during training, matching the deployment
         path: profile once on one machine, predict everywhere.
+
+        Raises ``KeyError`` when a required counter field is absent and
+        ``ValueError`` when one is NaN or ±inf (a truncated or garbled
+        measurement) — defined failure modes that
+        :class:`repro.resilience.ResilientPredictor` turns into graceful
+        degradation instead.
         """
         if self.normalizer is None:
             raise RuntimeError("predict_record called before fit")
+        missing = [f for f in REQUIRED_RECORD_FIELDS if f not in record]
+        if missing:
+            raise KeyError(
+                f"record is missing counter fields: {sorted(missing)}"
+            )
+        bad = [
+            f for f in REQUIRED_RECORD_FIELDS
+            if not np.isfinite(np.asarray(record[f], dtype=np.float64))
+        ]
+        if bad:
+            raise ValueError(
+                f"record has non-finite counter values: {sorted(bad)}"
+            )
         frame = Frame.from_records([record])
         featured, _ = derive_feature_frame(frame, normalizer=self.normalizer)
         return self.predict_frame(featured)[0]

@@ -13,12 +13,18 @@ import numpy as np
 from repro.arch.machines import SYSTEM_ORDER
 from repro.dataset.schema import (
     ARCH_COLUMNS,
+    CONFIG_FEATURES,
     MAGNITUDE_FEATURES,
     RATIO_FEATURES,
 )
 from repro.frame import Frame
 
-__all__ = ["FeatureNormalizer", "derive_feature_frame", "RAW_FOR_MAGNITUDE"]
+__all__ = [
+    "FeatureNormalizer",
+    "derive_feature_frame",
+    "RAW_FOR_MAGNITUDE",
+    "REQUIRED_RECORD_FIELDS",
+]
 
 #: Canonical raw-event field feeding each magnitude feature.
 RAW_FOR_MAGNITUDE: dict[str, str] = {
@@ -41,6 +47,16 @@ _RAW_FOR_RATIO: dict[str, str] = {
     "fp_dp_intensity": "fp_dp",
     "int_intensity": "int_arith",
 }
+
+
+#: Numeric fields a raw run record must carry (finite) for feature
+#: derivation; ``machine`` is additionally required as a string field.
+REQUIRED_RECORD_FIELDS: tuple[str, ...] = (
+    "total_instructions",
+    *_RAW_FOR_RATIO.values(),
+    *RAW_FOR_MAGNITUDE.values(),
+    *CONFIG_FEATURES,
+)
 
 
 class FeatureNormalizer:

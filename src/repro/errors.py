@@ -1,0 +1,27 @@
+"""Domain error hierarchy.
+
+Corruption in on-disk artifacts used to surface as whatever the decoder
+happened to raise (``json.JSONDecodeError``, bare ``ValueError``,
+``KeyError``); callers had to know the decoding internals to catch
+anything.  These classes give each artifact family one exception that
+always carries the file path and, where known, the offending line.
+
+``ProfileError`` and ``TraceError`` also subclass :class:`ValueError`
+so existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "ProfileError", "TraceError"]
+
+
+class ReproError(Exception):
+    """Base class for this package's domain errors."""
+
+
+class ProfileError(ReproError, ValueError):
+    """A profile database (JSON) is corrupt or structurally invalid."""
+
+
+class TraceError(ReproError, ValueError):
+    """A workload trace (SWF) is corrupt or structurally invalid."""

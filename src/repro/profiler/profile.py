@@ -20,11 +20,13 @@ from repro.apps.inputs import InputConfig
 from repro.apps.spec import AppSpec
 from repro.arch.hardware import MachineSpec
 from repro.cct.tree import CCTNode, build_app_cct
+from repro.errors import ProfileError
 from repro.perfsim.config import RunConfig
 from repro.perfsim.execution import simulate_run
 from repro.perfsim.noise import NoiseModel, stable_hash
 
-__all__ = ["Profile", "profile_run", "save_profile", "load_profile"]
+__all__ = ["Profile", "profile_run", "save_profile", "load_profile",
+           "ProfileError"]
 
 #: Fraction of every counter attributed to init/teardown frames.
 _OVERHEAD_SHARE = 0.04
@@ -185,5 +187,23 @@ def save_profile(profile: Profile, path: str | Path) -> None:
 
 
 def load_profile(path: str | Path) -> Profile:
-    """Read a profile written by :func:`save_profile`."""
-    return Profile.from_dict(json.loads(Path(path).read_text()))
+    """Read a profile written by :func:`save_profile`.
+
+    Any corruption — invalid JSON, a structurally broken document —
+    surfaces as one :class:`repro.errors.ProfileError` carrying the
+    file path and, for JSON syntax errors, the offending line, instead
+    of whichever decoder exception happened to fire first.  A missing
+    file still raises ``FileNotFoundError`` (absence is not
+    corruption).
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ProfileError(
+            f"{path}: line {exc.lineno}: invalid profile JSON ({exc.msg})"
+        ) from exc
+    try:
+        return Profile.from_dict(data)
+    except (KeyError, ValueError, TypeError, IndexError) as exc:
+        raise ProfileError(f"{path}: malformed profile document: {exc}") from exc

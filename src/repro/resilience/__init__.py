@@ -1,0 +1,41 @@
+"""Fault injection and graceful degradation.
+
+The paper's scheduling result (Section VII) assumes a perfect world:
+nodes never die, jobs never crash, counters are never corrupt, and the
+model always loads.  This package makes the reproduction's central
+claim testable in a hostile one:
+
+* :mod:`repro.resilience.faults` — deterministic, seedable
+  :class:`FaultInjector` drawing MTBF-based node failure/recovery
+  events, per-attempt job crashes, and counter corruption, with
+  ``none``/``light``/``heavy`` presets.
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`: bounded
+  attempts, exponential backoff with deterministic jitter, optional
+  checkpoint/restart preserving completed work.
+* :mod:`repro.resilience.degrade` — :class:`ResilientPredictor`, a
+  never-failing wrapper over :class:`repro.core.CrossArchPredictor`
+  that degrades tier by tier (model → imputed → mean-RPV baseline →
+  User+RR-style heuristic) and records which tier served each job.
+
+The failure-aware simulation itself lives in
+:class:`repro.sched.Scheduler` (``faults=``/``retry=`` arguments); see
+``docs/RESILIENCE.md`` for the failure model and reproduction recipe.
+"""
+
+from repro.resilience.degrade import (
+    CorruptingPredictor,
+    PredictionOutcome,
+    ResilientPredictor,
+)
+from repro.resilience.faults import FAULT_PROFILES, FaultInjector, FaultProfile
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FaultProfile",
+    "FaultInjector",
+    "FAULT_PROFILES",
+    "RetryPolicy",
+    "ResilientPredictor",
+    "PredictionOutcome",
+    "CorruptingPredictor",
+]

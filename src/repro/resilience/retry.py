@@ -1,0 +1,79 @@
+"""Retry policy for crashed jobs: bounded attempts, backoff, checkpointing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfsim.noise import stable_hash
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler resubmits jobs killed by faults.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (including the first) before a job is abandoned
+        as permanently failed.  ``None`` (default) retries forever —
+        with any per-attempt crash probability below 1 every job
+        eventually completes, which is what production schedulers do
+        for infrastructure-caused kills.
+    backoff_base, backoff_factor, backoff_cap:
+        Resubmission delay for attempt *k* (1-based count of attempts
+        already made) is ``min(base * factor**(k-1), cap)`` seconds,
+        scaled by jitter.
+    jitter:
+        Fractional uniform jitter on the delay (0.1 → ±10%), drawn
+        deterministically per ``(seed, job_id, attempt)`` so retries
+        do not thundering-herd at the same instant yet stay
+        reproducible.
+    checkpoint:
+        When True, a killed job preserves the fraction of work it
+        completed (checkpoint/restart); its next attempt only runs the
+        remainder, and the killed attempt wastes no node-seconds.
+    """
+
+    max_attempts: int | None = None
+    backoff_base: float = 30.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 3600.0
+    jitter: float = 0.1
+    checkpoint: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 (or None)")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def gives_up(self, attempts_made: int) -> bool:
+        """True when a job that just failed attempt *attempts_made* is done."""
+        return self.max_attempts is not None and attempts_made >= self.max_attempts
+
+    def delay(self, attempts_made: int, job_id: int = 0) -> float:
+        """Backoff before the next attempt, after *attempts_made* failures."""
+        if attempts_made < 1:
+            raise ValueError("delay() is for jobs that have failed at least once")
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempts_made - 1),
+            self.backoff_cap,
+        )
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self.seed, stable_hash("retry-jitter"), int(job_id),
+                 int(attempts_made)]
+            )
+        )
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))

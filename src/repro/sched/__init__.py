@@ -16,8 +16,14 @@ from repro.sched.machines import ClusterState, MachineState
 from repro.sched.metrics import (
     average_bounded_slowdown,
     average_wait_time,
+    completed_fraction,
+    degraded_prediction_fraction,
+    goodput,
     makespan,
     per_machine_job_counts,
+    resilience_summary,
+    retry_count,
+    wasted_node_seconds,
 )
 from repro.sched.policies import (
     FCFSPolicy,
@@ -61,4 +67,10 @@ __all__ = [
     "average_bounded_slowdown",
     "average_wait_time",
     "per_machine_job_counts",
+    "goodput",
+    "wasted_node_seconds",
+    "retry_count",
+    "completed_fraction",
+    "degraded_prediction_fraction",
+    "resilience_summary",
 ]

@@ -1,4 +1,19 @@
-"""Cluster state: per-machine node accounting and completion tracking."""
+"""Cluster state: per-machine node accounting and completion tracking.
+
+Machines carry an availability state for the failure-aware simulation:
+
+* ``up`` — normal operation (the only state the fault-free simulator
+  ever sees).
+* ``drain`` — running jobs finish but no new jobs start (administrative
+  drain before maintenance).
+* ``down`` — every node is offline; nothing runs or starts.
+
+Individual nodes can additionally be taken offline
+(:meth:`MachineState.take_offline`) and brought back
+(:meth:`MachineState.bring_online`) by the fault injector; a machine
+whose last usable node goes offline transitions to ``down`` and returns
+to ``up`` on the first recovery.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +22,8 @@ import heapq
 from repro.arch.machines import MACHINES
 
 __all__ = ["MachineState", "ClusterState"]
+
+_STATES = ("up", "drain", "down")
 
 
 class MachineState:
@@ -18,24 +35,51 @@ class MachineState:
         self.name = name
         self.total_nodes = total_nodes
         self.free_nodes = total_nodes
+        self.state = "up"
+        self.offline_nodes = 0
         # Min-heap of (end_time, seq, nodes) for running allocations.
         self._running: list[tuple[float, int, int]] = []
         self._seq = 0
 
+    # -- capacity queries ------------------------------------------------
+    @property
+    def usable_nodes(self) -> int:
+        """Nodes not currently offline (free or running)."""
+        return self.total_nodes - self.offline_nodes
+
     def can_fit(self, nodes: int) -> bool:
-        return self.free_nodes >= nodes
+        return self.state == "up" and self.free_nodes >= nodes
 
     def can_ever_fit(self, nodes: int) -> bool:
-        return self.total_nodes >= nodes
+        return self.usable_nodes >= nodes
 
-    def start(self, nodes: int, end_time: float) -> None:
+    # -- allocation lifecycle --------------------------------------------
+    def start(self, nodes: int, end_time: float) -> int:
+        """Allocate *nodes* until *end_time*; returns an allocation id."""
+        if self.state != "up":
+            raise RuntimeError(f"{self.name}: cannot start jobs while {self.state}")
         if nodes > self.free_nodes:
             raise RuntimeError(
                 f"{self.name}: cannot start {nodes} nodes, {self.free_nodes} free"
             )
         self.free_nodes -= nodes
-        heapq.heappush(self._running, (end_time, self._seq, nodes))
+        seq = self._seq
+        heapq.heappush(self._running, (end_time, seq, nodes))
         self._seq += 1
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        """Remove a running allocation (job killed), freeing its nodes.
+
+        Failures are rare events, so the O(n) scan + re-heapify is fine.
+        """
+        for i, (_, s, nodes) in enumerate(self._running):
+            if s == seq:
+                self._running.pop(i)
+                heapq.heapify(self._running)
+                self.free_nodes += nodes
+                return
+        raise KeyError(f"{self.name}: no running allocation {seq}")
 
     def next_completion(self) -> float | None:
         return self._running[0][0] if self._running else None
@@ -54,7 +98,9 @@ class MachineState:
 
         Walks the completion heap accumulating freed nodes; returns
         *now* if they are already free.  This is the EASY reservation
-        time for a blocked head-of-queue job.
+        time for a blocked head-of-queue job.  Offline nodes do not
+        count: while they are out the reservation cannot be met and
+        this raises ``RuntimeError`` (the caller waits for recovery).
         """
         if self.free_nodes >= nodes_needed:
             return now
@@ -67,13 +113,62 @@ class MachineState:
             f"{self.name}: {nodes_needed} nodes exceed machine capacity"
         )
 
+    # -- availability transitions ----------------------------------------
+    def drain(self) -> None:
+        """Stop starting new jobs; running jobs finish normally."""
+        if self.state == "down":
+            raise RuntimeError(f"{self.name}: cannot drain a down machine")
+        self.state = "drain"
+
+    def resume(self) -> None:
+        """Return a drained machine to normal operation."""
+        if self.state != "drain":
+            raise RuntimeError(f"{self.name}: resume() only applies to drain")
+        self.state = "up"
+
+    def take_offline(self, nodes: int = 1) -> None:
+        """Take *nodes* idle nodes offline (node failure or maintenance).
+
+        The caller must ensure enough free nodes exist — i.e. kill any
+        victim jobs first so their nodes are released.  When the last
+        usable node goes offline the machine transitions to ``down``.
+        """
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if nodes > self.free_nodes:
+            raise RuntimeError(
+                f"{self.name}: cannot take {nodes} nodes offline, "
+                f"{self.free_nodes} free (kill victims first)"
+            )
+        self.free_nodes -= nodes
+        self.offline_nodes += nodes
+        if self.usable_nodes == 0:
+            self.state = "down"
+
+    def bring_online(self, nodes: int = 1) -> None:
+        """Return *nodes* offline nodes to the free pool (recovery)."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if nodes > self.offline_nodes:
+            raise RuntimeError(
+                f"{self.name}: only {self.offline_nodes} nodes offline"
+            )
+        self.offline_nodes -= nodes
+        self.free_nodes += nodes
+        if self.state == "down":
+            self.state = "up"
+
     @property
     def used_nodes(self) -> int:
-        return self.total_nodes - self.free_nodes
+        return self.total_nodes - self.free_nodes - self.offline_nodes
 
     def __repr__(self) -> str:
+        extra = "" if self.state == "up" else f", {self.state}"
+        if self.offline_nodes:
+            extra += f", {self.offline_nodes} offline"
         return (
-            f"MachineState({self.name}, {self.used_nodes}/{self.total_nodes} used)"
+            f"MachineState({self.name}, {self.used_nodes}/{self.total_nodes} "
+            f"used{extra})"
         )
 
 

@@ -6,11 +6,17 @@
   ``max((wait + run) / max(run, bound), 1)`` with a 10-second bound to
   avoid over-penalizing very short jobs (per-job responsiveness view,
   Fig. 8).
+
+Resilience metrics (extensions beyond the paper) read the fault
+bookkeeping a failure-aware run leaves in ``result.extra["faults"]``;
+on a fault-free result they return their perfect-world values (zero
+waste, goodput 1, no retries) so reporting code needs no branching.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from typing import Mapping
 
 import numpy as np
 
@@ -24,6 +30,12 @@ __all__ = [
     "machine_utilization",
     "utilization_timeline",
     "jain_fairness",
+    "wasted_node_seconds",
+    "goodput",
+    "retry_count",
+    "completed_fraction",
+    "degraded_prediction_fraction",
+    "resilience_summary",
 ]
 
 #: Standard bounded-slowdown threshold (seconds).
@@ -105,6 +117,82 @@ def utilization_timeline(
         nodes = 1 if nodes_per_job is None else nodes_per_job.get(int(jid), 1)
         busy += nodes * ((times >= start) & (times < end))
     return times, busy
+
+
+def _fault_info(result: ScheduleResult) -> dict:
+    return result.extra.get("faults", {})
+
+
+def wasted_node_seconds(result: ScheduleResult) -> float:
+    """Node-seconds of work lost to kills (0 for a fault-free run).
+
+    Checkpointed kills waste nothing: the completed fraction survives
+    the restart.
+    """
+    return float(_fault_info(result).get("wasted_node_seconds", 0.0))
+
+
+def goodput(
+    result: ScheduleResult, nodes_per_job: dict[int, int] | None = None
+) -> float:
+    """Fraction of consumed node-seconds that produced completed work.
+
+    ``useful / (useful + wasted)`` where useful is the node-time of
+    successful (final-attempt) executions and wasted is the node-time
+    of killed attempts.  1.0 in a perfect world; degrades with crash
+    rate unless checkpointing is on.
+    """
+    useful = 0.0
+    for jid, run in zip(result.job_ids, result.runtimes):
+        nodes = 1 if nodes_per_job is None else nodes_per_job.get(int(jid), 1)
+        useful += nodes * run
+    wasted = wasted_node_seconds(result)
+    if useful + wasted <= 0:
+        raise ValueError("degenerate schedule with no consumed node-time")
+    return float(useful / (useful + wasted))
+
+
+def retry_count(result: ScheduleResult) -> int:
+    """Total resubmissions across all jobs (0 for a fault-free run)."""
+    return int(_fault_info(result).get("retries", 0))
+
+
+def completed_fraction(result: ScheduleResult) -> float:
+    """Jobs that finished / jobs submitted (1.0 unless a finite
+    ``RetryPolicy.max_attempts`` abandoned some)."""
+    failed = len(_fault_info(result).get("failed_jobs", ()))
+    total = result.num_jobs + failed
+    if total == 0:
+        raise ValueError("empty schedule result")
+    return result.num_jobs / total
+
+
+def degraded_prediction_fraction(tier_counts: Mapping[str, int]) -> float:
+    """Fraction of predictions served below the full-model tier.
+
+    *tier_counts* maps degradation tier name to usage count — e.g.
+    :attr:`repro.resilience.ResilientPredictor.tier_counts`.  0.0 when
+    nothing was predicted (nothing degraded either).
+    """
+    total = sum(tier_counts.values())
+    if total == 0:
+        return 0.0
+    return 1.0 - tier_counts.get("model", 0) / total
+
+
+def resilience_summary(result: ScheduleResult) -> dict[str, float]:
+    """One-line fault report: the numbers an operator would page on."""
+    info = _fault_info(result)
+    return {
+        "node_failures": int(info.get("node_failures", 0)),
+        "job_crashes": int(info.get("job_crashes", 0)),
+        "preemptions": int(info.get("preemptions", 0)),
+        "retries": retry_count(result),
+        "failed_jobs": len(info.get("failed_jobs", ())),
+        "wasted_node_seconds": wasted_node_seconds(result),
+        "goodput": goodput(result),
+        "completed_fraction": completed_fraction(result),
+    }
 
 
 def jain_fairness(result: ScheduleResult, bound: float = DEFAULT_BOUND) -> float:

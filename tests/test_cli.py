@@ -28,6 +28,19 @@ class TestParser:
                  "--scale", "4node"]
             )
 
+    def test_schedule_fault_profile(self):
+        args = build_parser().parse_args(
+            ["schedule", "--fault-profile", "heavy", "--checkpoint",
+             "--max-attempts", "3"]
+        )
+        assert args.fault_profile == "heavy"
+        assert args.checkpoint is True
+        assert args.max_attempts == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["schedule", "--fault-profile", "apocalyptic"]
+            )
+
 
 class TestCommands:
     def test_generate_writes_csv(self, tmp_path, capsys):
@@ -56,7 +69,18 @@ class TestCommands:
     def test_profile_unknown_app_fails_cleanly(self, capsys):
         code = main(["profile", "--app", "HPL", "--machine", "Quartz"])
         assert code == 2
-        assert "error" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "HPL" in err
+        assert "valid --app choices" in err
+        assert "AMG" in err  # the message enumerates what *would* work
+
+    def test_profile_unknown_machine_fails_cleanly(self, capsys):
+        code = main(["profile", "--app", "AMG", "--machine", "Summit"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "Summit" in err
+        assert "valid --machine choices" in err
+        assert "Quartz" in err
 
     def test_train_then_predict(self, tmp_path, capsys):
         model_path = tmp_path / "m.pkl"

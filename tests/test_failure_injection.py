@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.predictor import CrossArchPredictor
+from repro.errors import ProfileError, ReproError, TraceError
 from repro.frame import Frame, read_csv
 from repro.ml.serialization import model_from_dict
 from repro.profiler import load_profile, profile_run, save_profile
@@ -29,8 +30,10 @@ class TestCorruptedProfiles:
         path = tmp_path / "p.json"
         save_profile(self._profile(), path)
         path.write_text(path.read_text()[: len(path.read_text()) // 2])
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(ProfileError) as err:
             load_profile(path)
+        assert str(path) in str(err.value)
+        assert "line" in str(err.value)
 
     def test_orphan_node(self, tmp_path):
         path = tmp_path / "p.json"
@@ -38,8 +41,19 @@ class TestCorruptedProfiles:
         doc = json.loads(path.read_text())
         doc["nodes"][0]["parent"] = 5  # root must be parentless
         path.write_text(json.dumps(doc))
-        with pytest.raises(ValueError):
+        with pytest.raises(ProfileError) as err:
             load_profile(path)
+        assert str(path) in str(err.value)
+
+    def test_profile_error_is_value_error(self):
+        # Backwards compatibility: callers that caught ValueError keep
+        # working after the switch to the ProfileError hierarchy.
+        assert issubclass(ProfileError, ValueError)
+        assert issubclass(ProfileError, ReproError)
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_profile(tmp_path / "absent.json")
 
     def test_missing_counter_fails_decode(self, tmp_path):
         from repro.hatchet_lite import run_record
@@ -97,8 +111,20 @@ class TestCorruptedTraces:
     def test_swf_with_text_fields(self, tmp_path):
         path = tmp_path / "bad.swf"
         path.write_text("1 two 3 4 5\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError) as err:
             read_swf(path)
+        assert f"{path}:1" in str(err.value)
+
+    def test_swf_with_short_line(self, tmp_path):
+        path = tmp_path / "short.swf"
+        path.write_text("; header survives\n1 0 0 10 1\n42 7\n")
+        with pytest.raises(TraceError) as err:
+            read_swf(path)
+        assert f"{path}:3" in str(err.value)
+
+    def test_trace_error_is_value_error(self):
+        assert issubclass(TraceError, ValueError)
+        assert issubclass(TraceError, ReproError)
 
     def test_job_with_zero_runtime_rejected(self):
         from repro.sched import Job
