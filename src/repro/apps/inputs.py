@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.spec import AppSpec, InstructionMix
+from repro.parallel.seeding import substream
 
 __all__ = ["InputConfig", "generate_inputs"]
 
@@ -113,9 +114,7 @@ def generate_inputs(
         raise ValueError(f"bad size_range {size_range}")
     # Seed derived from both the app name and the caller's seed so each
     # app gets an independent but reproducible stream.
-    rng = np.random.default_rng(
-        np.random.SeedSequence([seed, _stable_hash(app.name)])
-    )
+    rng = substream(seed, app.name)
     sizes = np.exp(rng.uniform(np.log(lo), np.log(hi), size=count))
     out: list[InputConfig] = []
     for i in range(count):
@@ -131,11 +130,3 @@ def generate_inputs(
             )
         )
     return out
-
-
-def _stable_hash(text: str) -> int:
-    """Deterministic 32-bit hash (Python's ``hash`` is salted per process)."""
-    h = 2166136261
-    for ch in text.encode():
-        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
-    return h

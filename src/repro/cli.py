@@ -2,7 +2,9 @@
 
 Exposes the reproduction's main workflows as ``repro <subcommand>``:
 
-* ``generate``  — build the MP-HPC dataset and write it as CSV.
+* ``generate``  — build the MP-HPC dataset and write it as CSV (alias
+  ``dataset``; supports ``--jobs N`` parallel generation and a
+  ``--cache-dir`` content-addressed shard cache, both output-invariant).
 * ``train``     — train a predictor and save it (pickle).
 * ``evaluate``  — the Fig. 2 four-model comparison.
 * ``importance``— the Fig. 6 feature-importance report.
@@ -32,10 +34,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="generate the MP-HPC dataset CSV")
+    p = sub.add_parser("generate", aliases=["dataset"],
+                       help="generate the MP-HPC dataset CSV")
     p.add_argument("--inputs-per-app", type=int, default=12)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default="mphpc.csv")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for shard generation "
+                        "(0 = all cores); never changes the output")
+    p.add_argument("--cache-dir",
+                   help="content-addressed shard cache directory; warm "
+                        "reruns skip profiling entirely")
 
     p = sub.add_parser("report", help="dataset summary report")
     p.add_argument("--inputs-per-app", type=int, default=8)
@@ -54,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cv", action="store_true",
                    help="also run 5-fold cross-validation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for dataset generation and "
+                        "model training (0 = all cores)")
+    p.add_argument("--cache-dir", help="shard cache directory")
 
     p = sub.add_parser("importance", help="feature importances (Fig. 6)")
     p.add_argument("--inputs-per-app", type=int, default=8)
@@ -118,14 +131,32 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 # Subcommand implementations (each takes parsed args, returns exit code)
 # ---------------------------------------------------------------------------
+def _make_cache(args):
+    """A ShardCache from ``--cache-dir``, or None when the flag is off."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.dataset.store import ShardCache
+
+    return ShardCache(args.cache_dir)
+
+
+def _print_cache_stats(cache) -> None:
+    if cache is not None:
+        s = cache.stats
+        print(f"cache {cache.cache_dir}: {s.hits} hits, {s.misses} misses, "
+              f"{s.evictions} evicted")
+
+
 def _cmd_generate(args) -> int:
     from repro.dataset import generate_dataset
 
+    cache = _make_cache(args)
     dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
-                               seed=args.seed)
+                               seed=args.seed, jobs=args.jobs, cache=cache)
     dataset.save(args.output)
     print(f"wrote {dataset.num_rows} rows x "
           f"{dataset.frame.num_columns} columns to {args.output}")
+    _print_cache_stats(cache)
     return 0
 
 
@@ -164,12 +195,15 @@ def _cmd_evaluate(args) -> int:
     from repro.core.evaluation import model_comparison_study
     from repro.dataset import generate_dataset
 
+    cache = _make_cache(args)
     dataset = generate_dataset(inputs_per_app=args.inputs_per_app,
-                               seed=args.seed)
-    frame = model_comparison_study(dataset, seed=42, run_cv=args.cv)
+                               seed=args.seed, jobs=args.jobs, cache=cache)
+    frame = model_comparison_study(dataset, seed=42, run_cv=args.cv,
+                                   jobs=args.jobs)
     print(f"{'model':>10s} {'MAE':>8s} {'SOS':>8s}")
     for model, mae, sos in zip(frame["model"], frame["mae"], frame["sos"]):
         print(f"{model:>10s} {mae:8.4f} {sos:8.3f}")
+    _print_cache_stats(cache)
     return 0
 
 
@@ -406,6 +440,7 @@ def _schedule_with_faults(args, dataset, predictor) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "dataset": _cmd_generate,
     "report": _cmd_report,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,

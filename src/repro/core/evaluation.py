@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.machines import SYSTEM_ORDER
-from repro.core.pipeline import MODEL_FACTORIES, train_model
+from repro.core.pipeline import MODEL_FACTORIES, train_all_models, train_model
 from repro.core.predictor import CrossArchPredictor
 from repro.dataset.generate import MPHPCDataset
 from repro.dataset.schema import FEATURE_LABELS
@@ -31,28 +31,26 @@ __all__ = [
 
 def model_comparison_study(
     dataset: MPHPCDataset, seed: int = 42, run_cv: bool = False,
-    model_kwargs: dict | None = None,
+    model_kwargs: dict | None = None, jobs: int = 1,
 ) -> Frame:
     """Fig. 2: test-set MAE and SOS of the four models.
 
     ``model_kwargs`` (e.g. smaller tree counts) apply to the tree models
-    only and exist so tests can run the study cheaply.
+    only and exist so tests can run the study cheaply.  ``jobs > 1``
+    trains the four models on a process pool with identical results.
     """
-    rows = []
-    for name in MODEL_FACTORIES:
-        kwargs = model_kwargs if (model_kwargs and name in
-                                  ("forest", "xgboost")) else {}
-        trained = train_model(dataset, model=name, seed=seed, run_cv=run_cv,
-                              **kwargs)
-        rows.append(
-            {
-                "model": name,
-                "mae": trained.test_mae,
-                "sos": trained.test_sos,
-                "cv_mae": trained.cv_mae,
-                "cv_sos": trained.cv_sos,
-            }
-        )
+    trained = train_all_models(dataset, seed=seed, run_cv=run_cv,
+                               jobs=jobs, model_kwargs=model_kwargs)
+    rows = [
+        {
+            "model": name,
+            "mae": trained[name].test_mae,
+            "sos": trained[name].test_sos,
+            "cv_mae": trained[name].cv_mae,
+            "cv_sos": trained[name].cv_sos,
+        }
+        for name in MODEL_FACTORIES
+    ]
     return Frame.from_records(rows)
 
 

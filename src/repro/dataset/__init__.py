@@ -27,17 +27,26 @@ from repro.dataset.features import (
     FeatureNormalizer,
     derive_feature_frame,
 )
-from repro.dataset.generate import MPHPCDataset, generate_dataset
+from repro.dataset.generate import MPHPCDataset, ShardTask, generate_dataset
 from repro.dataset.schema import (
     ARCH_COLUMNS,
+    DATASET_SCHEMA_VERSION,
     FEATURE_COLUMNS,
     MAGNITUDE_FEATURES,
     META_COLUMNS,
     RATIO_FEATURES,
     TARGET_COLUMNS,
 )
+from repro.dataset.store import (
+    CacheStats,
+    ShardCache,
+    load_npz,
+    save_npz,
+    shard_cache_key,
+)
 
 __all__ = [
+    "DATASET_SCHEMA_VERSION",
     "FEATURE_COLUMNS",
     "RATIO_FEATURES",
     "MAGNITUDE_FEATURES",
@@ -47,5 +56,11 @@ __all__ = [
     "FeatureNormalizer",
     "derive_feature_frame",
     "MPHPCDataset",
+    "ShardTask",
     "generate_dataset",
+    "ShardCache",
+    "CacheStats",
+    "shard_cache_key",
+    "save_npz",
+    "load_npz",
 ]

@@ -97,13 +97,13 @@ class FeatureNormalizer:
             raise RuntimeError("transform called before fit")
         if self._identity:
             return frame
-        out = frame
-        for feature in MAGNITUDE_FEATURES:
-            values = np.log1p(np.asarray(frame[feature], dtype=np.float64))
-            out = out.with_column(
-                feature, (values - self.means_[feature]) / self.stds_[feature]
-            )
-        return out
+        # One batched copy for all eight columns instead of a full-frame
+        # copy per column.
+        return frame.with_columns({
+            feature: (np.log1p(np.asarray(frame[feature], dtype=np.float64))
+                      - self.means_[feature]) / self.stds_[feature]
+            for feature in MAGNITUDE_FEATURES
+        })
 
     def to_dict(self) -> dict:
         if self.means_ is None or self.stds_ is None:
@@ -134,21 +134,19 @@ def derive_feature_frame(
     total = np.asarray(records["total_instructions"], dtype=np.float64)
     if (total <= 0).any():
         raise ValueError("total_instructions must be positive")
-    out = records
+    # All derived columns are computed as whole-column numpy expressions
+    # and attached in one batched copy (with_columns), so feature
+    # derivation is frame-level work rather than a per-column (or worse,
+    # per-row) Python loop.
+    derived: dict[str, np.ndarray] = {}
     for feature, raw in _RAW_FOR_RATIO.items():
-        out = out.with_column(
-            feature, np.asarray(records[raw], dtype=np.float64) / total
-        )
+        derived[feature] = np.asarray(records[raw], dtype=np.float64) / total
     for feature, raw in RAW_FOR_MAGNITUDE.items():
-        out = out.with_column(
-            feature, np.asarray(records[raw], dtype=np.float64)
-        )
-    machines = records["machine"]
+        derived[feature] = np.asarray(records[raw], dtype=np.float64)
+    machines = records["machine"].astype(str)
     for system, column in zip(SYSTEM_ORDER, ARCH_COLUMNS):
-        out = out.with_column(
-            column,
-            (np.array([str(m) for m in machines]) == system).astype(np.float64),
-        )
+        derived[column] = (machines == system).astype(np.float64)
+    out = records.with_columns(derived)
     if normalizer is None:
         normalizer = FeatureNormalizer().fit(out)
     return normalizer.transform(out), normalizer

@@ -4,12 +4,29 @@ Drives the full pipeline the paper describes in Figure 1's first phase:
 for every application and input, profile the run on every system at
 every scale, parse each profile into a flat record, derive Table III
 features, and attach RPV targets.
+
+Generation is sharded: one shard profiles every input of one
+application on one system at one scale, and shards are independent
+because every random quantity is a :mod:`repro.parallel.seeding`
+substream of the root seed and the shard's identity.  That buys two
+things with zero effect on the output bytes:
+
+* ``jobs=N`` fans shards out over a process pool
+  (:func:`repro.parallel.run_tasks`), reassembling records in canonical
+  (app, input, scale, system) order;
+* ``cache``/``cache_dir`` consult a content-addressed
+  :class:`~repro.dataset.store.ShardCache` before profiling, so a warm
+  rerun skips the simulator entirely.
+
+``tests/test_parallel_determinism.py`` pins the invariant that
+sequential, parallel, and cached runs produce byte-identical datasets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import NamedTuple
 
 import numpy as np
 
@@ -22,12 +39,14 @@ from repro.dataset.schema import (
     META_COLUMNS,
     TARGET_COLUMNS,
 )
+from repro.errors import DatasetError
 from repro.frame import Frame, read_csv, write_csv
 from repro.hatchet_lite import run_record
+from repro.parallel import run_tasks
 from repro.perfsim.config import SCALES, make_run_config
 from repro.profiler import profile_run
 
-__all__ = ["MPHPCDataset", "generate_dataset"]
+__all__ = ["MPHPCDataset", "generate_dataset", "ShardTask"]
 
 #: Inputs per application chosen so the dataset lands at the paper's
 #: size: 20 apps x 47 inputs x 3 scales x 4 systems = 11,280 rows
@@ -96,11 +115,87 @@ class MPHPCDataset:
 
     @classmethod
     def load(cls, path: str | Path) -> "MPHPCDataset":
+        """Load a dataset CSV, validating it against the MP-HPC schema.
+
+        Raises
+        ------
+        DatasetError
+            If the table's columns have drifted from the expected
+            meta + feature + target layout; the message names the path
+            and the missing/extra columns, instead of deferring to a
+            bare ``KeyError`` at first column access.
+        """
         frame = read_csv(path)
+        expected = list(META_COLUMNS) + list(FEATURE_COLUMNS) + list(TARGET_COLUMNS)
+        missing = [c for c in expected if c not in frame]
+        extra = [c for c in frame.columns if c not in set(expected)]
+        if missing or extra:
+            raise DatasetError(
+                f"{path}: dataset schema drift — "
+                f"missing columns {missing}, unexpected columns {extra}"
+            )
         # The saved table is already normalized, so the reloaded dataset
         # carries an identity normalizer; re-featurizing *new* raw runs
         # requires the original dataset's fitted normalizer.
         return cls(frame=frame, normalizer=FeatureNormalizer.identity())
+
+
+class ShardTask(NamedTuple):
+    """One generation shard: every input of one app on one system at one
+    scale.  Plain strings/ints only, so tasks pickle cheaply to worker
+    processes, which rebuild the heavyweight specs from the catalogs."""
+
+    app_name: str
+    scale: str
+    system: str
+    inputs_per_app: int
+    seed: int
+
+
+def _generate_shard(task: ShardTask) -> list[dict]:
+    """Profile one shard and return its run records, in input order.
+
+    Pure function of the task description: inputs are re-derived from
+    the root seed (``generate_inputs`` is itself substream-seeded) and
+    every profile's noise comes from the run's identity substream, so a
+    worker produces exactly the records the sequential loop would.
+    """
+    app = APPLICATIONS[task.app_name]
+    machine = MACHINES[task.system]
+    config = make_run_config(app, machine, task.scale)
+    inputs = generate_inputs(app, task.inputs_per_app, seed=task.seed)
+    return [
+        run_record(profile_run(app, inp, machine, config, seed=task.seed))
+        for inp in inputs
+    ]
+
+
+def _gather_shards(
+    tasks: list[ShardTask], jobs: int, cache
+) -> dict[tuple[str, str, str], list[dict]]:
+    """Resolve every task to its record list, via cache then executor."""
+    from repro.dataset.store import shard_cache_key  # avoid import cycle
+
+    shards: dict[tuple[str, str, str], list[dict]] = {}
+    pending: list[ShardTask] = []
+    digests: dict[ShardTask, str] = {}
+    for task in tasks:
+        if cache is not None:
+            digests[task] = shard_cache_key(
+                APPLICATIONS[task.app_name], MACHINES[task.system],
+                task.scale, task.seed, task.inputs_per_app,
+            )
+            hit = cache.get(digests[task])
+            if hit is not None:
+                shards[task[:3]] = hit
+                continue
+        pending.append(task)
+    for task, records in zip(pending, run_tasks(_generate_shard, pending,
+                                                jobs=jobs)):
+        if cache is not None:
+            cache.put(digests[task], records)
+        shards[task[:3]] = records
+    return shards
 
 
 def generate_dataset(
@@ -109,6 +204,9 @@ def generate_dataset(
     apps: list[str] | None = None,
     scales: tuple[str, ...] = SCALES,
     systems: tuple[str, ...] = SYSTEM_ORDER,
+    jobs: int = 1,
+    cache=None,
+    cache_dir: str | Path | None = None,
 ) -> MPHPCDataset:
     """Generate the MP-HPC dataset.
 
@@ -117,17 +215,26 @@ def generate_dataset(
     inputs_per_app:
         Input configurations per application (paper-scale default 47).
     seed:
-        Master seed; the dataset is a pure function of its arguments.
+        Master seed; the dataset is a pure function of its arguments —
+        ``jobs``, ``cache`` and ``cache_dir`` never change the output.
     apps:
         Application subset (default: all 20).
     scales, systems:
         Run scales and systems to include.
+    jobs:
+        Worker processes for shard generation (1 = inline; 0/None = all
+        cores).
+    cache:
+        A :class:`~repro.dataset.store.ShardCache` to consult/populate
+        (pass your own to read its hit/miss stats afterwards).
+    cache_dir:
+        Shorthand: directory for an internally-constructed cache.
 
     Returns
     -------
     MPHPCDataset
         With ``len(apps) * inputs_per_app * len(scales) * len(systems)``
-        rows.
+        rows in canonical (app, input, scale, system) order.
     """
     if inputs_per_app < 1:
         raise ValueError("inputs_per_app must be >= 1")
@@ -135,33 +242,42 @@ def generate_dataset(
     unknown = [a for a in app_names if a not in APPLICATIONS]
     if unknown:
         raise KeyError(f"unknown applications: {unknown}")
+    if cache is None and cache_dir is not None:
+        from repro.dataset.store import ShardCache  # avoid import cycle
 
+        cache = ShardCache(cache_dir)
+
+    tasks = [
+        ShardTask(app_name, scale, system, inputs_per_app, seed)
+        for app_name in app_names
+        for scale in scales
+        for system in systems
+    ]
+    shards = _gather_shards(tasks, jobs, cache)
+
+    # Reassemble in the canonical row order regardless of which shards
+    # came from the cache, the pool, or the inline path.
     records: list[dict] = []
-    targets: list[np.ndarray] = []
     for app_name in app_names:
-        app = APPLICATIONS[app_name]
-        for inp in generate_inputs(app, inputs_per_app, seed=seed):
+        for i in range(inputs_per_app):
             for scale in scales:
-                group: list[dict] = []
-                times = np.empty(len(systems))
-                for j, system in enumerate(systems):
-                    machine = MACHINES[system]
-                    config = make_run_config(app, machine, scale)
-                    profile = profile_run(app, inp, machine, config, seed=seed)
-                    rec = run_record(profile)
-                    group.append(rec)
-                    times[j] = rec["time_seconds"]
-                # RPV relative to the slowest system: t_s / max_s t_s.
-                rpv = times / times.max()
-                for rec in group:
-                    records.append(rec)
-                    targets.append(rpv)
+                for system in systems:
+                    records.append(shards[(app_name, scale, system)][i])
+
+    # RPV relative to the slowest system, t_s / max_s t_s, computed for
+    # all (app, input, scale) groups at once: rows arrive grouped with
+    # one row per system, so times reshape to (groups, systems).
+    times = np.array([rec["time_seconds"] for rec in records])
+    rpv = times.reshape(-1, len(systems))
+    rpv = rpv / rpv.max(axis=1, keepdims=True)
+    target_matrix = np.repeat(rpv, len(systems), axis=0)
 
     raw = Frame.from_records(records)
     featured, normalizer = derive_feature_frame(raw)
-    target_matrix = np.array(targets)
-    for j, column in enumerate(TARGET_COLUMNS):
-        featured = featured.with_column(column, target_matrix[:, j])
+    featured = featured.with_columns({
+        column: target_matrix[:, j]
+        for j, column in enumerate(TARGET_COLUMNS)
+    })
 
     keep = list(META_COLUMNS) + list(FEATURE_COLUMNS) + list(TARGET_COLUMNS)
     return MPHPCDataset(frame=featured.select(keep), normalizer=normalizer)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.arch.machines import SYSTEM_ORDER
 
 __all__ = [
+    "DATASET_SCHEMA_VERSION",
     "RATIO_FEATURES",
     "MAGNITUDE_FEATURES",
     "CONFIG_FEATURES",
@@ -14,6 +15,12 @@ __all__ = [
     "META_COLUMNS",
     "FEATURE_LABELS",
 ]
+
+#: Version of the raw-record/feature schema.  Part of every shard-cache
+#: key: bump it whenever the meaning or layout of generated records
+#: changes, and every stale cache entry becomes a clean miss instead of
+#: silently-served wrong data.
+DATASET_SCHEMA_VERSION = 1
 
 #: Instruction-ratio features (Table III, top block): category counts
 #: divided by total instructions.  "Arithmetic Intensity" in the paper

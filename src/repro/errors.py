@@ -12,7 +12,7 @@ so existing ``except ValueError`` call sites keep working.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "ProfileError", "TraceError"]
+__all__ = ["ReproError", "ProfileError", "TraceError", "DatasetError"]
 
 
 class ReproError(Exception):
@@ -25,3 +25,9 @@ class ProfileError(ReproError, ValueError):
 
 class TraceError(ReproError, ValueError):
     """A workload trace (SWF) is corrupt or structurally invalid."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A persisted dataset artifact (CSV/npz) is corrupt or has drifted
+    from the MP-HPC schema; the message names the path and the
+    missing/extra columns."""

@@ -1,0 +1,68 @@
+"""Ordered work-sharding executor.
+
+:func:`run_tasks` maps a picklable function over a list of task
+descriptions, either inline (``jobs=1`` — zero overhead, no pool) or on
+a process pool, and always returns results in task-submission order.
+Combined with :mod:`repro.parallel.seeding` this makes parallelism a
+pure wall-time knob: the caller shards the work, each shard derives its
+own RNG substream from the root seed, and reassembly order is fixed by
+the task list, not by completion order.
+
+The worker function must be defined at module level (process pools
+pickle it by reference) and tasks should be small plain-data objects;
+workers that need heavyweight inputs should rebuild them from the task
+description rather than shipping them through the pickle channel.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "run_tasks"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    tasks: Iterable[T],
+    jobs: int | None = 1,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Apply *fn* to every task, returning results in task order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level picklable callable.
+    tasks:
+        Task descriptions (picklable).
+    jobs:
+        Worker processes; ``1`` runs inline with no pool, ``None``/``0``
+        use every core.
+    chunksize:
+        Tasks shipped per pool round-trip (default: tasks split into
+        roughly four chunks per worker).
+
+    Any worker exception propagates to the caller unchanged (the pool is
+    torn down first), matching inline behaviour.
+    """
+    task_list: Sequence[T] = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    jobs = min(jobs, len(task_list))
+    if chunksize is None:
+        chunksize = max(1, len(task_list) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, task_list, chunksize=chunksize))

@@ -21,29 +21,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel.seeding import stable_hash, substream
+
 __all__ = ["NoiseModel", "stable_hash"]
-
-
-def stable_hash(text: str) -> int:
-    """Deterministic FNV-1a 32-bit hash (process-independent)."""
-    h = 2166136261
-    for ch in text.encode():
-        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
-    return h
 
 
 class NoiseModel:
     """Deterministic noise generator for one run.
 
-    Seeded by the (app, input, machine, scale, trial) identity so every
-    run in the dataset is reproducible yet independently jittered.
+    Seeded by the (app, input, machine, scale, trial) identity through
+    :func:`repro.parallel.seeding.substream`, so every run in the
+    dataset is reproducible yet independently jittered — and any worker
+    process can regenerate the exact stream from the run identity alone.
     """
 
     def __init__(self, *identity: str | int, seed: int = 0):
-        parts = [seed] + [
-            stable_hash(p) if isinstance(p, str) else int(p) for p in identity
-        ]
-        self._rng = np.random.default_rng(np.random.SeedSequence(parts))
+        self._rng = substream(seed, *identity)
 
     def runtime_factor(self, sigma: float) -> float:
         """Multiplicative log-normal runtime jitter (mean approximately 1)."""

@@ -51,6 +51,20 @@ class TestCommands:
         assert out.exists()
         assert "240 rows" in capsys.readouterr().out  # 20*1*3*4
 
+    def test_dataset_alias_with_jobs_and_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "shards"
+        cold = tmp_path / "cold.csv"
+        warm = tmp_path / "warm.csv"
+        argv = ["dataset", "--inputs-per-app", "1", "--seed", "3",
+                "--jobs", "2", "--cache-dir", str(cache_dir)]
+        assert main(argv + ["--output", str(cold)]) == 0
+        out = capsys.readouterr().out
+        assert "0 hits" in out and "misses" in out
+        assert main(argv + ["--output", str(warm)]) == 0
+        out = capsys.readouterr().out
+        assert "0 misses" in out
+        assert cold.read_bytes() == warm.read_bytes()
+
     def test_profile_prints_counters(self, capsys):
         code = main(["profile", "--app", "XSBench", "--machine", "Quartz",
                      "--scale", "1core"])

@@ -17,7 +17,8 @@ from repro.dataset import (
     derive_feature_frame,
     generate_dataset,
 )
-from repro.frame import Frame
+from repro.errors import DatasetError, ReproError
+from repro.frame import Frame, write_csv
 
 
 class TestSchema:
@@ -108,6 +109,52 @@ class TestGeneration:
         small_dataset.save(path)
         back = MPHPCDataset.load(path)
         assert back.frame == small_dataset.frame
+
+
+class TestLoadSchemaDrift:
+    """``MPHPCDataset.load`` rejects drifted tables with a typed error
+    naming the path and the offending columns, instead of a bare
+    ``KeyError`` at first column access."""
+
+    def test_missing_column_raises_dataset_error(self, small_dataset,
+                                                 tmp_path):
+        path = tmp_path / "drift.csv"
+        write_csv(small_dataset.frame.drop("branch_intensity"), path)
+        with pytest.raises(DatasetError) as exc:
+            MPHPCDataset.load(path)
+        message = str(exc.value)
+        assert str(path) in message
+        assert "branch_intensity" in message
+
+    def test_extra_column_raises_dataset_error(self, small_dataset,
+                                               tmp_path):
+        path = tmp_path / "drift.csv"
+        write_csv(
+            small_dataset.frame.with_column("bogus_column", 1.0), path
+        )
+        with pytest.raises(DatasetError) as exc:
+            MPHPCDataset.load(path)
+        assert "bogus_column" in str(exc.value)
+
+    def test_dataset_error_is_catchable_as_value_error(self, small_dataset,
+                                                       tmp_path):
+        path = tmp_path / "drift.csv"
+        write_csv(small_dataset.frame.drop("rpv_quartz"), path)
+        with pytest.raises(ValueError):
+            MPHPCDataset.load(path)
+        with pytest.raises(ReproError):
+            MPHPCDataset.load(path)
+
+    def test_arbitrary_csv_rejected(self, tmp_path):
+        path = tmp_path / "other.csv"
+        write_csv(Frame({"x": [1.0, 2.0], "y": [3.0, 4.0]}), path)
+        with pytest.raises(DatasetError):
+            MPHPCDataset.load(path)
+
+    def test_valid_csv_still_loads(self, small_dataset, tmp_path):
+        path = tmp_path / "ok.csv"
+        small_dataset.save(path)
+        assert MPHPCDataset.load(path).num_rows == small_dataset.num_rows
 
 
 class TestFeatures:

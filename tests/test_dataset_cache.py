@@ -1,0 +1,143 @@
+"""Correctness of the content-addressed shard cache.
+
+The cache must be invisible in the output (cold == warm, frame for
+frame) and paranoid about its own storage: a corrupted or truncated
+entry is detected, evicted, and regenerated — never served.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.catalog import APPLICATIONS
+from repro.arch.machines import MACHINES
+from repro.dataset.generate import generate_dataset
+from repro.dataset.store import CacheStats, ShardCache, shard_cache_key
+
+GEN_KWARGS = dict(inputs_per_app=2, seed=11, apps=["CoMD", "XSBench"])
+#: 2 apps x 3 scales x 4 systems shards.
+N_SHARDS = 2 * 3 * 4
+
+
+@pytest.fixture
+def cache(tmp_path) -> ShardCache:
+    return ShardCache(tmp_path / "shards")
+
+
+def _entry_paths(cache: ShardCache) -> list[Path]:
+    return sorted(Path(cache.cache_dir).glob("*.json"))
+
+
+class TestColdWarm:
+    def test_cold_equals_warm_frame_for_frame(self, cache):
+        cold = generate_dataset(**GEN_KWARGS, cache=cache)
+        assert cache.stats.misses == N_SHARDS and cache.stats.hits == 0
+        warm = generate_dataset(**GEN_KWARGS, cache=cache)
+        assert cache.stats.hits == N_SHARDS
+        assert cold.frame == warm.frame
+        assert warm.frame == generate_dataset(**GEN_KWARGS).frame
+
+    def test_cache_populates_one_entry_per_shard(self, cache):
+        generate_dataset(**GEN_KWARGS, cache=cache)
+        assert len(_entry_paths(cache)) == N_SHARDS
+        assert len(cache) == N_SHARDS
+
+    def test_different_seed_misses(self, cache):
+        generate_dataset(**GEN_KWARGS, cache=cache)
+        other = dict(GEN_KWARGS, seed=12)
+        generate_dataset(**other, cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2 * N_SHARDS
+
+
+class TestCorruption:
+    """A damaged entry is evicted and regenerated, not served."""
+
+    def _poison_one(self, cache, mutate) -> None:
+        generate_dataset(**GEN_KWARGS, cache=cache)
+        victim = _entry_paths(cache)[0]
+        mutate(victim)
+        cache.stats = CacheStats()  # reset counters for the warm run
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p.write_text(p.read_text()[: len(p.read_text()) // 2]),
+        lambda p: p.write_text("{not json"),
+        lambda p: p.write_text("{}"),
+        lambda p: p.write_bytes(b"\x00\xff" * 64),
+    ], ids=["truncated", "garbage", "empty-object", "binary"])
+    def test_damaged_entry_regenerated(self, cache, mutate):
+        self._poison_one(cache, mutate)
+        reference = generate_dataset(**GEN_KWARGS)
+        warm = generate_dataset(**GEN_KWARGS, cache=cache)
+        assert warm.frame == reference.frame
+        assert cache.stats.evictions == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == N_SHARDS - 1
+
+    def test_tampered_record_fails_checksum(self, cache):
+        def flip_value(path: Path) -> None:
+            payload = json.loads(path.read_text())
+            payload["records"][0]["time_seconds"] += 1.0
+            path.write_text(json.dumps(payload))
+
+        self._poison_one(cache, flip_value)
+        reference = generate_dataset(**GEN_KWARGS)
+        warm = generate_dataset(**GEN_KWARGS, cache=cache)
+        assert warm.frame == reference.frame
+        assert cache.stats.evictions == 1
+
+    def test_stale_schema_version_rejected(self, cache):
+        def backdate(path: Path) -> None:
+            payload = json.loads(path.read_text())
+            payload["schema_version"] = -1
+            path.write_text(json.dumps(payload))
+
+        self._poison_one(cache, backdate)
+        warm = generate_dataset(**GEN_KWARGS, cache=cache)
+        assert warm.frame == generate_dataset(**GEN_KWARGS).frame
+        assert cache.stats.evictions == 1
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        app, machine = APPLICATIONS["CoMD"], MACHINES["Quartz"]
+        assert shard_cache_key(app, machine, "1node", 0, 4) == \
+            shard_cache_key(app, machine, "1node", 0, 4)
+
+    def test_key_covers_every_axis(self):
+        app, machine = APPLICATIONS["CoMD"], MACHINES["Quartz"]
+        base = shard_cache_key(app, machine, "1node", 0, 4)
+        assert base != shard_cache_key(
+            APPLICATIONS["XSBench"], machine, "1node", 0, 4)
+        assert base != shard_cache_key(
+            app, MACHINES["Lassen"], "1node", 0, 4)
+        assert base != shard_cache_key(app, machine, "2node", 0, 4)
+        assert base != shard_cache_key(app, machine, "1node", 1, 4)
+        assert base != shard_cache_key(app, machine, "1node", 0, 5)
+
+
+class TestEviction:
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        cache = ShardCache(tmp_path / "c", max_entries=4)
+        for i in range(10):
+            cache.put(f"{i:064x}", [{"x": float(i)}])
+        assert len(cache) == 4
+        assert cache.stats.evictions == 6
+        # The four newest survive.
+        for i in range(6, 10):
+            assert cache.get(f"{i:064x}") == [{"x": float(i)}]
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardCache(tmp_path / "c", max_entries=0)
+
+    def test_atomic_put_roundtrip(self, tmp_path):
+        cache = ShardCache(tmp_path / "c")
+        records = [{"app": "CoMD", "time_seconds": 1.25, "n": 3.0}]
+        digest = "ab" * 32
+        cache.put(digest, records)
+        assert cache.get(digest) == records
+        assert not list(Path(cache.cache_dir).glob("*.tmp.*"))

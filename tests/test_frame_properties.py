@@ -1,4 +1,4 @@
-"""Additional property-based tests for the frame substrate."""
+"""Property-based tests for the frame substrate and feature normalizer."""
 
 from __future__ import annotations
 
@@ -7,6 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.dataset.features import FeatureNormalizer
+from repro.dataset.schema import MAGNITUDE_FEATURES
 from repro.frame import Frame, concat
 
 keys = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
@@ -94,3 +96,134 @@ def test_property_take_filter_consistency(n, seed):
     filtered = f.filter(mask)
     taken = f.take(np.flatnonzero(mask))
     assert filtered == taken
+
+
+# ---------------------------------------------------------------------------
+# Frame subset / column ops
+# ---------------------------------------------------------------------------
+@given(n=st.integers(1, 30), seed=st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_property_with_columns_equals_chained_with_column(n, seed):
+    """The batched column attach is exactly the chained one, including
+    replace-in-place ordering."""
+    rng = np.random.default_rng(seed)
+    f = Frame({"a": rng.normal(size=n), "b": rng.normal(size=n)})
+    new = {"b": rng.normal(size=n), "c": rng.normal(size=n),
+           "d": rng.normal(size=n)}
+    chained = f
+    for name, values in new.items():
+        chained = chained.with_column(name, values)
+    batched = f.with_columns(new)
+    assert batched == chained
+    assert batched.columns == ["a", "b", "c", "d"]
+
+
+@given(n=st.integers(1, 30), seed=st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_property_with_columns_leaves_original_untouched(n, seed):
+    rng = np.random.default_rng(seed)
+    f = Frame({"a": rng.normal(size=n)})
+    before = f["a"].copy()
+    f.with_columns({"a": rng.normal(size=n), "z": rng.normal(size=n)})
+    np.testing.assert_array_equal(f["a"], before)
+    assert "z" not in f
+
+
+@given(n=st.integers(1, 25), seed=st.integers(0, 500),
+       picks=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1,
+                      max_size=3, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_property_select_preserves_data_and_order(n, seed, picks):
+    rng = np.random.default_rng(seed)
+    f = Frame({name: rng.normal(size=n) for name in ["a", "b", "c"]})
+    sub = f.select(picks)
+    assert sub.columns == picks
+    for name in picks:
+        np.testing.assert_array_equal(sub[name], f[name])
+
+
+@given(n=st.integers(1, 25), seed=st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_property_take_then_take_composes(n, seed):
+    rng = np.random.default_rng(seed)
+    f = Frame({"v": rng.normal(size=n), "s": [f"r{i}" for i in range(n)]})
+    first = rng.integers(0, n, size=n)
+    second = rng.integers(0, n, size=n)
+    assert f.take(first).take(second) == f.take(first[second])
+
+
+# ---------------------------------------------------------------------------
+# FeatureNormalizer
+# ---------------------------------------------------------------------------
+magnitude_rows = st.lists(
+    st.floats(0.0, 1e12, allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=40,
+)
+
+
+def _magnitude_frame(values: list[float], seed: int) -> Frame:
+    """A frame with every magnitude column, each a distinct permutation
+    of the generated values so columns are not trivially identical."""
+    rng = np.random.default_rng(seed)
+    base = np.asarray(values, dtype=np.float64)
+    return Frame({
+        feature: rng.permutation(base) for feature in MAGNITUDE_FEATURES
+    })
+
+
+@given(values=magnitude_rows, seed=st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_normalizer_no_nan_inf_leakage(values, seed):
+    frame = _magnitude_frame(values, seed)
+    out = FeatureNormalizer().fit(frame).transform(frame)
+    for feature in MAGNITUDE_FEATURES:
+        assert np.isfinite(out[feature]).all()
+
+
+@given(values=magnitude_rows, seed=st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_normalizer_fit_invariant_to_row_order(values, seed):
+    frame = _magnitude_frame(values, seed)
+    rng = np.random.default_rng(seed + 1)
+    shuffled = frame.take(rng.permutation(frame.num_rows))
+    a = FeatureNormalizer().fit(frame)
+    b = FeatureNormalizer().fit(shuffled)
+    for feature in MAGNITUDE_FEATURES:
+        assert a.means_[feature] == pytest.approx(b.means_[feature],
+                                                  rel=1e-12, abs=1e-12)
+        assert a.stds_[feature] == pytest.approx(b.stds_[feature],
+                                                 rel=1e-12, abs=1e-12)
+
+
+@given(values=magnitude_rows, seed=st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_normalizer_transform_commutes_with_permutation(values, seed):
+    frame = _magnitude_frame(values, seed)
+    norm = FeatureNormalizer().fit(frame)
+    order = np.random.default_rng(seed + 2).permutation(frame.num_rows)
+    transformed_then_permuted = norm.transform(frame).take(order)
+    permuted_then_transformed = norm.transform(frame.take(order))
+    assert transformed_then_permuted == permuted_then_transformed
+
+
+@given(values=magnitude_rows, seed=st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_normalizer_round_trip_recovers_values(values, seed):
+    """Inverting the z-score and the log1p recovers the raw magnitudes."""
+    frame = _magnitude_frame(values, seed)
+    norm = FeatureNormalizer().fit(frame)
+    out = norm.transform(frame)
+    for feature in MAGNITUDE_FEATURES:
+        raw = np.asarray(frame[feature], dtype=np.float64)
+        z = np.asarray(out[feature], dtype=np.float64)
+        recovered = np.expm1(z * norm.stds_[feature] + norm.means_[feature])
+        np.testing.assert_allclose(recovered, raw, rtol=1e-6, atol=1e-6)
+
+
+@given(values=magnitude_rows, seed=st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_normalizer_serialization_round_trip(values, seed):
+    frame = _magnitude_frame(values, seed)
+    norm = FeatureNormalizer().fit(frame)
+    back = FeatureNormalizer.from_dict(norm.to_dict())
+    assert norm.transform(frame) == back.transform(frame)
