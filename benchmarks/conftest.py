@@ -13,6 +13,7 @@ rows) so the full harness completes in minutes.  Set
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -78,3 +79,35 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+# -- scheduling/inference perf trajectory (BENCH_sched.json) -----------
+
+BENCH_SCHED_PATH = Path(__file__).parent / "BENCH_sched.json"
+
+#: Benchmarks whose wall time is folded into BENCH_sched.json so the
+#: perf harness tracks the end-to-end scheduling studies too.
+_TRACKED_WALLTIMES = {
+    "test_fig7_makespan": "fig7_wall_s",
+    "test_fig8_bounded_slowdown": "fig8_wall_s",
+}
+
+
+def record_bench(updates: dict) -> None:
+    """Merge *updates* into ``BENCH_sched.json`` (read-modify-write, so
+    the sched microbenchmark and the fig7/fig8 wall-time hook can land
+    entries from separate pytest invocations)."""
+    data = {}
+    if BENCH_SCHED_PATH.exists():
+        data = json.loads(BENCH_SCHED_PATH.read_text())
+    data.update(updates)
+    BENCH_SCHED_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    key = _TRACKED_WALLTIMES.get(item.name)
+    if key and rep.when == "call" and rep.passed:
+        record_bench({key: round(rep.duration, 2)})

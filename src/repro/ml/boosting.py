@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import Binner, Tree, TreeParams, grow_tree
+from repro.ml.tree import Binner, FlatEnsemble, Tree, TreeParams, grow_tree
 
 __all__ = ["GradientBoostedTrees"]
 
@@ -123,6 +123,11 @@ class GradientBoostedTrees:
         self.n_features_: int = 0
         self.n_outputs_: int = 0
         self._single_output_input = False
+        # Lazily-built flat stacked ensemble for vectorized prediction,
+        # keyed by the identity of every tree so direct trees_
+        # replacement (e.g. deserialization, early-stopping truncation)
+        # invalidates it.
+        self._flat_cache: tuple[tuple[int, ...], FlatEnsemble] | None = None
         #: Per-round metrics recorded during fit: train MAE always, and
         #: validation MAE when an eval_set is supplied.
         self.eval_history_: dict[str, list[float]] = {}
@@ -230,15 +235,49 @@ class GradientBoostedTrees:
         if self.binner_ is None or self.base_score_ is None:
             raise RuntimeError("predict called before fit")
         X = np.asarray(X, dtype=np.float64)
-        Xb = self.binner_.transform(X)
-        pred = np.tile(self.base_score_, (X.shape[0], 1))
+        return self.predict_binned(self.binner_.transform(X))
+
+    def predict_binned(self, Xb: np.ndarray) -> np.ndarray:
+        """Predict from a pre-binned feature matrix (``binner_.transform``
+        output), skipping the repeated quantile transform when the same
+        rows are scored many times.  Returns shape ``(n, n_outputs)``.
+
+        Every tree is traversed in one flat vectorized pass
+        (:class:`~repro.ml.tree.FlatEnsemble`); leaf contributions are
+        then accumulated round by round in the exact order of the
+        original per-tree loop, so results are bit-identical to it
+        (numpy reductions would use pairwise summation and drift in the
+        last ulp).
+        """
+        if self.binner_ is None or self.base_score_ is None:
+            raise RuntimeError("predict called before fit")
+        Xb = np.asarray(Xb)
+        pred = np.tile(self.base_score_, (Xb.shape[0], 1))
+        if not self.trees_:
+            return pred
+        flat = self._flat_ensemble()
+        leaves = flat.predict_leaves(Xb)
+        values = flat.values
+        ti = 0
         for round_trees in self.trees_:
             if self.multi_strategy == "multi_output_tree":
-                pred += round_trees[0].predict_binned(Xb)
+                pred += values[leaves[ti]]
+                ti += 1
             else:
-                for out, tree in enumerate(round_trees):
-                    pred[:, out] += tree.predict_binned(Xb)[:, 0]
+                for out in range(len(round_trees)):
+                    pred[:, out] += values[leaves[ti], 0]
+                    ti += 1
         return pred
+
+    def _flat_ensemble(self) -> FlatEnsemble:
+        trees = [t for round_trees in self.trees_ for t in round_trees]
+        key = tuple(map(id, trees))
+        cached = self._flat_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        flat = FlatEnsemble(trees)
+        self._flat_cache = (key, flat)
+        return flat
 
     # ------------------------------------------------------------------
     def feature_importances(self, kind: str = "gain") -> np.ndarray:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import Binner, Tree, TreeParams, grow_tree
+from repro.ml.tree import Binner, FlatEnsemble, Tree, TreeParams, grow_tree
 
 __all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]
 
@@ -66,6 +66,12 @@ class DecisionTreeRegressor:
             raise RuntimeError("predict called before fit")
         Xb = self.binner_.transform(np.asarray(X, dtype=np.float64))
         return self.tree_.predict_binned(Xb)
+
+    def predict_binned(self, Xb: np.ndarray) -> np.ndarray:
+        """Predict from pre-binned features (skips ``binner_.transform``)."""
+        if self.tree_ is None:
+            raise RuntimeError("predict called before fit")
+        return self.tree_.predict_binned(np.asarray(Xb))
 
     def feature_importances(self) -> np.ndarray:
         """Average-gain importances (normalized to sum to 1)."""
@@ -126,6 +132,9 @@ class RandomForestRegressor:
         self.trees_: list[Tree] = []
         self.n_features_ = 0
         self.n_outputs_ = 0
+        # Lazily-built flat stacked ensemble, keyed by tree identities
+        # so replacing trees_ (e.g. deserialization) invalidates it.
+        self._flat_cache: tuple[tuple[int, ...], FlatEnsemble] | None = None
 
     def fit(self, X: np.ndarray, Y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=np.float64)
@@ -168,7 +177,31 @@ class RandomForestRegressor:
         if not self.trees_ or self.binner_ is None:
             raise RuntimeError("predict called before fit")
         Xb = self.binner_.transform(np.asarray(X, dtype=np.float64))
-        return np.stack([tree.predict_binned(Xb) for tree in self.trees_])
+        return self.predict_binned_per_tree(Xb)
+
+    def predict_binned(self, Xb: np.ndarray) -> np.ndarray:
+        """Mean prediction from pre-binned features; ``(n, n_outputs)``."""
+        return self.predict_binned_per_tree(Xb).mean(axis=0)
+
+    def predict_binned_per_tree(self, Xb: np.ndarray) -> np.ndarray:
+        """Per-tree predictions from pre-binned features.
+
+        All trees are walked in one flat vectorized pass; the gathered
+        leaf values are bit-identical to stacking each tree's own
+        ``predict_binned`` output.
+        """
+        if not self.trees_:
+            raise RuntimeError("predict called before fit")
+        trees = self.trees_
+        key = tuple(map(id, trees))
+        cached = self._flat_cache
+        if cached is not None and cached[0] == key:
+            flat = cached[1]
+        else:
+            flat = FlatEnsemble(trees)
+            self._flat_cache = (key, flat)
+        leaves = flat.predict_leaves(np.asarray(Xb))
+        return flat.values[leaves]
 
     def feature_importances(self) -> np.ndarray:
         """Average-gain importances over all trees (normalized)."""

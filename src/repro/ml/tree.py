@@ -31,9 +31,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TreeParams", "Binner", "Tree", "grow_tree"]
+__all__ = ["TreeParams", "Binner", "Tree", "FlatEnsemble", "grow_tree"]
 
 _MAX_BINS = 256  # bins are stored in uint8
+
+# Cap on simultaneous (tree, row) traversal states in FlatEnsemble
+# prediction.  Chunking rows keeps every per-level temporary (a few
+# int32 arrays of this length) resident in L2, which is what bounds
+# routing throughput; larger chunks measurably regress.
+_LEAF_STATE_BUDGET = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -155,6 +161,18 @@ class Tree:
         self._values = np.array([n.value for n in nodes], dtype=np.float64)
         if self._values.ndim == 1:
             self._values = self._values[:, None]
+        # Node statistics are immutable once grown; cache them at
+        # construction instead of recomputing O(n_nodes) per access.
+        self._n_leaves = int(np.count_nonzero(self._feat < 0))
+        depth = np.zeros(len(nodes), dtype=np.int64)
+        best = 0
+        for i, node in enumerate(nodes):
+            if node.feature >= 0:
+                d = depth[i] + 1
+                depth[node.left] = depth[node.right] = d
+                if d > best:
+                    best = d
+        self._max_depth_reached = int(best)
 
     @property
     def n_nodes(self) -> int:
@@ -162,17 +180,11 @@ class Tree:
 
     @property
     def n_leaves(self) -> int:
-        return sum(1 for n in self._nodes if n.feature < 0)
+        return self._n_leaves
 
     @property
     def max_depth_reached(self) -> int:
-        depth = [0] * len(self._nodes)
-        best = 0
-        for i, node in enumerate(self._nodes):
-            if node.feature >= 0:
-                depth[node.left] = depth[node.right] = depth[i] + 1
-                best = max(best, depth[i] + 1)
-        return best
+        return self._max_depth_reached
 
     def predict_binned(self, Xb: np.ndarray) -> np.ndarray:
         """Predict from pre-binned uint8 features; returns ``(n, k)``."""
@@ -209,6 +221,109 @@ class Tree:
             if node.feature >= 0:
                 counts[node.feature] += 1
         return counts
+
+
+class FlatEnsemble:
+    """Every tree of a fitted ensemble stacked into one struct-of-arrays.
+
+    Node attributes (split feature, bin threshold, children, leaf
+    values) of all trees are concatenated into single flat arrays with
+    child indices rebased to absolute positions, so one vectorized
+    routing pass walks *all trees for all rows simultaneously* — the
+    per-level work is a handful of numpy gathers over every live
+    (tree, row) state instead of a Python loop over trees.
+
+    Leaf values are exposed via :attr:`values` and leaf positions via
+    :meth:`predict_leaves`; callers gather and accumulate in whatever
+    order preserves their exact float semantics (see
+    ``GradientBoostedTrees.predict_binned``).  Rows are processed in
+    chunks so peak memory stays bounded for any ensemble size.
+    """
+
+    def __init__(self, trees: list[Tree]):
+        if not trees:
+            raise ValueError("FlatEnsemble needs at least one tree")
+        k = trees[0]._values.shape[1]
+        for t in trees:
+            if t._values.shape[1] != k:
+                raise ValueError("trees disagree on output width")
+        self.n_trees = len(trees)
+        self.n_outputs = k
+        counts = np.array([t.n_nodes for t in trees], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        total = int(offsets[-1])
+        if total >= 1 << 30:  # 2*total must fit in int32 (children index)
+            raise ValueError("ensemble too large for int32 node indexing")
+        #: Root node index of each tree in the flat arrays.
+        self.roots = offsets[:-1].astype(np.int32)
+        feat = np.concatenate([t._feat for t in trees])
+        thr = np.concatenate([t._thr for t in trees])
+        left = np.concatenate([
+            np.where(t._left >= 0, t._left + off, -1)
+            for t, off in zip(trees, offsets)
+        ])
+        right = np.concatenate([
+            np.where(t._right >= 0, t._right + off, -1)
+            for t, off in zip(trees, offsets)
+        ])
+        # Branchless self-loop encoding: a leaf routes to itself on a
+        # dummy feature, so the level loop needs no active-set
+        # bookkeeping — every state advances every level and parked
+        # states stay parked.  Feature and threshold are packed into
+        # one int32 (feature in the high bits, uint8 bin threshold in
+        # the low byte) and both children live interleaved in one
+        # array indexed by ``2*node + go_left``, so each level costs
+        # exactly three gathers.  Gather traffic is what bounds
+        # routing throughput.
+        is_leaf = feat < 0
+        node_ids = np.arange(total, dtype=np.int32)
+        feat32 = np.where(is_leaf, 0, feat).astype(np.int32)
+        thr32 = np.where(is_leaf, 0, thr).astype(np.int32)
+        self._featthr = (feat32 << 8) | thr32
+        self._children = np.empty(2 * total, dtype=np.int32)
+        self._children[0::2] = np.where(is_leaf, node_ids, right)
+        self._children[1::2] = np.where(is_leaf, node_ids, left)
+        #: Deepest tree in the stack — the number of routing levels.
+        self.max_depth = max(t.max_depth_reached for t in trees)
+        #: ``(total_nodes, n_outputs)`` leaf/internal values; indexing
+        #: with :meth:`predict_leaves` output gives per-tree predictions
+        #: bit-identical to ``Tree.predict_binned``.
+        self.values = np.concatenate([t._values for t in trees], axis=0)
+
+    def predict_leaves(self, Xb: np.ndarray) -> np.ndarray:
+        """Leaf node index per (tree, row); returns ``(n_trees, n)``.
+
+        ``Xb`` is the pre-binned uint8 feature matrix.  Routing
+        decisions are integer comparisons, so the resulting leaves are
+        exactly those each tree's own traversal reaches.
+        """
+        Xb = np.ascontiguousarray(Xb, dtype=np.uint8)
+        n, n_features = Xb.shape
+        T = self.n_trees
+        featthr = self._featthr
+        children = self._children
+        Xf = Xb.reshape(-1)
+        out = np.empty((T, n), dtype=np.int32)
+        chunk = max(128, _LEAF_STATE_BUDGET // T)
+        for lo in range(0, n, chunk):
+            hi = min(n, lo + chunk)
+            c = hi - lo
+            # One state per (tree, row), laid out tree-major so the
+            # reshape below is free.  Rows address Xb through a
+            # precomputed flat offset (row * n_features), turning the
+            # 2-D fancy gather into a 1-D one.
+            node = np.repeat(self.roots, c)
+            # int32 offsets unless row*n_features could overflow.
+            off_dtype = np.int32 if n * n_features < (1 << 31) else np.int64
+            row_off = np.tile(
+                np.arange(lo, hi, dtype=off_dtype) * n_features, T
+            )
+            for _ in range(self.max_depth):
+                ft = featthr[node]
+                go_left = Xf[row_off + (ft >> 8)] <= (ft & 255)
+                node = children[(node << 1) + go_left]
+            out[:, lo:hi] = node.reshape(T, c)
+        return out
 
 
 def grow_tree(

@@ -1,97 +1,37 @@
-"""Multi-resource scheduler with EASY backfilling (Algorithm 1).
+"""Frozen seed implementation of the scheduling simulator (golden oracle).
 
-Event-driven simulation of the paper's Algorithm 1: a global queue
-ordered by the policy R1 (FCFS in the paper), EASY backfilling ordered
-by the policy R2 (also FCFS in the paper), and a pluggable
-``Machine(j, i, M)`` assignment strategy.  When the head job's assigned
-machine cannot fit it, the job is reserved at that machine's earliest
-feasible time (the EASY "shadow" time) and later queue entries may
-backfill — on other machines freely (they cannot delay the
-reservation), and on the reserved machine only if they finish before
-the shadow time.  Walltime estimates are the observed runtimes (perfect
-estimates), as in the paper.
+This is a byte-for-byte copy of ``sched/simulator.py`` as it stood
+before the fast-engine rewrite, kept for two purposes:
 
-Fast engine
------------
-Both the fault-free and the failure-aware simulation run on one event
-engine whose hot paths are incremental instead of recomputed:
+* **Equivalence testing** — ``tests/test_sched_equivalence.py`` asserts
+  the optimized :class:`repro.sched.Scheduler` produces bit-identical
+  :class:`~repro.sched.simulator.ScheduleResult` outputs to this
+  reference across strategies, queue policies, arrival patterns, and
+  fault profiles.
+* **Performance baselining** — ``benchmarks/test_perf_sched.py``
+  measures the optimized engine's speedup against this pre-optimization
+  implementation on the same workload and host.
 
-* **Queue** — entries are ``(R1 key, job_id, job)`` triples kept in
-  sorted order; R1/R2 keys are computed *once* per job at admission and
-  new arrivals are merged with :func:`bisect.insort` (O(log n)
-  comparisons per arrival) instead of re-sorting the whole queue.
-  Lazily-deleted entries advance behind a head index with periodic
-  compaction, preserving the seed implementation's backfill-window
-  layout exactly.
-* **Backfill window** — the bounded near-head window is decorated with
-  the precomputed R2 keys, so the per-event window sort makes no Python
-  key calls.  When the strategy declares ``stateless_assign`` and no
-  machine has a free node, the scan is skipped outright, and during a
-  scan candidates larger than the largest free block are filtered
-  before the strategy is consulted — both no-ops by construction (no
-  candidate could have started), so schedules are unchanged.
-* **Machines** — :class:`~repro.sched.machines.MachineState` keeps its
-  running allocations in a sorted list, so the EASY shadow time is a
-  prefix walk with no per-event sort.
-
-The engine is *schedule-bit-identical* to the frozen seed
-implementation in :mod:`repro.sched._reference` — pinned by
-``tests/test_sched_equivalence.py`` across strategies, queue policies,
-arrival patterns, and fault profiles.  Policy keys must therefore be
-total orders (all built-in policies tie-break on job id) and pure
-functions of the job, which the policies module already guarantees.
-
-Failure-aware mode: passing a :class:`repro.resilience.FaultInjector`
-(``faults=``) extends the event loop with node failures, node
-recoveries, and job crashes as first-class events alongside starts and
-finishes.  Killed jobs are resubmitted under a
-:class:`repro.resilience.RetryPolicy` (bounded attempts, backoff,
-optional checkpoint/restart); nodes go offline and recover via the
-:class:`~repro.sched.machines.MachineState` availability transitions.
-With no injector the fault branches never execute, so fault support is
-zero-cost (bit-identical output) when off.
+Do not optimize or otherwise modify the scheduling logic here; it is
+the contract the fast engine must honor.
 """
 
 from __future__ import annotations
 
 import heapq
-from bisect import insort
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.sched.job import Job
 from repro.sched.machines import ClusterState
 from repro.sched.policies import FCFSPolicy
+from repro.sched.simulator import ScheduleResult
 
-__all__ = ["Scheduler", "ScheduleResult"]
-
-
-@dataclass
-class ScheduleResult:
-    """Per-job placements and timing from one simulation run."""
-
-    job_ids: np.ndarray
-    machines: list[str]
-    submit_times: np.ndarray
-    start_times: np.ndarray
-    end_times: np.ndarray
-    runtimes: np.ndarray
-    strategy_name: str
-    backfilled: int = 0
-    extra: dict = field(default_factory=dict)
-
-    @property
-    def num_jobs(self) -> int:
-        return len(self.job_ids)
-
-    @property
-    def wait_times(self) -> np.ndarray:
-        return self.start_times - self.submit_times
+__all__ = ["ReferenceScheduler"]
 
 
-class Scheduler:
-    """Multi-resource scheduler: Algorithm 1 with pluggable R1/R2.
+class ReferenceScheduler:
+    """Pre-optimization scheduler: Algorithm 1 with pluggable R1/R2.
 
     Parameters
     ----------
@@ -131,19 +71,11 @@ class Scheduler:
     faults:
         A :class:`repro.resilience.FaultInjector`.  When given (and not
         null), the simulation runs the failure-aware event loop; None
-        (default) runs the fault-free loop.
+        (default) runs the original fault-free loop.
     retry:
         :class:`repro.resilience.RetryPolicy` governing resubmission of
         killed jobs; defaults to unlimited attempts with exponential
         backoff.  Only consulted in failure-aware mode.
-
-    Attributes
-    ----------
-    last_run_stats:
-        Filled after each :meth:`run`: a dict with ``wakeups`` (time
-        advances), ``starts`` (job starts, including retries), and
-        ``sched_events`` (their sum — the numerator of the events/sec
-        throughput metric in ``benchmarks/test_perf_sched.py``).
     """
 
     def __init__(
@@ -174,7 +106,6 @@ class Scheduler:
         self.trace = trace
         self.faults = faults
         self.retry = retry
-        self.last_run_stats: dict = {}
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[Job]) -> ScheduleResult:
@@ -185,116 +116,75 @@ class Scheduler:
             return self._run_faulty(jobs)
         return self._run_reliable(jobs)
 
-    # -- shared engine pieces ------------------------------------------
-    def _prepare(self, jobs: list[Job]):
-        """Sort arrivals and precompute the per-job R1/R2 policy keys.
-
-        Keys are pure functions of the job (a documented policy
-        contract), so computing them once at startup instead of on
-        every sort is a pure strength reduction.  When the R1 and R2
-        keys agree for every job (``same_order``, e.g. the default
-        FCFS/FCFS pairing) the queue is already in backfill order and
-        the per-event window decoration + sort can be skipped outright.
-        """
-        arrivals = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
-        r1_key = self.queue_policy.key
-        r2_key = self.backfill_policy.key
-        r1k = {j.job_id: r1_key(j) for j in jobs}
-        r2k = {j.job_id: r2_key(j) for j in jobs}
-        return arrivals, r1k, r2k, r1k == r2k
-
     # ------------------------------------------------------------------
     def _run_reliable(self, jobs: list[Job]) -> ScheduleResult:
         """The fault-free loop (the paper's perfect world)."""
-        arrivals, r1k, r2k, same_order = self._prepare(jobs)
+        arrivals = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         arrival_idx = 0
         cluster = self.cluster
-        strategy = self.strategy
-        assign = strategy.assign
-        release = getattr(strategy, "release", None)
-        stateless = getattr(strategy, "stateless_assign", False)
-        machines = cluster.machines
-        machine_list = list(machines.values())
-        max_total = max(m.total_nodes for m in machine_list)
-        backfill = self.backfill
-        conservative = self.conservative
-        depth = self.backfill_depth
-        window_span = 4 * depth
-        walltime_factor = self.walltime_factor
-        trace = self.trace
+        r1_key = self.queue_policy.key
+        r2_key = self.backfill_policy.key
 
         n = len(jobs)
-        # Queue of (R1 key, job_id, job) triples in sorted order; keys
-        # are total so the job object is never compared.
-        # `interior_stale` counts lazily-deleted entries at or beyond
-        # head_idx (backfilled jobs whose queue copy remains until the
-        # next compaction) — when zero, compaction degrades to a plain
-        # prefix slice and the backfill window needs no filtering.
-        queue: list[tuple] = []
+        queue: list[Job] = []
         head_idx = 0
-        interior_stale = 0
         machines_out: dict[int, str] = {}
         start_out: dict[int, float] = {}
         scheduled: set[int] = set()
         started = 0
         backfilled = 0
         now = 0.0
-        wakeups = 0
         events: list[tuple[float, str, int, str]] = []
 
         def admit_arrivals() -> None:
-            nonlocal arrival_idx, queue, head_idx, interior_stale
-            if (arrival_idx >= n
-                    or arrivals[arrival_idx].submit_time > now):
-                return
-            # Compact lazily-deleted entries (mirrors the seed
-            # implementation's batch compaction), then merge each new
-            # arrival into R1 order with a binary insertion instead of
-            # re-sorting the whole queue.  Entries before head_idx are
-            # all scheduled, so with no stale interior entries the
-            # filter is a plain slice.
-            if interior_stale:
-                queue = [e for e in queue[head_idx:]
-                         if e[1] not in scheduled]
-                interior_stale = 0
-            elif head_idx:
-                queue = queue[head_idx:]
-            head_idx = 0
+            nonlocal arrival_idx, queue, head_idx
+            added = False
             while (arrival_idx < n
                    and arrivals[arrival_idx].submit_time <= now):
-                job = arrivals[arrival_idx]
-                insort(queue, (r1k[job.job_id], job.job_id, job))
+                queue.append(arrivals[arrival_idx])
                 arrival_idx += 1
+                added = True
+            if added:
+                # Compact lazily-deleted entries, then restore R1 order.
+                queue = [j for j in queue[head_idx:]
+                         if j.job_id not in scheduled]
+                queue.sort(key=r1_key)
+                head_idx = 0
+
+        def compact() -> None:
+            nonlocal queue, head_idx
+            if head_idx > 64 and head_idx * 2 > len(queue):
+                queue = queue[head_idx:]
+                head_idx = 0
+
+        def advance_head() -> None:
+            nonlocal head_idx
+            while head_idx < len(queue) and \
+                    queue[head_idx].job_id in scheduled:
+                head_idx += 1
 
         def start_job(job: Job, machine_name: str) -> None:
             nonlocal started
             runtime = job.runtime_on(machine_name)
-            machines[machine_name].start(job.nodes_required, now + runtime)
+            cluster[machine_name].start(job.nodes_required, now + runtime)
             machines_out[job.job_id] = machine_name
             start_out[job.job_id] = now
             scheduled.add(job.job_id)
             started += 1
-            if release is not None:
-                release(job.job_id)
 
         while len(start_out) < n:
             admit_arrivals()
 
-            while True:
-                while head_idx < len(queue) and queue[head_idx][1] in scheduled:
-                    # Entries skipped here are exactly the backfilled
-                    # jobs counted in interior_stale (head starts bump
-                    # head_idx directly, below).
-                    head_idx += 1
-                    interior_stale -= 1
-                if head_idx > 64 and head_idx * 2 > len(queue):
-                    queue = queue[head_idx:]
-                    head_idx = 0
+            made_progress = True
+            while made_progress:
+                advance_head()
+                compact()
                 if head_idx >= len(queue):
                     break
-                head = queue[head_idx][2]
-                m_name = assign(head, started, cluster)
-                machine = machines[m_name]
+                made_progress = False
+                head = queue[head_idx]
+                m_name = self.strategy.assign(head, started, cluster)
+                machine = cluster[m_name]
                 if not machine.can_ever_fit(head.nodes_required):
                     raise RuntimeError(
                         f"job {head.job_id} needs {head.nodes_required} "
@@ -302,119 +192,66 @@ class Scheduler:
                     )
                 if machine.can_fit(head.nodes_required):
                     start_job(head, m_name)
-                    if trace:
+                    if self.trace:
                         events.append((now, "start", head.job_id, m_name))
                     head_idx += 1
+                    made_progress = True
                     continue
 
-                if not backfill or head_idx + 1 >= len(queue):
-                    break
-                total_free = sum(m.free_nodes for m in machine_list)
-                if stateless and total_free == 0 and not trace:
-                    # No machine can start anything and the strategy has
-                    # no call-order-dependent state, so the whole
-                    # backfill pass would be a no-op; skip it.
+                if not self.backfill or head_idx + 1 >= len(queue):
                     break
                 # EASY: reserve head at its machine's shadow time, then
                 # scan a bounded near-head window in R2 order.
                 shadow = machine.shadow_time(head.nodes_required, now)
-                if trace:
+                if self.trace:
                     events.append((shadow, "reserve", head.job_id, m_name))
-                if same_order:
-                    # Queue order *is* R2 order: the window is the next
-                    # `depth` live entries, no decoration or sort.
-                    if interior_stale:
-                        cands = [
-                            e for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ][:depth]
-                    else:
-                        cands = queue[head_idx + 1:
-                                      head_idx + 1 + depth]
-                else:
-                    if interior_stale:
-                        window = [
-                            (r2k[e[1]], e[1], e[2])
-                            for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ]
-                    else:
-                        window = [
-                            (r2k[e[1]], e[1], e[2])
-                            for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                        ]
-                    window.sort()
-                    cands = window[:depth]
-                max_free = max(m.free_nodes for m in machine_list)
-                for _, cjid, cand in cands:
-                    need = cand.nodes_required
-                    if stateless and need > max_free and need <= max_total:
-                        # No machine has a block this large free right
-                        # now, so the candidate cannot start; skipping
-                        # the (stateless) strategy call changes nothing.
+                window = [
+                    j for j in
+                    queue[head_idx + 1:
+                          head_idx + 1 + 4 * self.backfill_depth]
+                    if j.job_id not in scheduled
+                ]
+                window.sort(key=r2_key)
+                for cand in window[: self.backfill_depth]:
+                    c_name = self.strategy.assign(cand, started, cluster)
+                    c_machine = cluster[c_name]
+                    if not c_machine.can_ever_fit(cand.nodes_required):
                         continue
-                    c_name = assign(cand, started, cluster)
-                    c_machine = machines[c_name]
-                    if not c_machine.can_ever_fit(need):
-                        continue
-                    if not c_machine.can_fit(need):
+                    if not c_machine.can_fit(cand.nodes_required):
                         continue
                     # Feasibility uses the (possibly inflated) estimate;
                     # actual execution below uses the true runtime.
                     finishes = now + (cand.runtime_on(c_name)
-                                      * walltime_factor)
+                                      * self.walltime_factor)
                     if c_name == m_name and finishes > shadow:
                         # Would delay the head's reservation (the head
                         # consumes every node freed up to the shadow
                         # time by construction).
                         continue
-                    if conservative and finishes > shadow:
+                    if self.conservative and finishes > shadow:
                         # Conservative mode: nothing may outlive the
                         # reservation horizon, even on other machines.
                         continue
                     start_job(cand, c_name)
                     backfilled += 1
-                    interior_stale += 1
-                    if trace:
+                    if self.trace:
                         events.append((now, "backfill_start",
-                                       cjid, c_name))
-                    total_free -= need
-                    if stateless and total_free <= 0:
-                        break
-                    max_free = max(m.free_nodes for m in machine_list)
+                                       cand.job_id, c_name))
                 break  # head still blocked; wait for an event
 
             if len(start_out) >= n:
                 break
             # Advance time to the next event.
-            next_done = None
-            for m in machine_list:
-                t = m.next_completion()
-                if t is not None and (next_done is None or t < next_done):
-                    next_done = t
-            if arrival_idx < n:
-                next_arrival = arrivals[arrival_idx].submit_time
-                if next_done is None or next_arrival < next_done:
-                    next_done = next_arrival
-            if next_done is None:
+            next_done = cluster.next_completion()
+            next_arrival = (arrivals[arrival_idx].submit_time
+                            if arrival_idx < n else None)
+            wake_times = [t for t in (next_done, next_arrival)
+                          if t is not None]
+            if not wake_times:
                 raise RuntimeError("deadlock: no events but jobs unscheduled")
-            if next_done > now:
-                now = next_done
-            for m in machine_list:
-                m.release_until(now)
-            wakeups += 1
+            now = max(now, min(wake_times))
+            cluster.release_until(now)
 
-        self.last_run_stats = {
-            "wakeups": wakeups,
-            "starts": started,
-            "sched_events": wakeups + started,
-        }
         by_id = {j.job_id: j for j in jobs}
         ids = np.array(sorted(start_out), dtype=np.int64)
         starts = np.array([start_out[i] for i in ids])
@@ -432,7 +269,7 @@ class Scheduler:
             runtimes=runtimes,
             strategy_name=getattr(self.strategy, "name", "custom"),
             backfilled=backfilled,
-            extra={"events": events} if trace else {},
+            extra={"events": events} if self.trace else {},
         )
 
     # ------------------------------------------------------------------
@@ -453,33 +290,20 @@ class Scheduler:
 
         injector = self.faults
         retry = self.retry if self.retry is not None else RetryPolicy()
-        arrivals, r1k, r2k, same_order = self._prepare(jobs)
+        arrivals = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         arrival_idx = 0
         cluster = self.cluster
-        strategy = self.strategy
-        assign = strategy.assign
-        release = getattr(strategy, "release", None)
-        stateless = getattr(strategy, "stateless_assign", False)
-        machines = cluster.machines
-        machine_list = list(machines.values())
-        max_total = max(m.total_nodes for m in machine_list)
-        backfill = self.backfill
-        conservative = self.conservative
-        depth = self.backfill_depth
-        window_span = 4 * depth
-        walltime_factor = self.walltime_factor
-        trace = self.trace
+        r1_key = self.queue_policy.key
+        r2_key = self.backfill_policy.key
 
         n = len(jobs)
         by_id = {j.job_id: j for j in jobs}
-        queue: list[tuple] = []
+        queue: list[Job] = []
         head_idx = 0
-        interior_stale = 0
         scheduled: set[int] = set()
         started = 0
         backfilled = 0
         now = 0.0
-        wakeups = 0
         events: list[tuple[float, str, int, str]] = []
 
         # Resilience bookkeeping.
@@ -512,29 +336,37 @@ class Scheduler:
             return max(0.0, 1.0 - progress.get(jid, 0.0))
 
         def admit_arrivals() -> None:
-            nonlocal arrival_idx, queue, head_idx, interior_stale
-            if (arrival_idx >= n
-                    or arrivals[arrival_idx].submit_time > now):
-                return
-            if interior_stale:
-                queue = [e for e in queue[head_idx:]
-                         if e[1] not in scheduled]
-                interior_stale = 0
-            elif head_idx:
-                queue = queue[head_idx:]
-            head_idx = 0
+            nonlocal arrival_idx, queue, head_idx
+            added = False
             while (arrival_idx < n
                    and arrivals[arrival_idx].submit_time <= now):
-                job = arrivals[arrival_idx]
-                insort(queue, (r1k[job.job_id], job.job_id, job))
+                queue.append(arrivals[arrival_idx])
                 arrival_idx += 1
+                added = True
+            if added:
+                queue = [j for j in queue[head_idx:]
+                         if j.job_id not in scheduled]
+                queue.sort(key=r1_key)
+                head_idx = 0
+
+        def compact() -> None:
+            nonlocal queue, head_idx
+            if head_idx > 64 and head_idx * 2 > len(queue):
+                queue = queue[head_idx:]
+                head_idx = 0
+
+        def advance_head() -> None:
+            nonlocal head_idx
+            while head_idx < len(queue) and \
+                    queue[head_idx].job_id in scheduled:
+                head_idx += 1
 
         def start_job(job: Job, machine_name: str) -> None:
             nonlocal started
             jid = job.job_id
             runtime = job.runtime_on(machine_name) * remaining(jid)
             end = now + runtime
-            seq = machines[machine_name].start(job.nodes_required, end)
+            seq = cluster[machine_name].start(job.nodes_required, end)
             attempt = attempts.get(jid, 0) + 1
             attempts[jid] = attempt
             running[jid] = {
@@ -548,17 +380,11 @@ class Scheduler:
             if crash_at is not None:
                 push(now + crash_at, "crash", jid, attempt)
 
-        def resolve(jid: int) -> None:
-            """A job is permanently done (finished or given up); its
-            sticky strategy-cache entries can be evicted."""
-            if release is not None:
-                release(jid)
-
         def kill(jid: int, cause: str) -> None:
             """Terminate a running attempt and arrange its retry."""
-            nonlocal wasted, retries
+            nonlocal wasted, retries, queue, head_idx
             info = running.pop(jid)
-            machines[info["machine"]].cancel(info["seq"])
+            cluster[info["machine"]].cancel(info["seq"])
             job = by_id[jid]
             elapsed = now - info["start"]
             if retry.checkpoint:
@@ -569,37 +395,33 @@ class Scheduler:
                 )
             else:
                 wasted += info["nodes"] * elapsed
-            if trace:
+            if self.trace:
                 events.append((now, cause, jid, info["machine"]))
             if retry.gives_up(attempts[jid]):
                 failed_perm.add(jid)  # stays in `scheduled`: never requeued
-                if trace:
+                if self.trace:
                     events.append((now, "give_up", jid, info["machine"]))
-                resolve(jid)
                 return
             retries += 1
             push(now + retry.delay(attempts[jid], jid), "requeue", jid)
 
         def handle_requeue(jid: int) -> None:
-            nonlocal queue, head_idx, interior_stale
+            nonlocal queue, head_idx
             # Purge any stale queue copy (a backfilled job stays in the
             # window until compaction) *before* clearing the scheduled
             # mark, then re-admit under R1 order.
-            if interior_stale:
-                queue = [e for e in queue[head_idx:]
-                         if e[1] not in scheduled]
-                interior_stale = 0
-            elif head_idx:
-                queue = queue[head_idx:]
-            head_idx = 0
+            queue = [j for j in queue[head_idx:]
+                     if j.job_id not in scheduled]
             scheduled.discard(jid)
-            insort(queue, (r1k[jid], jid, by_id[jid]))
-            if trace:
+            queue.append(by_id[jid])
+            queue.sort(key=r1_key)
+            head_idx = 0
+            if self.trace:
                 events.append((now, "requeue", jid, ""))
 
         def handle_node_failure(m_name: str) -> None:
-            nonlocal node_failures, preemptions
-            machine = machines[m_name]
+            nonlocal node_failures, preemptions, job_crashes
+            machine = cluster[m_name]
             gap = injector.next_failure_gap(m_name)
             if gap is not None:
                 push(now + gap, "fail", m_name)
@@ -618,33 +440,31 @@ class Scheduler:
                 kill(victim, "node_kill")
             machine.take_offline(1)
             node_failures += 1
-            if trace:
+            if self.trace:
                 events.append((now, "node_fail", -1, m_name))
             push(now + injector.repair_duration(m_name), "recover", m_name)
 
         def schedule_pass() -> None:
-            nonlocal queue, head_idx, interior_stale, backfilled
-            while True:
-                while head_idx < len(queue) and queue[head_idx][1] in scheduled:
-                    head_idx += 1
-                    interior_stale -= 1
-                if head_idx > 64 and head_idx * 2 > len(queue):
-                    queue = queue[head_idx:]
-                    head_idx = 0
+            nonlocal head_idx, backfilled
+            made_progress = True
+            while made_progress:
+                advance_head()
+                compact()
                 if head_idx >= len(queue):
                     return
-                head = queue[head_idx][2]
+                made_progress = False
+                head = queue[head_idx]
                 try:
-                    m_name = assign(head, started, cluster)
+                    m_name = self.strategy.assign(head, started, cluster)
                 except RuntimeError:
                     # Strategy found no usable machine.  Transient when
                     # caused by offline nodes; a configuration error when
                     # the job exceeds every machine outright.
-                    if not any(m.total_nodes >= head.nodes_required
-                               for m in machine_list):
+                    if not any(cluster[nm].total_nodes >= head.nodes_required
+                               for nm in cluster.names):
                         raise
                     return
-                machine = machines[m_name]
+                machine = cluster[m_name]
                 if head.nodes_required > machine.total_nodes:
                     raise RuntimeError(
                         f"job {head.job_id} needs {head.nodes_required} "
@@ -652,82 +472,49 @@ class Scheduler:
                     )
                 if machine.can_fit(head.nodes_required):
                     start_job(head, m_name)
-                    if trace:
+                    if self.trace:
                         events.append((now, "start", head.job_id, m_name))
                     head_idx += 1
+                    made_progress = True
                     continue
 
-                if not backfill or head_idx + 1 >= len(queue):
-                    return
-                total_free = sum(m.free_nodes for m in machine_list)
-                if stateless and total_free == 0 and not trace:
+                if not self.backfill or head_idx + 1 >= len(queue):
                     return
                 try:
                     shadow = machine.shadow_time(head.nodes_required, now)
                 except RuntimeError:
                     return  # offline nodes block the reservation; wait
-                if trace:
+                if self.trace:
                     events.append((shadow, "reserve", head.job_id, m_name))
-                if same_order:
-                    if interior_stale:
-                        cands = [
-                            e for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ][:depth]
-                    else:
-                        cands = queue[head_idx + 1:
-                                      head_idx + 1 + depth]
-                else:
-                    if interior_stale:
-                        window = [
-                            (r2k[e[1]], e[1], e[2])
-                            for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ]
-                    else:
-                        window = [
-                            (r2k[e[1]], e[1], e[2])
-                            for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                        ]
-                    window.sort()
-                    cands = window[:depth]
-                max_free = max(m.free_nodes for m in machine_list)
-                for _, cjid, cand in cands:
-                    need = cand.nodes_required
-                    if stateless and need > max_free and need <= max_total:
-                        continue
+                window = [
+                    j for j in
+                    queue[head_idx + 1:
+                          head_idx + 1 + 4 * self.backfill_depth]
+                    if j.job_id not in scheduled
+                ]
+                window.sort(key=r2_key)
+                for cand in window[: self.backfill_depth]:
                     try:
-                        c_name = assign(cand, started, cluster)
+                        c_name = self.strategy.assign(cand, started, cluster)
                     except RuntimeError:
                         continue
-                    c_machine = machines[c_name]
-                    if not c_machine.can_ever_fit(need):
+                    c_machine = cluster[c_name]
+                    if not c_machine.can_ever_fit(cand.nodes_required):
                         continue
-                    if not c_machine.can_fit(need):
+                    if not c_machine.can_fit(cand.nodes_required):
                         continue
                     finishes = now + (cand.runtime_on(c_name)
-                                      * remaining(cjid)
-                                      * walltime_factor)
+                                      * remaining(cand.job_id)
+                                      * self.walltime_factor)
                     if c_name == m_name and finishes > shadow:
                         continue
-                    if conservative and finishes > shadow:
+                    if self.conservative and finishes > shadow:
                         continue
                     start_job(cand, c_name)
                     backfilled += 1
-                    interior_stale += 1
-                    if trace:
+                    if self.trace:
                         events.append((now, "backfill_start",
-                                       cjid, c_name))
-                    total_free -= need
-                    if stateless and total_free <= 0:
-                        break
-                    max_free = max(m.free_nodes for m in machine_list)
+                                       cand.job_id, c_name))
                 return  # head still blocked; wait for an event
 
         while len(finished) + len(failed_perm) < n:
@@ -744,9 +531,7 @@ class Scheduler:
             if not wake_times:
                 raise RuntimeError("deadlock: no events but jobs unresolved")
             now = max(now, min(wake_times))
-            for m in machine_list:
-                m.release_until(now)
-            wakeups += 1
+            cluster.release_until(now)
 
             while evq and evq[0][0] <= now:
                 _, _, kind, a, b = heapq.heappop(evq)
@@ -757,7 +542,6 @@ class Scheduler:
                         finished[a] = (
                             info["machine"], info["start"], info["end"]
                         )
-                        resolve(a)
                 elif kind == "crash":
                     info = running.get(a)
                     if info is not None and info["attempt"] == b:
@@ -766,17 +550,12 @@ class Scheduler:
                 elif kind == "fail":
                     handle_node_failure(a)
                 elif kind == "recover":
-                    machines[a].bring_online(1)
-                    if trace:
+                    cluster[a].bring_online(1)
+                    if self.trace:
                         events.append((now, "node_recover", -1, a))
                 elif kind == "requeue":
                     handle_requeue(a)
 
-        self.last_run_stats = {
-            "wakeups": wakeups,
-            "starts": started,
-            "sched_events": wakeups + started,
-        }
         ids = np.array(sorted(finished), dtype=np.int64)
         placed = [finished[i][0] for i in ids]
         starts = np.array([finished[i][1] for i in ids])
@@ -796,7 +575,7 @@ class Scheduler:
                 },
             }
         }
-        if trace:
+        if self.trace:
             extra["events"] = events
         return ScheduleResult(
             job_ids=ids,

@@ -17,7 +17,7 @@ to ``up`` on the first recovery.
 
 from __future__ import annotations
 
-import heapq
+from bisect import insort
 
 from repro.arch.machines import MACHINES
 
@@ -27,7 +27,14 @@ _STATES = ("up", "drain", "down")
 
 
 class MachineState:
-    """One machine's node pool and running-job completion heap."""
+    """One machine's node pool and running-allocation list.
+
+    Running allocations are kept as a list of ``(end_time, seq, nodes)``
+    tuples in ascending order (a binary insertion per start), so the
+    next completion is a peek, releasing is a prefix drop, and the EASY
+    shadow-time computation is a prefix walk — no per-event sorting
+    anywhere on the simulator's hot path.
+    """
 
     def __init__(self, name: str, total_nodes: int):
         if total_nodes < 1:
@@ -37,7 +44,7 @@ class MachineState:
         self.free_nodes = total_nodes
         self.state = "up"
         self.offline_nodes = 0
-        # Min-heap of (end_time, seq, nodes) for running allocations.
+        # Sorted list of (end_time, seq, nodes) for running allocations.
         self._running: list[tuple[float, int, int]] = []
         self._seq = 0
 
@@ -64,19 +71,18 @@ class MachineState:
             )
         self.free_nodes -= nodes
         seq = self._seq
-        heapq.heappush(self._running, (end_time, seq, nodes))
+        insort(self._running, (end_time, seq, nodes))
         self._seq += 1
         return seq
 
     def cancel(self, seq: int) -> None:
         """Remove a running allocation (job killed), freeing its nodes.
 
-        Failures are rare events, so the O(n) scan + re-heapify is fine.
+        Failures are rare events, so the O(n) scan is fine.
         """
         for i, (_, s, nodes) in enumerate(self._running):
             if s == seq:
                 self._running.pop(i)
-                heapq.heapify(self._running)
                 self.free_nodes += nodes
                 return
         raise KeyError(f"{self.name}: no running allocation {seq}")
@@ -86,26 +92,29 @@ class MachineState:
 
     def release_until(self, time: float) -> int:
         """Free all allocations ending at or before *time*; returns count."""
+        running = self._running
         released = 0
-        while self._running and self._running[0][0] <= time:
-            _, _, nodes = heapq.heappop(self._running)
-            self.free_nodes += nodes
+        while released < len(running) and running[released][0] <= time:
+            self.free_nodes += running[released][2]
             released += 1
+        if released:
+            del running[:released]
         return released
 
     def shadow_time(self, nodes_needed: int, now: float) -> float:
         """Earliest time *nodes_needed* nodes could be available.
 
-        Walks the completion heap accumulating freed nodes; returns
-        *now* if they are already free.  This is the EASY reservation
-        time for a blocked head-of-queue job.  Offline nodes do not
-        count: while they are out the reservation cannot be met and
-        this raises ``RuntimeError`` (the caller waits for recovery).
+        Walks the (already sorted) running allocations accumulating
+        freed nodes; returns *now* if they are already free.  This is
+        the EASY reservation time for a blocked head-of-queue job.
+        Offline nodes do not count: while they are out the reservation
+        cannot be met and this raises ``RuntimeError`` (the caller
+        waits for recovery).
         """
         if self.free_nodes >= nodes_needed:
             return now
         available = self.free_nodes
-        for end_time, _, nodes in sorted(self._running):
+        for end_time, _, nodes in self._running:
             available += nodes
             if available >= nodes_needed:
                 return max(now, end_time)

@@ -15,6 +15,26 @@ of jobs started so far (Algorithm 1 increments it per ``Start``).
   the job waits for its best machine).  Note: the paper's pseudocode
   says ``argmax``; RPVs are time ratios so the fastest machine is the
   *argmin* (see :mod:`repro.core.rpv`).
+
+Scheduler protocol
+------------------
+Beyond ``assign``, strategies may expose two optional attributes the
+simulator consults:
+
+* ``release(job_id)`` — called by the scheduler when a job will never
+  be assigned again (it started, in fault-free mode; it finished or was
+  permanently given up, in failure-aware mode).  Strategies use it to
+  evict per-job cache entries, so sticky caches no longer grow without
+  bound across a run (or across runs when an instance is reused).
+* ``stateless_assign`` (bool) — declares that ``assign`` has no
+  call-order-dependent side effects (any internal caching is a pure
+  function of the job and cluster).  The scheduler then skips assign
+  calls whose outcome provably cannot start a job — e.g. backfill
+  candidates larger than every free block.  Strategies whose assign
+  mutates shared state per call (:class:`RandomStrategy` advances an
+  RNG, :class:`UserRRStrategy` advances a rotation) must leave this
+  False so they see the exact same call sequence as the reference
+  engine.
 """
 
 from __future__ import annotations
@@ -31,6 +51,7 @@ __all__ = [
     "UserRRStrategy",
     "ModelBasedStrategy",
     "OracleStrategy",
+    "UncertaintyAwareStrategy",
     "strategy_by_name",
 ]
 
@@ -39,6 +60,7 @@ class RoundRobinStrategy:
     """Rotate across all machines by started-job index."""
 
     name = "round_robin"
+    stateless_assign = True  # pure function of (index, cluster)
 
     def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
         names = cluster.names
@@ -46,7 +68,14 @@ class RoundRobinStrategy:
 
 
 class RandomStrategy:
-    """Uniform random machine, deterministic and sticky per job id."""
+    """Uniform random machine, deterministic and sticky per job id.
+
+    Each first-time assignment draws from a shared RNG, so the call
+    *order* determines the outcome — the scheduler must not elide calls
+    (``stateless_assign`` stays False).  Entries are evicted via
+    :meth:`release` once the scheduler guarantees the job will never be
+    assigned again, bounding the cache to the in-flight job set.
+    """
 
     name = "random"
 
@@ -63,9 +92,18 @@ class RandomStrategy:
             self._cache[job.job_id] = choice
         return choice
 
+    def release(self, job_id: int) -> None:
+        """Evict the sticky choice for a job that is permanently placed."""
+        self._cache.pop(job_id, None)
+
 
 class UserRRStrategy:
-    """GPU apps round-robin over GPU systems, CPU apps over CPU systems."""
+    """GPU apps round-robin over GPU systems, CPU apps over CPU systems.
+
+    Like :class:`RandomStrategy`, first-time assignments advance shared
+    rotation counters, so call order matters (``stateless_assign``
+    False) and sticky entries are evicted via :meth:`release`.
+    """
 
     name = "user_rr"
 
@@ -97,18 +135,55 @@ class UserRRStrategy:
         self._cache[job.job_id] = choice
         return choice
 
+    def release(self, job_id: int) -> None:
+        """Evict the sticky choice for a job that is permanently placed."""
+        self._cache.pop(job_id, None)
+
 
 class ModelBasedStrategy:
-    """Algorithm 2: fastest predicted machine with full-machine fallback."""
+    """Algorithm 2: fastest predicted machine with full-machine fallback.
+
+    A job's machine-preference order (its RPV argsort restricted to the
+    cluster's machines) is a pure function of the job, so it is computed
+    once and memoized — the scheduler re-consults the strategy on every
+    wake-up while a job waits for its best machine, which made the
+    per-call sort the hottest code in the whole simulation.  The memo is
+    keyed by job id, invalidated wholesale when a different cluster
+    object shows up (candidate machines could differ), and evicted per
+    job via :meth:`release`.
+    """
 
     name = "model"
     #: Which RPV each job carries for this strategy.
     rpv_attr = "predicted_rpv"
+    stateless_assign = True  # memo is a pure cache; no call-order state
 
     def __init__(self, systems: tuple[str, ...] = SYSTEM_ORDER):
         self.systems = tuple(systems)
+        self._sys_index = {s: i for i, s in enumerate(self.systems)}
+        self._cluster: ClusterState | None = None
+        self._candidates: list[str] = []
+        # job_id -> (preference-ordered MachineState list, rpv values)
+        self._pref_cache: dict[int, tuple[list, dict[str, float]]] = {}
 
-    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+    def _preferences(
+        self, job: Job, cluster: ClusterState
+    ) -> tuple[list, dict[str, float]]:
+        if cluster is not self._cluster:
+            # New cluster object: the candidate set may differ, so every
+            # memoized order is suspect.  Holding a strong reference
+            # also guarantees `is` cannot alias a garbage-collected
+            # cluster's recycled id.
+            self._pref_cache.clear()
+            self._cluster = cluster
+            self._candidates = [
+                s for s in self.systems if s in cluster.machines
+            ]
+        if not self._candidates:
+            raise RuntimeError("no strategy systems present in cluster")
+        cached = self._pref_cache.get(job.job_id)
+        if cached is not None:
+            return cached
         rpv = getattr(job, self.rpv_attr)
         if rpv is None:
             raise ValueError(
@@ -116,26 +191,35 @@ class ModelBasedStrategy:
                 "with a predictor attached"
             )
         rpv = np.asarray(rpv, dtype=np.float64)
-        candidates = [s for s in self.systems if s in cluster.machines]
-        if not candidates:
-            raise RuntimeError("no strategy systems present in cluster")
-        order = sorted(
-            candidates, key=lambda s: rpv[self.systems.index(s)]
-        )
+        idx = self._sys_index
+        values = {s: float(rpv[idx[s]]) for s in self._candidates}
+        order = sorted(self._candidates, key=values.__getitem__)
+        machines = cluster.machines
+        cached = ([machines[s] for s in order], values)
+        self._pref_cache[job.job_id] = cached
+        return cached
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        order_machines, _ = self._preferences(job, cluster)
+        need = job.nodes_required
         # Fastest machine with room now; if all full, the overall fastest
         # (Algorithm 2 lines 4-5: "if all s in M are full: return m").
-        for name in order:
-            machine = cluster[name]
-            if machine.can_ever_fit(job.nodes_required) and machine.can_fit(
-                job.nodes_required
-            ):
-                return name
-        for name in order:
-            if cluster[name].can_ever_fit(job.nodes_required):
-                return name
+        # can_ever_fit/can_fit are inlined: this is the single hottest
+        # call site in the whole simulation.
+        for machine in order_machines:
+            if (machine.state == "up" and machine.free_nodes >= need
+                    and machine.total_nodes - machine.offline_nodes >= need):
+                return machine.name
+        for machine in order_machines:
+            if machine.total_nodes - machine.offline_nodes >= need:
+                return machine.name
         raise RuntimeError(
             f"job {job.job_id} ({job.nodes_required} nodes) fits no machine"
         )
+
+    def release(self, job_id: int) -> None:
+        """Evict the memoized preference order for a finished job."""
+        self._pref_cache.pop(job_id, None)
 
 
 class OracleStrategy(ModelBasedStrategy):
@@ -167,29 +251,24 @@ class UncertaintyAwareStrategy(ModelBasedStrategy):
         self.tie_margin = tie_margin
 
     def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
-        rpv = getattr(job, self.rpv_attr)
-        if rpv is None:
-            raise ValueError(
-                f"job {job.job_id} lacks {self.rpv_attr}; build the "
-                "workload with a predictor attached"
-            )
-        rpv = np.asarray(rpv, dtype=np.float64)
-        candidates = [s for s in self.systems if s in cluster.machines]
-        fit = [s for s in candidates
-               if cluster[s].can_ever_fit(job.nodes_required)]
+        _, values = self._preferences(job, cluster)
+        machines = cluster.machines
+        need = job.nodes_required
+        # Candidate iteration order (canonical system order, not RPV
+        # order) matters: max() below returns the *first* maximal
+        # element on free-node ties.
+        fit = [s for s in self._candidates
+               if machines[s].can_ever_fit(need)]
         if not fit:
             raise RuntimeError(
                 f"job {job.job_id} ({job.nodes_required} nodes) fits "
                 "no machine"
             )
-        best_value = min(rpv[self.systems.index(s)] for s in fit)
-        tied = [
-            s for s in fit
-            if rpv[self.systems.index(s)] <= best_value + self.tie_margin
-        ]
-        with_room = [s for s in tied if cluster[s].can_fit(job.nodes_required)]
+        best_value = min(values[s] for s in fit)
+        tied = [s for s in fit if values[s] <= best_value + self.tie_margin]
+        with_room = [s for s in tied if machines[s].can_fit(need)]
         if with_room:
-            return max(with_room, key=lambda s: cluster[s].free_nodes)
+            return max(with_room, key=lambda s: machines[s].free_nodes)
         # No near-tied machine has room now: fall back to standard
         # model-based behavior (next-fastest with room, else fastest).
         return super().assign(job, index, cluster)
