@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.apps.spec import AppSpec, InstructionMix, KernelSpec
+from repro.registry import Registry
 
 __all__ = [
     "APPLICATIONS",
@@ -26,7 +27,9 @@ def _k(*pairs: tuple[str, float]) -> tuple[KernelSpec, ...]:
     return tuple(KernelSpec(name, weight) for name, weight in pairs)
 
 
-APPLICATIONS: dict[str, AppSpec] = {}
+#: The application registry: ``Mapping`` of canonical name -> AppSpec
+#: with case-insensitive lookup and typed UnknownNameError on misses.
+APPLICATIONS: Registry[AppSpec] = Registry("application")
 
 #: Global work scale applied to every app's nominal instruction count.
 #: Calibrated so the proxy-app runs land in the seconds-to-minutes range
@@ -43,8 +46,6 @@ _NOISE_SCALE = 0.5
 
 
 def _register(app: AppSpec) -> None:
-    if app.name in APPLICATIONS:
-        raise ValueError(f"duplicate app {app.name}")
     app = replace(
         app,
         base_instructions=app.base_instructions * _WORK_SCALE,
@@ -54,7 +55,7 @@ def _register(app: AppSpec) -> None:
         gpu_kernel_launches=app.gpu_kernel_launches * _WORK_SCALE,
         runtime_noise_sigma=app.runtime_noise_sigma * _NOISE_SCALE,
     )
-    APPLICATIONS[app.name] = app
+    APPLICATIONS.register(app.name, app)
 
 
 # ---------------------------------------------------------------------------
@@ -467,8 +468,9 @@ ML_PYTHON_APPS: tuple[str, ...] = tuple(
 
 
 def get_app(name: str) -> AppSpec:
-    """Look up an application by name (case-insensitive)."""
-    for key, app in APPLICATIONS.items():
-        if key.lower() == name.lower():
-            return app
-    raise KeyError(f"unknown application {name!r}; known: {sorted(APPLICATIONS)}")
+    """Look up an application by name (case-insensitive).
+
+    Raises :class:`repro.errors.UnknownNameError` (a ``KeyError``) with
+    did-you-mean suggestions on a miss.
+    """
+    return APPLICATIONS[name]

@@ -12,6 +12,7 @@ SP/DP balances.
 from __future__ import annotations
 
 from repro.arch.hardware import CacheLevel, CPUSpec, GPUSpec, MachineSpec
+from repro.registry import Registry
 
 __all__ = [
     "QUARTZ",
@@ -140,14 +141,18 @@ CORONA = MachineSpec(
 #: Canonical system order used for RPVs, one-hot encodings, and reports.
 SYSTEM_ORDER: tuple[str, ...] = ("Quartz", "Ruby", "Lassen", "Corona")
 
-MACHINES: dict[str, MachineSpec] = {
-    m.name: m for m in (QUARTZ, RUBY, LASSEN, CORONA)
-}
+#: The machine registry: ``Mapping`` of canonical name -> MachineSpec
+#: with case-insensitive lookup and typed UnknownNameError on misses.
+MACHINES: Registry[MachineSpec] = Registry("machine")
+for _machine in (QUARTZ, RUBY, LASSEN, CORONA):
+    MACHINES.register(_machine.name, _machine)
+del _machine
 
 
 def get_machine(name: str) -> MachineSpec:
-    """Look up a Table I machine by name (case-insensitive)."""
-    for key, machine in MACHINES.items():
-        if key.lower() == name.lower():
-            return machine
-    raise KeyError(f"unknown machine {name!r}; known: {list(MACHINES)}")
+    """Look up a Table I machine by name (case-insensitive).
+
+    Raises :class:`repro.errors.UnknownNameError` (a ``KeyError``) with
+    did-you-mean suggestions on a miss.
+    """
+    return MACHINES[name]

@@ -1,0 +1,262 @@
+"""Provenance-stamped run-directory artifact store.
+
+Before this module, every ``repro`` run scattered ad-hoc output files —
+a CSV here, a pickle there, metrics on stdout only — with no record of
+what produced them.  A :class:`RunDir` collects everything one run emits
+(dataset shards, :mod:`repro.ml.serialization` model files, metrics
+JSON, figures, SWF traces) under one directory and stamps it with a
+``manifest.json`` recording:
+
+* the full :class:`~repro.config.ExperimentConfig` and its SHA-256
+  content hash (the run's identity);
+* the root seed;
+* every schema/format version in play
+  (:data:`~repro.config.CONFIG_SCHEMA_VERSION`,
+  :data:`~repro.dataset.schema.DATASET_SCHEMA_VERSION`,
+  :data:`~repro.ml.serialization.MODEL_FORMAT_VERSION`, and this
+  manifest's own :data:`MANIFEST_FORMAT_VERSION`);
+* the package version and wall-clock duration;
+* a checksummed file inventory (SHA-256 + size per artifact).
+
+:func:`load_run` reads a run back; :func:`verify_run` re-hashes every
+file against the inventory, so bit-rot or hand-editing is detected
+instead of silently trusted.  Typical shape::
+
+    run = RunDir.create("runs", experiment)
+    run.save_metrics({"xgboost": {"mae": 0.031}})
+    run.attach(csv_path)           # adopt a file written elsewhere
+    run.finalize()                 # writes manifest.json
+
+    loaded = load_run(run.path)
+    loaded.config.content_hash() == loaded.manifest["config_hash"]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
+from repro.errors import ArtifactError
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "RunDir",
+    "LoadedRun",
+    "load_run",
+    "verify_run",
+]
+
+#: Bumped whenever the manifest layout changes incompatibly.
+MANIFEST_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _format_versions() -> dict[str, int]:
+    # Imported lazily: artifacts sits below dataset/ml in the layer
+    # graph only for typing purposes; at runtime it needs their version
+    # constants, and importing them at module scope would pull the whole
+    # numeric stack into `import repro.artifacts`.
+    from repro.dataset.schema import DATASET_SCHEMA_VERSION
+    from repro.ml.serialization import MODEL_FORMAT_VERSION
+
+    return {
+        "manifest_format_version": MANIFEST_FORMAT_VERSION,
+        "config_schema_version": CONFIG_SCHEMA_VERSION,
+        "dataset_schema_version": DATASET_SCHEMA_VERSION,
+        "model_format_version": MODEL_FORMAT_VERSION,
+    }
+
+
+class RunDir:
+    """One run's output directory, building toward a sealed manifest."""
+
+    def __init__(self, path: Path, experiment: ExperimentConfig):
+        self.path = Path(path)
+        self.experiment = experiment
+        self._started = time.monotonic()
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str | Path,
+               experiment: ExperimentConfig) -> "RunDir":
+        """Create ``<root>/<command>-<confighash12>`` and return it.
+
+        The directory name is content-derived, so re-running the same
+        config lands in the same place (and overwrites its artifacts
+        with bit-identical ones — that is the point).
+        """
+        digest = experiment.content_hash()
+        path = Path(root) / f"{experiment.command}-{digest[:12]}"
+        path.mkdir(parents=True, exist_ok=True)
+        return cls(path, experiment)
+
+    # ------------------------------------------------------------------
+    def file(self, name: str) -> Path:
+        """Path for an artifact inside the run directory."""
+        if Path(name).is_absolute() or ".." in Path(name).parts:
+            raise ArtifactError(f"artifact name {name!r} escapes the run dir")
+        return self.path / name
+
+    def save_json(self, name: str, payload) -> Path:
+        """Write *payload* as deterministic JSON inside the run."""
+        path = self.file(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def save_metrics(self, metrics: dict, name: str = "metrics.json") -> Path:
+        """Write the run's headline numbers (replay compares these)."""
+        return self.save_json(name, metrics)
+
+    def save_model(self, model, name: str = "model.json") -> Path:
+        """Write an estimator in the portable ml-serialization format."""
+        from repro.ml.serialization import save_model
+
+        path = self.file(name)
+        save_model(model, path)
+        return path
+
+    def attach(self, path: str | Path) -> Path:
+        """Adopt a file written elsewhere: copy it into the run dir."""
+        source = Path(path)
+        if not source.is_file():
+            raise ArtifactError(f"cannot attach {source}: not a file")
+        target = self.file(source.name)
+        if source.resolve() != target.resolve():
+            target.write_bytes(source.read_bytes())
+        return target
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> Path:
+        """Checksum every artifact and write ``manifest.json``."""
+        files = {}
+        for entry in sorted(self.path.rglob("*")):
+            if not entry.is_file() or entry.name == MANIFEST_NAME:
+                continue
+            rel = entry.relative_to(self.path).as_posix()
+            files[rel] = {
+                "sha256": _file_sha256(entry),
+                "bytes": entry.stat().st_size,
+            }
+        manifest = {
+            **_format_versions(),
+            "command": self.experiment.command,
+            "config": self.experiment.to_dict(),
+            "config_hash": self.experiment.content_hash(),
+            "seed": self.experiment.seed,
+            "repro_version": __version__,
+            "wall_time_seconds": round(time.monotonic() - self._started, 3),
+            "files": files,
+        }
+        path = self.path / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        self._finalized = True
+        return path
+
+
+class LoadedRun:
+    """A finalized run read back from disk."""
+
+    def __init__(self, path: Path, manifest: dict):
+        self.path = Path(path)
+        self.manifest = manifest
+        self.config = ExperimentConfig.from_dict(manifest["config"])
+
+    @property
+    def command(self) -> str:
+        return self.manifest["command"]
+
+    @property
+    def config_hash(self) -> str:
+        return self.manifest["config_hash"]
+
+    @property
+    def seed(self) -> int:
+        return int(self.manifest["seed"])
+
+    def files(self) -> tuple[str, ...]:
+        return tuple(sorted(self.manifest["files"]))
+
+    def read_json(self, name: str):
+        """Parse one JSON artifact from the run."""
+        return json.loads((self.path / name).read_text())
+
+    def metrics(self, name: str = "metrics.json"):
+        return self.read_json(name)
+
+    def model(self, name: str = "model.json"):
+        """Restore an estimator saved with :meth:`RunDir.save_model`."""
+        from repro.ml.serialization import load_model
+
+        return load_model(self.path / name)
+
+
+def load_run(path: str | Path) -> LoadedRun:
+    """Read a run directory's manifest; typed errors on any defect."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not a run directory "
+                            f"(no {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"corrupt manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ArtifactError(f"corrupt manifest {manifest_path}: not an object")
+    version = manifest.get("manifest_format_version")
+    if version != MANIFEST_FORMAT_VERSION:
+        raise ArtifactError(
+            f"{manifest_path}: manifest format version {version!r} "
+            f"(this package reads {MANIFEST_FORMAT_VERSION})"
+        )
+    missing = [key for key in ("command", "config", "config_hash", "seed",
+                               "files") if key not in manifest]
+    if missing:
+        raise ArtifactError(
+            f"{manifest_path}: missing manifest key(s): {', '.join(missing)}"
+        )
+    return LoadedRun(path, manifest)
+
+
+def verify_run(path: str | Path) -> LoadedRun:
+    """:func:`load_run`, then re-hash every inventoried artifact.
+
+    Raises :class:`~repro.errors.ArtifactError` naming the first file
+    that is missing or whose bytes no longer match the manifest; also
+    re-checks the recorded config hash against the recomputed one.
+    """
+    run = load_run(path)
+    recomputed = run.config.content_hash()
+    if recomputed != run.config_hash:
+        raise ArtifactError(
+            f"{run.path}: config hash mismatch (manifest says "
+            f"{run.config_hash[:12]}, config hashes to {recomputed[:12]})"
+        )
+    for rel, meta in sorted(run.manifest["files"].items()):
+        file_path = run.path / rel
+        if not file_path.is_file():
+            raise ArtifactError(f"{run.path}: inventoried file {rel} missing")
+        digest = _file_sha256(file_path)
+        if digest != meta.get("sha256"):
+            raise ArtifactError(
+                f"{run.path}: {rel} checksum mismatch "
+                f"(manifest {str(meta.get('sha256'))[:12]}, "
+                f"on disk {digest[:12]})"
+            )
+    return run

@@ -1,0 +1,77 @@
+"""Command-line interface.
+
+Exposes the reproduction's main workflows as ``repro <subcommand>``:
+
+* ``generate``  — build the MP-HPC dataset and write it as CSV (alias
+  ``dataset``; supports ``--jobs N`` parallel generation and a
+  ``--cache-dir`` content-addressed shard cache, both output-invariant).
+* ``train``     — train a predictor and save it (pickle).
+* ``evaluate``  — the Fig. 2 four-model comparison.
+* ``importance``— the Fig. 6 feature-importance report.
+* ``profile``   — profile one (app, machine, scale) run; print counters.
+* ``predict``   — profile a run and predict its RPV with a saved model.
+* ``schedule``  — the Section VII scheduling experiment.
+
+Every subcommand is a thin module under :mod:`repro.cli` that builds a
+typed :class:`~repro.config.ExperimentConfig` and calls library entry
+points.  Three flags are shared by all of them (the experiment spine):
+``--save-config FILE`` writes the run's config, ``--config FILE``
+replays a saved config bit-identically, and ``--run-dir DIR`` collects
+the run's artifacts under a provenance-stamped directory with a
+``manifest.json`` (see :mod:`repro.artifacts`).
+
+Every command is deterministic given ``--seed``.  See ``repro
+<subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.cli import (
+        dataset_cmd,
+        evaluate_cmd,
+        profile_cmd,
+        schedule_cmd,
+        train_cmd,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-architecture performance prediction "
+                    "(IPPS 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    dataset_cmd.add_subparsers(sub)
+    train_cmd.add_subparsers(sub)
+    evaluate_cmd.add_subparsers(sub)
+    profile_cmd.add_subparsers(sub)
+    schedule_cmd.add_subparsers(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code.
+
+    Expected failures — unknown registry names, bad config values,
+    missing files — are typed (:class:`~repro.errors.ReproError`
+    subclasses or ``ValueError``) and exit 2 with one ``error:`` line on
+    stderr.  Anything else is a bug and tracebacks normally.
+    """
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Shared experiment-spine plumbing for the CLI subcommands.
+
+Every subcommand gets three flags wired through here:
+
+* ``--config FILE``       — replay: load the full typed config from a
+  saved :class:`~repro.config.ExperimentConfig` JSON file.  The file's
+  values replace every config-covered flag, so a replayed run is
+  bit-identical to the run that saved it.
+* ``--save-config FILE``  — write the run's config (as built from the
+  command line) before running, so the run can be replayed later.
+* ``--run-dir DIR``       — collect the run's artifacts under a
+  provenance-stamped run directory (see :mod:`repro.artifacts`).
+
+Subcommand modules stay thin: they declare arguments whose ``dest``
+names match their config dataclass's fields, call
+:func:`experiment_from_args` to get the typed config, run the library
+entry points, and hand any artifacts to the :class:`RunDir` returned by
+:func:`open_run`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import fields
+
+from repro.artifacts import RunDir
+from repro.config import COMMAND_CONFIGS, BaseConfig, ExperimentConfig
+from repro.errors import ConfigError
+
+__all__ = [
+    "add_spine_options",
+    "experiment_from_args",
+    "open_run",
+    "close_run",
+    "make_cache",
+    "print_cache_stats",
+]
+
+
+def add_spine_options(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--config`` / ``--save-config`` / ``--run-dir``."""
+    group = parser.add_argument_group("experiment spine")
+    group.add_argument(
+        "--config", dest="config_file", metavar="FILE",
+        help="replay a saved experiment config; its values replace "
+             "every other option of this subcommand",
+    )
+    group.add_argument(
+        "--save-config", dest="save_config_file", metavar="FILE",
+        help="write this run's config as JSON (replayable via --config), "
+             "then run",
+    )
+    group.add_argument(
+        "--run-dir", dest="run_dir", metavar="DIR",
+        help="collect outputs under DIR/<command>-<confighash> with a "
+             "provenance manifest.json",
+    )
+
+
+def _config_from_namespace(cls: type[BaseConfig],
+                           args: argparse.Namespace) -> BaseConfig:
+    values = {}
+    for f in fields(cls):
+        value = getattr(args, f.name)
+        if isinstance(value, list):
+            value = tuple(value)
+        values[f.name] = value
+    return cls(**values)
+
+
+def experiment_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """The run's typed config: loaded from ``--config`` if given, else
+    built from the parsed flags; saved to ``--save-config`` if asked.
+    """
+    command = COMMAND_CONFIGS.canonical(args.command)
+    if args.config_file:
+        experiment = ExperimentConfig.load(args.config_file)
+        if experiment.command != command:
+            raise ConfigError(
+                f"{args.config_file} holds a {experiment.command!r} config "
+                f"but was passed to 'repro {args.command}'"
+            )
+    else:
+        cls = COMMAND_CONFIGS[command]
+        experiment = ExperimentConfig(
+            command, _config_from_namespace(cls, args)
+        )
+    if args.save_config_file:
+        experiment.save(args.save_config_file)
+        print(f"config written to {args.save_config_file} "
+              f"(hash {experiment.content_hash()[:12]})")
+    return experiment
+
+
+def open_run(args: argparse.Namespace,
+             experiment: ExperimentConfig) -> RunDir | None:
+    """The run's artifact directory, or None without ``--run-dir``."""
+    if not getattr(args, "run_dir", None):
+        return None
+    return RunDir.create(args.run_dir, experiment)
+
+
+def close_run(run: RunDir | None) -> None:
+    """Seal the run directory (checksums + manifest), if one is open."""
+    if run is not None:
+        manifest = run.finalize()
+        print(f"run manifest written to {manifest}")
+
+
+def make_cache(cache_dir: str | None):
+    """A ShardCache for *cache_dir*, or None when caching is off."""
+    if cache_dir is None:
+        return None
+    from repro.dataset.store import ShardCache
+
+    return ShardCache(cache_dir)
+
+
+def print_cache_stats(cache) -> None:
+    if cache is not None:
+        s = cache.stats
+        print(f"cache {cache.cache_dir}: {s.hits} hits, {s.misses} misses, "
+              f"{s.evictions} evicted")

@@ -1,0 +1,84 @@
+"""``repro generate`` (alias ``dataset``) and ``repro report``.
+
+Thin wrappers: build the typed config, call the dataset layer, hand
+artifacts to the run directory.  All science lives in
+:mod:`repro.dataset`.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._options import (
+    add_spine_options,
+    close_run,
+    experiment_from_args,
+    make_cache,
+    open_run,
+    print_cache_stats,
+)
+from repro.config import DatasetConfig, ReportConfig
+
+
+def add_subparsers(sub) -> None:
+    d = DatasetConfig()
+    p = sub.add_parser("generate", aliases=["dataset"],
+                       help="generate the MP-HPC dataset CSV")
+    p.add_argument("--inputs-per-app", type=int, default=d.inputs_per_app)
+    p.add_argument("--seed", type=int, default=d.seed)
+    p.add_argument("--output", default=d.output)
+    p.add_argument("--jobs", type=int, default=d.jobs,
+                   help="worker processes for shard generation "
+                        "(0 = all cores); never changes the output")
+    p.add_argument("--cache-dir", default=d.cache_dir,
+                   help="content-addressed shard cache directory; warm "
+                        "reruns skip profiling entirely")
+    add_spine_options(p)
+    p.set_defaults(func=cmd_generate)
+
+    r = ReportConfig()
+    p = sub.add_parser("report", help="dataset summary report")
+    p.add_argument("--inputs-per-app", type=int, default=r.inputs_per_app)
+    p.add_argument("--seed", type=int, default=r.seed)
+    add_spine_options(p)
+    p.set_defaults(func=cmd_report)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.dataset import generate_dataset
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    cache = make_cache(cfg.cache_dir)
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed, jobs=cfg.jobs, cache=cache)
+    dataset.save(cfg.output)
+    print(f"wrote {dataset.num_rows} rows x "
+          f"{dataset.frame.num_columns} columns to {cfg.output}")
+    print_cache_stats(cache)
+    run = open_run(args, experiment)
+    if run is not None:
+        run.attach(cfg.output)
+        run.save_metrics({"rows": dataset.num_rows,
+                          "columns": dataset.frame.num_columns})
+    close_run(run)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.dataset import generate_dataset
+    from repro.dataset.report import dataset_report
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed)
+    report = dataset_report(dataset)
+    print(report)
+    run = open_run(args, experiment)
+    if run is not None:
+        run.file("report.txt").write_text(report + "\n")
+        run.save_metrics({"rows": dataset.num_rows,
+                          "columns": dataset.frame.num_columns})
+    close_run(run)
+    return 0

@@ -1,0 +1,126 @@
+"""``repro evaluate`` / ``repro importance`` / ``repro calibrate``.
+
+The paper's study commands: the Fig. 2 four-model comparison, the
+Fig. 6 feature-importance report, and the measurement-noise
+diagnostics.  The evaluate metrics JSON is the acceptance artifact for
+config replay: the same saved config reproduces it bit-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._options import (
+    add_spine_options,
+    close_run,
+    experiment_from_args,
+    make_cache,
+    open_run,
+    print_cache_stats,
+)
+from repro.config import CalibrateConfig, EvaluateConfig, ImportanceConfig
+
+
+def add_subparsers(sub) -> None:
+    e = EvaluateConfig()
+    p = sub.add_parser("evaluate", help="four-model comparison (Fig. 2)")
+    p.add_argument("--inputs-per-app", type=int, default=e.inputs_per_app)
+    p.add_argument("--seed", type=int, default=e.seed)
+    p.add_argument("--cv", action="store_true",
+                   help="also run 5-fold cross-validation")
+    p.add_argument("--jobs", type=int, default=e.jobs,
+                   help="worker processes for dataset generation and "
+                        "model training (0 = all cores)")
+    p.add_argument("--cache-dir", default=e.cache_dir,
+                   help="shard cache directory")
+    add_spine_options(p)
+    p.set_defaults(func=cmd_evaluate)
+
+    i = ImportanceConfig()
+    p = sub.add_parser("importance", help="feature importances (Fig. 6)")
+    p.add_argument("--inputs-per-app", type=int, default=i.inputs_per_app)
+    p.add_argument("--seed", type=int, default=i.seed)
+    p.add_argument("--top", type=int, default=i.top)
+    add_spine_options(p)
+    p.set_defaults(func=cmd_importance)
+
+    c = CalibrateConfig()
+    p = sub.add_parser("calibrate", help="measurement noise floor and "
+                                         "orderability diagnostics")
+    p.add_argument("--inputs-per-app", type=int, default=c.inputs_per_app)
+    p.add_argument("--seed", type=int, default=c.seed)
+    add_spine_options(p)
+    p.set_defaults(func=cmd_calibrate)
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.evaluation import model_comparison_study
+    from repro.dataset import generate_dataset
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    cache = make_cache(cfg.cache_dir)
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed, jobs=cfg.jobs, cache=cache)
+    frame = model_comparison_study(dataset, seed=42, run_cv=cfg.cv,
+                                   jobs=cfg.jobs)
+    print(f"{'model':>10s} {'MAE':>8s} {'SOS':>8s}")
+    metrics = {}
+    for model, mae, sos in zip(frame["model"], frame["mae"], frame["sos"]):
+        print(f"{model:>10s} {mae:8.4f} {sos:8.3f}")
+        metrics[model] = {"mae": float(mae), "sos": float(sos)}
+    print_cache_stats(cache)
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics(metrics)
+    close_run(run)
+    return 0
+
+
+def cmd_importance(args: argparse.Namespace) -> int:
+    from repro.core.evaluation import feature_importance_study
+    from repro.dataset import generate_dataset
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed)
+    frame = feature_importance_study(dataset, seed=42)
+    top = list(zip(frame["label"], frame["importance"]))[: cfg.top]
+    for label, value in top:
+        bar = "#" * int(round(50 * value))
+        print(f"{label:>22s} {value:7.4f} {bar}")
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics({label: float(value) for label, value in top},
+                         name="importance.json")
+    close_run(run)
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core import estimate_noise_floor, gap_statistics
+    from repro.dataset import generate_dataset
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    floor = estimate_noise_floor(inputs_per_app=cfg.inputs_per_app,
+                                 seed=cfg.seed)
+    print(f"test-retest SOS ceiling: {floor.sos_ceiling:.3f} "
+          f"({floor.groups} groups)")
+    print(f"RPV MAE noise floor:     {floor.rpv_mae_floor:.4f}")
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed)
+    stats = gap_statistics(dataset.Y())
+    print(f"median adjacent RPV gap: {stats['median']:.3f}")
+    print(f"near-tied rows (<0.05):  {stats['near_tied_fraction']:.0%}")
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics({
+            "sos_ceiling": float(floor.sos_ceiling),
+            "rpv_mae_floor": float(floor.rpv_mae_floor),
+            "median_gap": float(stats["median"]),
+            "near_tied_fraction": float(stats["near_tied_fraction"]),
+        })
+    close_run(run)
+    return 0

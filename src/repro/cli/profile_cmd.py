@@ -1,0 +1,167 @@
+"""``repro profile`` / ``repro predict`` / ``repro whatif``.
+
+The single-run commands: profile one (app, machine, scale) run, predict
+its RPV with a saved model, or rank a set of apps for porting value.
+``--app`` and ``--machine`` deliberately carry no argparse ``choices``:
+unknown names flow through the registries, whose typed
+:class:`~repro.errors.UnknownNameError` lists the valid names and
+suggests near-misses (and exits 2 like every other config error).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.cli._options import (
+    add_spine_options,
+    close_run,
+    experiment_from_args,
+    open_run,
+)
+from repro.config import SCALES, PredictConfig, ProfileConfig, WhatifConfig
+
+
+def add_subparsers(sub) -> None:
+    # --app/--machine/--predictor are "required", but not at argparse
+    # level: a --config replay supplies them from the file, and the
+    # typed configs reject empty names with a clean exit-2 error.
+    f = ProfileConfig(app="_", machine="_")
+    p = sub.add_parser("profile", help="profile one run, print counters")
+    p.add_argument("--app", default="")
+    p.add_argument("--machine", default="")
+    p.add_argument("--scale", default=f.scale, choices=SCALES)
+    p.add_argument("--seed", type=int, default=f.seed)
+    p.add_argument("--save", default=f.save,
+                   help="write the profile JSON here")
+    add_spine_options(p)
+    p.set_defaults(func=cmd_profile)
+
+    d = PredictConfig(predictor="_", app="_")
+    p = sub.add_parser("predict", help="profile a run, predict its RPV")
+    p.add_argument("--predictor", default="",
+                   help="path from `repro train --output`")
+    p.add_argument("--app", default="")
+    p.add_argument("--machine", default=d.machine)
+    p.add_argument("--scale", default=d.scale, choices=SCALES)
+    p.add_argument("--seed", type=int, default=d.seed)
+    add_spine_options(p)
+    p.set_defaults(func=cmd_predict)
+
+    w = WhatifConfig(predictor="_", apps=("_",))
+    p = sub.add_parser("whatif", help="porting shortlist from one system's "
+                                      "profiles (Section VIII-B use case)")
+    p.add_argument("--predictor", default="")
+    p.add_argument("--apps", nargs="+", default=[])
+    p.add_argument("--source", default=w.source)
+    p.add_argument("--scale", default=w.scale, choices=SCALES)
+    p.add_argument("--seed", type=int, default=w.seed)
+    add_spine_options(p)
+    p.set_defaults(func=cmd_whatif)
+
+
+def _profile_one(app_name: str, machine_name: str, scale: str, seed: int):
+    """One profiled run; unknown names raise registry UnknownNameError."""
+    from repro.apps import generate_inputs, get_app
+    from repro.arch import get_machine
+    from repro.perfsim.config import make_run_config
+    from repro.profiler import profile_run
+
+    app = get_app(app_name)
+    machine = get_machine(machine_name)
+    inp = generate_inputs(app, 1, seed=seed)[0]
+    config = make_run_config(app, machine, scale)
+    return profile_run(app, inp, machine, config, seed=seed)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.hatchet_lite import run_record
+    from repro.profiler import save_profile
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    profile = _profile_one(cfg.app, cfg.machine, cfg.scale, cfg.seed)
+    print(f"{profile.meta['app']} on {profile.meta['machine']} "
+          f"({profile.meta['scale']}, {profile.meta['profiler']}): "
+          f"{profile.meta['time_seconds']:.2f}s")
+    record = run_record(profile)
+    for key in ("total_instructions", "branch", "load", "store", "fp_sp",
+                "fp_dp", "int_arith", "l1_load_miss", "l2_load_miss",
+                "mem_stall_cycles"):
+        print(f"  {key:20s} {record[key]:.4g}")
+    if cfg.save:
+        save_profile(profile, cfg.save)
+        print(f"profile written to {cfg.save}")
+    run = open_run(args, experiment)
+    if run is not None:
+        save_profile(profile, run.file("profile.json"))
+        if cfg.save:
+            run.attach(cfg.save)
+    close_run(run)
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core import CrossArchPredictor
+    from repro.hatchet_lite import run_record
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    predictor = CrossArchPredictor.load(cfg.predictor)
+    profile = _profile_one(cfg.app, cfg.machine, cfg.scale, cfg.seed)
+    record = run_record(profile)
+    rpv = predictor.predict_record(record)
+    print(f"predicted RPV for {cfg.app} (counters from {cfg.machine}, "
+          f"{cfg.scale}):")
+    for system, value in zip(predictor.systems, rpv):
+        print(f"  {system:8s} {value:.3f}")
+    order = [predictor.systems[i] for i in np.argsort(rpv)]
+    print("fastest first: " + ", ".join(order))
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics({
+            "rpv": {system: float(value)
+                    for system, value in zip(predictor.systems, rpv)},
+            "fastest_first": order,
+        })
+    close_run(run)
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.apps import generate_inputs, get_app
+    from repro.arch import get_machine
+    from repro.core import CrossArchPredictor, porting_value
+    from repro.hatchet_lite import run_record
+    from repro.perfsim.config import make_run_config
+    from repro.profiler import profile_run
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    predictor = CrossArchPredictor.load(cfg.predictor)
+    machine = get_machine(cfg.source)
+    records = []
+    for app_name in cfg.apps:
+        app = get_app(app_name)
+        inp = generate_inputs(app, 1, seed=cfg.seed)[0]
+        config = make_run_config(app, machine, cfg.scale)
+        records.append(
+            run_record(profile_run(app, inp, machine, config,
+                                   seed=cfg.seed))
+        )
+    ranked = porting_value(predictor, records, source_system=cfg.source)
+    print(f"porting shortlist (profiled on {cfg.source}, {cfg.scale}):")
+    shortlist = []
+    for app_name, system, speedup in zip(
+        ranked["app"], ranked["best_gpu_system"],
+        ranked["speedup_vs_source"],
+    ):
+        print(f"  {app_name:14s} -> {system:8s} {speedup:5.1f}x")
+        shortlist.append({"app": app_name, "best_gpu_system": system,
+                          "speedup_vs_source": float(speedup)})
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics({"shortlist": shortlist})
+    close_run(run)
+    return 0

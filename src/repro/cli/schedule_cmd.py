@@ -1,0 +1,172 @@
+"""``repro schedule``: the Section VII scheduling experiment.
+
+Fault-free by default (the paper's perfect world); ``--fault-profile``
+reruns the same workload through the resilience layer.  Strategy and
+fault-profile choices come straight from their registries, so a newly
+registered strategy is schedulable with no CLI change.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._options import (
+    add_spine_options,
+    close_run,
+    experiment_from_args,
+    open_run,
+)
+from repro.config import ScheduleConfig
+from repro.resilience.faults import FAULT_PROFILES
+from repro.sched.strategies import STRATEGIES
+
+
+def add_subparsers(sub) -> None:
+    s = ScheduleConfig()
+    p = sub.add_parser("schedule", help="scheduling experiment (Figs. 7-8)")
+    p.add_argument("--jobs", type=int, default=s.jobs)
+    p.add_argument("--inputs-per-app", type=int, default=s.inputs_per_app)
+    p.add_argument("--seed", type=int, default=s.seed)
+    p.add_argument("--strategies", nargs="+", default=list(s.strategies),
+                   choices=sorted(STRATEGIES))
+    p.add_argument("--swf-output", default=s.swf_output,
+                   help="write the model-strategy schedule as an SWF trace")
+    p.add_argument("--fault-profile", default=s.fault_profile,
+                   choices=sorted(FAULT_PROFILES),
+                   help="inject node failures, job crashes, and counter "
+                        "corruption (none = the paper's perfect world)")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="killed jobs restart from their completed "
+                        "fraction instead of from scratch")
+    p.add_argument("--max-attempts", type=int, default=s.max_attempts,
+                   help="abandon a job after this many attempts "
+                        "(default: retry forever)")
+    add_spine_options(p)
+    p.set_defaults(func=cmd_schedule)
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import CrossArchPredictor
+    from repro.dataset import generate_dataset
+    from repro.ml import train_test_split
+    from repro.sched import (
+        Scheduler,
+        average_bounded_slowdown,
+        makespan,
+        strategy_by_name,
+    )
+    from repro.sched.machines import ClusterState
+    from repro.workloads import build_workload
+    from repro.workloads.swf import write_swf
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed)
+    train_rows, _ = train_test_split(dataset.num_rows, 0.1, random_state=42)
+    predictor = CrossArchPredictor.train(dataset, rows=train_rows)
+    if cfg.fault_profile != "none":
+        return _schedule_with_faults(args, experiment, dataset, predictor)
+    jobs = build_workload(dataset, n_jobs=cfg.jobs, seed=cfg.seed + 1,
+                          predictor=predictor)
+    print(f"{'strategy':>12s} {'makespan(h)':>12s} {'bounded slowdown':>17s}")
+    metrics = {}
+    swf_path = None
+    for name in cfg.strategies:
+        result = Scheduler(strategy_by_name(name, seed=11),
+                           ClusterState()).run(list(jobs))
+        hours = makespan(result) / 3600
+        slowdown = average_bounded_slowdown(result)
+        print(f"{name:>12s} {hours:12.3f} {slowdown:17.2f}")
+        metrics[name] = {"makespan_hours": hours,
+                         "bounded_slowdown": slowdown}
+        if name == "model" and cfg.swf_output:
+            write_swf(result, cfg.swf_output,
+                      header="repro scheduling experiment")
+            print(f"  SWF trace written to {cfg.swf_output}")
+            swf_path = cfg.swf_output
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics(metrics)
+        if swf_path:
+            run.attach(swf_path)
+    close_run(run)
+    return 0
+
+
+def _schedule_with_faults(args, experiment, dataset, predictor) -> int:
+    """The Fig. 7 experiment re-run in a hostile world.
+
+    The workload's counter vectors pass through the fault injector's
+    corruption channel and the :class:`ResilientPredictor` degradation
+    chain before scheduling; each strategy then runs under its own
+    (identically-seeded) injector so every strategy faces the same
+    failure sequence.
+    """
+    from repro.resilience import (
+        CorruptingPredictor,
+        FaultInjector,
+        FaultProfile,
+        ResilientPredictor,
+        RetryPolicy,
+    )
+    from repro.sched import (
+        Scheduler,
+        average_bounded_slowdown,
+        degraded_prediction_fraction,
+        goodput,
+        makespan,
+        resilience_summary,
+        strategy_by_name,
+    )
+    from repro.sched.machines import ClusterState
+    from repro.workloads import build_workload
+
+    cfg = experiment.config
+    profile = FaultProfile.preset(cfg.fault_profile)
+    resilient = ResilientPredictor.from_training(predictor, dataset)
+    corrupting = CorruptingPredictor(
+        resilient, FaultInjector(profile, seed=cfg.seed + 2)
+    )
+    jobs = build_workload(dataset, n_jobs=cfg.jobs, seed=cfg.seed + 1,
+                          predictor=corrupting)
+    retry = RetryPolicy(max_attempts=cfg.max_attempts,
+                        checkpoint=cfg.checkpoint)
+    degraded = degraded_prediction_fraction(resilient.tier_counts)
+    print(f"fault profile {profile.name}: node MTBF/machine "
+          f"{profile.node_mtbf:.0f}s, crash prob {profile.crash_prob:.0%}, "
+          f"counter corruption {profile.corruption_prob:.0%}")
+    print(f"degraded predictions: {degraded:.1%} "
+          f"(tiers: {dict(resilient.tier_counts)})")
+    print(f"{'strategy':>12s} {'makespan(h)':>12s} {'slowdown':>9s} "
+          f"{'goodput':>8s} {'retries':>8s} {'completed':>10s}")
+    metrics = {}
+    for name in cfg.strategies:
+        # A fresh injector per strategy: every strategy sees the same
+        # failure sequence.
+        scheduler = Scheduler(
+            strategy_by_name(name, seed=11), ClusterState(),
+            faults=FaultInjector(profile, seed=cfg.seed + 2), retry=retry,
+        )
+        result = scheduler.run(list(jobs))
+        summary = resilience_summary(result)
+        completed = result.num_jobs
+        total = completed + summary["failed_jobs"]
+        hours = makespan(result) / 3600
+        print(f"{name:>12s} {hours:12.3f} "
+              f"{average_bounded_slowdown(result):9.2f} "
+              f"{goodput(result):8.3f} {summary['retries']:8d} "
+              f"{completed:6d}/{total:<4d}")
+        metrics[name] = {
+            "makespan_hours": hours,
+            "bounded_slowdown": average_bounded_slowdown(result),
+            "goodput": goodput(result),
+            "retries": summary["retries"],
+            "completed": completed,
+            "total": total,
+        }
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_metrics(metrics)
+    close_run(run)
+    return 0

@@ -1,0 +1,56 @@
+"""``repro train``: fit a predictor and persist it."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._options import (
+    add_spine_options,
+    close_run,
+    experiment_from_args,
+    open_run,
+)
+from repro.config import TrainConfig
+from repro.ml import MODELS
+
+
+def add_subparsers(sub) -> None:
+    t = TrainConfig()
+    p = sub.add_parser("train", help="train a predictor and save it")
+    p.add_argument("--model", default=t.model, choices=sorted(MODELS))
+    p.add_argument("--inputs-per-app", type=int, default=t.inputs_per_app)
+    p.add_argument("--seed", type=int, default=t.seed)
+    p.add_argument("--split-seed", type=int, default=t.split_seed)
+    p.add_argument("--output", default=t.output)
+    add_spine_options(p)
+    p.set_defaults(func=cmd_train)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import CrossArchPredictor
+    from repro.dataset import generate_dataset
+    from repro.ml import mean_absolute_error, same_order_score, train_test_split
+
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
+                               seed=cfg.seed)
+    train_rows, test_rows = train_test_split(
+        dataset.num_rows, 0.1, random_state=cfg.split_seed
+    )
+    predictor = CrossArchPredictor.train(dataset, model=cfg.model,
+                                         rows=train_rows)
+    pred = predictor.predict(dataset.X()[test_rows])
+    truth = dataset.Y()[test_rows]
+    mae = mean_absolute_error(truth, pred)
+    sos = same_order_score(truth, pred)
+    print(f"{cfg.model}: test MAE {mae:.4f} SOS {sos:.3f}")
+    predictor.save(cfg.output)
+    print(f"saved predictor to {cfg.output}")
+    run = open_run(args, experiment)
+    if run is not None:
+        run.attach(cfg.output)
+        run.save_model(predictor.model)
+        run.save_metrics({cfg.model: {"mae": mae, "sos": sos}})
+    close_run(run)
+    return 0

@@ -1,0 +1,500 @@
+"""Typed, frozen, JSON-round-trippable experiment configs.
+
+Every ``repro`` subcommand is described by one frozen dataclass here.
+A config plus the package's registries fully determines a run: the same
+config replays the same experiment bit-identically (the CLI's
+``--save-config`` / ``--config`` flags are thin wrappers over
+:meth:`ExperimentConfig.save` / :meth:`ExperimentConfig.load`).
+
+Three properties make configs the unit of provenance:
+
+* **frozen** — a config cannot drift between the moment it is hashed
+  and the moment it runs;
+* **JSON round-trip** — ``to_dict``/``from_dict`` are exact inverses
+  (tuples survive as tuples), and unknown or missing fields raise a
+  typed :class:`~repro.errors.ConfigError` instead of being silently
+  dropped;
+* **content hash** — :meth:`ExperimentConfig.content_hash` is a SHA-256
+  over the canonical JSON encoding (the same scheme
+  :func:`repro.dataset.store.shard_cache_key` uses for dataset shards),
+  covering the command, the config fields, and
+  :data:`CONFIG_SCHEMA_VERSION` — so artifact stores can content-address
+  whole runs exactly like the shard cache content-addresses shards.
+
+Name-valued fields (model, strategies, fault profile, app, machine) are
+validated *structurally* here (non-empty strings); existence is checked
+at lookup time through :mod:`repro.registry`-backed registries, which
+raise typed did-you-mean errors.  That split keeps this module at the
+bottom of the layer graph: it may import nothing from :mod:`repro`
+except :mod:`repro.errors` and :mod:`repro.registry` (enforced by
+``tools/check_layering.py`` and ``tests/test_layering.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import ClassVar
+
+from repro.errors import ConfigError
+from repro.registry import Registry
+
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "SCALES",
+    "canonical_json",
+    "content_digest",
+    "BaseConfig",
+    "DatasetConfig",
+    "ReportConfig",
+    "TrainConfig",
+    "EvaluateConfig",
+    "ImportanceConfig",
+    "ProfileConfig",
+    "PredictConfig",
+    "WhatifConfig",
+    "CalibrateConfig",
+    "ScheduleConfig",
+    "ExperimentConfig",
+    "COMMAND_CONFIGS",
+]
+
+#: Bumped whenever a config dataclass changes incompatibly; stored in
+#: every saved config and every run manifest, checked on load.
+CONFIG_SCHEMA_VERSION = 1
+
+#: The run scales the profiler understands (``--scale`` choices).
+SCALES: tuple[str, ...] = ("1core", "1node", "2node")
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift).
+
+    The one true encoding used for every content hash in the package —
+    dataset shard keys (:func:`repro.dataset.store.shard_cache_key`),
+    config hashes, and artifact-manifest file checksums all agree on it.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(value) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of *value*."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Validation helpers (structural only — no registry lookups here)
+# ---------------------------------------------------------------------------
+def _require_positive(cfg, *names: str) -> None:
+    for name in names:
+        value = getattr(cfg, name)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                f"{type(cfg).__name__}.{name} must be a positive integer, "
+                f"got {value!r}"
+            )
+
+
+def _require_non_negative(cfg, *names: str) -> None:
+    for name in names:
+        value = getattr(cfg, name)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ConfigError(
+                f"{type(cfg).__name__}.{name} must be a non-negative "
+                f"integer, got {value!r}"
+            )
+
+
+def _require_name(cfg, *names: str) -> None:
+    for name in names:
+        value = getattr(cfg, name)
+        if not isinstance(value, str) or not value.strip():
+            raise ConfigError(
+                f"{type(cfg).__name__}.{name} must be a non-empty string, "
+                f"got {value!r}"
+            )
+
+
+def _freeze_tuple(cfg, name: str) -> None:
+    """Coerce a list-valued field to the tuple the dataclass declares,
+    so directly-constructed and JSON-restored configs compare equal."""
+    value = getattr(cfg, name)
+    if isinstance(value, list):
+        object.__setattr__(cfg, name, tuple(value))
+
+
+def _require_scale(cfg) -> None:
+    if cfg.scale not in SCALES:
+        raise ConfigError(
+            f"{type(cfg).__name__}.scale must be one of {SCALES}, "
+            f"got {cfg.scale!r}"
+        )
+
+
+@dataclass(frozen=True)
+class BaseConfig:
+    """Shared JSON plumbing for all per-command configs."""
+
+    #: CLI command this config drives (subclasses override).
+    command: ClassVar[str] = ""
+
+    def to_dict(self) -> dict:
+        """Plain-JSON-types dict of this config's fields (exact inverse
+        of :meth:`from_dict`)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BaseConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys and missing required fields raise
+        :class:`~repro.errors.ConfigError`; lists are restored to the
+        tuples the dataclasses declare.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{cls.__name__} payload must be an object, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        required = {
+            f.name for f in fields(cls)
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        }
+        missing = sorted(required - set(data))
+        if missing:
+            raise ConfigError(
+                f"missing {cls.__name__} field(s): {', '.join(missing)}"
+            )
+        coerced = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+        }
+        return cls(**coerced)
+
+
+# ---------------------------------------------------------------------------
+# Per-command configs (field names match the argparse dests exactly)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DatasetConfig(BaseConfig):
+    """``repro generate`` / ``repro dataset``."""
+
+    command: ClassVar[str] = "generate"
+
+    inputs_per_app: int = 12
+    seed: int = 0
+    output: str = "mphpc.csv"
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "inputs_per_app")
+        _require_non_negative(self, "seed", "jobs")
+
+
+@dataclass(frozen=True)
+class ReportConfig(BaseConfig):
+    """``repro report``."""
+
+    command: ClassVar[str] = "report"
+
+    inputs_per_app: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "inputs_per_app")
+        _require_non_negative(self, "seed")
+
+
+@dataclass(frozen=True)
+class TrainConfig(BaseConfig):
+    """``repro train``."""
+
+    command: ClassVar[str] = "train"
+
+    model: str = "xgboost"
+    inputs_per_app: int = 12
+    seed: int = 0
+    split_seed: int = 42
+    output: str = "predictor.pkl"
+
+    def __post_init__(self) -> None:
+        _require_name(self, "model")
+        _require_positive(self, "inputs_per_app")
+        _require_non_negative(self, "seed", "split_seed")
+
+
+@dataclass(frozen=True)
+class EvaluateConfig(BaseConfig):
+    """``repro evaluate`` (the Fig. 2 four-model comparison)."""
+
+    command: ClassVar[str] = "evaluate"
+
+    inputs_per_app: int = 8
+    seed: int = 0
+    cv: bool = False
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "inputs_per_app")
+        _require_non_negative(self, "seed", "jobs")
+
+
+@dataclass(frozen=True)
+class ImportanceConfig(BaseConfig):
+    """``repro importance`` (the Fig. 6 feature-importance report)."""
+
+    command: ClassVar[str] = "importance"
+
+    inputs_per_app: int = 8
+    seed: int = 0
+    top: int = 21
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "inputs_per_app", "top")
+        _require_non_negative(self, "seed")
+
+
+@dataclass(frozen=True)
+class ProfileConfig(BaseConfig):
+    """``repro profile`` (one simulated profiled run)."""
+
+    command: ClassVar[str] = "profile"
+
+    app: str = ""
+    machine: str = ""
+    scale: str = "1node"
+    seed: int = 0
+    save: str | None = None
+
+    def __post_init__(self) -> None:
+        _require_name(self, "app", "machine")
+        _require_scale(self)
+        _require_non_negative(self, "seed")
+
+
+@dataclass(frozen=True)
+class PredictConfig(BaseConfig):
+    """``repro predict`` (profile a run, predict its RPV)."""
+
+    command: ClassVar[str] = "predict"
+
+    predictor: str = ""
+    app: str = ""
+    machine: str = "Quartz"
+    scale: str = "1node"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_name(self, "predictor", "app", "machine")
+        _require_scale(self)
+        _require_non_negative(self, "seed")
+
+
+@dataclass(frozen=True)
+class WhatifConfig(BaseConfig):
+    """``repro whatif`` (the Section VIII-B porting shortlist)."""
+
+    command: ClassVar[str] = "whatif"
+
+    predictor: str = ""
+    apps: tuple[str, ...] = ()
+    source: str = "Quartz"
+    scale: str = "1node"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _freeze_tuple(self, "apps")
+        _require_name(self, "predictor", "source")
+        _require_scale(self)
+        _require_non_negative(self, "seed")
+        if not self.apps or not all(
+            isinstance(a, str) and a.strip() for a in self.apps
+        ):
+            raise ConfigError(
+                "WhatifConfig.apps must be a non-empty tuple of app names"
+            )
+
+
+@dataclass(frozen=True)
+class CalibrateConfig(BaseConfig):
+    """``repro calibrate`` (noise floor / orderability diagnostics)."""
+
+    command: ClassVar[str] = "calibrate"
+
+    inputs_per_app: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "inputs_per_app")
+        _require_non_negative(self, "seed")
+
+
+@dataclass(frozen=True)
+class ScheduleConfig(BaseConfig):
+    """``repro schedule`` (the Figs. 7-8 scheduling experiment)."""
+
+    command: ClassVar[str] = "schedule"
+
+    jobs: int = 5000
+    inputs_per_app: int = 8
+    seed: int = 0
+    strategies: tuple[str, ...] = ("random", "round_robin", "user_rr",
+                                  "model")
+    swf_output: str | None = None
+    fault_profile: str = "none"
+    checkpoint: bool = False
+    max_attempts: int | None = None
+
+    def __post_init__(self) -> None:
+        _freeze_tuple(self, "strategies")
+        _require_positive(self, "jobs", "inputs_per_app")
+        _require_non_negative(self, "seed")
+        _require_name(self, "fault_profile")
+        if not self.strategies or not all(
+            isinstance(s, str) and s.strip() for s in self.strategies
+        ):
+            raise ConfigError(
+                "ScheduleConfig.strategies must be a non-empty tuple of "
+                "strategy names"
+            )
+        if self.max_attempts is not None and (
+            not isinstance(self.max_attempts, int)
+            or isinstance(self.max_attempts, bool)
+            or self.max_attempts < 1
+        ):
+            raise ConfigError(
+                "ScheduleConfig.max_attempts must be None or a positive "
+                f"integer, got {self.max_attempts!r}"
+            )
+
+
+#: Command name -> config class.  Aliases mirror the CLI's (``dataset``
+#: is an alias of ``generate``); lookups of unknown commands raise a
+#: typed UnknownNameError.
+COMMAND_CONFIGS: Registry[type[BaseConfig]] = Registry("command")
+COMMAND_CONFIGS.register("generate", DatasetConfig, aliases=("dataset",))
+COMMAND_CONFIGS.register("report", ReportConfig)
+COMMAND_CONFIGS.register("train", TrainConfig)
+COMMAND_CONFIGS.register("evaluate", EvaluateConfig)
+COMMAND_CONFIGS.register("importance", ImportanceConfig)
+COMMAND_CONFIGS.register("profile", ProfileConfig)
+COMMAND_CONFIGS.register("predict", PredictConfig)
+COMMAND_CONFIGS.register("whatif", WhatifConfig)
+COMMAND_CONFIGS.register("calibrate", CalibrateConfig)
+COMMAND_CONFIGS.register("schedule", ScheduleConfig)
+
+
+# ---------------------------------------------------------------------------
+# The persisted envelope
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One replayable experiment: a command plus its typed config.
+
+    This is the JSON document ``--save-config`` writes and ``--config``
+    reads; :meth:`content_hash` is the run's identity in artifact
+    manifests.
+    """
+
+    command: str
+    config: BaseConfig
+
+    def __post_init__(self) -> None:
+        expected = COMMAND_CONFIGS[self.command]
+        if type(self.config) is not expected:
+            raise ConfigError(
+                f"command {self.command!r} takes a {expected.__name__}, "
+                f"got {type(self.config).__name__}"
+            )
+        # Normalize aliases ("dataset" -> "generate") so equal
+        # experiments hash equal.
+        object.__setattr__(
+            self, "command", COMMAND_CONFIGS.canonical(self.command)
+        )
+
+    # -- JSON round-trip ------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "config_schema_version": CONFIG_SCHEMA_VERSION,
+            "command": self.command,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"experiment config must be an object, "
+                f"got {type(data).__name__}"
+            )
+        version = data.get("config_schema_version")
+        if version != CONFIG_SCHEMA_VERSION:
+            raise ConfigError(
+                f"config schema version mismatch: file has {version!r}, "
+                f"this package reads {CONFIG_SCHEMA_VERSION}"
+            )
+        extra = sorted(
+            set(data) - {"config_schema_version", "command", "config"}
+        )
+        if extra:
+            raise ConfigError(
+                f"unknown experiment config key(s): {', '.join(extra)}"
+            )
+        command = data.get("command")
+        if not isinstance(command, str):
+            raise ConfigError("experiment config lacks a 'command' string")
+        config_cls = COMMAND_CONFIGS[command]
+        return cls(command=command,
+                   config=config_cls.from_dict(data.get("config", {})))
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the config as pretty-printed JSON (hash-stable: the
+        content hash is computed over the canonical encoding, not the
+        pretty one)."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
+                                         sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentConfig":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read config {path}: {exc}") from exc
+        try:
+            return cls.from_dict(data)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+    # -- identity -------------------------------------------------------
+    def content_hash(self) -> str:
+        """SHA-256 content address of this experiment (same scheme as
+        the dataset shard cache)."""
+        return content_digest(self.to_dict())
+
+    @property
+    def seed(self) -> int:
+        """The experiment's root seed (0 for configs without one)."""
+        return int(getattr(self.config, "seed", 0))

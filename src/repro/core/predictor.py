@@ -25,38 +25,14 @@ from repro.dataset.features import (
 from repro.dataset.generate import MPHPCDataset
 from repro.dataset.schema import FEATURE_COLUMNS, FEATURE_LABELS
 from repro.frame import Frame
-from repro.ml import (
-    GradientBoostedTrees,
-    LinearRegression,
-    MeanPredictor,
-    RandomForestRegressor,
-)
+from repro.ml import MODELS
 
 __all__ = ["CrossArchPredictor"]
 
-_MODEL_KINDS = ("xgboost", "forest", "linear", "mean")
-
 
 def _make_model(kind: str, random_state: int | None, **kwargs):
-    if kind == "xgboost":
-        # Vector-leaf trees ("multi_output_tree") predict the four RPV
-        # components jointly, which preserves cross-component orderings
-        # (the SOS metric) far better than independent per-output
-        # ensembles; gain is averaged over outputs exactly as the paper
-        # describes its importance computation.
-        defaults = dict(n_estimators=400, max_depth=9, learning_rate=0.07,
-                        multi_strategy="multi_output_tree")
-        defaults.update(kwargs)
-        return GradientBoostedTrees(random_state=random_state, **defaults)
-    if kind == "forest":
-        defaults = dict(n_estimators=40, max_depth=14, min_samples_leaf=2)
-        defaults.update(kwargs)
-        return RandomForestRegressor(random_state=random_state, **defaults)
-    if kind == "linear":
-        return LinearRegression()
-    if kind == "mean":
-        return MeanPredictor()
-    raise ValueError(f"unknown model kind {kind!r}; expected one of {_MODEL_KINDS}")
+    """Instantiate a registered model factory (typed error on a miss)."""
+    return MODELS[kind](random_state=random_state, **kwargs)
 
 
 class CrossArchPredictor:

@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import canonical_json
 from repro.dataset.features import FeatureNormalizer
 from repro.dataset.generate import MPHPCDataset
 from repro.dataset.schema import DATASET_SCHEMA_VERSION
@@ -105,9 +106,9 @@ def load_npz(path: str | Path) -> MPHPCDataset:
 # ---------------------------------------------------------------------------
 # Content-addressed shard cache
 # ---------------------------------------------------------------------------
-def _canonical_json(value) -> str:
-    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+#: Deterministic JSON encoding — shared with config hashing and run
+#: manifests so every content address in the package agrees on bytes.
+_canonical_json = canonical_json
 
 
 def shard_cache_key(app_spec, machine_spec, scale: str, seed: int,

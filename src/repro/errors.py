@@ -7,12 +7,27 @@ anything.  These classes give each artifact family one exception that
 always carries the file path and, where known, the offending line.
 
 ``ProfileError`` and ``TraceError`` also subclass :class:`ValueError`
-so existing ``except ValueError`` call sites keep working.
+so existing ``except ValueError`` call sites keep working; likewise
+:class:`UnknownNameError` subclasses :class:`KeyError` (the exception
+dict-backed lookups used to raise) and :class:`SerializationError`
+subclasses both :class:`ValueError` and :class:`KeyError` (the two
+exceptions a mis-shaped model payload used to leak).  Both override
+``__str__`` so messages print plainly instead of with ``KeyError``'s
+quoting.
 """
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "ProfileError", "TraceError", "DatasetError"]
+__all__ = [
+    "ReproError",
+    "ProfileError",
+    "TraceError",
+    "DatasetError",
+    "UnknownNameError",
+    "ConfigError",
+    "SerializationError",
+    "ArtifactError",
+]
 
 
 class ReproError(Exception):
@@ -31,3 +46,56 @@ class DatasetError(ReproError, ValueError):
     """A persisted dataset artifact (CSV/npz) is corrupt or has drifted
     from the MP-HPC schema; the message names the path and the
     missing/extra columns."""
+
+
+class UnknownNameError(ReproError, KeyError, ValueError):
+    """A registry lookup failed: no plugin registered under that name.
+
+    Carries the registry ``kind`` (application, machine, strategy, ...),
+    the offending ``name``, the valid ``known`` names, and close-match
+    ``suggestions`` so the CLI can print a did-you-mean line.  Subclasses
+    both ``KeyError`` (what dict-backed lookups used to raise) and
+    ``ValueError`` (what argument validation used to raise) so every
+    pre-registry call site keeps catching it.
+    """
+
+    def __init__(self, kind: str, name: object,
+                 known: list[str] | tuple[str, ...] = (),
+                 suggestions: tuple[str, ...] = ()):
+        self.kind = kind
+        self.name = name
+        self.known = tuple(known)
+        self.suggestions = tuple(suggestions)
+        message = f"unknown {kind} {name!r}"
+        if self.suggestions:
+            hints = " or ".join(repr(s) for s in self.suggestions)
+            message += f"; did you mean {hints}?"
+        if self.known:
+            plural = (kind[:-1] + "ies"
+                      if kind.endswith("y") and kind[-2:-1] not in "aeiou"
+                      else kind + "s")
+            message += f" (known {plural}: {', '.join(self.known)})"
+        self.message = message
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; print the message plain.
+        return self.message
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment config is invalid: bad field value, unknown field,
+    malformed JSON, or a schema-version / command mismatch on load."""
+
+
+class SerializationError(ReproError, ValueError, KeyError):
+    """A persisted model payload cannot be (de)serialized: unknown or
+    missing ``kind``, a ``format_version`` mismatch, or missing keys."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class ArtifactError(ReproError, ValueError):
+    """A run directory or its ``manifest.json`` is missing, corrupt, or
+    fails checksum verification."""

@@ -6,6 +6,12 @@ inspectable JSON format covering every model class in :mod:`repro.ml`
 (trees are serialized node-by-node with their binning edges, linear
 models by coefficients).  ``model_to_dict`` / ``model_from_dict``
 round-trip exactly: predictions from a restored model are bit-identical.
+
+Every payload carries :data:`MODEL_FORMAT_VERSION`; a missing or
+mismatched version, an unknown ``kind``, or a structurally incomplete
+payload raises a typed :class:`~repro.errors.SerializationError`
+(instead of mis-deserializing a future format or leaking a raw
+``KeyError`` from deep inside the decoder).
 """
 
 from __future__ import annotations
@@ -15,13 +21,26 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import SerializationError
 from repro.ml.baseline import MeanPredictor
 from repro.ml.boosting import GradientBoostedTrees
 from repro.ml.forest import DecisionTreeRegressor, RandomForestRegressor
 from repro.ml.linear import LinearRegression, RidgeRegression
 from repro.ml.tree import Binner, Tree, _Node
 
-__all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model"]
+__all__ = [
+    "MODEL_FORMAT_VERSION",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+]
+
+#: On-disk model format.  Version 1 was the unversioned launch format
+#: (identical fields minus ``format_version``); readers accept payloads
+#: without the field as version 1 for backward compatibility and reject
+#: anything else that does not match.
+MODEL_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -81,7 +100,17 @@ def _binner_from_dict(data: dict) -> Binner:
 # Per-model encoders
 # ---------------------------------------------------------------------------
 def model_to_dict(model) -> dict:
-    """Serialize any :mod:`repro.ml` estimator to a JSON-safe dict."""
+    """Serialize any :mod:`repro.ml` estimator to a JSON-safe dict.
+
+    The payload carries ``format_version`` so future readers can refuse
+    formats they do not understand instead of guessing.
+    """
+    payload = _encode_model(model)
+    payload["format_version"] = MODEL_FORMAT_VERSION
+    return payload
+
+
+def _encode_model(model) -> dict:
     if isinstance(model, GradientBoostedTrees):
         if model.binner_ is None:
             raise ValueError("cannot serialize an unfitted model")
@@ -147,7 +176,32 @@ def model_to_dict(model) -> dict:
 
 
 def model_from_dict(data: dict):
-    """Restore an estimator serialized by :func:`model_to_dict`."""
+    """Restore an estimator serialized by :func:`model_to_dict`.
+
+    Raises :class:`~repro.errors.SerializationError` on a format-version
+    mismatch, an unknown ``kind``, or a payload with missing keys.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"model payload must be an object, got {type(data).__name__}"
+        )
+    version = data.get("format_version", 1)
+    if version not in (1, MODEL_FORMAT_VERSION):
+        raise SerializationError(
+            f"model format version {version!r} not supported "
+            f"(this package reads 1..{MODEL_FORMAT_VERSION})"
+        )
+    try:
+        return _decode_model(data)
+    except KeyError as exc:
+        missing = exc.args[0] if exc.args else "?"
+        raise SerializationError(
+            f"model payload (kind {data.get('kind')!r}) is missing "
+            f"key {missing!r}"
+        ) from None
+
+
+def _decode_model(data: dict):
     kind = data.get("kind")
     if kind == "gbt":
         model = GradientBoostedTrees(
@@ -194,7 +248,7 @@ def model_from_dict(data: dict):
         model.n_features_ = data["n_features"]
         model.n_outputs_ = data["n_outputs"]
         return model
-    raise ValueError(f"unknown serialized model kind {kind!r}")
+    raise SerializationError(f"unknown serialized model kind {kind!r}")
 
 
 def save_model(model, path: str | Path) -> None:

@@ -1,0 +1,168 @@
+"""Generic named-plugin registry — the lookup spine of the package.
+
+Every family of named things the CLI and library look up by string —
+applications, machines, model factories, scheduling strategies, queue
+policies, fault profiles — used to live in its own hand-rolled dict
+with its own lookup helper and its own flavor of ``KeyError``.  This
+module replaces them all with one :class:`Registry`:
+
+* ``Mapping`` semantics, so existing ``REG[name]`` / ``name in REG`` /
+  ``sorted(REG)`` call sites keep working unchanged;
+* case-insensitive lookup (``REG["xsbench"]`` finds ``"XSBench"``),
+  preserving the canonical spelling on iteration;
+* a typed :class:`~repro.errors.UnknownNameError` on misses that names
+  the registry kind, lists the valid names, and offers did-you-mean
+  suggestions — no raw ``KeyError`` ever escapes to the CLI;
+* ``@register`` decorator registration for classes and factories, plus
+  plain ``register(name, obj)`` calls for constants.
+
+Layering: this module may import nothing from :mod:`repro` except
+:mod:`repro.errors` (enforced by ``tools/check_layering.py`` and
+``tests/test_layering.py``).
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections.abc import Iterator, Mapping
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import UnknownNameError
+
+__all__ = ["Registry", "UnknownNameError"]
+
+T = TypeVar("T")
+
+
+class Registry(Mapping, Generic[T]):
+    """An ordered, case-insensitive mapping of canonical names to plugins.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun for error messages
+        (``"application"``, ``"machine"``, ``"strategy"``, ...).
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._items: dict[str, T] = {}          # canonical name -> object
+        self._by_folded: dict[str, str] = {}    # casefolded -> canonical
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str | None = None, obj: T | None = None,
+                 *, aliases: tuple[str, ...] = ()) -> T | Callable[[T], T]:
+        """Register *obj* under *name*; usable directly or as a decorator.
+
+        Direct: ``REG.register("Quartz", QUARTZ)``.
+        Decorator: ``@REG.register("model")`` on a class or factory; with
+        no name, the object's ``name`` attribute (or ``__name__``) is
+        used.  Aliases resolve to the same object but do not appear in
+        ``names()`` or iteration.
+        """
+        if obj is not None:
+            if name is None:
+                raise ValueError("register(obj=...) requires a name")
+            self._add(name, obj, aliases)
+            return obj
+
+        def decorator(target: T) -> T:
+            key = name
+            if key is None:
+                key = getattr(target, "name", None)
+                if not isinstance(key, str):
+                    key = getattr(target, "__name__", None)
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"cannot infer a registry name for {target!r}"
+                )
+            self._add(key, target, aliases)
+            return target
+
+        return decorator
+
+    def _add(self, name: str, obj: T, aliases: tuple[str, ...]) -> None:
+        folded = name.casefold()
+        if folded in self._by_folded:
+            raise ValueError(
+                f"duplicate {self.kind} {name!r} "
+                f"(already registered as {self._by_folded[folded]!r})"
+            )
+        self._items[name] = obj
+        self._by_folded[folded] = name
+        for alias in aliases:
+            alias_folded = alias.casefold()
+            if alias_folded in self._by_folded:
+                raise ValueError(f"duplicate {self.kind} alias {alias!r}")
+            self._by_folded[alias_folded] = name
+
+    def __setitem__(self, name: str, obj: T) -> None:
+        """Explicit override hatch: replace an existing entry in place
+        (keeping its canonical spelling and position) or register a new
+        one.  Used by calibration studies and test fixtures that swap a
+        spec temporarily; ``register`` stays the duplicate-checked front
+        door."""
+        folded = name.casefold()
+        canonical = self._by_folded.get(folded)
+        if canonical is None:
+            self._add(name, obj, ())
+        else:
+            self._items[canonical] = obj
+
+    def __delitem__(self, name: str) -> None:
+        canonical = self.canonical(name)
+        del self._items[canonical]
+        self._by_folded = {
+            folded: kept for folded, kept in self._by_folded.items()
+            if kept != canonical
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup (Mapping protocol)
+    # ------------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        """The canonical spelling for *name*, or raise UnknownNameError."""
+        try:
+            return self._by_folded[name.casefold()]
+        except (KeyError, AttributeError):
+            raise self.unknown(name) from None
+
+    def __getitem__(self, name: str) -> T:
+        return self._items[self.canonical(name)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        return (isinstance(name, str)
+                and name.casefold() in self._by_folded)
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names in registration order."""
+        return tuple(self._items)
+
+    def unknown(self, name: object) -> UnknownNameError:
+        """The typed lookup error for *name*, with suggestions attached."""
+        known = sorted(self._items)
+        suggestions: tuple[str, ...] = ()
+        if isinstance(name, str):
+            folded = {k.casefold(): k for k in self._by_folded}
+            close = difflib.get_close_matches(
+                str(name).casefold(), list(folded), n=3, cutoff=0.6
+            )
+            seen: list[str] = []
+            for match in close:
+                canonical = self._by_folded[match]
+                if canonical not in seen:
+                    seen.append(canonical)
+            suggestions = tuple(seen)
+        return UnknownNameError(self.kind, name, known=known,
+                                suggestions=suggestions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {list(self._items)})"

@@ -30,6 +30,7 @@ experiments can report what fraction of decisions ran degraded
 
 from __future__ import annotations
 
+import pickle
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,6 +46,7 @@ from repro.dataset.features import (
     derive_feature_frame,
 )
 from repro.dataset.schema import ARCH_COLUMNS, CONFIG_FEATURES, RATIO_FEATURES
+from repro.errors import ReproError
 from repro.frame import Frame
 
 __all__ = ["ResilientPredictor", "PredictionOutcome", "CorruptingPredictor"]
@@ -156,7 +158,10 @@ class ResilientPredictor:
         """
         try:
             predictor = CrossArchPredictor.load(path)
-        except Exception:
+        except (ReproError, ValueError, TypeError, OSError, EOFError,
+                AttributeError, pickle.UnpicklingError):
+            # Exactly the decoder failures a missing/garbage/stale model
+            # file produces — anything else is a genuine bug and raises.
             predictor = None
         if predictor is not None and dataset is not None:
             return cls.from_training(predictor, dataset)
@@ -230,7 +235,11 @@ class ResilientPredictor:
         if self.predictor is not None and not bad:
             try:
                 rpv = self.predictor.predict_record(record)
-            except Exception:
+            except (ReproError, ValueError, KeyError):
+                # Record defects the _is_bad screen cannot see (e.g. a
+                # field the feature pipeline requires but the schema
+                # does not list).  Genuine model bugs surface instead of
+                # being absorbed as "degraded mode".
                 return self._baseline(uses_gpu)
             self._count("model")
             return PredictionOutcome(np.asarray(rpv, dtype=np.float64), "model")
@@ -238,7 +247,7 @@ class ResilientPredictor:
         if self.predictor is not None and self.feature_fill is not None:
             try:
                 rpv = self._repair_and_predict(record, bad)
-            except Exception:
+            except (ReproError, ValueError, KeyError):
                 return self._baseline(uses_gpu)
             self._count("imputed")
             return PredictionOutcome(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.perfsim.noise import stable_hash
+from repro.registry import Registry
 
 __all__ = ["FaultProfile", "FaultInjector", "FAULT_PROFILES"]
 
@@ -69,34 +70,32 @@ class FaultProfile:
 
     @classmethod
     def preset(cls, name: str) -> "FaultProfile":
-        """Look up one of the named presets (``none``/``light``/``heavy``)."""
-        try:
-            return FAULT_PROFILES[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown fault profile {name!r}; known: "
-                f"{sorted(FAULT_PROFILES)}"
-            ) from None
+        """Look up one of the named presets (``none``/``light``/``heavy``).
+
+        Raises :class:`repro.errors.UnknownNameError` with did-you-mean
+        suggestions on a miss.
+        """
+        return FAULT_PROFILES[name]
 
 
-#: The CLI's ``--fault-profile`` choices.
-FAULT_PROFILES: dict[str, FaultProfile] = {
-    "none": FaultProfile(name="none"),
-    "light": FaultProfile(
-        name="light",
-        node_mtbf=4 * 3600.0,
-        repair_time=900.0,
-        crash_prob=0.02,
-        corruption_prob=0.05,
-    ),
-    "heavy": FaultProfile(
-        name="heavy",
-        node_mtbf=1200.0,
-        repair_time=600.0,
-        crash_prob=0.12,
-        corruption_prob=0.25,
-    ),
-}
+#: The CLI's ``--fault-profile`` choices, in a typed registry so misses
+#: carry suggestions instead of a raw KeyError.
+FAULT_PROFILES: Registry[FaultProfile] = Registry("fault profile")
+FAULT_PROFILES.register("none", FaultProfile(name="none"))
+FAULT_PROFILES.register("light", FaultProfile(
+    name="light",
+    node_mtbf=4 * 3600.0,
+    repair_time=900.0,
+    crash_prob=0.02,
+    corruption_prob=0.05,
+))
+FAULT_PROFILES.register("heavy", FaultProfile(
+    name="heavy",
+    node_mtbf=1200.0,
+    repair_time=600.0,
+    crash_prob=0.12,
+    corruption_prob=0.25,
+))
 
 
 class FaultInjector:

@@ -26,6 +26,7 @@ from repro.sched.metrics import (
     wasted_node_seconds,
 )
 from repro.sched.policies import (
+    POLICIES,
     FCFSPolicy,
     LJFPolicy,
     SJFPolicy,
@@ -35,6 +36,7 @@ from repro.sched.policies import (
 )
 from repro.sched.simulator import ScheduleResult, Scheduler
 from repro.sched.strategies import (
+    STRATEGIES,
     ModelBasedStrategy,
     OracleStrategy,
     RandomStrategy,
@@ -63,6 +65,8 @@ __all__ = [
     "WidestFirstPolicy",
     "SmallestFirstPolicy",
     "policy_by_name",
+    "POLICIES",
+    "STRATEGIES",
     "makespan",
     "average_bounded_slowdown",
     "average_wait_time",

@@ -20,9 +20,11 @@ tiebreaker, so every ordering is total and deterministic.
 
 from __future__ import annotations
 
+from repro.registry import Registry
 from repro.sched.job import Job
 
 __all__ = [
+    "POLICIES",
     "FCFSPolicy",
     "SJFPolicy",
     "LJFPolicy",
@@ -31,7 +33,12 @@ __all__ = [
     "policy_by_name",
 ]
 
+#: Queue-ordering policy classes, keyed by their short names; classes
+#: register themselves with ``@POLICIES.register()``.
+POLICIES: Registry = Registry("policy")
 
+
+@POLICIES.register()
 class FCFSPolicy:
     """First-come-first-serve: order by (submit_time, job_id)."""
 
@@ -41,6 +48,7 @@ class FCFSPolicy:
         return (job.submit_time, job.job_id)
 
 
+@POLICIES.register()
 class SJFPolicy:
     """Shortest job first, by best-case runtime across machines."""
 
@@ -50,6 +58,7 @@ class SJFPolicy:
         return (min(job.runtimes.values()), job.submit_time, job.job_id)
 
 
+@POLICIES.register()
 class LJFPolicy:
     """Longest job first, by best-case runtime across machines."""
 
@@ -59,6 +68,7 @@ class LJFPolicy:
         return (-min(job.runtimes.values()), job.submit_time, job.job_id)
 
 
+@POLICIES.register()
 class WidestFirstPolicy:
     """Jobs needing the most nodes first."""
 
@@ -68,6 +78,7 @@ class WidestFirstPolicy:
         return (-job.nodes_required, job.submit_time, job.job_id)
 
 
+@POLICIES.register()
 class SmallestFirstPolicy:
     """Jobs needing the fewest nodes first."""
 
@@ -77,18 +88,10 @@ class SmallestFirstPolicy:
         return (job.nodes_required, job.submit_time, job.job_id)
 
 
-_POLICIES = {
-    p.name: p
-    for p in (FCFSPolicy, SJFPolicy, LJFPolicy, WidestFirstPolicy,
-              SmallestFirstPolicy)
-}
-
-
 def policy_by_name(name: str):
-    """Instantiate a queue policy by its short name."""
-    try:
-        return _POLICIES[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown policy {name!r}; known: {sorted(_POLICIES)}"
-        ) from None
+    """Instantiate a registered queue policy by its short name.
+
+    Raises :class:`repro.errors.UnknownNameError` with did-you-mean
+    suggestions on a miss.
+    """
+    return POLICIES[name]()

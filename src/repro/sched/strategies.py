@@ -42,10 +42,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.machines import MACHINES, SYSTEM_ORDER
+from repro.registry import Registry
 from repro.sched.job import Job
 from repro.sched.machines import ClusterState
 
 __all__ = [
+    "STRATEGIES",
     "RoundRobinStrategy",
     "RandomStrategy",
     "UserRRStrategy",
@@ -55,7 +57,15 @@ __all__ = [
     "strategy_by_name",
 ]
 
+#: Machine-assignment strategy classes, keyed by their short CLI names.
+#: Classes register themselves with ``@STRATEGIES.register()`` (the name
+#: comes from the class's ``name`` attribute); :func:`strategy_by_name`
+#: instantiates them, passing ``seed`` to classes that declare
+#: ``takes_seed``.
+STRATEGIES: Registry = Registry("strategy")
 
+
+@STRATEGIES.register()
 class RoundRobinStrategy:
     """Rotate across all machines by started-job index."""
 
@@ -67,6 +77,7 @@ class RoundRobinStrategy:
         return names[index % len(names)]
 
 
+@STRATEGIES.register()
 class RandomStrategy:
     """Uniform random machine, deterministic and sticky per job id.
 
@@ -78,6 +89,7 @@ class RandomStrategy:
     """
 
     name = "random"
+    takes_seed = True
 
     def __init__(self, seed: int = 0):
         self.seed = seed
@@ -97,6 +109,7 @@ class RandomStrategy:
         self._cache.pop(job_id, None)
 
 
+@STRATEGIES.register()
 class UserRRStrategy:
     """GPU apps round-robin over GPU systems, CPU apps over CPU systems.
 
@@ -140,6 +153,7 @@ class UserRRStrategy:
         self._cache.pop(job_id, None)
 
 
+@STRATEGIES.register()
 class ModelBasedStrategy:
     """Algorithm 2: fastest predicted machine with full-machine fallback.
 
@@ -222,6 +236,7 @@ class ModelBasedStrategy:
         self._pref_cache.pop(job_id, None)
 
 
+@STRATEGIES.register()
 class OracleStrategy(ModelBasedStrategy):
     """Model-based assignment using ground-truth RPVs (upper bound)."""
 
@@ -229,6 +244,7 @@ class OracleStrategy(ModelBasedStrategy):
     rpv_attr = "true_rpv"
 
 
+@STRATEGIES.register()
 class UncertaintyAwareStrategy(ModelBasedStrategy):
     """Model-based assignment that breaks near-ties by machine load.
 
@@ -275,15 +291,13 @@ class UncertaintyAwareStrategy(ModelBasedStrategy):
 
 
 def strategy_by_name(name: str, seed: int = 0):
-    """Factory for the four paper strategies plus the extensions."""
-    table = {
-        "round_robin": RoundRobinStrategy,
-        "random": lambda: RandomStrategy(seed),
-        "user_rr": UserRRStrategy,
-        "model": ModelBasedStrategy,
-        "oracle": OracleStrategy,
-        "uncertainty": UncertaintyAwareStrategy,
-    }
-    if name not in table:
-        raise KeyError(f"unknown strategy {name!r}; known: {sorted(table)}")
-    return table[name]()
+    """Instantiate a registered strategy by its short name.
+
+    Raises :class:`repro.errors.UnknownNameError` with did-you-mean
+    suggestions on a miss.  ``seed`` reaches strategies that declare
+    ``takes_seed`` (currently :class:`RandomStrategy`).
+    """
+    cls = STRATEGIES[name]
+    if getattr(cls, "takes_seed", False):
+        return cls(seed)
+    return cls()

@@ -1,0 +1,158 @@
+"""Tests for the provenance-stamped run-directory store (repro.artifacts)."""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_NAME,
+    RunDir,
+    load_run,
+    verify_run,
+)
+from repro.config import EvaluateConfig, ExperimentConfig, TrainConfig
+from repro.errors import ArtifactError, ReproError
+
+
+@pytest.fixture
+def experiment():
+    return ExperimentConfig("evaluate", EvaluateConfig(inputs_per_app=2))
+
+
+@pytest.fixture
+def finalized(tmp_path, experiment):
+    run = RunDir.create(tmp_path / "runs", experiment)
+    run.save_metrics({"xgboost": {"mae": 0.03, "sos": 0.9}})
+    run.save_json("extra/notes.json", {"note": "hello"})
+    run.finalize()
+    return run
+
+
+class TestRunDir:
+    def test_directory_name_is_content_derived(self, tmp_path, experiment):
+        run = RunDir.create(tmp_path, experiment)
+        assert run.path.name == (
+            f"evaluate-{experiment.content_hash()[:12]}"
+        )
+        # Same config -> same directory (idempotent).
+        again = RunDir.create(tmp_path, experiment)
+        assert again.path == run.path
+
+    def test_escaping_artifact_names_rejected(self, tmp_path, experiment):
+        run = RunDir.create(tmp_path, experiment)
+        with pytest.raises(ArtifactError, match="escapes"):
+            run.file("../outside.json")
+        with pytest.raises(ArtifactError):
+            run.file("/etc/passwd")
+
+    def test_attach_copies_external_file(self, tmp_path, experiment):
+        source = tmp_path / "data.csv"
+        source.write_text("a,b\n1,2\n")
+        run = RunDir.create(tmp_path / "runs", experiment)
+        target = run.attach(source)
+        assert target.read_text() == source.read_text()
+        with pytest.raises(ArtifactError, match="not a file"):
+            run.attach(tmp_path / "missing.csv")
+
+    def test_manifest_records_provenance(self, finalized, experiment):
+        manifest = json.loads((finalized.path / MANIFEST_NAME).read_text())
+        assert manifest["manifest_format_version"] == MANIFEST_FORMAT_VERSION
+        assert manifest["command"] == "evaluate"
+        assert manifest["config_hash"] == experiment.content_hash()
+        assert manifest["seed"] == experiment.seed
+        assert manifest["config_schema_version"] >= 1
+        assert manifest["dataset_schema_version"] >= 1
+        assert manifest["model_format_version"] >= 1
+        assert manifest["wall_time_seconds"] >= 0
+        assert set(manifest["files"]) == {"metrics.json",
+                                          "extra/notes.json"}
+        for meta in manifest["files"].values():
+            assert len(meta["sha256"]) == 64
+            assert meta["bytes"] > 0
+
+    def test_save_model_round_trips(self, tmp_path, experiment):
+        import numpy as np
+
+        from repro.ml import LinearRegression
+
+        model = LinearRegression().fit(
+            np.arange(8.0).reshape(4, 2), np.arange(4.0)
+        )
+        run = RunDir.create(tmp_path, experiment)
+        run.save_model(model)
+        run.finalize()
+        restored = load_run(run.path).model()
+        X = np.arange(8.0).reshape(4, 2)
+        assert np.allclose(restored.predict(X), model.predict(X))
+
+
+class TestLoadRun:
+    def test_load_round_trip(self, finalized, experiment):
+        loaded = load_run(finalized.path)
+        assert loaded.command == "evaluate"
+        assert loaded.config == experiment
+        assert loaded.config_hash == experiment.content_hash()
+        assert loaded.seed == experiment.seed
+        assert loaded.files() == ("extra/notes.json", "metrics.json")
+        assert loaded.metrics()["xgboost"]["mae"] == 0.03
+        assert loaded.read_json("extra/notes.json") == {"note": "hello"}
+
+    def test_not_a_run_dir(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not a run directory"):
+            load_run(tmp_path)
+
+    def test_corrupt_manifest(self, finalized):
+        (finalized.path / MANIFEST_NAME).write_text("{oops")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            load_run(finalized.path)
+
+    def test_version_mismatch(self, finalized):
+        manifest = json.loads((finalized.path / MANIFEST_NAME).read_text())
+        manifest["manifest_format_version"] = 999
+        (finalized.path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format version"):
+            load_run(finalized.path)
+
+    def test_missing_keys(self, finalized):
+        manifest = json.loads((finalized.path / MANIFEST_NAME).read_text())
+        del manifest["config_hash"]
+        (finalized.path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="config_hash"):
+            load_run(finalized.path)
+
+    def test_artifact_error_is_typed(self):
+        assert issubclass(ArtifactError, ReproError)
+
+
+class TestVerifyRun:
+    def test_clean_run_verifies(self, finalized):
+        assert verify_run(finalized.path).command == "evaluate"
+
+    def test_bit_rot_detected(self, finalized):
+        (finalized.path / "metrics.json").write_text("{\"tampered\": true}")
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            verify_run(finalized.path)
+
+    def test_missing_file_detected(self, finalized):
+        (finalized.path / "metrics.json").unlink()
+        with pytest.raises(ArtifactError, match="missing"):
+            verify_run(finalized.path)
+
+    def test_config_hash_tamper_detected(self, finalized):
+        manifest = json.loads((finalized.path / MANIFEST_NAME).read_text())
+        manifest["config_hash"] = "0" * 64
+        (finalized.path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="config hash mismatch"):
+            verify_run(finalized.path)
+
+
+class TestTrainRunManifest:
+    def test_model_format_version_recorded(self, tmp_path):
+        exp = ExperimentConfig("train", TrainConfig(inputs_per_app=2))
+        run = RunDir.create(tmp_path, exp)
+        run.finalize()
+        from repro.ml.serialization import MODEL_FORMAT_VERSION
+
+        manifest = load_run(run.path).manifest
+        assert manifest["model_format_version"] == MODEL_FORMAT_VERSION

@@ -84,16 +84,14 @@ class TestCommands:
         code = main(["profile", "--app", "HPL", "--machine", "Quartz"])
         assert code == 2
         err = capsys.readouterr().err
-        assert "HPL" in err
-        assert "valid --app choices" in err
+        assert "unknown application 'HPL'" in err
         assert "AMG" in err  # the message enumerates what *would* work
 
     def test_profile_unknown_machine_fails_cleanly(self, capsys):
         code = main(["profile", "--app", "AMG", "--machine", "Summit"])
         assert code == 2
         err = capsys.readouterr().err
-        assert "Summit" in err
-        assert "valid --machine choices" in err
+        assert "unknown machine 'Summit'" in err
         assert "Quartz" in err
 
     def test_train_then_predict(self, tmp_path, capsys):
@@ -156,3 +154,118 @@ class TestCommands:
         assert code == 0
         assert swf.exists()
         assert "model" in capsys.readouterr().out
+
+class TestExperimentSpine:
+    """--save-config / --config / --run-dir on every subcommand."""
+
+    def test_save_config_then_replay_is_bit_identical(self, tmp_path,
+                                                      capsys):
+        cfg = tmp_path / "cfg.json"
+        run1 = tmp_path / "runs1"
+        run2 = tmp_path / "runs2"
+        assert main(["evaluate", "--inputs-per-app", "2", "--seed", "1",
+                     "--save-config", str(cfg),
+                     "--run-dir", str(run1)]) == 0
+        first = capsys.readouterr().out
+        assert f"config written to {cfg}" in first
+        assert main(["evaluate", "--config", str(cfg),
+                     "--run-dir", str(run2)]) == 0
+        # Same config hash -> same run-dir name; same metrics bytes.
+        (dir1,) = list(run1.iterdir())
+        (dir2,) = list(run2.iterdir())
+        assert dir1.name == dir2.name
+        assert ((dir1 / "metrics.json").read_bytes()
+                == (dir2 / "metrics.json").read_bytes())
+
+    def test_config_replaces_flags(self, tmp_path, capsys):
+        from repro.config import DatasetConfig, ExperimentConfig
+
+        cfg = tmp_path / "cfg.json"
+        out = tmp_path / "replayed.csv"
+        ExperimentConfig("generate", DatasetConfig(
+            inputs_per_app=1, seed=3, output=str(out)
+        )).save(cfg)
+        # The --inputs-per-app flag is ignored: the config wins.
+        assert main(["generate", "--inputs-per-app", "7",
+                     "--config", str(cfg)]) == 0
+        assert out.exists()
+        assert "240 rows" in capsys.readouterr().out
+
+    def test_config_for_wrong_command_rejected(self, tmp_path, capsys):
+        from repro.config import EvaluateConfig, ExperimentConfig
+
+        cfg = tmp_path / "cfg.json"
+        ExperimentConfig("evaluate", EvaluateConfig()).save(cfg)
+        assert main(["train", "--config", str(cfg)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_config_file_exits_2(self, tmp_path, capsys):
+        code = main(["evaluate", "--config", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_config_file_exits_2(self, tmp_path, capsys):
+        cfg = tmp_path / "bad.json"
+        cfg.write_text("{broken")
+        code = main(["evaluate", "--config", str(cfg)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_manifest_records_provenance(self, tmp_path, capsys):
+        from repro.artifacts import verify_run
+        from repro.config import CONFIG_SCHEMA_VERSION
+
+        runs = tmp_path / "runs"
+        assert main(["train", "--inputs-per-app", "2", "--seed", "1",
+                     "--model", "linear",
+                     "--output", str(tmp_path / "m.pkl"),
+                     "--run-dir", str(runs)]) == 0
+        assert "run manifest written to" in capsys.readouterr().out
+        (run_path,) = list(runs.iterdir())
+        run = verify_run(run_path)  # re-hashes every artifact
+        assert run.command == "train"
+        assert run.seed == 1
+        assert run.manifest["config_schema_version"] == CONFIG_SCHEMA_VERSION
+        assert "m.pkl" in run.files()
+        assert "model.json" in run.files()
+        assert "metrics.json" in run.files()
+        # The portable model round-trips from the run directory.
+        assert run.model() is not None
+
+    @pytest.mark.parametrize("argv", [
+        ["report", "--inputs-per-app", "1", "--seed", "2"],
+        ["importance", "--inputs-per-app", "2", "--seed", "1",
+         "--top", "3"],
+        ["calibrate", "--inputs-per-app", "1", "--seed", "3"],
+        ["profile", "--app", "AMG", "--machine", "Corona"],
+        ["schedule", "--jobs", "50", "--inputs-per-app", "2",
+         "--seed", "1", "--strategies", "model"],
+    ], ids=lambda argv: argv[0])
+    def test_every_subcommand_supports_spine_flags(self, argv, tmp_path,
+                                                   capsys):
+        cfg = tmp_path / "cfg.json"
+        runs = tmp_path / "runs"
+        assert main(argv + ["--save-config", str(cfg),
+                            "--run-dir", str(runs)]) == 0
+        capsys.readouterr()
+        assert cfg.exists()
+        from repro.artifacts import load_run
+
+        (run_path,) = list(runs.iterdir())
+        assert load_run(run_path).command == argv[0]
+        # Replay from the saved config alone exits cleanly too.
+        assert main([argv[0], "--config", str(cfg)]) == 0
+
+    def test_bad_config_value_exits_2(self, tmp_path, capsys):
+        import json
+
+        cfg = tmp_path / "cfg.json"
+        from repro.config import EvaluateConfig, ExperimentConfig
+
+        data = ExperimentConfig("evaluate", EvaluateConfig()).to_dict()
+        data["config"]["inputs_per_app"] = -2
+        cfg.write_text(json.dumps(data))
+        assert main(["evaluate", "--config", str(cfg)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "inputs_per_app" in err

@@ -1,0 +1,174 @@
+"""Tests for the typed experiment configs (repro.config)."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    CONFIG_SCHEMA_VERSION,
+    COMMAND_CONFIGS,
+    DatasetConfig,
+    EvaluateConfig,
+    ExperimentConfig,
+    ProfileConfig,
+    ScheduleConfig,
+    TrainConfig,
+    WhatifConfig,
+    canonical_json,
+    content_digest,
+)
+from repro.errors import ConfigError, ReproError, UnknownNameError
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_digest_is_stable(self):
+        # Pinned: changing the canonical encoding silently would orphan
+        # every existing shard-cache entry and run directory.
+        assert content_digest({"x": 1}) == (
+            "5041bf1f713df204784353e82f6a4a535931cb64"
+            "f1f4b4a5aeaffcb720918b22"
+        )
+        assert content_digest({"a": 1, "b": 2}) == content_digest(
+            {"b": 2, "a": 1}
+        )
+        assert content_digest({"x": 1}) != content_digest({"x": 2})
+
+    def test_shard_cache_uses_same_encoding(self):
+        from repro.dataset import store
+
+        assert store._canonical_json is canonical_json
+
+
+class TestValidation:
+    def test_frozen(self):
+        cfg = DatasetConfig()
+        with pytest.raises(AttributeError):
+            cfg.seed = 5
+
+    def test_positive_int_enforced(self):
+        with pytest.raises(ConfigError, match="inputs_per_app"):
+            DatasetConfig(inputs_per_app=0)
+        with pytest.raises(ConfigError, match="seed"):
+            DatasetConfig(seed=-1)
+        with pytest.raises(ConfigError, match="inputs_per_app"):
+            DatasetConfig(inputs_per_app=True)
+
+    def test_scale_enforced(self):
+        with pytest.raises(ConfigError, match="scale"):
+            ProfileConfig(app="AMG", machine="Quartz", scale="4node")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="app"):
+            ProfileConfig(app="", machine="Quartz")
+
+    def test_strategy_list_coerced_to_tuple(self):
+        cfg = ScheduleConfig(strategies=["model", "oracle"])
+        assert cfg.strategies == ("model", "oracle")
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ConfigError, match="strategies"):
+            ScheduleConfig(strategies=())
+
+    def test_max_attempts_validation(self):
+        assert ScheduleConfig(max_attempts=None).max_attempts is None
+        assert ScheduleConfig(max_attempts=3).max_attempts == 3
+        with pytest.raises(ConfigError, match="max_attempts"):
+            ScheduleConfig(max_attempts=0)
+
+    def test_whatif_apps_required(self):
+        with pytest.raises(ConfigError, match="apps"):
+            WhatifConfig(predictor="p.pkl", apps=())
+
+
+class TestRoundTrip:
+    CASES = [
+        ExperimentConfig("generate", DatasetConfig(inputs_per_app=3,
+                                                   jobs=2,
+                                                   cache_dir="/tmp/c")),
+        ExperimentConfig("train", TrainConfig(model="forest", seed=7)),
+        ExperimentConfig("evaluate", EvaluateConfig(cv=True)),
+        ExperimentConfig("whatif", WhatifConfig(predictor="p.pkl",
+                                                apps=("AMG", "CoMD"))),
+        ExperimentConfig("schedule", ScheduleConfig(
+            strategies=("model", "oracle"), fault_profile="light",
+            checkpoint=True, max_attempts=3)),
+    ]
+
+    @pytest.mark.parametrize("experiment", CASES,
+                             ids=lambda e: e.command)
+    def test_dict_round_trip_exact(self, experiment):
+        restored = ExperimentConfig.from_dict(experiment.to_dict())
+        assert restored == experiment
+        assert restored.content_hash() == experiment.content_hash()
+
+    @pytest.mark.parametrize("experiment", CASES,
+                             ids=lambda e: e.command)
+    def test_json_file_round_trip(self, experiment, tmp_path):
+        path = tmp_path / "cfg.json"
+        experiment.save(path)
+        assert ExperimentConfig.load(path) == experiment
+
+    def test_hash_covers_schema_version(self):
+        exp = ExperimentConfig("evaluate", EvaluateConfig())
+        assert exp.to_dict()["config_schema_version"] == CONFIG_SCHEMA_VERSION
+
+    def test_hash_changes_with_any_field(self):
+        base = ExperimentConfig("evaluate", EvaluateConfig())
+        changed = ExperimentConfig("evaluate", EvaluateConfig(seed=1))
+        assert base.content_hash() != changed.content_hash()
+
+    def test_alias_command_normalizes(self):
+        via_alias = ExperimentConfig("dataset", DatasetConfig())
+        assert via_alias.command == "generate"
+        assert (via_alias.content_hash()
+                == ExperimentConfig("generate", DatasetConfig()).content_hash())
+
+    def test_tuple_survives_round_trip(self):
+        exp = ExperimentConfig("schedule",
+                               ScheduleConfig(strategies=("model",)))
+        restored = ExperimentConfig.from_dict(
+            json.loads(json.dumps(exp.to_dict()))
+        )
+        assert restored.config.strategies == ("model",)
+        assert restored == exp
+
+
+class TestErrors:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            EvaluateConfig.from_dict({"seed": 0, "banana": 1})
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(UnknownNameError, match="command"):
+            COMMAND_CONFIGS["explode"]
+
+    def test_command_config_mismatch(self):
+        with pytest.raises(ConfigError, match="takes a"):
+            ExperimentConfig("train", EvaluateConfig())
+
+    def test_schema_version_mismatch(self):
+        exp = ExperimentConfig("evaluate", EvaluateConfig())
+        data = exp.to_dict()
+        data["config_schema_version"] = 999
+        with pytest.raises(ConfigError, match="schema version"):
+            ExperimentConfig.from_dict(data)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="cannot read"):
+            ExperimentConfig.load(path)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ExperimentConfig.load(tmp_path / "nope.json")
+
+    def test_config_error_is_repro_error(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_seed_property(self):
+        assert ExperimentConfig("evaluate", EvaluateConfig(seed=9)).seed == 9

@@ -1,0 +1,52 @@
+"""The spine modules must not import higher layers (no import cycles).
+
+Mirrors the CI guard (tools/check_layering.py) inside tier-1, so a
+layering regression fails the ordinary test run too.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "check_layering.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_layering", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_spine_modules_import_no_higher_layers():
+    assert _load_tool().violations() == []
+
+
+def test_tool_runs_clean_as_a_script():
+    proc = subprocess.run(
+        [sys.executable, str(TOOL)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "layering OK" in proc.stdout
+
+
+def test_tool_detects_a_planted_violation(tmp_path, monkeypatch):
+    tool = _load_tool()
+    src = tmp_path / "src"
+    (src / "repro").mkdir(parents=True)
+    (src / "repro" / "errors.py").write_text(
+        "from repro.sched import Scheduler\n"
+    )
+    (src / "repro" / "registry.py").write_text(
+        "from repro.errors import UnknownNameError\n"
+    )
+    (src / "repro" / "config.py").write_text(
+        "import repro.registry\nimport repro.ml\n"
+    )
+    monkeypatch.setattr(tool, "SRC", src)
+    problems = tool.violations()
+    assert len(problems) == 2
+    assert any("repro.errors" in p and "repro.sched" in p for p in problems)
+    assert any("repro.config" in p and "repro.ml" in p for p in problems)

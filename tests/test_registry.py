@@ -1,0 +1,179 @@
+"""Tests for the generic named-plugin registry (repro.registry)."""
+
+import pytest
+
+from repro.errors import ReproError, UnknownNameError
+from repro.registry import Registry
+
+
+@pytest.fixture
+def reg():
+    r = Registry("widget")
+    r.register("Alpha", 1)
+    r.register("beta", 2, aliases=("b",))
+    return r
+
+
+class TestRegistration:
+    def test_direct_register_returns_object(self):
+        r = Registry("thing")
+        obj = object()
+        assert r.register("x", obj) is obj
+
+    def test_decorator_with_explicit_name(self):
+        r = Registry("thing")
+
+        @r.register("fancy")
+        def factory():
+            return 42
+
+        assert r["fancy"] is factory
+
+    def test_decorator_infers_name_attribute(self):
+        r = Registry("strategy")
+
+        @r.register()
+        class Strat:
+            name = "round_robin"
+
+        assert r["round_robin"] is Strat
+
+    def test_decorator_falls_back_to_dunder_name(self):
+        r = Registry("thing")
+
+        @r.register()
+        def helper():
+            pass
+
+        assert r["helper"] is helper
+
+    def test_duplicate_name_rejected(self, reg):
+        with pytest.raises(ValueError, match="duplicate widget"):
+            reg.register("alpha", 9)  # case-insensitive collision
+
+    def test_duplicate_alias_rejected(self, reg):
+        with pytest.raises(ValueError, match="duplicate widget alias"):
+            reg.register("gamma", 3, aliases=("B",))
+
+    def test_obj_without_name_rejected(self):
+        r = Registry("thing")
+        with pytest.raises(ValueError, match="requires a name"):
+            r.register(obj=object())
+
+
+class TestLookup:
+    def test_mapping_protocol(self, reg):
+        assert reg["Alpha"] == 1
+        assert len(reg) == 2
+        assert list(reg) == ["Alpha", "beta"]
+        assert "Alpha" in reg
+        assert "nope" not in reg
+        assert reg.names() == ("Alpha", "beta")
+
+    def test_case_insensitive_lookup_keeps_canonical_spelling(self, reg):
+        assert reg["ALPHA"] == 1
+        assert reg.canonical("alpha") == "Alpha"
+        assert "aLpHa" in reg
+
+    def test_alias_resolves_but_stays_hidden(self, reg):
+        assert reg["b"] == 2
+        assert "b" in reg
+        assert "b" not in reg.names()
+        assert list(reg) == ["Alpha", "beta"]
+
+    def test_unknown_name_error_type(self, reg):
+        with pytest.raises(UnknownNameError):
+            reg["gamma"]
+        # The bridge classes: old call sites catch KeyError or ValueError.
+        with pytest.raises(KeyError):
+            reg["gamma"]
+        with pytest.raises(ValueError):
+            reg["gamma"]
+        with pytest.raises(ReproError):
+            reg["gamma"]
+
+    def test_unknown_name_message_lists_known(self, reg):
+        with pytest.raises(UnknownNameError, match="known widgets"):
+            reg["gamma"]
+        err = reg.unknown("gamma")
+        assert "unknown widget 'gamma'" in str(err)
+        assert "Alpha" in str(err)
+
+    def test_did_you_mean_suggestion(self, reg):
+        err = reg.unknown("alpa")
+        assert err.suggestions == ("Alpha",)
+        assert "did you mean" in str(err)
+
+    def test_non_string_lookup_is_typed(self, reg):
+        with pytest.raises(UnknownNameError):
+            reg.canonical(None)
+
+
+class TestMutation:
+    def test_setitem_replaces_in_place(self, reg):
+        reg["ALPHA"] = 99
+        assert reg["alpha"] == 99
+        assert reg.names() == ("Alpha", "beta")  # spelling/pos preserved
+
+    def test_setitem_registers_new(self, reg):
+        reg["gamma"] = 3
+        assert reg["Gamma"] == 3
+        assert "gamma" in reg.names()
+
+    def test_delitem_removes_entry_and_aliases(self, reg):
+        del reg["BETA"]
+        assert "beta" not in reg
+        assert "b" not in reg
+        with pytest.raises(UnknownNameError):
+            reg["beta"]
+
+
+class TestAdoptedRegistries:
+    """The package registries all route through Registry."""
+
+    def test_applications(self):
+        from repro.apps import APPLICATIONS, get_app
+
+        assert "AMG" in APPLICATIONS
+        assert get_app("amg").name == "AMG"
+        with pytest.raises(UnknownNameError, match="application"):
+            get_app("HPL")
+
+    def test_machines(self):
+        from repro.arch import MACHINES, get_machine
+
+        assert set(MACHINES) == {"Quartz", "Ruby", "Lassen", "Corona"}
+        assert get_machine("quartz").name == "Quartz"
+        with pytest.raises(UnknownNameError, match="machine"):
+            get_machine("Summit")
+
+    def test_models(self):
+        from repro.ml import MODELS
+
+        assert {"xgboost", "forest", "linear", "mean"} <= set(MODELS)
+        with pytest.raises(UnknownNameError, match="model"):
+            MODELS["svm"]
+
+    def test_strategies(self):
+        from repro.sched.strategies import STRATEGIES, strategy_by_name
+
+        assert {"random", "round_robin", "user_rr", "model",
+                "oracle"} <= set(STRATEGIES)
+        assert strategy_by_name("round_robin").name == "round_robin"
+        with pytest.raises(UnknownNameError, match="strategy"):
+            strategy_by_name("fifo")
+
+    def test_fault_profiles(self):
+        from repro.resilience import FaultProfile
+        from repro.resilience.faults import FAULT_PROFILES
+
+        assert set(FAULT_PROFILES) == {"none", "light", "heavy"}
+        assert FaultProfile.preset("light").name == "light"
+        with pytest.raises(UnknownNameError, match="fault profile"):
+            FaultProfile.preset("extreme")
+
+    def test_suggestion_for_near_miss_strategy(self):
+        from repro.sched.strategies import STRATEGIES
+
+        err = STRATEGIES.unknown("round-robin")
+        assert "round_robin" in err.suggestions

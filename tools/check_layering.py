@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Import-cycle guard for the experiment spine.
+
+The spine modules must stay at the bottom of the layer graph so that
+every other layer can depend on them without cycles:
+
+* ``repro.errors``    may import nothing from ``repro``;
+* ``repro.registry``  may import only ``repro.errors``;
+* ``repro.config``    may import only ``repro.errors`` / ``repro.registry``.
+
+This script walks each module's AST (no imports are executed, so it is
+safe to run on a broken tree) and fails with one line per violation.
+Run from the repo root::
+
+    python tools/check_layering.py
+
+Wired into CI (the lint job) and into tier-1 via tests/test_layering.py.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: module -> repro modules it may import (itself is always allowed).
+ALLOWED = {
+    "repro.errors": set(),
+    "repro.registry": {"repro.errors"},
+    "repro.config": {"repro.errors", "repro.registry"},
+}
+
+
+def _module_path(module: str) -> Path:
+    parts = module.split(".")
+    candidate = SRC.joinpath(*parts).with_suffix(".py")
+    if candidate.is_file():
+        return candidate
+    return SRC.joinpath(*parts) / "__init__.py"
+
+
+def repro_imports(module: str) -> list[tuple[int, str]]:
+    """Every ``repro.*`` module imported by *module*: (lineno, name)."""
+    tree = ast.parse(_module_path(module).read_text())
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    found.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            name = node.module or ""
+            if name == "repro" or name.startswith("repro."):
+                found.append((node.lineno, name))
+    return found
+
+
+def violations() -> list[str]:
+    problems = []
+    for module, allowed in ALLOWED.items():
+        for lineno, imported in repro_imports(module):
+            if imported == module or imported in allowed:
+                continue
+            problems.append(
+                f"{module} (line {lineno}) imports {imported}; allowed: "
+                f"{', '.join(sorted(allowed)) or 'nothing from repro'}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = violations()
+    for problem in problems:
+        print(f"layering violation: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"layering OK: {', '.join(ALLOWED)} stay at the bottom")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
