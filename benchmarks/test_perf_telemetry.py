@@ -1,0 +1,129 @@
+"""Microbenchmark: telemetry overhead on the scheduling hot loop.
+
+The telemetry subsystem promises that instrumentation is boundary-only:
+the scheduler's event loop carries no per-event telemetry calls, and
+with telemetry *off* every accessor collapses to a global read plus a
+branch.  This benchmark holds that promise to numbers:
+
+* the contended scheduling workload from ``test_perf_sched`` is run
+  back to back with telemetry off and with the metrics registry
+  recording; the same-host wall-time ratio must stay under
+  :data:`OVERHEAD_LIMIT` (the ISSUE's < 5% gate — and since disabled
+  mode does strictly less work than metrics mode, it is bounded by the
+  same ratio);
+* a no-op microbenchmark times ``telemetry.counter()`` /
+  ``telemetry.span()`` in disabled mode, pinning the fast path to
+  nanoseconds per call.
+
+Results land in ``benchmarks/BENCH_telemetry.json``.  Gates are
+same-host ratios, never absolute wall times, so they hold across
+differently-sized CI hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.sched import Scheduler, strategy_by_name
+
+from test_perf_sched import _cluster, _workload
+
+BENCH_PATH = Path(__file__).parent / "BENCH_telemetry.json"
+
+N_JOBS = 5_000
+REPEATS = 3
+#: Metrics-on (and therefore disabled-mode) overhead on the sched hot
+#: loop must stay under 5%.
+OVERHEAD_LIMIT = 1.05
+#: Disabled accessors must stay in no-op territory (generous bound;
+#: measured values are ~0.1 µs/call).
+MAX_NOOP_US_PER_CALL = 2.0
+N_NOOP_CALLS = 200_000
+
+
+def _time_run(jobs) -> float:
+    """Min-of-N wall time for one full scheduling run."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        sched = Scheduler(strategy_by_name("model", seed=11), _cluster())
+        t0 = time.perf_counter()
+        sched.run(list(jobs))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_perf_telemetry_overhead():
+    jobs = _workload(N_JOBS)
+    results: dict = {}
+
+    try:
+        # Interleave a warm-up of each mode, then measure off/metrics
+        # back to back on the same host.
+        telemetry.configure("off")
+        t_off = _time_run(jobs)
+
+        telemetry.configure("metrics")
+        telemetry.reset()
+        t_metrics = _time_run(jobs)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["sched.runs"] == REPEATS  # it really recorded
+
+        telemetry.configure("trace")
+        telemetry.reset()
+        t_trace = _time_run(jobs)
+        assert len(telemetry.spans()) == REPEATS
+
+        # --- disabled-mode no-op accessors ----------------------------
+        telemetry.configure("off")
+        t0 = time.perf_counter()
+        for _ in range(N_NOOP_CALLS):
+            telemetry.counter("bench.noop").inc()
+        counter_us = (time.perf_counter() - t0) / N_NOOP_CALLS * 1e6
+
+        t0 = time.perf_counter()
+        for _ in range(N_NOOP_CALLS):
+            with telemetry.span("bench.noop"):
+                pass
+        span_us = (time.perf_counter() - t0) / N_NOOP_CALLS * 1e6
+    finally:
+        telemetry.configure("off")
+        telemetry.reset()
+
+    overhead_metrics = t_metrics / t_off
+    overhead_trace = t_trace / t_off
+    results["sched_overhead"] = {
+        "n_jobs": N_JOBS,
+        "repeats": REPEATS,
+        "wall_s_off": round(t_off, 4),
+        "wall_s_metrics": round(t_metrics, 4),
+        "wall_s_trace": round(t_trace, 4),
+        "overhead_metrics_vs_off": round(overhead_metrics, 4),
+        "overhead_trace_vs_off": round(overhead_trace, 4),
+    }
+    results["noop_accessors"] = {
+        "calls": N_NOOP_CALLS,
+        "counter_us_per_call": round(counter_us, 4),
+        "span_us_per_call": round(span_us, 4),
+    }
+
+    data = {}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    data.update(results)
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert overhead_metrics <= OVERHEAD_LIMIT, (
+        f"metrics-mode scheduling overhead {overhead_metrics:.3f}x exceeds "
+        f"the {OVERHEAD_LIMIT}x gate (off {t_off:.3f}s vs "
+        f"metrics {t_metrics:.3f}s)")
+    assert overhead_trace <= OVERHEAD_LIMIT, (
+        f"trace-mode scheduling overhead {overhead_trace:.3f}x exceeds "
+        f"the {OVERHEAD_LIMIT}x gate (boundary-only spans should be "
+        f"invisible at run granularity)")
+    assert counter_us <= MAX_NOOP_US_PER_CALL, (
+        f"disabled counter() costs {counter_us:.2f} µs/call")
+    assert span_us <= MAX_NOOP_US_PER_CALL, (
+        f"disabled span() costs {span_us:.2f} µs/call")

@@ -238,7 +238,9 @@ def verify_run(path: str | Path) -> LoadedRun:
     """:func:`load_run`, then re-hash every inventoried artifact.
 
     Raises :class:`~repro.errors.ArtifactError` naming the first file
-    that is missing or whose bytes no longer match the manifest; also
+    that is missing or whose bytes no longer match the manifest, or any
+    file present on disk but absent from the inventory (an orphan —
+    written after ``finalize()``, so its provenance is unknown); also
     re-checks the recorded config hash against the recomputed one.
     """
     run = load_run(path)
@@ -259,4 +261,17 @@ def verify_run(path: str | Path) -> LoadedRun:
                 f"(manifest {str(meta.get('sha256'))[:12]}, "
                 f"on disk {digest[:12]})"
             )
+    inventoried = set(run.manifest["files"])
+    orphans = sorted(
+        entry.relative_to(run.path).as_posix()
+        for entry in run.path.rglob("*")
+        if entry.is_file()
+        and entry.name != MANIFEST_NAME
+        and entry.relative_to(run.path).as_posix() not in inventoried
+    )
+    if orphans:
+        raise ArtifactError(
+            f"{run.path}: file(s) on disk but missing from the manifest "
+            f"inventory (written after finalize?): {', '.join(orphans)}"
+        )
     return run

@@ -63,14 +63,21 @@ def main(argv: list[str] | None = None) -> int:
     subclasses or ``ValueError``) and exit 2 with one ``error:`` line on
     stderr.  Anything else is a bug and tracebacks normally.
     """
+    from repro import telemetry
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    telemetry.configure(getattr(args, "telemetry", None))
     try:
         return args.func(args)
     except (ReproError, ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # main() may be called repeatedly in one process (tests); leave
+        # no telemetry state behind for the next invocation.
+        telemetry.configure("off")
+        telemetry.reset()
 
 
 if __name__ == "__main__":

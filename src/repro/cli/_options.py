@@ -10,6 +10,12 @@ Every subcommand gets three flags wired through here:
   command line) before running, so the run can be replayed later.
 * ``--run-dir DIR``       — collect the run's artifacts under a
   provenance-stamped run directory (see :mod:`repro.artifacts`).
+* ``--telemetry MODE``    — ``off`` (default), ``metrics`` (counters/
+  histograms), or ``trace`` (metrics plus timing spans).  With a run
+  directory open, :func:`close_run` folds the metric snapshot into
+  ``metrics.json`` (under a ``"telemetry"`` key) and writes the span
+  trace as ``trace.json`` (Chrome ``trace_event`` format) *before*
+  finalizing, so both land in the manifest inventory.
 
 Subcommand modules stay thin: they declare arguments whose ``dest``
 names match their config dataclass's fields, call
@@ -21,8 +27,10 @@ entry points, and hand any artifacts to the :class:`RunDir` returned by
 from __future__ import annotations
 
 import argparse
+import json
 from dataclasses import fields
 
+from repro import telemetry
 from repro.artifacts import RunDir
 from repro.config import COMMAND_CONFIGS, BaseConfig, ExperimentConfig
 from repro.errors import ConfigError
@@ -32,6 +40,7 @@ __all__ = [
     "experiment_from_args",
     "open_run",
     "close_run",
+    "save_telemetry",
     "make_cache",
     "print_cache_stats",
 ]
@@ -54,6 +63,14 @@ def add_spine_options(parser: argparse.ArgumentParser) -> None:
         "--run-dir", dest="run_dir", metavar="DIR",
         help="collect outputs under DIR/<command>-<confighash> with a "
              "provenance manifest.json",
+    )
+    group.add_argument(
+        "--telemetry", dest="telemetry", choices=telemetry.MODES,
+        default="off",
+        help="record runtime telemetry: 'metrics' collects counters and "
+             "histograms, 'trace' adds timing spans (saved to the run "
+             "dir as metrics.json/trace.json; view trace.json at "
+             "chrome://tracing or ui.perfetto.dev)",
     )
 
 
@@ -100,9 +117,42 @@ def open_run(args: argparse.Namespace,
     return RunDir.create(args.run_dir, experiment)
 
 
+def save_telemetry(run: RunDir | None) -> None:
+    """Write collected telemetry into the run dir (pre-finalize).
+
+    The metric snapshot rides inside ``metrics.json`` under a
+    ``"telemetry"`` key — merged into the headline metrics the
+    subcommand already saved, not clobbering them — and the span trace
+    (trace mode only) becomes ``trace.json`` in Chrome ``trace_event``
+    format.  Called by :func:`close_run` before ``finalize()`` so both
+    files are checksummed into the manifest inventory.
+    """
+    if run is None or not telemetry.metrics_enabled():
+        return
+    metrics_path = run.file("metrics.json")
+    payload: dict = {}
+    if metrics_path.is_file():
+        try:
+            existing = json.loads(metrics_path.read_text())
+            if isinstance(existing, dict):
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload["telemetry"] = telemetry.snapshot()
+    run.save_json("metrics.json", payload)
+    if telemetry.tracing_enabled():
+        spans = telemetry.spans()
+        telemetry.write_json(
+            run.file("trace.json"), telemetry.chrome_trace(spans)
+        )
+        print(f"telemetry: {len(spans)} spans -> "
+              f"{run.file('trace.json')} (chrome://tracing)")
+
+
 def close_run(run: RunDir | None) -> None:
     """Seal the run directory (checksums + manifest), if one is open."""
     if run is not None:
+        save_telemetry(run)
         manifest = run.finalize()
         print(f"run manifest written to {manifest}")
 

@@ -37,7 +37,13 @@ def add_subparsers(sub) -> None:
     p.set_defaults(func=cmd_generate)
 
     r = ReportConfig()
-    p = sub.add_parser("report", help="dataset summary report")
+    p = sub.add_parser("report",
+                       help="dataset summary report, or a run-dir "
+                            "telemetry summary when RUN is given")
+    p.add_argument("run", nargs="?", metavar="RUN",
+                   help="a finalized run directory: summarize its "
+                        "manifest, metrics.json, and trace.json instead "
+                        "of generating a dataset report")
     p.add_argument("--inputs-per-app", type=int, default=r.inputs_per_app)
     p.add_argument("--seed", type=int, default=r.seed)
     add_spine_options(p)
@@ -69,6 +75,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.dataset import generate_dataset
     from repro.dataset.report import dataset_report
 
+    if args.run:
+        return _report_run(args.run)
     experiment = experiment_from_args(args)
     cfg = experiment.config
     dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
@@ -81,4 +89,20 @@ def cmd_report(args: argparse.Namespace) -> int:
         run.save_metrics({"rows": dataset.num_rows,
                           "columns": dataset.frame.num_columns})
     close_run(run)
+    return 0
+
+
+def _report_run(path: str) -> int:
+    """Summarize a finalized run directory's saved telemetry."""
+    from repro import telemetry
+    from repro.artifacts import load_run
+
+    run = load_run(path)
+
+    def _artifact(name: str):
+        return run.read_json(name) if name in run.manifest["files"] else None
+
+    print(telemetry.render_run_report(
+        run.manifest, _artifact("metrics.json"), _artifact("trace.json")
+    ))
     return 0

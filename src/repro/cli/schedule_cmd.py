@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro import telemetry
 from repro.cli._options import (
     add_spine_options,
     close_run,
@@ -69,17 +70,23 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         return _schedule_with_faults(args, experiment, dataset, predictor)
     jobs = build_workload(dataset, n_jobs=cfg.jobs, seed=cfg.seed + 1,
                           predictor=predictor)
+    # In trace mode the simulator also records its (simulated-time)
+    # event log, exported per strategy as a Chrome trace of its own.
+    sim_trace = telemetry.tracing_enabled()
     print(f"{'strategy':>12s} {'makespan(h)':>12s} {'bounded slowdown':>17s}")
     metrics = {}
     swf_path = None
+    sim_events: dict[str, list] = {}
     for name in cfg.strategies:
         result = Scheduler(strategy_by_name(name, seed=11),
-                           ClusterState()).run(list(jobs))
+                           ClusterState(), trace=sim_trace).run(list(jobs))
         hours = makespan(result) / 3600
         slowdown = average_bounded_slowdown(result)
         print(f"{name:>12s} {hours:12.3f} {slowdown:17.2f}")
         metrics[name] = {"makespan_hours": hours,
                          "bounded_slowdown": slowdown}
+        if sim_trace:
+            sim_events[name] = result.extra.get("events", [])
         if name == "model" and cfg.swf_output:
             write_swf(result, cfg.swf_output,
                       header="repro scheduling experiment")
@@ -90,6 +97,11 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         run.save_metrics(metrics)
         if swf_path:
             run.attach(swf_path)
+        for name, events in sim_events.items():
+            telemetry.write_json(
+                run.file(f"sim_trace_{name}.json"),
+                telemetry.sim_events_to_chrome(events),
+            )
     close_run(run)
     return 0
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.dataset.generate import MPHPCDataset
 from repro.dataset.schema import FEATURE_COLUMNS
 from repro.core.predictor import CrossArchPredictor
@@ -83,16 +84,17 @@ def train_model(
 
     cv_mae = cv_sos = float("nan")
     if run_cv:
-        cv = cross_validate(
-            lambda: CrossArchPredictor(
-                model=model, feature_columns=feature_columns,
-                random_state=seed, **model_kwargs
-            ).model,
-            X[train_rows],
-            Y[train_rows],
-            n_splits=n_folds,
-            random_state=seed,
-        )
+        with telemetry.span("train.cv", model=model, folds=n_folds):
+            cv = cross_validate(
+                lambda: CrossArchPredictor(
+                    model=model, feature_columns=feature_columns,
+                    random_state=seed, **model_kwargs
+                ).model,
+                X[train_rows],
+                Y[train_rows],
+                n_splits=n_folds,
+                random_state=seed,
+            )
         cv_mae = cv["mae"]
         cv_sos = cv.get("sos", float("nan"))
 
@@ -100,7 +102,9 @@ def train_model(
         model=model, feature_columns=feature_columns,
         random_state=seed, **model_kwargs
     )
-    predictor.fit(dataset, rows=train_rows)
+    with telemetry.span("train.fit", model=model, rows=len(train_rows)):
+        predictor.fit(dataset, rows=train_rows)
+    telemetry.counter("train.models_fit").inc()
     pred = predictor.predict(X[test_rows])
     return TrainedModel(
         name=model,

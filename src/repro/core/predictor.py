@@ -12,10 +12,12 @@ predicted relative-performance vector:
 from __future__ import annotations
 
 import pickle
+import time
 from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.arch.machines import SYSTEM_ORDER
 from repro.dataset.features import (
     REQUIRED_RECORD_FIELDS,
@@ -96,6 +98,18 @@ class CrossArchPredictor:
             raise ValueError(
                 f"X has shape {X.shape}, expected (n, {len(self.feature_columns)})"
             )
+        # Instrumented here — at the batch boundary — so the flat-
+        # ensemble kernel underneath stays telemetry-free.
+        if telemetry.metrics_enabled():
+            t0 = time.perf_counter()
+            result = self.model.predict(X)
+            telemetry.histogram("predict.batch_seconds").observe(
+                time.perf_counter() - t0
+            )
+            telemetry.histogram(
+                "predict.batch_rows", telemetry.SIZE_BUCKETS
+            ).observe(X.shape[0])
+            return result
         return self.model.predict(X)
 
     def predict_frame(self, frame: Frame) -> np.ndarray:

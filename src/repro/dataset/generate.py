@@ -26,10 +26,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.apps.catalog import APPLICATIONS
 from repro.apps.inputs import generate_inputs
 from repro.arch.machines import MACHINES, SYSTEM_ORDER
@@ -45,6 +46,9 @@ from repro.hatchet_lite import run_record
 from repro.parallel import run_tasks
 from repro.perfsim.config import SCALES, make_run_config
 from repro.profiler import profile_run
+
+if TYPE_CHECKING:  # pragma: no cover - store imports generate at runtime
+    from repro.dataset.store import CacheStats
 
 __all__ = ["MPHPCDataset", "generate_dataset", "ShardTask"]
 
@@ -65,12 +69,20 @@ class MPHPCDataset:
     normalizer:
         The fitted magnitude-feature normalizer (needed to featurize new
         runs consistently at prediction time).
+    cache_stats:
+        Shard-cache hit/miss/eviction counts accrued while generating
+        *this* dataset (None when generated without a cache, or loaded
+        from disk).  Excluded from equality: two byte-identical datasets
+        compare equal regardless of how the cache behaved.
     """
 
     frame: Frame
     normalizer: FeatureNormalizer
     feature_columns: tuple[str, ...] = field(default=FEATURE_COLUMNS)
     target_columns: tuple[str, ...] = field(default=TARGET_COLUMNS)
+    cache_stats: "CacheStats | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def num_rows(self) -> int:
@@ -160,14 +172,19 @@ def _generate_shard(task: ShardTask) -> list[dict]:
     every profile's noise comes from the run's identity substream, so a
     worker produces exactly the records the sequential loop would.
     """
-    app = APPLICATIONS[task.app_name]
-    machine = MACHINES[task.system]
-    config = make_run_config(app, machine, task.scale)
-    inputs = generate_inputs(app, task.inputs_per_app, seed=task.seed)
-    return [
-        run_record(profile_run(app, inp, machine, config, seed=task.seed))
-        for inp in inputs
-    ]
+    with telemetry.span("dataset.shard", app=task.app_name,
+                        system=task.system, scale=task.scale):
+        app = APPLICATIONS[task.app_name]
+        machine = MACHINES[task.system]
+        config = make_run_config(app, machine, task.scale)
+        inputs = generate_inputs(app, task.inputs_per_app, seed=task.seed)
+        records = [
+            run_record(profile_run(app, inp, machine, config, seed=task.seed))
+            for inp in inputs
+        ]
+    telemetry.counter("dataset.shards.generated").inc()
+    telemetry.counter("dataset.records.generated").inc(len(records))
+    return records
 
 
 def _gather_shards(
@@ -253,31 +270,48 @@ def generate_dataset(
         for scale in scales
         for system in systems
     ]
-    shards = _gather_shards(tasks, jobs, cache)
+    stats_before = cache.stats.copy() if cache is not None else None
 
-    # Reassemble in the canonical row order regardless of which shards
-    # came from the cache, the pool, or the inline path.
-    records: list[dict] = []
-    for app_name in app_names:
-        for i in range(inputs_per_app):
-            for scale in scales:
-                for system in systems:
-                    records.append(shards[(app_name, scale, system)][i])
+    with telemetry.span("dataset.generate", shards=len(tasks),
+                        apps=len(app_names), jobs=jobs):
+        shards = _gather_shards(tasks, jobs, cache)
 
-    # RPV relative to the slowest system, t_s / max_s t_s, computed for
-    # all (app, input, scale) groups at once: rows arrive grouped with
-    # one row per system, so times reshape to (groups, systems).
-    times = np.array([rec["time_seconds"] for rec in records])
-    rpv = times.reshape(-1, len(systems))
-    rpv = rpv / rpv.max(axis=1, keepdims=True)
-    target_matrix = np.repeat(rpv, len(systems), axis=0)
+        # Reassemble in the canonical row order regardless of which
+        # shards came from the cache, the pool, or the inline path.
+        records: list[dict] = []
+        for app_name in app_names:
+            for i in range(inputs_per_app):
+                for scale in scales:
+                    for system in systems:
+                        records.append(shards[(app_name, scale, system)][i])
 
-    raw = Frame.from_records(records)
-    featured, normalizer = derive_feature_frame(raw)
-    featured = featured.with_columns({
-        column: target_matrix[:, j]
-        for j, column in enumerate(TARGET_COLUMNS)
-    })
+        # RPV relative to the slowest system, t_s / max_s t_s, computed
+        # for all (app, input, scale) groups at once: rows arrive
+        # grouped with one row per system, so times reshape to
+        # (groups, systems).
+        times = np.array([rec["time_seconds"] for rec in records])
+        rpv = times.reshape(-1, len(systems))
+        rpv = rpv / rpv.max(axis=1, keepdims=True)
+        target_matrix = np.repeat(rpv, len(systems), axis=0)
+
+        with telemetry.span("dataset.featurize", rows=len(records)):
+            raw = Frame.from_records(records)
+            featured, normalizer = derive_feature_frame(raw)
+        featured = featured.with_columns({
+            column: target_matrix[:, j]
+            for j, column in enumerate(TARGET_COLUMNS)
+        })
+
+    cache_delta = (cache.stats.since(stats_before)
+                   if cache is not None else None)
+    if cache_delta is not None:
+        telemetry.counter("dataset.cache.hits").inc(cache_delta.hits)
+        telemetry.counter("dataset.cache.misses").inc(cache_delta.misses)
+        telemetry.counter("dataset.cache.evictions").inc(
+            cache_delta.evictions
+        )
+    telemetry.gauge("dataset.rows").set(len(records))
 
     keep = list(META_COLUMNS) + list(FEATURE_COLUMNS) + list(TARGET_COLUMNS)
-    return MPHPCDataset(frame=featured.select(keep), normalizer=normalizer)
+    return MPHPCDataset(frame=featured.select(keep), normalizer=normalizer,
+                        cache_stats=cache_delta)

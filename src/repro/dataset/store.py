@@ -134,7 +134,14 @@ def shard_cache_key(app_spec, machine_spec, scale: str, seed: int,
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one :class:`ShardCache`."""
+    """Hit/miss/eviction counters for one :class:`ShardCache`.
+
+    The same typed object flows everywhere cache behaviour is observed:
+    the cache accrues into its own instance, ``generate_dataset``
+    returns the per-generation delta on the dataset, telemetry counters
+    are fed from it, and the CLI prints it — so tests, telemetry, and
+    output can never disagree about what a "hit" is.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -143,6 +150,24 @@ class CacheStats:
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions}
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Fold *other*'s counts into this instance; returns self."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        return self
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta accrued after the *earlier* snapshot was taken."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
 
 
 @dataclass

@@ -27,6 +27,7 @@ __all__ = [
     "ConfigError",
     "SerializationError",
     "ArtifactError",
+    "TelemetryError",
 ]
 
 
@@ -99,3 +100,9 @@ class SerializationError(ReproError, ValueError, KeyError):
 class ArtifactError(ReproError, ValueError):
     """A run directory or its ``manifest.json`` is missing, corrupt, or
     fails checksum verification."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """Telemetry misuse: unknown mode, a metric re-requested as a
+    different kind, mismatched histogram buckets on merge, or a
+    malformed snapshot."""

@@ -31,8 +31,11 @@ outputs), normalized to sum to one.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.ml.tree import Binner, FlatEnsemble, Tree, TreeParams, grow_tree
 
 __all__ = ["GradientBoostedTrees"]
@@ -183,7 +186,14 @@ class GradientBoostedTrees:
         if val_pack is not None:
             self.eval_history_["val_mae"] = []
 
+        # One mode check before the loop; the per-round observe is two
+        # dict-free method calls when metrics are on, nothing when off.
+        round_hist = (
+            telemetry.histogram("boost.round_seconds")
+            if telemetry.metrics_enabled() else None
+        )
         for round_idx in range(self.n_estimators):
+            round_t0 = time.perf_counter() if round_hist is not None else 0.0
             g, h = self._grad_hess(pred, Y)
             rows = self._sample_rows(rng, n)
             round_trees: list[Tree] = []
@@ -210,6 +220,8 @@ class GradientBoostedTrees:
             self.eval_history_["train_mae"].append(
                 float(np.abs(pred - Y).mean())
             )
+            if round_hist is not None:
+                round_hist.observe(time.perf_counter() - round_t0)
 
             if val_pack is not None:
                 Xvb, Yv, val_pred = val_pack

@@ -12,6 +12,14 @@ The worker function must be defined at module level (process pools
 pickle it by reference) and tasks should be small plain-data objects;
 workers that need heavyweight inputs should rebuild them from the task
 description rather than shipping them through the pickle channel.
+
+Telemetry: when metrics are enabled in the parent, each pool task runs
+under :func:`_traced_call`, which resets the worker's (possibly
+fork-inherited) registry, runs the task, and ships a per-task metric
+snapshot back through the ordered result channel; the parent folds the
+snapshots in task order, so for deterministic workloads the merged
+numbers equal a sequential run's exactly.  With telemetry off the pool
+path is byte-for-byte the old one.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro import telemetry
 
 __all__ = ["resolve_jobs", "run_tasks"]
 
@@ -31,6 +41,22 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs is None or jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+def _traced_call(packed):
+    """Pool wrapper: run one task with a clean worker-local registry and
+    return ``(result, metric_snapshot)``.
+
+    The reset is what makes fork-started workers correct: a forked child
+    inherits the parent's already-populated registry, and snapshotting
+    without a reset would re-ship (and double-count) everything the
+    parent had recorded before the pool spawned.
+    """
+    fn, task = packed
+    telemetry.configure("metrics")
+    telemetry.reset()
+    result = fn(task)
+    return result, telemetry.snapshot()
 
 
 def run_tasks(
@@ -64,5 +90,13 @@ def run_tasks(
     jobs = min(jobs, len(task_list))
     if chunksize is None:
         chunksize = max(1, len(task_list) // (jobs * 4))
+    if telemetry.metrics_enabled():
+        packed = [(fn, task) for task in task_list]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            traced = list(pool.map(_traced_call, packed,
+                                   chunksize=chunksize))
+        for _, snapshot in traced:
+            telemetry.merge_snapshot(snapshot)
+        return [result for result, _ in traced]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(fn, task_list, chunksize=chunksize))

@@ -37,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.arch.machines import MACHINES, SYSTEM_ORDER
 from repro.core.predictor import CrossArchPredictor
 from repro.dataset.features import (
@@ -170,8 +171,12 @@ class ResilientPredictor:
         return cls(predictor=predictor)
 
     # ------------------------------------------------------------------
-    def _count(self, tier: str) -> None:
-        self.tier_counts[tier] += 1
+    def _count(self, tier: str, n: int = 1) -> None:
+        """The single accounting point for tier usage: the local counter
+        (experiment summaries) and the telemetry counter (run-dir
+        metrics) can never disagree."""
+        self.tier_counts[tier] += n
+        telemetry.counter(f"resilience.tier.{tier}").inc(n)
 
     def _baseline(self, uses_gpu: bool) -> PredictionOutcome:
         if self.mean_rpv is not None:
@@ -279,7 +284,7 @@ class ResilientPredictor:
                 else _heuristic_rpv(False, self.systems)
             )
             tier = "mean_rpv" if self.mean_rpv is not None else "heuristic"
-            self.tier_counts[tier] += n
+            self._count(tier, n)
             return np.tile(base, (n, 1))
 
         finite = np.isfinite(X)
@@ -287,7 +292,7 @@ class ResilientPredictor:
         out = np.empty((n, len(self.systems)))
         if clean_rows.any():
             out[clean_rows] = self.predictor.predict(X[clean_rows])
-            self.tier_counts["model"] += int(clean_rows.sum())
+            self._count("model", int(clean_rows.sum()))
         dirty = ~clean_rows
         if dirty.any():
             if self.feature_fill is not None:
@@ -296,7 +301,7 @@ class ResilientPredictor:
                 mask = ~np.isfinite(repaired)
                 repaired[mask] = fill[mask]
                 out[dirty] = self.predictor.predict(repaired)
-                self.tier_counts["imputed"] += int(dirty.sum())
+                self._count("imputed", int(dirty.sum()))
             else:
                 base = (
                     self.mean_rpv if self.mean_rpv is not None
@@ -304,7 +309,7 @@ class ResilientPredictor:
                 )
                 out[dirty] = base
                 tier = "mean_rpv" if self.mean_rpv is not None else "heuristic"
-                self.tier_counts[tier] += int(dirty.sum())
+                self._count(tier, int(dirty.sum()))
         return out
 
     # ------------------------------------------------------------------

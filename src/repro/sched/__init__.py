@@ -34,7 +34,7 @@ from repro.sched.policies import (
     WidestFirstPolicy,
     policy_by_name,
 )
-from repro.sched.simulator import ScheduleResult, Scheduler
+from repro.sched.simulator import ScheduleResult, Scheduler, SimStats
 from repro.sched.strategies import (
     STRATEGIES,
     ModelBasedStrategy,
@@ -52,6 +52,7 @@ __all__ = [
     "ClusterState",
     "Scheduler",
     "ScheduleResult",
+    "SimStats",
     "RoundRobinStrategy",
     "RandomStrategy",
     "UserRRStrategy",

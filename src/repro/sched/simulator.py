@@ -60,11 +60,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.sched.job import Job
 from repro.sched.machines import ClusterState
 from repro.sched.policies import FCFSPolicy
 
-__all__ = ["Scheduler", "ScheduleResult"]
+__all__ = ["Scheduler", "ScheduleResult", "SimStats"]
 
 
 @dataclass
@@ -88,6 +89,39 @@ class ScheduleResult:
     @property
     def wait_times(self) -> np.ndarray:
         return self.start_times - self.submit_times
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Per-run event-loop counters (``Scheduler.last_run_stats``).
+
+    Frozen so a consumer can hold a reference across runs without it
+    mutating underneath, and schema'd so the telemetry counters and
+    ``benchmarks/test_perf_sched.py`` cannot silently drift: the key set
+    is pinned by test, and dict-style access (``stats["sched_events"]``)
+    is kept for existing callers.
+    """
+
+    wakeups: int = 0
+    starts: int = 0
+    backfilled: int = 0
+    retries: int = 0
+
+    #: The pinned key schema, in canonical order.
+    KEYS = ("wakeups", "starts", "backfilled", "retries", "sched_events")
+
+    @property
+    def sched_events(self) -> int:
+        """Wakeups + starts: the events/sec throughput numerator."""
+        return self.wakeups + self.starts
+
+    def __getitem__(self, key: str) -> int:
+        if key not in self.KEYS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def as_dict(self) -> dict[str, int]:
+        return {key: getattr(self, key) for key in self.KEYS}
 
 
 class Scheduler:
@@ -140,10 +174,12 @@ class Scheduler:
     Attributes
     ----------
     last_run_stats:
-        Filled after each :meth:`run`: a dict with ``wakeups`` (time
-        advances), ``starts`` (job starts, including retries), and
-        ``sched_events`` (their sum — the numerator of the events/sec
-        throughput metric in ``benchmarks/test_perf_sched.py``).
+        Filled after each :meth:`run`: a :class:`SimStats` with
+        ``wakeups`` (time advances), ``starts`` (job starts, including
+        retries), ``backfilled``, ``retries``, and the derived
+        ``sched_events`` (wakeups + starts — the numerator of the
+        events/sec throughput metric in
+        ``benchmarks/test_perf_sched.py``).
     """
 
     def __init__(
@@ -174,16 +210,36 @@ class Scheduler:
         self.trace = trace
         self.faults = faults
         self.retry = retry
-        self.last_run_stats: dict = {}
+        self.last_run_stats: SimStats = SimStats()
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[Job]) -> ScheduleResult:
         """Simulate scheduling of *jobs*; returns per-job outcomes."""
         if not jobs:
             raise ValueError("no jobs to schedule")
-        if self.faults is not None:
-            return self._run_faulty(jobs)
-        return self._run_reliable(jobs)
+        with telemetry.span(
+            "sched.run",
+            strategy=getattr(self.strategy, "name", "custom"),
+            jobs=len(jobs),
+            faulty=self.faults is not None,
+        ):
+            if self.faults is not None:
+                result = self._run_faulty(jobs)
+            else:
+                result = self._run_reliable(jobs)
+        # Counters are fed once per run from the loop's own tallies, so
+        # the event loop itself carries zero telemetry cost.
+        if telemetry.metrics_enabled():
+            stats = self.last_run_stats
+            telemetry.counter("sched.runs").inc()
+            telemetry.counter("sched.wakeups").inc(stats.wakeups)
+            telemetry.counter("sched.starts").inc(stats.starts)
+            telemetry.counter("sched.backfilled").inc(stats.backfilled)
+            telemetry.counter("sched.retries").inc(stats.retries)
+            telemetry.histogram(
+                "sched.jobs_per_run", telemetry.SIZE_BUCKETS
+            ).observe(len(jobs))
+        return result
 
     # -- shared engine pieces ------------------------------------------
     def _prepare(self, jobs: list[Job]):
@@ -410,11 +466,9 @@ class Scheduler:
                 m.release_until(now)
             wakeups += 1
 
-        self.last_run_stats = {
-            "wakeups": wakeups,
-            "starts": started,
-            "sched_events": wakeups + started,
-        }
+        self.last_run_stats = SimStats(
+            wakeups=wakeups, starts=started, backfilled=backfilled
+        )
         by_id = {j.job_id: j for j in jobs}
         ids = np.array(sorted(start_out), dtype=np.int64)
         starts = np.array([start_out[i] for i in ids])
@@ -772,11 +826,10 @@ class Scheduler:
                 elif kind == "requeue":
                     handle_requeue(a)
 
-        self.last_run_stats = {
-            "wakeups": wakeups,
-            "starts": started,
-            "sched_events": wakeups + started,
-        }
+        self.last_run_stats = SimStats(
+            wakeups=wakeups, starts=started, backfilled=backfilled,
+            retries=retries,
+        )
         ids = np.array(sorted(finished), dtype=np.int64)
         placed = [finished[i][0] for i in ids]
         starts = np.array([finished[i][1] for i in ids])

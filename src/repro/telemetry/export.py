@@ -1,0 +1,112 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat JSONL.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace` — the Chrome/Perfetto ``trace_event`` format
+  (load ``trace.json`` at ``chrome://tracing`` or https://ui.perfetto.dev).
+  Every span becomes a complete ("ph": "X") event with microsecond
+  timestamps relative to the earliest span; span/parent ids and user
+  attributes ride in ``args`` where viewers show them on click and
+  :mod:`repro.telemetry.report` reconstructs the span tree for
+  self-time accounting.
+* :func:`spans_jsonl` — one flat JSON object per line, trivially
+  greppable/streamable (``jq``-friendly) when a viewer is overkill.
+
+:func:`sim_events_to_chrome` is the odd one out: it renders a
+*simulated-time* event log (the scheduler's ``result.extra["events"]``)
+on the same timeline format, with simulated seconds mapped to trace
+microseconds and one timeline row per machine — so a scheduling run can
+be inspected span-by-span even though no wall clock was involved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry.spans import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "spans_jsonl",
+    "write_json",
+    "sim_events_to_chrome",
+]
+
+
+def chrome_trace(spans: list[SpanRecord], process_name: str = "repro") -> dict:
+    """Chrome ``trace_event`` document for *spans* (JSON-ready dict)."""
+    pid = os.getpid()
+    t0 = min((s.start_ns for s in spans), default=0)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        args.update(span.attrs)
+        if span.error:
+            args["error"] = True
+            args["error_type"] = span.error_type
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.start_ns - t0) / 1e3,   # microseconds
+            "dur": span.duration_ns / 1e3,
+            "pid": pid,
+            "tid": span.thread_id,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_jsonl(spans: list[SpanRecord]) -> str:
+    """Flat JSONL rendering: one span object per line."""
+    return "".join(
+        json.dumps(span.to_json(), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def write_json(path, payload: dict) -> None:
+    """Deterministic pretty JSON write (matches run-dir artifacts)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def sim_events_to_chrome(events, time_scale: float = 1e6) -> dict:
+    """Chrome trace document for a *simulated-time* scheduler event log.
+
+    *events* are ``(time, kind, job_id, machine)`` tuples (the
+    ``trace=True`` log of :class:`repro.sched.Scheduler`); simulated
+    seconds map to trace microseconds via *time_scale* so one trace
+    millisecond reads as one simulated second in the viewer.  Events are
+    instants ("ph": "i") grouped on one timeline row per machine.
+    """
+    tids: dict[str, int] = {}
+    out: list[dict] = []
+    for time_s, kind, job_id, machine in events:
+        row = str(machine) if machine else "(queue)"
+        tid = tids.setdefault(row, len(tids) + 1)
+        out.append({
+            "name": str(kind),
+            "cat": "sched",
+            "ph": "i",
+            "s": "t",                      # thread-scoped instant
+            "ts": float(time_s) * time_scale,
+            "pid": 1,
+            "tid": tid,
+            "args": {"job_id": int(job_id), "machine": str(machine)},
+        })
+    meta = [
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+         "args": {"name": row}}
+        for row, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}

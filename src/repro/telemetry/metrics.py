@@ -1,0 +1,310 @@
+"""Counters, gauges, and fixed-bucket histograms with mergeable snapshots.
+
+The registry is the *aggregation* half of the telemetry subsystem (the
+tracing half lives in :mod:`repro.telemetry.spans`).  Three metric kinds
+cover every counter-style signal the instrumented layers emit:
+
+* :class:`Counter`   — monotonically increasing integer (cache hits,
+  scheduler wakeups, degradation-tier uses).
+* :class:`Gauge`     — last-written float (dataset rows, queue depth).
+* :class:`Histogram` — fixed-bucket distribution (per-round fit times,
+  inference batch sizes).  Buckets are *fixed at creation* so two
+  histograms of the same name are mergeable by element-wise addition —
+  the property that makes cross-process aggregation exact rather than
+  approximate.
+
+Snapshots are plain JSON-ready dicts with deterministic key order.
+:meth:`MetricsRegistry.merge_snapshot` folds one registry's snapshot
+into another — this is how :func:`repro.parallel.run_tasks` ships each
+worker process's metrics back over its ordered result channel and the
+parent ends up with exactly the numbers a sequential run would have
+counted.
+
+Thread safety: creation of metrics is lock-protected; updates rely on a
+per-metric lock for counters/histograms (gauges are single writes).
+Disabled-mode call sites never reach these objects at all — the
+module-level accessors in :mod:`repro.telemetry` hand out a shared
+no-op metric instead (see :data:`NULL_METRIC`).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetric",
+    "NULL_METRIC",
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+]
+
+#: Latency buckets in seconds: 1 µs .. ~100 s in x4 steps.  Wide enough
+#: for both a single flat-ensemble predict call and a full training run.
+LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    1e-6 * 4 ** i for i in range(14)
+)
+
+#: Size buckets (rows, events, records): 1 .. ~1M in x4 steps.
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(4 ** i) for i in range(11))
+
+
+class Counter:
+    """Monotonic counter; :meth:`inc` only ever adds."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise TelemetryError(f"counter {self.name!r}: inc({n}) is "
+                                 "negative (counters only go up)")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value; :meth:`set` replaces."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket.
+
+    Bucket *i* counts observations ``edges[i-1] < v <= edges[i]``
+    (upper-edge-inclusive, Prometheus-style ``le`` semantics);
+    ``counts[-1]`` is the overflow bucket for ``v > edges[-1]``, so
+    ``len(counts) == len(edges) + 1`` and every observation lands
+    somewhere.  Sum/count/min/max ride along for exact means.
+    """
+
+    __slots__ = ("name", "edges", "counts", "_sum", "_count",
+                 "_min", "_max", "_lock")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]):
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise TelemetryError(f"histogram {name!r} needs >= 1 bucket edge")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} bucket edges must be strictly "
+                f"increasing, got {edges}"
+            )
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.edges, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s observations into this histogram (exact)."""
+        self.merge_state(other.state())
+        return self
+
+    # -- snapshot plumbing ---------------------------------------------
+    def state(self) -> dict:
+        """JSON-ready state (what snapshots carry)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self._sum,
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        if tuple(state.get("edges", ())) != self.edges:
+            raise TelemetryError(
+                f"histogram {self.name!r}: cannot merge mismatched bucket "
+                f"edges {tuple(state.get('edges', ()))} into {self.edges}"
+            )
+        counts = state.get("counts", [])
+        if len(counts) != len(self.counts):
+            raise TelemetryError(
+                f"histogram {self.name!r}: snapshot has {len(counts)} "
+                f"buckets, expected {len(self.counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += int(c)
+            self._sum += float(state.get("sum", 0.0))
+            self._count += int(state.get("count", 0))
+            for bound, pick in (("min", min), ("max", max)):
+                theirs = state.get(bound)
+                if theirs is None:
+                    continue
+                ours = self._min if bound == "min" else self._max
+                merged = float(theirs) if ours is None else pick(
+                    ours, float(theirs)
+                )
+                if bound == "min":
+                    self._min = merged
+                else:
+                    self._max = merged
+
+
+class NullMetric:
+    """Shared do-nothing stand-in handed out when telemetry is off.
+
+    Supports the full update surface of all three metric kinds so call
+    sites stay branchless: ``telemetry.counter("x").inc()`` costs two
+    no-op calls when disabled, and nothing is ever recorded.
+    """
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = NullMetric()
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with get-or-create accessors.
+
+    A name permanently belongs to the kind that first created it;
+    re-requesting it with a different kind (or different histogram
+    buckets) raises :class:`~repro.errors.TelemetryError` instead of
+    silently splitting the series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise TelemetryError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"requested as {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS_S) -> Histogram:
+        hist = self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets)
+        )
+        if hist.edges != tuple(float(b) for b in buckets):
+            raise TelemetryError(
+                f"histogram {name!r} already exists with buckets "
+                f"{hist.edges}; requested {tuple(buckets)}"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with names sorted for determinism."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.state()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this
+        registry: counters add, gauges last-write-wins, histograms merge
+        bucket-wise (edges must match)."""
+        if not isinstance(snapshot, dict):
+            raise TelemetryError(
+                f"snapshot must be a dict, got {type(snapshot).__name__}"
+            )
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, state in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(state.get("edges", ())))
+            hist.merge_state(state)

@@ -1,0 +1,150 @@
+"""Human-readable summaries of saved telemetry artifacts.
+
+``repro report <run-dir>`` loads ``metrics.json`` / ``trace.json`` from
+a finalized run directory and hands the parsed payloads here.  Every
+function is pure (JSON in, text out) and depends on nothing above
+:mod:`repro.errors`, so the report path works on any machine with the
+artifacts — no simulator, dataset, or model stack required.
+
+Self-time accounting: a span's *self time* is its duration minus the
+durations of its direct children (reconstructed from the
+``span_id``/``parent_id`` pairs the Chrome exporter stores in each
+event's ``args``).  Sorting by total self time surfaces the phases that
+actually burn wall-clock, not the outer spans that merely contain them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "span_rollup",
+    "format_span_table",
+    "format_metrics_tables",
+    "render_run_report",
+]
+
+
+def _span_events(trace: dict) -> list[dict]:
+    events = trace.get("traceEvents", trace if isinstance(trace, list) else [])
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def span_rollup(trace: dict) -> list[dict]:
+    """Aggregate a Chrome trace into per-span-name totals.
+
+    Returns rows ``{"name", "calls", "total_s", "self_s", "errors"}``
+    sorted by self time, descending.
+    """
+    events = _span_events(trace)
+    child_dur: dict[int, float] = {}
+    for event in events:
+        parent = (event.get("args") or {}).get("parent_id")
+        if parent is not None:
+            child_dur[parent] = child_dur.get(parent, 0.0) \
+                + float(event.get("dur", 0.0))
+    rows: dict[str, dict] = {}
+    for event in events:
+        args = event.get("args") or {}
+        dur_us = float(event.get("dur", 0.0))
+        self_us = dur_us - child_dur.get(args.get("span_id"), 0.0)
+        row = rows.setdefault(event.get("name", "?"), {
+            "name": event.get("name", "?"),
+            "calls": 0, "total_s": 0.0, "self_s": 0.0, "errors": 0,
+        })
+        row["calls"] += 1
+        row["total_s"] += dur_us / 1e6
+        row["self_s"] += self_us / 1e6
+        if args.get("error"):
+            row["errors"] += 1
+    return sorted(rows.values(), key=lambda r: (-r["self_s"], r["name"]))
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return lines
+
+
+def format_span_table(trace: dict, limit: int = 15) -> str:
+    """Top spans by self time, as a fixed-width text table."""
+    rollup = span_rollup(trace)
+    if not rollup:
+        return "no spans recorded"
+    rows = [
+        [r["name"], str(r["calls"]), f"{r['total_s']:.4f}",
+         f"{r['self_s']:.4f}"] + (["!"] if r["errors"] else [""])
+        for r in rollup[:limit]
+    ]
+    lines = _table(["span", "calls", "total_s", "self_s", "err"], rows)
+    if len(rollup) > limit:
+        lines.append(f"... and {len(rollup) - limit} more span names")
+    return "\n".join(lines)
+
+
+def format_metrics_tables(snapshot: dict) -> str:
+    """Counter/gauge/histogram tables from a metrics snapshot."""
+    sections: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        rows = [[name, str(value)] for name, value in sorted(counters.items())]
+        rows += [[name, f"{value:g}"] for name, value in sorted(gauges.items())]
+        sections.append("\n".join(_table(["metric", "value"], rows)))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, state in sorted(histograms.items()):
+            count = int(state.get("count", 0))
+            mean = (float(state.get("sum", 0.0)) / count) if count else 0.0
+            fmt = (lambda v: "-" if v is None else f"{float(v):.4g}")
+            rows.append([name, str(count), f"{mean:.4g}",
+                         fmt(state.get("min")), fmt(state.get("max"))])
+        sections.append("\n".join(
+            _table(["histogram", "count", "mean", "min", "max"], rows)
+        ))
+    if not sections:
+        return "no metrics recorded"
+    return "\n\n".join(sections)
+
+
+def render_run_report(manifest: dict, metrics: dict | None,
+                      trace: dict | None) -> str:
+    """The full ``repro report <run-dir>`` text."""
+    lines = [
+        f"run: {manifest.get('command', '?')} "
+        f"(config {str(manifest.get('config_hash', ''))[:12]}, "
+        f"seed {manifest.get('seed', '?')})",
+        f"wall time: {manifest.get('wall_time_seconds', '?')} s; "
+        f"{len(manifest.get('files', {}))} artifact(s)",
+    ]
+    for name in sorted(manifest.get("files", {})):
+        meta = manifest["files"][name]
+        lines.append(f"  {name}  ({meta.get('bytes', '?')} bytes)")
+    if trace is not None:
+        lines += ["", "top spans by self time:", format_span_table(trace)]
+    if metrics is not None:
+        snapshot = metrics.get("telemetry") if isinstance(metrics, dict) \
+            else None
+        if snapshot:
+            lines += ["", "telemetry metrics:",
+                      format_metrics_tables(snapshot)]
+        headline = {
+            k: v for k, v in (metrics.items()
+                              if isinstance(metrics, dict) else [])
+            if k != "telemetry"
+        }
+        if headline:
+            lines += ["", "headline metrics (metrics.json):"]
+            for key in sorted(headline):
+                lines.append(f"  {key}: {headline[key]}")
+    if trace is None and metrics is None:
+        lines += ["", "no telemetry artifacts in this run "
+                      "(rerun with --telemetry metrics|trace)"]
+    return "\n".join(lines)

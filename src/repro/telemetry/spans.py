@@ -1,0 +1,228 @@
+"""Structured tracing spans: nested, monotonic-clock, exception-safe.
+
+A *span* is one timed region of execution with a name, key-value
+attributes, and a parent (the span that was open on the same thread
+when it started).  Spans nest naturally through the context-manager
+protocol::
+
+    with tracer.span("dataset.generate", shards=240):
+        with tracer.span("dataset.shard", app="AMG"):
+            ...
+
+and close *even when the body raises* — the span is recorded with
+``error=True`` and the exception type name, then the exception
+propagates unchanged.  Timing uses :func:`time.perf_counter_ns` (the
+monotonic high-resolution clock), so spans are immune to wall-clock
+steps and cheap to take.
+
+The :class:`Tracer` collects finished spans in memory: appends are
+lock-protected and the open-span stack is thread-local, so concurrent
+threads trace independently and interleave safely.  Exporters
+(:mod:`repro.telemetry.export`) turn the collected list into Chrome
+``trace_event`` JSON or flat JSONL.
+
+The *disabled* path never reaches this module: the package-level
+``span()`` accessor returns a shared no-op handle when tracing is off
+(see :mod:`repro.telemetry`), so instrumentation costs one attribute
+check per call site, not a Span allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import wraps
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span (times in perf-counter nanoseconds)."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_ns: int
+    end_ns: int
+    thread_id: int
+    attrs: dict = field(default_factory=dict)
+    error: bool = False
+    error_type: str | None = None
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_ns - self.start_ns) / 1e9
+
+    def to_json(self) -> dict:
+        """Flat JSON-ready form (the JSONL exporter's row)."""
+        out = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+        if self.error:
+            out["error"] = True
+            out["error_type"] = self.error_type
+        return out
+
+
+class _SpanHandle:
+    """Context manager *and* decorator for one span site.
+
+    The telemetry mode is consulted at ``__enter__``/call time — not at
+    construction — so a function decorated while telemetry is off still
+    traces once telemetry is enabled.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_record")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._record: SpanRecord | None = None
+
+    def __enter__(self) -> "_SpanHandle":
+        self._record = self._tracer._begin(self._name, self._attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._record
+        self._record = None
+        if record is not None:
+            self._tracer._finish(record, exc_type)
+        return False  # never swallow the exception
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the live span (no-op when disabled)."""
+        if self._record is not None:
+            self._record.attrs.update(attrs)
+
+    def __call__(self, fn):
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _SpanHandle(self._tracer, self._name, dict(self._attrs)):
+                return fn(*args, **kwargs)
+        return wrapper
+
+
+class _NullSpan:
+    """Shared no-op handle returned while tracing is disabled.
+
+    As a decorator it still wraps through the active tracer at call
+    time, so enabling telemetry later activates decorated functions.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs")
+
+    def __init__(self, tracer: "Tracer | None" = None, name: str = "",
+                 attrs: dict | None = None):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs or {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __call__(self, fn):
+        if self._tracer is None:
+            return fn
+        tracer, name, attrs = self._tracer, self._name, self._attrs
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            with tracer.span(name, **attrs):
+                return fn(*args, **kwargs)
+        return wrapper
+
+
+class Tracer:
+    """Thread-safe in-memory span collector.
+
+    ``enabled`` gates recording: when False, :meth:`span` returns a
+    shared no-op handle whose enter/exit do nothing (the decorator form
+    re-checks at every call, so late enabling works).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A context-manager/decorator handle for one traced region."""
+        if not self.enabled:
+            return _NullSpan(self, name, attrs)
+        return _SpanHandle(self, name, attrs)
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _begin(self, name: str, attrs: dict) -> SpanRecord | None:
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        record = SpanRecord(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent,
+            start_ns=time.perf_counter_ns(),
+            end_ns=0,
+            thread_id=threading.get_ident(),
+            attrs=dict(attrs),
+        )
+        stack.append(record)
+        return record
+
+    def _finish(self, record: SpanRecord, exc_type) -> None:
+        record.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            record.error = True
+            record.error_type = exc_type.__name__
+        stack = self._stack()
+        # The record is normally the top of this thread's stack; guard
+        # against exotic reentrancy by removing it wherever it is.
+        if stack and stack[-1] is record:
+            stack.pop()
+        elif record in stack:
+            stack.remove(record)
+        with self._lock:
+            self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        """Finished spans, in completion order (children before parents)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+        self._local = threading.local()

@@ -146,6 +146,20 @@ class TestVerifyRun:
         with pytest.raises(ArtifactError, match="config hash mismatch"):
             verify_run(finalized.path)
 
+    def test_orphan_file_detected(self, finalized):
+        # A file written after finalize() has no provenance — it must be
+        # flagged, not silently accepted (telemetry artifacts included).
+        (finalized.path / "orphan.json").write_text("{}")
+        with pytest.raises(ArtifactError, match="orphan.json"):
+            verify_run(finalized.path)
+
+    def test_orphan_in_subdirectory_detected(self, finalized):
+        sub = finalized.path / "extra"
+        sub.mkdir(exist_ok=True)
+        (sub / "stray.txt").write_text("stray")
+        with pytest.raises(ArtifactError, match="extra/stray.txt"):
+            verify_run(finalized.path)
+
 
 class TestTrainRunManifest:
     def test_model_format_version_recorded(self, tmp_path):

@@ -6,7 +6,10 @@ every other layer can depend on them without cycles:
 
 * ``repro.errors``    may import nothing from ``repro``;
 * ``repro.registry``  may import only ``repro.errors``;
-* ``repro.config``    may import only ``repro.errors`` / ``repro.registry``.
+* ``repro.config``    may import only ``repro.errors`` / ``repro.registry``;
+* ``repro.telemetry`` (and its submodules) may import only
+  ``repro.errors`` and each other — it is instrumented *into* every
+  layer, so it must depend on none of them.
 
 This script walks each module's AST (no imports are executed, so it is
 safe to run on a broken tree) and fails with one line per violation.
@@ -25,11 +28,26 @@ from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
+#: Telemetry-internal modules: each may import errors + its siblings.
+_TELEMETRY_DEPS = {
+    "repro.errors",
+    "repro.telemetry",
+    "repro.telemetry.metrics",
+    "repro.telemetry.spans",
+    "repro.telemetry.export",
+    "repro.telemetry.report",
+}
+
 #: module -> repro modules it may import (itself is always allowed).
 ALLOWED = {
     "repro.errors": set(),
     "repro.registry": {"repro.errors"},
     "repro.config": {"repro.errors", "repro.registry"},
+    "repro.telemetry": _TELEMETRY_DEPS,
+    "repro.telemetry.metrics": _TELEMETRY_DEPS,
+    "repro.telemetry.spans": _TELEMETRY_DEPS,
+    "repro.telemetry.export": _TELEMETRY_DEPS,
+    "repro.telemetry.report": _TELEMETRY_DEPS,
 }
 
 
@@ -42,8 +60,15 @@ def _module_path(module: str) -> Path:
 
 
 def repro_imports(module: str) -> list[tuple[int, str]]:
-    """Every ``repro.*`` module imported by *module*: (lineno, name)."""
-    tree = ast.parse(_module_path(module).read_text())
+    """Every ``repro.*`` module imported by *module*: (lineno, name).
+
+    A module absent from SRC contributes nothing (so the guard can run
+    against partial trees, e.g. the planted-violation test fixture).
+    """
+    path = _module_path(module)
+    if not path.is_file():
+        return []
+    tree = ast.parse(path.read_text())
     found = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
