@@ -41,6 +41,7 @@ from pathlib import Path
 from repro import __version__
 from repro.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
 from repro.errors import ArtifactError
+from repro.ioutils import atomic_write_bytes, atomic_write_json
 
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
@@ -113,10 +114,11 @@ class RunDir:
         return self.path / name
 
     def save_json(self, name: str, payload) -> Path:
-        """Write *payload* as deterministic JSON inside the run."""
+        """Write *payload* as deterministic JSON inside the run
+        (atomically — a crash mid-write never leaves a torn file)."""
         path = self.file(name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_json(path, payload)
         return path
 
     def save_metrics(self, metrics: dict, name: str = "metrics.json") -> Path:
@@ -138,7 +140,7 @@ class RunDir:
             raise ArtifactError(f"cannot attach {source}: not a file")
         target = self.file(source.name)
         if source.resolve() != target.resolve():
-            target.write_bytes(source.read_bytes())
+            atomic_write_bytes(target, source.read_bytes())
         return target
 
     # ------------------------------------------------------------------
@@ -164,7 +166,10 @@ class RunDir:
             "files": files,
         }
         path = self.path / MANIFEST_NAME
-        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        # Atomic: the manifest is the seal of the whole run dir, and a
+        # torn one would make every artifact unreadable (load_run
+        # refuses corrupt JSON); either the run is sealed or it is not.
+        atomic_write_json(path, manifest)
         self._finalized = True
         return path
 

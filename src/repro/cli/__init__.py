@@ -11,6 +11,9 @@ Exposes the reproduction's main workflows as ``repro <subcommand>``:
 * ``profile``   — profile one (app, machine, scale) run; print counters.
 * ``predict``   — profile a run and predict its RPV with a saved model.
 * ``schedule``  — the Section VII scheduling experiment.
+* ``sweep``     — run a declared grid over the registries with
+  journal-backed resume, per-cell timeouts, retry, and quarantine
+  (see :mod:`repro.sweep` and ``docs/SWEEPS.md``).
 
 Every subcommand is a thin module under :mod:`repro.cli` that builds a
 typed :class:`~repro.config.ExperimentConfig` and calls library entry
@@ -38,6 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         evaluate_cmd,
         profile_cmd,
         schedule_cmd,
+        sweep_cmd,
         train_cmd,
     )
 
@@ -52,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_cmd.add_subparsers(sub)
     profile_cmd.add_subparsers(sub)
     schedule_cmd.add_subparsers(sub)
+    sweep_cmd.add_subparsers(sub)
     return parser
 
 

@@ -96,6 +96,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
     run = open_run(args, experiment)
     if run is not None:
         save_profile(profile, run.file("profile.json"))
+        # Headline numbers for cross-run comparison (the sweep report
+        # ranks cells by these — e.g. time_seconds across machines).
+        run.save_metrics({
+            "app": profile.meta["app"],
+            "machine": profile.meta["machine"],
+            "scale": profile.meta["scale"],
+            "time_seconds": float(profile.meta["time_seconds"]),
+            "total_instructions": float(record["total_instructions"]),
+        })
         if cfg.save:
             run.attach(cfg.save)
     close_run(run)

@@ -1,0 +1,103 @@
+"""``repro sweep``: the crash-safe grid driver over the registries.
+
+Typical shapes::
+
+    repro sweep grid.json --run-root runs/grid --jobs 4 --timeout 120
+    repro sweep grid.json --run-root runs/grid --resume
+    repro sweep grid.json --run-root runs/grid --report
+
+Exit codes: 0 when every cell is complete, 4 when cells were
+quarantined or remain pending (the campaign is usable but not whole),
+2 for typed spec/journal/config errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import telemetry
+from repro.resilience.retry import RetryPolicy
+
+
+def add_subparsers(sub) -> None:
+    p = sub.add_parser(
+        "sweep",
+        help="run a declared grid of experiments with resume/quarantine",
+    )
+    p.add_argument("spec", help="sweep spec JSON (see docs/SWEEPS.md)")
+    p.add_argument("--run-root", required=True, metavar="DIR",
+                   help="directory holding the journal and every cell's "
+                        "run dir")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="concurrent isolated worker processes")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-cell wall-clock budget in seconds "
+                        "(default: unlimited)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts per cell before quarantine (default 3)")
+    p.add_argument("--retry-delay", type=float, default=1.0, metavar="S",
+                   help="base backoff between attempts (doubles per "
+                        "retry, jittered per cell; default 1s)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a sweep whose journal already exists: "
+                        "verified cells are skipped, unfinished ones "
+                        "recomputed")
+    p.add_argument("--retry-quarantined", action="store_true",
+                   help="on resume, give quarantined cells a fresh "
+                        "retry budget")
+    p.add_argument("--report", action="store_true",
+                   help="render the comparative report from what is on "
+                        "disk; runs nothing")
+    p.add_argument("--chaos", default=None, metavar="JSON|@FILE",
+                   help="chaos-harness fault spec (testing: kill/hang/"
+                        "corrupt chosen cells, or the sweep itself)")
+    p.add_argument("--telemetry", choices=telemetry.MODES, default="off",
+                   help="record sweep-level counters/spans in the parent")
+    p.set_defaults(func=cmd_sweep)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        ChaosSpec,
+        SweepRunner,
+        SweepSpec,
+        build_report,
+        plan_sweep,
+        render_report,
+        write_report,
+    )
+
+    spec = SweepSpec.load(args.spec)
+    if args.report:
+        report = build_report(spec, args.run_root)
+        write_report(report, args.run_root)
+        print(render_report(report))
+        return 0 if report["cells_complete"] == report["cells_total"] else 4
+
+    if args.max_attempts < 1:
+        raise ValueError("--max-attempts must be >= 1")
+    if args.retry_delay < 0:
+        raise ValueError("--retry-delay must be non-negative")
+    chaos = ChaosSpec.parse(args.chaos)
+    plan = plan_sweep(spec, args.run_root, resume=args.resume,
+                      retry_quarantined=args.retry_quarantined)
+    counts = plan.counts
+    print(f"sweep {spec.name!r}: {len(plan.cells)} cells "
+          f"({counts['cached']} cached, {counts['pending']} pending, "
+          f"{counts['quarantined']} quarantined)")
+    retry = RetryPolicy(max_attempts=args.max_attempts,
+                        backoff_base=args.retry_delay,
+                        backoff_cap=max(args.retry_delay * 16, 1.0),
+                        jitter=0.1)
+    runner = SweepRunner(plan, jobs=args.jobs, timeout=args.timeout,
+                         retry=retry, chaos=chaos)
+    result = runner.run()
+    for outcome in result.quarantined:
+        last = outcome.errors[-1] if outcome.errors else None
+        detail = f": {last}" if last else ""
+        print(f"quarantined: {outcome.cell_id}{detail}")
+    report = build_report(spec, args.run_root)
+    path = write_report(report, args.run_root)
+    print(render_report(report))
+    print(f"report written to {path}")
+    return 0 if report["cells_complete"] == report["cells_total"] else 4

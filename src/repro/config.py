@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import ClassVar
 
 from repro.errors import ConfigError
+from repro.ioutils import atomic_write_json
 from repro.registry import Registry
 
 __all__ = [
@@ -468,11 +469,10 @@ class ExperimentConfig:
 
     # -- persistence ----------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the config as pretty-printed JSON (hash-stable: the
-        content hash is computed over the canonical encoding, not the
-        pretty one)."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
-                                         sort_keys=True) + "\n")
+        """Write the config as pretty-printed JSON, atomically
+        (hash-stable: the content hash is computed over the canonical
+        encoding, not the pretty one)."""
+        atomic_write_json(Path(path), self.to_dict())
 
     @classmethod
     def load(cls, path: str | Path) -> "ExperimentConfig":

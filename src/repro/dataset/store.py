@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -37,6 +36,7 @@ from repro.dataset.generate import MPHPCDataset
 from repro.dataset.schema import DATASET_SCHEMA_VERSION
 from repro.errors import DatasetError
 from repro.frame import Frame
+from repro.ioutils import atomic_write_json
 
 __all__ = [
     "save_npz",
@@ -230,9 +230,7 @@ class ShardCache:
             "checksum": self._checksum(records),
             "records": records,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        atomic_write_json(path, payload, indent=None, sort_keys=False)
         if self.max_entries is not None:
             self._prune()
 

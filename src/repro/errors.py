@@ -28,6 +28,9 @@ __all__ = [
     "SerializationError",
     "ArtifactError",
     "TelemetryError",
+    "ParallelExecutionError",
+    "SweepError",
+    "SweepCellError",
 ]
 
 
@@ -106,3 +109,57 @@ class TelemetryError(ReproError, ValueError):
     """Telemetry misuse: unknown mode, a metric re-requested as a
     different kind, mismatched histogram buckets on merge, or a
     malformed snapshot."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A process-pool worker died without raising (OOM-kill, segfault,
+    ``os._exit``), so no task exception exists to re-raise.
+
+    Carries the contiguous ``(task_start, task_stop)`` index range of
+    the chunk whose worker died, so callers can retry or report the
+    failed shard instead of inspecting an opaque ``BrokenProcessPool``.
+    """
+
+    def __init__(self, message: str, task_start: int = -1,
+                 task_stop: int = -1):
+        super().__init__(message)
+        self.task_start = task_start
+        self.task_stop = task_stop
+
+
+class SweepError(ReproError, ValueError):
+    """A sweep spec, journal, or resume precondition is invalid: bad
+    spec JSON, an axis naming an unknown config field, a journal for a
+    different spec, or an existing journal without ``--resume``."""
+
+
+class SweepCellError(ReproError, RuntimeError):
+    """One sweep cell's attempt failed.  Typed by ``kind``:
+
+    * ``"worker-death"``  — the cell's worker process died on a signal
+      (the in-process analogue of ``BrokenProcessPool``);
+    * ``"timeout"``       — the cell exceeded its wall-clock budget and
+      was killed;
+    * ``"nonzero-exit"``  — the cell's command raised / exited nonzero;
+    * ``"verify-failed"`` — the command exited 0 but its run directory
+      failed :func:`repro.artifacts.verify_run`.
+
+    Never crashes the sweep parent: the runner records it in the
+    journal, retries under the cell's :class:`RetryPolicy`, and
+    quarantines the cell once the budget is exhausted.
+    """
+
+    KINDS = ("worker-death", "timeout", "nonzero-exit", "verify-failed")
+
+    def __init__(self, cell_id: str, kind: str, attempt: int,
+                 detail: str = ""):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown SweepCellError kind {kind!r}")
+        self.cell_id = cell_id
+        self.kind = kind
+        self.attempt = attempt
+        self.detail = detail
+        message = f"cell {cell_id} attempt {attempt}: {kind}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)

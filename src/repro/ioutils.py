@@ -1,0 +1,106 @@
+"""Crash-safe filesystem primitives shared by every artifact writer.
+
+Three writers used to each hand-roll their own torn-write defense (or
+none): the shard cache wrote temp-then-rename without fsync, run-dir
+manifests were written in place, and saved configs too.  A crash (or
+SIGKILL) mid-write could leave a half-written ``manifest.json`` that
+every later reader would trust.  This module centralizes the pattern:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_write_json` — write to a same-directory temp file,
+  flush + fsync it, then ``os.replace`` over the target.  Readers see
+  either the old bytes or the new bytes, never a mix, even across
+  power loss (the fsync orders data before the rename).
+* :func:`append_line` — append one newline-terminated record with a
+  single ``write`` call, then flush + fsync.  Used by the sweep
+  journal: a crash can at worst leave one torn *trailing* line, which
+  the journal reader detects and drops.
+
+Layering: bottom of the graph beside :mod:`repro.errors` — stdlib only,
+importable from anywhere (enforced by ``tools/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_line",
+]
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of *path*'s directory (persists the rename)."""
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write *data* to *path* atomically (temp + fsync + rename)."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write *text* (UTF-8) to *path* atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, payload, *,
+                      indent: int | None = 2,
+                      sort_keys: bool = True) -> Path:
+    """Write *payload* as JSON to *path* atomically.
+
+    Defaults match the run-dir convention (pretty, sorted, trailing
+    newline); pass ``indent=None`` for the compact cache encoding.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if indent is not None:
+        text += "\n"
+    return atomic_write_text(path, text)
+
+
+def append_line(path: str | Path, line: str) -> None:
+    """Append one record to *path* durably.
+
+    *line* must not contain a newline (one record per line is the
+    contract); the terminator is added here.  The single ``write`` of a
+    short line is atomic on POSIX local filesystems, and the fsync makes
+    the record durable before the caller proceeds — so a journal built
+    from these calls can lose at most the line being written at the
+    instant of a crash, never an earlier one.
+    """
+    if "\n" in line:
+        raise ValueError("append_line record must not contain newlines")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -19,12 +19,17 @@ Together they make ``generate_dataset(seed=S, jobs=1)`` and
 an invariant pinned by ``tests/test_parallel_determinism.py``.
 """
 
-from repro.parallel.executor import resolve_jobs, run_tasks
+from repro.parallel.executor import (
+    ParallelExecutionError,
+    resolve_jobs,
+    run_tasks,
+)
 from repro.parallel.seeding import derive_seed, stable_hash, substream
 
 __all__ = [
     "run_tasks",
     "resolve_jobs",
+    "ParallelExecutionError",
     "substream",
     "derive_seed",
     "stable_hash",

@@ -13,24 +13,33 @@ pickle it by reference) and tasks should be small plain-data objects;
 workers that need heavyweight inputs should rebuild them from the task
 description rather than shipping them through the pickle channel.
 
-Telemetry: when metrics are enabled in the parent, each pool task runs
-under :func:`_traced_call`, which resets the worker's (possibly
+Failure semantics: an exception *raised* by the worker function
+propagates to the caller unchanged (the pool is torn down first),
+matching inline behaviour.  A worker process that *dies* without
+raising — OOM-killed, segfaulted, ``os._exit`` — used to surface as an
+opaque ``BrokenProcessPool`` naming no task; it now raises a typed
+:class:`~repro.errors.ParallelExecutionError` carrying the contiguous
+index range of the chunk whose worker died.
+
+Telemetry: when metrics are enabled in the parent, each pooled task
+runs under a traced wrapper that resets the worker's (possibly
 fork-inherited) registry, runs the task, and ships a per-task metric
 snapshot back through the ordered result channel; the parent folds the
 snapshots in task order, so for deterministic workloads the merged
-numbers equal a sequential run's exactly.  With telemetry off the pool
-path is byte-for-byte the old one.
+numbers equal a sequential run's exactly.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import telemetry
+from repro.errors import ParallelExecutionError
 
-__all__ = ["resolve_jobs", "run_tasks"]
+__all__ = ["resolve_jobs", "run_tasks", "ParallelExecutionError"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -43,20 +52,31 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _traced_call(packed):
-    """Pool wrapper: run one task with a clean worker-local registry and
-    return ``(result, metric_snapshot)``.
+def _traced_call(fn, task):
+    """Run one task with a clean worker-local registry and return
+    ``(result, metric_snapshot)``.
 
     The reset is what makes fork-started workers correct: a forked child
     inherits the parent's already-populated registry, and snapshotting
     without a reset would re-ship (and double-count) everything the
     parent had recorded before the pool spawned.
     """
-    fn, task = packed
     telemetry.configure("metrics")
     telemetry.reset()
     result = fn(task)
     return result, telemetry.snapshot()
+
+
+def _run_chunk(packed):
+    """Pool entry point: run one contiguous chunk of tasks.
+
+    ``packed`` is ``(fn, tasks, traced)``; returns the chunk's results
+    in task order (``(result, snapshot)`` pairs when traced).
+    """
+    fn, tasks, traced = packed
+    if traced:
+        return [_traced_call(fn, task) for task in tasks]
+    return [fn(task) for task in tasks]
 
 
 def run_tasks(
@@ -80,8 +100,12 @@ def run_tasks(
         Tasks shipped per pool round-trip (default: tasks split into
         roughly four chunks per worker).
 
-    Any worker exception propagates to the caller unchanged (the pool is
-    torn down first), matching inline behaviour.
+    Raises
+    ------
+    ParallelExecutionError
+        When a worker process dies without raising; the error names the
+        index range of the first failed chunk.  Exceptions raised *by*
+        the worker function propagate unchanged.
     """
     task_list: Sequence[T] = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -90,13 +114,28 @@ def run_tasks(
     jobs = min(jobs, len(task_list))
     if chunksize is None:
         chunksize = max(1, len(task_list) // (jobs * 4))
-    if telemetry.metrics_enabled():
-        packed = [(fn, task) for task in task_list]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            traced = list(pool.map(_traced_call, packed,
-                                   chunksize=chunksize))
-        for _, snapshot in traced:
-            telemetry.merge_snapshot(snapshot)
-        return [result for result, _ in traced]
+    traced = telemetry.metrics_enabled()
+    chunks = [task_list[i:i + chunksize]
+              for i in range(0, len(task_list), chunksize)]
+    flat: list = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, task_list, chunksize=chunksize))
+        futures = [pool.submit(_run_chunk, (fn, chunk, traced))
+                   for chunk in chunks]
+        start = 0
+        for chunk, future in zip(chunks, futures):
+            try:
+                flat.extend(future.result())
+            except BrokenProcessPool as exc:
+                raise ParallelExecutionError(
+                    f"worker process died while running tasks "
+                    f"[{start}, {start + len(chunk)}) of {len(task_list)} "
+                    f"(killed/OOM/segfault — no task exception exists)",
+                    task_start=start,
+                    task_stop=start + len(chunk),
+                ) from exc
+            start += len(chunk)
+    if traced:
+        for _, snapshot in flat:
+            telemetry.merge_snapshot(snapshot)
+        return [result for result, _ in flat]
+    return flat

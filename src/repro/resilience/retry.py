@@ -60,8 +60,15 @@ class RetryPolicy:
         """True when a job that just failed attempt *attempts_made* is done."""
         return self.max_attempts is not None and attempts_made >= self.max_attempts
 
-    def delay(self, attempts_made: int, job_id: int = 0) -> float:
-        """Backoff before the next attempt, after *attempts_made* failures."""
+    def delay(self, attempts_made: int, job_id: int | str = 0) -> float:
+        """Backoff before the next attempt, after *attempts_made* failures.
+
+        *job_id* seeds the jitter stream and may be an int (simulator
+        job ids) or a string (sweep cell ids, hashed through the same
+        FNV-1a stream as every other named substream); equal ids always
+        draw equal jitter, different ids decorrelate so a burst of
+        simultaneous failures does not stampede back in lockstep.
+        """
         if attempts_made < 1:
             raise ValueError("delay() is for jobs that have failed at least once")
         base = min(
@@ -70,9 +77,10 @@ class RetryPolicy:
         )
         if self.jitter == 0.0 or base == 0.0:
             return base
+        job_key = stable_hash(job_id) if isinstance(job_id, str) else int(job_id)
         rng = np.random.default_rng(
             np.random.SeedSequence(
-                [self.seed, stable_hash("retry-jitter"), int(job_id),
+                [self.seed, stable_hash("retry-jitter"), job_key,
                  int(attempts_made)]
             )
         )

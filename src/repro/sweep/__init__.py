@@ -1,0 +1,61 @@
+"""Crash-safe sweep orchestrator over the experiment registries.
+
+The paper's evaluation is a grid — applications x machines x models x
+strategies x fault profiles — and the registries plus content-hashed
+:class:`~repro.config.ExperimentConfig` define that space exactly.
+This package is the driver: declare the grid once, run every cell, and
+survive anything short of losing the disk.
+
+* :mod:`repro.sweep.spec`    — the sweep spec: a base config plus axes
+  of values, expanded (or deterministically sampled) into frozen,
+  content-hashed per-cell experiment configs.
+* :mod:`repro.sweep.planner` — decides what actually needs to run:
+  cells whose config hash already has a ``verify_run``-clean run
+  directory are *cached*, quarantined cells stay parked, the rest are
+  pending.
+* :mod:`repro.sweep.journal` — an append-only, fsync-per-line
+  ``sweep.journal.jsonl`` recording every cell state transition, so a
+  SIGKILLed sweep resumes from exactly where it died.
+* :mod:`repro.sweep.runner`  — executes pending cells across isolated
+  worker processes with per-cell wall-clock timeouts, typed failure
+  classification (:class:`~repro.errors.SweepCellError`), retry with
+  deterministic backoff jitter, and poison-cell quarantine.
+* :mod:`repro.sweep.chaos`   — the fault-point harness that kills,
+  hangs, errors, or corrupts a chosen cell's worker (or the parent
+  itself) so every durability claim above is provable by test.
+* :mod:`repro.sweep.report`  — the cross-cell comparative report:
+  per-cell metrics warehouse plus ranking tables, bit-identical
+  between an interrupted-and-resumed sweep and an uninterrupted one.
+
+Durability is two-layered by design: the artifact store memoizes
+*results* (a verified run dir is never recomputed) and the journal
+memoizes *decisions* (quarantines survive restarts).  ``repro sweep
+--resume`` after a crash re-plans from both and recomputes only
+unfinished cells.  See ``docs/SWEEPS.md``.
+"""
+
+from repro.errors import SweepCellError, SweepError
+from repro.sweep.chaos import ChaosSpec
+from repro.sweep.journal import JOURNAL_NAME, SweepJournal
+from repro.sweep.planner import SweepPlan, plan_sweep
+from repro.sweep.report import build_report, render_report, write_report
+from repro.sweep.runner import SweepResult, SweepRunner
+from repro.sweep.spec import SWEEP_SCHEMA_VERSION, SweepCell, SweepSpec
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "SweepSpec",
+    "SweepCell",
+    "SweepJournal",
+    "JOURNAL_NAME",
+    "SweepPlan",
+    "plan_sweep",
+    "SweepRunner",
+    "SweepResult",
+    "ChaosSpec",
+    "build_report",
+    "render_report",
+    "write_report",
+    "SweepError",
+    "SweepCellError",
+]

@@ -1,0 +1,197 @@
+"""Fault-point injection for the sweep runner — the chaos harness.
+
+Every durability claim the orchestrator makes ("a killed worker is
+retried", "a hung cell is timed out", "a corrupted run dir is detected
+and recomputed", "a SIGKILLed parent resumes bit-identically") is only
+a claim until something actually kills, hangs, or corrupts at the worst
+moment.  A :class:`ChaosSpec` injects exactly that, deterministically,
+at named fault points:
+
+worker faults (matched per cell + attempt):
+
+* ``crash``   — the worker SIGKILLs itself before running the cell:
+  the parent sees a signal death with no result file (the
+  ``worker-death`` classification, the in-process ``BrokenProcessPool``
+  analogue).
+* ``hang``    — the worker sleeps forever; only the per-cell wall-clock
+  timeout can reclaim the slot.
+* ``error``   — the worker raises a plain exception (the clean
+  ``nonzero-exit`` path).
+* ``corrupt`` — the cell's command completes, then the worker truncates
+  the run dir's ``manifest.json`` mid-byte: the torn-write scenario the
+  atomic writers exist to prevent, aimed at proving ``verify_run``
+  catches it anyway.
+
+parent fault:
+
+* ``parent-exit`` — after ``after_done`` cells have completed, the
+  orchestrator ``os._exit``\\ s without any cleanup: the closest
+  in-process stand-in for ``kill -9`` of the sweep itself.  The CI
+  resume-smoke job and the kill-and-resume test build on this.
+
+Spec format (CLI ``--chaos``, inline JSON or ``@file``)::
+
+    {"faults": [
+        {"fault": "crash",   "cell": 2, "attempt": 1},
+        {"fault": "hang",    "cell": "0003", "attempt": "*"},
+        {"fault": "parent-exit", "after_done": 2}
+    ]}
+
+``cell`` matches a grid index (int) or a cell-id prefix (str);
+``attempt`` is a 1-based attempt number or ``"*"`` for every attempt —
+``{"attempt": 1}`` faults make a cell fail once and then recover, while
+``"*"`` makes it a poison cell that must end in quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import SweepError
+
+__all__ = ["ChaosSpec", "ChaosFault", "WORKER_FAULTS", "apply_worker_fault"]
+
+WORKER_FAULTS = ("crash", "hang", "error", "corrupt")
+PARENT_FAULTS = ("parent-exit",)
+
+#: How long a chaos ``hang`` sleeps — effectively forever next to any
+#: sane ``--timeout``, short enough that a leaked worker cannot outlive
+#: a CI job by much.
+HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One armed fault point."""
+
+    fault: str
+    cell: int | str | None = None
+    attempt: int | str = 1
+    after_done: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.fault not in WORKER_FAULTS + PARENT_FAULTS:
+            raise SweepError(
+                f"unknown chaos fault {self.fault!r} (choose from "
+                f"{', '.join(WORKER_FAULTS + PARENT_FAULTS)})"
+            )
+        if self.fault in PARENT_FAULTS:
+            if not isinstance(self.after_done, int) or self.after_done < 0:
+                raise SweepError(
+                    f"{self.fault} needs a non-negative 'after_done' count"
+                )
+        else:
+            if self.cell is None:
+                raise SweepError(f"{self.fault} needs a 'cell' matcher")
+            if self.attempt != "*" and (
+                not isinstance(self.attempt, int) or self.attempt < 1
+            ):
+                raise SweepError(
+                    "chaos 'attempt' must be a 1-based integer or '*'"
+                )
+
+    def matches(self, index: int, cell_id: str, attempt: int) -> bool:
+        if self.fault in PARENT_FAULTS:
+            return False
+        if isinstance(self.cell, bool) or self.cell is None:
+            return False
+        if isinstance(self.cell, int):
+            if self.cell != index:
+                return False
+        elif not cell_id.startswith(str(self.cell)):
+            return False
+        return self.attempt == "*" or self.attempt == attempt
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A parsed set of fault points (empty = no chaos)."""
+
+    faults: tuple[ChaosFault, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str | None) -> "ChaosSpec":
+        """Parse CLI input: inline JSON, or ``@path`` to a JSON file."""
+        if not text:
+            return cls()
+        if text.startswith("@"):
+            path = Path(text[1:])
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                raise SweepError(
+                    f"cannot read chaos spec {path}: {exc}"
+                ) from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"chaos spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        if not isinstance(data, dict) or not isinstance(
+            data.get("faults"), list
+        ):
+            raise SweepError(
+                "chaos spec must be an object with a 'faults' list"
+            )
+        faults = []
+        for raw in data["faults"]:
+            if not isinstance(raw, dict):
+                raise SweepError("each chaos fault must be an object")
+            unknown = sorted(set(raw) - {"fault", "cell", "attempt",
+                                         "after_done"})
+            if unknown:
+                raise SweepError(
+                    f"unknown chaos fault key(s): {', '.join(unknown)}"
+                )
+            faults.append(ChaosFault(
+                fault=raw.get("fault", ""),
+                cell=raw.get("cell"),
+                attempt=raw.get("attempt", 1),
+                after_done=raw.get("after_done"),
+            ))
+        return cls(faults=tuple(faults))
+
+    # -- queries --------------------------------------------------------
+    def worker_faults(self, index: int, cell_id: str,
+                      attempt: int) -> tuple[str, ...]:
+        """The worker fault kinds armed for this cell attempt."""
+        return tuple(f.fault for f in self.faults
+                     if f.matches(index, cell_id, attempt))
+
+    def parent_exit_after(self) -> int | None:
+        """Completed-cell count at which the parent must die, if armed."""
+        for f in self.faults:
+            if f.fault == "parent-exit":
+                return f.after_done
+        return None
+
+
+def apply_worker_fault(kind: str, run_dir: Path | None = None) -> None:
+    """Fire one *pre-run* fault point inside a worker process.
+
+    ``corrupt`` is a post-run fault and is handled by the worker after
+    the cell's command finishes (see :func:`corrupt_run_dir`).
+    """
+    if kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(HANG_SECONDS)
+    elif kind == "error":
+        raise RuntimeError("chaos: injected worker error")
+
+
+def corrupt_run_dir(run_dir: Path) -> None:
+    """Post-run fault: tear the manifest in half, as a crashing
+    non-atomic writer would have."""
+    manifest = run_dir / "manifest.json"
+    if manifest.is_file():
+        data = manifest.read_bytes()
+        manifest.write_bytes(data[:max(1, len(data) // 2)])

@@ -1,0 +1,130 @@
+"""The sweep's crash-safe checkpoint: an append-only JSONL journal.
+
+``<run-root>/sweep.journal.jsonl`` records one line per cell state
+transition, written through :func:`repro.ioutils.append_line` (single
+``write`` + fsync), so the journal on disk is always a prefix of the
+true event sequence — a SIGKILL can at worst tear the final line, which
+:meth:`SweepJournal.read` detects and drops.
+
+Events, in a cell's life::
+
+    sweep-open       orchestrator started (carries the spec hash)
+    cached           planner found a verify_run-clean run dir
+    started          attempt N launched in a worker
+    failed           attempt N failed (kind: timeout / worker-death /
+                     nonzero-exit / verify-failed)
+    retry-scheduled  attempt N+1 scheduled after a backoff delay
+    quarantined      retry budget exhausted; cell parked
+    done             attempt N completed and its run dir verified
+
+Resume reads the journal back and reduces it per cell (last event
+wins): ``quarantined`` survives restarts (a poison cell stays parked
+until ``--retry-quarantined``), while everything else defers to the
+artifact store — a cell is only ever *complete* if its run directory
+verifies right now, regardless of what the journal claims.  The journal
+is forensic state, never a substitute for verification.
+
+``sweep-open`` lines pin the spec: resuming a root with a journal
+written by a different spec (different axes, different sample) is a
+typed :class:`~repro.errors.SweepError`, not a silent mixed campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import canonical_json
+from repro.errors import SweepError
+from repro.ioutils import append_line
+
+__all__ = ["JOURNAL_NAME", "JOURNAL_VERSION", "SweepJournal"]
+
+JOURNAL_NAME = "sweep.journal.jsonl"
+
+JOURNAL_VERSION = 1
+
+#: Cell-level events (``sweep-open`` is sweep-level).
+CELL_EVENTS = ("cached", "started", "failed", "retry-scheduled",
+               "quarantined", "done")
+
+
+class SweepJournal:
+    """Append-only writer/reader for one sweep root's journal."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # -- writing --------------------------------------------------------
+    def open_sweep(self, spec_hash: str, name: str) -> None:
+        """Record an orchestrator start (idempotent across resumes)."""
+        self._append({"event": "sweep-open", "spec": spec_hash,
+                      "name": name})
+
+    def record(self, event: str, cell_id: str, config_hash: str,
+               attempt: int = 0, **extra) -> None:
+        if event not in CELL_EVENTS:
+            raise SweepError(f"unknown journal event {event!r}")
+        entry = {"event": event, "cell": cell_id, "hash": config_hash,
+                 "attempt": attempt}
+        entry.update(extra)
+        self._append(entry)
+
+    def _append(self, entry: dict) -> None:
+        entry = {"v": JOURNAL_VERSION, **entry}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        append_line(self.path, canonical_json(entry))
+
+    # -- reading --------------------------------------------------------
+    def read(self) -> list[dict]:
+        """Every journal entry, oldest first.
+
+        A torn *final* line (the one being written when a crash hit) is
+        dropped silently; a torn line anywhere else means the file was
+        edited or the filesystem lied, and raises a typed error.
+        """
+        if not self.path.is_file():
+            return []
+        lines = self.path.read_text().splitlines()
+        entries = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn tail from a mid-append crash: ignore
+                raise SweepError(
+                    f"{self.path}:{lineno}: corrupt journal line "
+                    f"(not the final line, so not a crash artifact): {exc}"
+                ) from exc
+            if not isinstance(entry, dict) or "event" not in entry:
+                raise SweepError(
+                    f"{self.path}:{lineno}: journal entry is not an event"
+                )
+            entries.append(entry)
+        return entries
+
+    def spec_hashes(self, entries: list[dict] | None = None) -> set[str]:
+        """Every spec hash that has opened this journal."""
+        if entries is None:
+            entries = self.read()
+        return {e["spec"] for e in entries
+                if e.get("event") == "sweep-open" and "spec" in e}
+
+    @staticmethod
+    def reduce(entries: list[dict]) -> dict[str, dict]:
+        """Fold entries into per-cell state: last event wins.
+
+        Returns ``cell_id -> {"event", "attempt", "hash", ...}`` for
+        cell-level events only.
+        """
+        state: dict[str, dict] = {}
+        for entry in entries:
+            if entry.get("event") in CELL_EVENTS and "cell" in entry:
+                state[entry["cell"]] = entry
+        return state

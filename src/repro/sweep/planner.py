@@ -1,0 +1,122 @@
+"""Sweep planning: decide which cells actually need to run.
+
+The planner owns the two durability layers' *read* side:
+
+* **artifact memoization** — a cell whose content-addressed run
+  directory exists and passes :func:`repro.artifacts.verify_run` is
+  *cached*: its results are proven-good bytes on disk, so the cell is
+  never recomputed (this is what makes ``--resume`` after SIGKILL, or
+  simply re-running the sweep, cheap and bit-identical);
+* **journal state** — a cell the journal last recorded as
+  ``quarantined`` stays parked (poison cells must not re-sink a resumed
+  campaign) unless ``retry_quarantined`` lifts it.
+
+Everything else is *pending*.  A run directory that exists but fails
+verification — a torn cell from a killed worker — is pending too, and
+flagged ``stale`` so the runner wipes it before relaunching.
+
+The planner also enforces resume hygiene: an existing journal without
+``resume=True`` is an error (you are about to mix two campaigns), and a
+journal opened by a *different* spec is always an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.artifacts import verify_run
+from repro.errors import ArtifactError, SweepError
+from repro.sweep.journal import JOURNAL_NAME, SweepJournal
+from repro.sweep.spec import SweepCell, SweepSpec
+
+__all__ = ["CellPlan", "SweepPlan", "plan_sweep"]
+
+
+@dataclass
+class CellPlan:
+    """One cell's planned disposition."""
+
+    cell: SweepCell
+    status: str                 # "pending" | "cached" | "quarantined"
+    run_dir: Path
+    stale: bool = False         # run dir exists but failed verification
+
+
+@dataclass
+class SweepPlan:
+    """The full plan: spec, per-cell dispositions, and the journal."""
+
+    spec: SweepSpec
+    run_root: Path
+    cells: list[CellPlan]
+    journal: SweepJournal
+    resumed: bool = False
+
+    def by_status(self, status: str) -> list[CellPlan]:
+        return [c for c in self.cells if c.status == status]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {"pending": 0, "cached": 0, "quarantined": 0}
+        for cell in self.cells:
+            out[cell.status] += 1
+        return out
+
+
+def _is_verified(run_dir: Path) -> bool:
+    try:
+        verify_run(run_dir)
+    except ArtifactError:
+        return False
+    return True
+
+
+def plan_sweep(spec: SweepSpec, run_root: str | Path, *,
+               resume: bool = False,
+               retry_quarantined: bool = False) -> SweepPlan:
+    """Expand *spec* and classify every cell against *run_root*.
+
+    Raises
+    ------
+    SweepError
+        If *run_root* already holds a journal and ``resume`` is False,
+        or if the journal was opened by a different spec.
+    """
+    run_root = Path(run_root)
+    journal = SweepJournal(run_root / JOURNAL_NAME)
+    quarantined_ids: set[str] = set()
+    resumed = False
+    if journal.exists():
+        if not resume:
+            raise SweepError(
+                f"{journal.path} already exists — pass --resume to "
+                f"continue this sweep, or use a fresh --run-root"
+            )
+        entries = journal.read()
+        other = journal.spec_hashes(entries) - {spec.content_hash()}
+        if other:
+            raise SweepError(
+                f"{journal.path} belongs to a different sweep spec "
+                f"(journal spec {sorted(other)[0][:12]}, this spec "
+                f"{spec.content_hash()[:12]}); refusing to mix campaigns"
+            )
+        resumed = True
+        if not retry_quarantined:
+            state = SweepJournal.reduce(entries)
+            quarantined_ids = {
+                cell_id for cell_id, last in state.items()
+                if last.get("event") == "quarantined"
+            }
+    cells: list[CellPlan] = []
+    for cell in spec.expand():
+        run_dir = run_root / cell.run_dir_name
+        exists = run_dir.is_dir()
+        if exists and _is_verified(run_dir):
+            cells.append(CellPlan(cell, "cached", run_dir))
+        elif cell.cell_id in quarantined_ids:
+            cells.append(CellPlan(cell, "quarantined", run_dir))
+        else:
+            cells.append(CellPlan(cell, "pending", run_dir, stale=exists))
+    return SweepPlan(spec=spec, run_root=run_root, cells=cells,
+                     journal=journal, resumed=resumed)

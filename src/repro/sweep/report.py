@@ -1,0 +1,152 @@
+"""Cross-cell comparative report: the sweep's metrics warehouse.
+
+After (or during) a campaign, the report walks the spec's cells and
+collects every *verified* cell's ``metrics.json`` into one flat
+warehouse, then builds ranking tables per metric — "which machine ran
+AMG fastest", "which strategy had the best makespan" — across the whole
+grid.
+
+Determinism is a hard requirement here, because the kill-and-resume
+test pins it: the report is a pure function of (spec, verified run
+directories, quarantine set).  It contains no timestamps, no attempt
+counts, no journal ordering — an interrupted-and-resumed sweep and an
+uninterrupted one produce **byte-identical** ``sweep_report.json``.
+Cells are reported in grid order; nested metrics flatten to dotted
+keys (``model.makespan_hours``); the run-dir ``telemetry`` block is
+excluded (it measures the host, not the experiment).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.artifacts import verify_run
+from repro.errors import ArtifactError
+from repro.ioutils import atomic_write_json
+from repro.sweep.journal import JOURNAL_NAME, SweepJournal
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["REPORT_NAME", "build_report", "render_report", "write_report"]
+
+REPORT_NAME = "sweep_report.json"
+
+REPORT_VERSION = 1
+
+
+def _flatten(payload, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a metrics document, dotted-keyed, sorted."""
+    out: dict[str, float] = {}
+    if not isinstance(payload, dict):
+        return out
+    for key in sorted(payload):
+        if key == "telemetry" and not prefix:
+            continue  # host-side observability, not experiment output
+        value = payload[key]
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[dotted] = float(value)
+        elif isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{dotted}."))
+    return out
+
+
+def build_report(spec: SweepSpec, run_root: str | Path) -> dict:
+    """Assemble the warehouse + rankings for *spec* against *run_root*.
+
+    Statuses are re-derived from first principles, not from runner
+    state: ``complete`` iff the cell's run dir verifies right now,
+    ``quarantined`` iff the journal's last word on the cell is
+    quarantine, else ``pending``.  (``complete`` deliberately does not
+    distinguish freshly-computed from memoized — that distinction is
+    execution history, and would break resume bit-identity.)
+    """
+    run_root = Path(run_root)
+    journal = SweepJournal(run_root / JOURNAL_NAME)
+    state = SweepJournal.reduce(journal.read()) if journal.exists() else {}
+    cells = []
+    metric_values: dict[str, list[tuple[float, str]]] = {}
+    for cell in spec.expand():
+        run_dir = run_root / cell.run_dir_name
+        status = "pending"
+        metrics: dict[str, float] = {}
+        try:
+            run = verify_run(run_dir)
+        except (ArtifactError, FileNotFoundError):
+            run = None
+        if run is not None:
+            status = "complete"
+            if "metrics.json" in run.manifest["files"]:
+                metrics = _flatten(run.metrics())
+        elif state.get(cell.cell_id, {}).get("event") == "quarantined":
+            status = "quarantined"
+        for key, value in metrics.items():
+            metric_values.setdefault(key, []).append((value, cell.cell_id))
+        cells.append({
+            "cell": cell.cell_id,
+            "axes": dict(cell.axes),
+            "config_hash": cell.config_hash,
+            "run_dir": cell.run_dir_name,
+            "status": status,
+            "metrics": metrics,
+        })
+    rankings = {
+        key: [
+            {"cell": cell_id, "value": value}
+            for value, cell_id in sorted(pairs)
+        ]
+        for key, pairs in sorted(metric_values.items())
+        if len(pairs) >= 2
+    }
+    complete = sum(1 for c in cells if c["status"] == "complete")
+    quarantined = sum(1 for c in cells if c["status"] == "quarantined")
+    return {
+        "sweep_report_version": REPORT_VERSION,
+        "name": spec.name,
+        "command": spec.command,
+        "spec_hash": spec.content_hash(),
+        "cells_total": len(cells),
+        "cells_complete": complete,
+        "cells_quarantined": quarantined,
+        "cells_pending": len(cells) - complete - quarantined,
+        "cells": cells,
+        "rankings": rankings,
+    }
+
+
+def write_report(report: dict, run_root: str | Path) -> Path:
+    """Persist the report atomically as ``<run-root>/sweep_report.json``."""
+    return atomic_write_json(Path(run_root) / REPORT_NAME, report)
+
+
+def render_report(report: dict, top: int = 5) -> str:
+    """Human-readable summary: status table plus top-N per ranking."""
+    lines = [
+        f"sweep {report['name']!r} ({report['command']}): "
+        f"{report['cells_complete']}/{report['cells_total']} complete, "
+        f"{report['cells_quarantined']} quarantined, "
+        f"{report['cells_pending']} pending",
+    ]
+    width = max((len(_axes_label(c["axes"])) for c in report["cells"]),
+                default=4)
+    for cell in report["cells"]:
+        label = _axes_label(cell["axes"])
+        lines.append(f"  {cell['cell']}  {label:<{width}s}  "
+                     f"{cell['status']}")
+    for key, ranked in report["rankings"].items():
+        lines.append(f"ranking by {key} (best first):")
+        by_cell = {c["cell"]: c for c in report["cells"]}
+        for entry in ranked[:top]:
+            label = _axes_label(by_cell[entry["cell"]]["axes"])
+            lines.append(f"  {entry['value']:>14.4f}  {label}")
+    return "\n".join(lines)
+
+
+def _axes_label(axes: dict) -> str:
+    def fmt(value):
+        if isinstance(value, (list, tuple)):
+            return "+".join(str(v) for v in value)
+        return str(value)
+
+    return " ".join(f"{k}={fmt(v)}" for k, v in axes.items()) or "(no axes)"

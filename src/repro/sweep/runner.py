@@ -1,0 +1,424 @@
+"""The sweep execution engine: isolated workers, timeouts, retry,
+quarantine.
+
+Each pending cell runs in its **own** forked worker process — not a
+shared pool — because real failure semantics need per-cell authority:
+a hung cell must be killable without draining anyone else's queue, a
+SIGKILLed worker must be classifiable without poisoning a pool, and a
+poison cell must die alone.  The worker writes the cell's run directory
+through the ordinary CLI replay path (``<command> --config <cell.json>
+--run-dir <root>``), so a sweep cell is bit-identical to the same
+config run by hand.
+
+Outcome classification (all surfaced as typed
+:class:`~repro.errors.SweepCellError` records, never a crashed parent):
+
+=============   ====================================================
+kind            evidence
+=============   ====================================================
+worker-death    process died on a signal, no result file (the
+                in-process ``BrokenProcessPool`` analogue)
+timeout         wall-clock budget exceeded; the runner SIGTERMs,
+                then SIGKILLs, the worker
+nonzero-exit    the command raised / returned a nonzero exit code
+verify-failed   exit 0 but the run dir fails ``verify_run`` (torn
+                or corrupted artifacts)
+=============   ====================================================
+
+Every failed attempt consults the cell's
+:class:`~repro.resilience.retry.RetryPolicy`: transient failures are
+re-scheduled after a backoff whose jitter is seeded per cell id (so a
+burst of failures does not stampede back in lockstep), and a cell that
+exhausts its budget is **quarantined** — journaled, reported, and
+stepped around so one poison cell cannot sink a 300-cell campaign.
+
+Durability: every state transition is journaled (fsync-per-line) before
+the runner acts on it, and results live only in verified run
+directories — so the runner itself holds no state a SIGKILL could lose.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import Process
+from multiprocessing.connection import wait as wait_sentinels
+from pathlib import Path
+
+import repro.telemetry as telemetry
+from repro.artifacts import verify_run
+from repro.errors import ArtifactError, SweepCellError
+from repro.ioutils import atomic_write_json
+from repro.resilience.retry import RetryPolicy
+from repro.sweep.chaos import ChaosSpec, apply_worker_fault, corrupt_run_dir
+from repro.sweep.planner import CellPlan, SweepPlan
+
+__all__ = ["SweepRunner", "SweepResult", "CellOutcome"]
+
+#: Seconds a timed-out worker gets to die on SIGTERM before SIGKILL.
+_TERM_GRACE = 0.5
+
+#: Supervisor poll interval upper bound (sentinel wait timeout).
+_POLL_S = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+def _cell_worker(payload: dict) -> None:
+    """Run one cell attempt in an isolated process.
+
+    Redirects stdout/stderr to the cell's log, fires any armed chaos
+    fault points, executes the cell's command through the CLI replay
+    path, and reports through an atomically-written result file.  The
+    parent classifies from (result file, process exit code): a missing
+    result file plus a signal death is ``worker-death``.
+    """
+    try:
+        fd = os.open(payload["log_path"],
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        os.dup2(fd, 1)
+        os.dup2(fd, 2)
+        os.close(fd)
+        print(f"--- cell {payload['cell_id']} attempt "
+              f"{payload['attempt']} ---", flush=True)
+        for kind in payload["faults"]:
+            if kind != "corrupt":
+                apply_worker_fault(kind)
+        # Imported here, not at module level: the CLI sits *above* the
+        # sweep layer (it owns the sweep subcommand); only the worker
+        # process, which is an execution sandbox, may call back into it.
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            payload["command"],
+            "--config", payload["config_path"],
+            "--run-dir", payload["run_root"],
+        ])
+        if "corrupt" in payload["faults"]:
+            corrupt_run_dir(Path(payload["run_dir"]))
+        atomic_write_json(payload["result_path"],
+                          {"exit_code": code}, indent=None)
+        os._exit(0)
+    except BaseException:
+        traceback.print_exc()
+        try:
+            atomic_write_json(
+                payload["result_path"],
+                {"exit_code": 1,
+                 "error": traceback.format_exc(limit=3).strip()
+                                    .splitlines()[-1]},
+                indent=None,
+            )
+        except OSError:
+            pass
+        os._exit(1)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+@dataclass
+class CellOutcome:
+    """Final disposition of one cell after the runner finishes."""
+
+    cell_id: str
+    status: str                     # "done" | "cached" | "quarantined"
+    attempts: int = 0
+    errors: list[SweepCellError] = field(default_factory=list)
+
+
+@dataclass
+class SweepResult:
+    """What the sweep accomplished, per cell and in aggregate."""
+
+    outcomes: list[CellOutcome]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {"done": 0, "cached": 0, "quarantined": 0}
+        for outcome in self.outcomes:
+            out[outcome.status] += 1
+        return out
+
+    @property
+    def quarantined(self) -> list[CellOutcome]:
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+@dataclass
+class _Running:
+    plan: CellPlan
+    attempt: int
+    process: Process
+    deadline: float | None
+    result_path: Path
+    started: float
+    timed_out: bool = False
+
+
+class SweepRunner:
+    """Drives a :class:`SweepPlan` to completion.
+
+    Parameters
+    ----------
+    plan:
+        Output of :func:`repro.sweep.planner.plan_sweep`.
+    jobs:
+        Concurrent worker processes.
+    timeout:
+        Per-cell wall-clock budget in seconds (None = unlimited).
+    retry:
+        Backoff/budget policy; ``max_attempts`` is the quarantine
+        threshold.  Delays are real (the runner sleeps), so sweeps
+        normally use a small ``backoff_base`` — transient failures are
+        crashes, not rate limits.
+    chaos:
+        Armed fault points (default: none).
+    """
+
+    def __init__(self, plan: SweepPlan, *, jobs: int = 1,
+                 timeout: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 chaos: ChaosSpec | None = None):
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self.plan = plan
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, backoff_base=1.0, backoff_cap=30.0, jitter=0.1
+        )
+        self.chaos = chaos or ChaosSpec()
+        # Fork keeps worker startup cheap; on platforms without it the
+        # spawn fallback preserves isolation, workers just re-import.
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._scratch = plan.run_root / ".sweep"
+        self._done_count = 0
+        self._parent_exit_after = self.chaos.parent_exit_after()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        """Execute every pending cell; never raises for cell failures."""
+        plan = self.plan
+        journal = plan.journal
+        plan.run_root.mkdir(parents=True, exist_ok=True)
+        for sub in ("configs", "logs", "results"):
+            (self._scratch / sub).mkdir(parents=True, exist_ok=True)
+        journal.open_sweep(plan.spec.content_hash(), plan.spec.name)
+        outcomes: dict[str, CellOutcome] = {}
+        with telemetry.span("sweep.run", sweep=plan.spec.name,
+                            cells=len(plan.cells)):
+            for cp in plan.cells:
+                if cp.status == "cached":
+                    journal.record("cached", cp.cell.cell_id,
+                                   cp.cell.config_hash)
+                    telemetry.counter("sweep.cells.cached").inc()
+                    outcomes[cp.cell.cell_id] = CellOutcome(
+                        cp.cell.cell_id, "cached")
+                elif cp.status == "quarantined":
+                    telemetry.counter("sweep.cells.quarantined").inc()
+                    outcomes[cp.cell.cell_id] = CellOutcome(
+                        cp.cell.cell_id, "quarantined")
+            pending = plan.by_status("pending")
+            for cp in pending:
+                telemetry.counter("sweep.cells.scheduled").inc()
+                # Frozen cell config, written up front: sweep provenance
+                # plus the worker's --config input.
+                atomic_write_json(self._config_path(cp),
+                                  cp.cell.experiment.to_dict())
+            self._execute(pending, outcomes)
+        ordered = [outcomes[cp.cell.cell_id] for cp in plan.cells]
+        return SweepResult(outcomes=ordered)
+
+    # ------------------------------------------------------------------
+    def _config_path(self, cp: CellPlan) -> Path:
+        return self._scratch / "configs" / f"{cp.cell.cell_id}.json"
+
+    def _launch(self, cp: CellPlan, attempt: int) -> _Running:
+        cell = cp.cell
+        if cp.run_dir.is_dir() and (attempt > 1 or cp.stale):
+            # Torn output from a killed/failed attempt: the directory is
+            # content-addressed and unverified, so wiping it is the
+            # crash-recovery path, not data loss.
+            shutil.rmtree(cp.run_dir)
+        result_path = (self._scratch / "results"
+                       / f"{cell.cell_id}.attempt{attempt}.json")
+        if result_path.exists():
+            result_path.unlink()
+        log_path = (self._scratch / "logs"
+                    / f"{cell.cell_id}.attempt{attempt}.log")
+        payload = {
+            "cell_id": cell.cell_id,
+            "attempt": attempt,
+            "command": cell.experiment.command,
+            "config_path": str(self._config_path(cp)),
+            "run_root": str(self.plan.run_root),
+            "run_dir": str(cp.run_dir),
+            "result_path": str(result_path),
+            "log_path": str(log_path),
+            "faults": list(self.chaos.worker_faults(
+                cell.index, cell.cell_id, attempt)),
+        }
+        process = self._ctx.Process(target=_cell_worker, args=(payload,),
+                                    daemon=False)
+        self.plan.journal.record("started", cell.cell_id, cell.config_hash,
+                                 attempt=attempt)
+        telemetry.counter("sweep.cells.started").inc()
+        process.start()
+        now = time.monotonic()
+        deadline = now + self.timeout if self.timeout is not None else None
+        return _Running(plan=cp, attempt=attempt, process=process,
+                        deadline=deadline, result_path=result_path,
+                        started=now)
+
+    # ------------------------------------------------------------------
+    def _classify(self, run: _Running,
+                  timed_out: bool) -> SweepCellError | None:
+        """The attempt's failure, or None when the cell is verified-done."""
+        cell = run.plan.cell
+        if timed_out:
+            return SweepCellError(
+                cell.cell_id, "timeout", run.attempt,
+                f"exceeded {self.timeout:.1f}s wall clock")
+        exitcode = run.process.exitcode
+        result = None
+        if run.result_path.is_file():
+            try:
+                result = json.loads(run.result_path.read_text())
+            except (OSError, ValueError):
+                result = None
+        if result is None:
+            if exitcode is not None and exitcode < 0:
+                return SweepCellError(
+                    cell.cell_id, "worker-death", run.attempt,
+                    f"killed by signal {-exitcode}")
+            return SweepCellError(
+                cell.cell_id, "worker-death", run.attempt,
+                f"worker exited {exitcode} without reporting a result")
+        if result.get("exit_code") != 0:
+            return SweepCellError(
+                cell.cell_id, "nonzero-exit", run.attempt,
+                str(result.get("error")
+                    or f"command exit code {result.get('exit_code')}"))
+        try:
+            verify_run(run.plan.run_dir)
+        except ArtifactError as exc:
+            return SweepCellError(
+                cell.cell_id, "verify-failed", run.attempt, str(exc))
+        return None
+
+    # ------------------------------------------------------------------
+    def _reap_timeouts(self, running: list[_Running]) -> None:
+        now = time.monotonic()
+        for run in running:
+            if run.deadline is not None and now > run.deadline \
+                    and run.process.is_alive():
+                run.process.terminate()
+                run.process.join(_TERM_GRACE)
+                if run.process.is_alive():
+                    run.process.kill()
+                    run.process.join()
+                run.timed_out = True
+
+    def _execute(self, pending: list[CellPlan],
+                 outcomes: dict[str, CellOutcome]) -> None:
+        for cp in pending:
+            # Pessimistic default, flipped to "done" on verified success
+            # — so even an unexpected supervisor exit reports honestly.
+            outcomes[cp.cell.cell_id] = CellOutcome(cp.cell.cell_id,
+                                                    "quarantined")
+        # (cell plan, attempt, not-before time)
+        ready: list[tuple[CellPlan, int, float]] = [
+            (cp, 1, 0.0) for cp in pending
+        ]
+        running: list[_Running] = []
+        while ready or running:
+            now = time.monotonic()
+            while len(running) < self.jobs:
+                idx = next((i for i, (_, _, t) in enumerate(ready)
+                            if t <= now), None)
+                if idx is None:
+                    break
+                cp, attempt, _ = ready.pop(idx)
+                running.append(self._launch(cp, attempt))
+            if not running:
+                # Everything ready is backing off; sleep to the nearest
+                # retry time.
+                wake = min(t for _, _, t in ready)
+                time.sleep(max(0.0, min(wake - time.monotonic(), 1.0)))
+                continue
+            sentinels = [run.process.sentinel for run in running]
+            next_deadline = min(
+                (run.deadline for run in running
+                 if run.deadline is not None),
+                default=None,
+            )
+            wait_for = _POLL_S
+            if next_deadline is not None:
+                wait_for = min(wait_for, max(0.0, next_deadline - now))
+            wait_sentinels(sentinels, timeout=wait_for)
+            self._reap_timeouts(running)
+            still_running: list[_Running] = []
+            for run in running:
+                if run.process.is_alive():
+                    still_running.append(run)
+                    continue
+                run.process.join()
+                self._finish(run, ready, outcomes)
+            running = still_running
+
+    # ------------------------------------------------------------------
+    def _finish(self, run: _Running,
+                ready: list[tuple[CellPlan, int, float]],
+                outcomes: dict[str, CellOutcome]) -> None:
+        journal = self.plan.journal
+        cell = run.plan.cell
+        outcome = outcomes[cell.cell_id]
+        outcome.attempts = run.attempt
+        timed_out = getattr(run, "timed_out", False)
+        error = self._classify(run, timed_out)
+        duration = time.monotonic() - run.started
+        telemetry.histogram("sweep.cell.seconds").observe(duration)
+        if error is None:
+            journal.record("done", cell.cell_id, cell.config_hash,
+                           attempt=run.attempt)
+            telemetry.counter("sweep.cells.done").inc()
+            outcome.status = "done"
+            self._done_count += 1
+            if self._parent_exit_after is not None \
+                    and self._done_count >= self._parent_exit_after:
+                # Chaos: simulate `kill -9` of the orchestrator itself.
+                # os._exit skips every finally/atexit, exactly like the
+                # real thing; the journal is already durable per line.
+                os._exit(70)
+            return
+        outcome.errors.append(error)
+        journal.record("failed", cell.cell_id, cell.config_hash,
+                       attempt=run.attempt, kind=error.kind,
+                       detail=error.detail)
+        telemetry.counter(f"sweep.cells.failed.{error.kind}").inc()
+        if self.retry.gives_up(run.attempt):
+            journal.record("quarantined", cell.cell_id, cell.config_hash,
+                           attempt=run.attempt, kind=error.kind)
+            telemetry.counter("sweep.cells.quarantined").inc()
+            outcome.status = "quarantined"
+            return
+        delay = self.retry.delay(run.attempt, job_id=cell.cell_id)
+        journal.record("retry-scheduled", cell.cell_id, cell.config_hash,
+                       attempt=run.attempt + 1, delay=round(delay, 3))
+        telemetry.counter("sweep.cells.retried").inc()
+        ready.append((run.plan, run.attempt + 1,
+                      time.monotonic() + delay))

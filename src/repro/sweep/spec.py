@@ -1,0 +1,248 @@
+"""Sweep specs: a declared subspace of the experiment grid.
+
+A spec is a small JSON document::
+
+    {
+      "sweep_schema_version": 1,
+      "name": "profile-grid",
+      "command": "profile",
+      "base": {"scale": "1node", "seed": 0},
+      "axes": {
+        "app": ["AMG", "XSBench", "miniFE"],
+        "machine": ["Quartz", "Lassen"]
+      },
+      "sample": null,
+      "sample_seed": 0
+    }
+
+``command`` names any registered subcommand config
+(:data:`~repro.config.COMMAND_CONFIGS`); ``base`` holds fixed field
+values; each axis names a config field and the values it sweeps.  The
+grid is the cartesian product of the axes (last axis fastest, like an
+odometer), optionally thinned to ``sample`` cells chosen by a seeded
+permutation — deterministic, so two plans of the same spec always agree
+on the cell set.
+
+Every cell freezes to an :class:`~repro.config.ExperimentConfig`, whose
+SHA-256 content hash is the cell's identity everywhere downstream: the
+run-directory name, the journal key, and the memoization test.  Axis
+values must therefore be JSON values (they go straight into the config
+dict); unknown field names or bad values surface as typed
+:class:`~repro.errors.ConfigError` wrapped with the offending cell's
+coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import COMMAND_CONFIGS, ExperimentConfig, content_digest
+from repro.errors import ConfigError, SweepError
+from repro.ioutils import atomic_write_json
+
+__all__ = ["SWEEP_SCHEMA_VERSION", "SweepSpec", "SweepCell"]
+
+#: Bumped whenever the spec layout changes incompatibly.
+SWEEP_SCHEMA_VERSION = 1
+
+_SPEC_KEYS = {"sweep_schema_version", "name", "command", "base", "axes",
+              "sample", "sample_seed"}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of the expanded grid: a frozen experiment plus its
+    coordinates.
+
+    ``index`` is the cell's position in the *full* grid (before
+    sampling), so ids stay stable when ``sample`` changes.
+    """
+
+    index: int
+    axes: tuple[tuple[str, object], ...]
+    experiment: ExperimentConfig
+    config_hash: str
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-scannable id: grid index + config hash prefix."""
+        return f"{self.index:04d}-{self.config_hash[:12]}"
+
+    @property
+    def run_dir_name(self) -> str:
+        """The run-directory name :meth:`RunDir.create` will use."""
+        return f"{self.experiment.command}-{self.config_hash[:12]}"
+
+    def axes_label(self) -> str:
+        """``app=AMG machine=Quartz`` — for logs and report rows."""
+        return " ".join(f"{k}={_label(v)}" for k, v in self.axes)
+
+
+def _label(value) -> str:
+    if isinstance(value, (list, tuple)):
+        return "+".join(str(v) for v in value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declared grid (or sampled subspace) over one command's config."""
+
+    name: str
+    command: str
+    base: dict = field(default_factory=dict)
+    axes: dict = field(default_factory=dict)
+    sample: int | None = None
+    sample_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise SweepError("sweep name must be a non-empty string")
+        # Raises a typed did-you-mean UnknownNameError for bad commands.
+        cls = COMMAND_CONFIGS[self.command]
+        if not isinstance(self.base, dict):
+            raise SweepError("sweep base must be an object of config fields")
+        if not isinstance(self.axes, dict):
+            raise SweepError("sweep axes must be an object: field -> values")
+        known = {f.name for f in fields(cls)}
+        for axis, values in self.axes.items():
+            if axis not in known:
+                raise SweepError(
+                    f"axis {axis!r} is not a field of {cls.__name__} "
+                    f"(known: {', '.join(sorted(known))})"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SweepError(
+                    f"axis {axis!r} must list at least one value"
+                )
+        overlap = sorted(set(self.base) & set(self.axes))
+        if overlap:
+            raise SweepError(
+                f"field(s) {', '.join(overlap)} appear in both base and axes"
+            )
+        if self.sample is not None and (
+            not isinstance(self.sample, int) or isinstance(self.sample, bool)
+            or self.sample < 1
+        ):
+            raise SweepError("sample must be None or a positive integer")
+        if not isinstance(self.sample_seed, int) \
+                or isinstance(self.sample_seed, bool):
+            raise SweepError("sample_seed must be an integer")
+
+    # -- JSON round-trip ------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "sweep_schema_version": SWEEP_SCHEMA_VERSION,
+            "name": self.name,
+            "command": self.command,
+            "base": dict(self.base),
+            "axes": {axis: list(values)
+                     for axis, values in self.axes.items()},
+            "sample": self.sample,
+            "sample_seed": self.sample_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SweepError(
+                f"sweep spec must be an object, got {type(data).__name__}"
+            )
+        version = data.get("sweep_schema_version")
+        if version != SWEEP_SCHEMA_VERSION:
+            raise SweepError(
+                f"sweep schema version mismatch: spec has {version!r}, "
+                f"this package reads {SWEEP_SCHEMA_VERSION}"
+            )
+        unknown = sorted(set(data) - _SPEC_KEYS)
+        if unknown:
+            raise SweepError(
+                f"unknown sweep spec key(s): {', '.join(unknown)}"
+            )
+        missing = sorted({"name", "command", "axes"} - set(data))
+        if missing:
+            raise SweepError(
+                f"missing sweep spec key(s): {', '.join(missing)}"
+            )
+        return cls(
+            name=data["name"],
+            command=data["command"],
+            base=data.get("base") or {},
+            axes=data["axes"],
+            sample=data.get("sample"),
+            sample_seed=data.get("sample_seed", 0),
+        )
+
+    def save(self, path: str | Path) -> None:
+        atomic_write_json(Path(path), self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SweepError(f"cannot read sweep spec {path}: {exc}") from exc
+        try:
+            return cls.from_dict(data)
+        except SweepError as exc:
+            raise SweepError(f"{path}: {exc}") from None
+
+    # -- identity -------------------------------------------------------
+    def content_hash(self) -> str:
+        """SHA-256 identity of the spec (journal compatibility check)."""
+        return content_digest(self.to_dict())
+
+    # -- expansion ------------------------------------------------------
+    @property
+    def grid_size(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def expand(self) -> list[SweepCell]:
+        """The spec's cells, in grid order, after sampling.
+
+        Each cell's config is built through
+        :meth:`BaseConfig.from_dict`, so axis values get the same
+        validation and tuple coercion a saved config would.
+        """
+        config_cls = COMMAND_CONFIGS[self.command]
+        axis_names = list(self.axes)
+        cells = []
+        for index, combo in enumerate(
+            itertools.product(*self.axes.values())
+        ):
+            assignment = dict(zip(axis_names, combo))
+            merged = {**self.base, **assignment}
+            try:
+                config = config_cls.from_dict(merged)
+                experiment = ExperimentConfig(self.command, config)
+            except ConfigError as exc:
+                coords = " ".join(f"{k}={v!r}"
+                                  for k, v in assignment.items())
+                raise SweepError(
+                    f"cell {index} ({coords}) of sweep {self.name!r} "
+                    f"is invalid: {exc}"
+                ) from exc
+            cells.append(SweepCell(
+                index=index,
+                axes=tuple(assignment.items()),
+                experiment=experiment,
+                config_hash=experiment.content_hash(),
+            ))
+        if self.sample is not None and self.sample < len(cells):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.sample_seed, len(cells)])
+            )
+            keep = sorted(rng.permutation(len(cells))[:self.sample])
+            cells = [cells[i] for i in keep]
+        return cells

@@ -146,6 +146,31 @@ class TestVerifyRun:
         with pytest.raises(ArtifactError, match="config hash mismatch"):
             verify_run(finalized.path)
 
+    def test_truncated_manifest_is_typed(self, finalized):
+        # The torn-write scenario the atomic writers exist to prevent:
+        # a manifest cut mid-byte must surface as ArtifactError, never a
+        # leaked JSONDecodeError.
+        manifest = finalized.path / MANIFEST_NAME
+        data = manifest.read_bytes()
+        manifest.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArtifactError, match="corrupt"):
+            verify_run(finalized.path)
+
+    def test_missing_manifest_is_typed(self, finalized):
+        (finalized.path / MANIFEST_NAME).unlink()
+        with pytest.raises(ArtifactError, match="not a run directory"):
+            verify_run(finalized.path)
+
+    def test_same_size_tamper_detected(self, finalized):
+        # A flipped byte that keeps the file length: only the checksum
+        # can catch it.
+        path = finalized.path / "metrics.json"
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            verify_run(finalized.path)
+
     def test_orphan_file_detected(self, finalized):
         # A file written after finalize() has no provenance — it must be
         # flagged, not silently accepted (telemetry artifacts included).

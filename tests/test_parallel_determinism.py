@@ -121,6 +121,20 @@ class TestExecutor:
         with pytest.raises(ValueError, match="boom"):
             run_tasks(_explode, [1, 2, 3], jobs=1)
 
+    def test_worker_death_is_typed_with_task_range(self):
+        # A SIGKILLed worker surfaces as the pool's BrokenProcessPool;
+        # run_tasks must convert it into a typed error naming the chunk
+        # of tasks that was in flight, not leak the pool internals.
+        from repro.errors import ReproError
+        from repro.parallel import ParallelExecutionError
+
+        with pytest.raises(ParallelExecutionError,
+                           match="worker process died") as info:
+            run_tasks(_die, list(range(6)), jobs=2)
+        err = info.value
+        assert isinstance(err, ReproError)
+        assert 0 <= err.task_start < err.task_stop <= 6
+
 
 class TestSeedSubstreams:
     def test_substream_reproducible(self):
@@ -150,3 +164,11 @@ def _square(x: int) -> int:
 
 def _explode(x: int) -> int:
     raise ValueError("boom")
+
+
+def _die(x: int) -> int:
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+    return x  # unreachable

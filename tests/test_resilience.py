@@ -164,6 +164,17 @@ class TestRetryPolicy:
         assert d == RetryPolicy(backoff_base=100, jitter=0.1).delay(1, job_id=5)
         assert d != p.delay(1, job_id=6)  # per-job decorrelation
 
+    def test_string_job_ids_jitter_like_int_ones(self):
+        # Sweep cells pass their cell_id; the jitter contract is the
+        # same as for simulator ints: bounded, deterministic, and
+        # decorrelated across ids.
+        p = RetryPolicy(backoff_base=100, jitter=0.1)
+        d = p.delay(1, job_id="0003-deadbeef0123")
+        assert 90.0 <= d <= 110.0
+        assert d == p.delay(1, job_id="0003-deadbeef0123")
+        assert d != p.delay(1, job_id="0004-deadbeef0456")
+        assert d != p.delay(2, job_id="0003-deadbeef0123")
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)

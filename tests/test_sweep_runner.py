@@ -1,0 +1,277 @@
+"""Tests for the sweep execution engine (repro.sweep.runner) and the
+``repro sweep`` CLI, driven by the chaos harness.
+
+Every durability claim is exercised by actually killing, hanging, or
+corrupting something:
+
+* a crashed worker (SIGKILL) is classified ``worker-death`` and retried;
+* a hung worker is reclaimed by the wall-clock timeout;
+* a corrupted run dir fails verification and is recomputed;
+* a poison cell is quarantined after its retry budget while every
+  other cell completes;
+* the acceptance invariant: a sweep whose *orchestrator* dies mid-
+  campaign (chaos ``parent-exit``, the ``kill -9`` stand-in) resumes
+  without recomputing any verified cell and produces a report
+  byte-identical to an uninterrupted sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.artifacts import verify_run
+from repro.resilience.retry import RetryPolicy
+from repro.sweep import (
+    JOURNAL_NAME,
+    ChaosSpec,
+    SweepJournal,
+    SweepRunner,
+    SweepSpec,
+    build_report,
+    plan_sweep,
+    write_report,
+)
+from repro.sweep.report import REPORT_NAME
+
+SRC = Path(repro.__file__).resolve().parents[1]
+
+#: Two cheap profile cells: enough to prove "others complete" claims.
+PAIR_KWARGS = dict(
+    name="pair",
+    command="profile",
+    base={"machine": "Quartz", "scale": "1node", "seed": 0},
+    axes={"app": ["AMG", "XSBench"]},
+)
+
+#: Zero-jitter fast backoff so retry tests spend no real wall clock.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01,
+                         backoff_cap=0.05, jitter=0.0)
+
+
+def _run(spec, root, *, resume=False, chaos=None, jobs=2, timeout=None,
+         retry=FAST_RETRY, retry_quarantined=False):
+    plan = plan_sweep(spec, root, resume=resume,
+                      retry_quarantined=retry_quarantined)
+    runner = SweepRunner(plan, jobs=jobs, timeout=timeout, retry=retry,
+                         chaos=chaos or ChaosSpec())
+    return runner.run()
+
+
+def _report_bytes(spec, root) -> bytes:
+    return write_report(build_report(spec, root), root).read_bytes()
+
+
+class TestCleanSweep:
+    @pytest.fixture(scope="class")
+    def root(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("sweep") / "root"
+        spec = SweepSpec(**PAIR_KWARGS)
+        result = _run(spec, root)
+        return spec, root, result
+
+    def test_all_cells_done_and_verified(self, root):
+        spec, root, result = root
+        assert result.ok
+        assert result.counts == {"done": 2, "cached": 0, "quarantined": 0}
+        for cell in spec.expand():
+            run = verify_run(root / cell.run_dir_name)
+            assert run.metrics()["app"] == dict(cell.axes)["app"]
+
+    def test_journal_records_lifecycle(self, root):
+        spec, root, _ = root
+        journal = SweepJournal(root / JOURNAL_NAME)
+        state = SweepJournal.reduce(journal.read())
+        assert {s["event"] for s in state.values()} == {"done"}
+        assert journal.spec_hashes() == {spec.content_hash()}
+
+    def test_report_ranks_across_cells(self, root):
+        spec, root, _ = root
+        report = build_report(spec, root)
+        assert report["cells_complete"] == report["cells_total"] == 2
+        ranked = report["rankings"]["time_seconds"]
+        assert len(ranked) == 2
+        assert ranked[0]["value"] <= ranked[1]["value"]
+
+    def test_memoized_rerun_is_all_cached(self, root):
+        spec, root, _ = root
+        first = _report_bytes(spec, root)
+        result = _run(spec, root, resume=True)
+        assert result.counts == {"done": 0, "cached": 2, "quarantined": 0}
+        # The report is a pure function of the verified artifacts, so a
+        # fully-memoized rerun reproduces it byte for byte.
+        assert _report_bytes(spec, root) == first
+
+
+class TestChaosFailures:
+    def test_crashed_worker_classified_and_retried(self, tmp_path):
+        spec = SweepSpec(**PAIR_KWARGS)
+        chaos = ChaosSpec.parse(
+            '{"faults": [{"fault": "crash", "cell": 0, "attempt": 1}]}')
+        result = _run(spec, tmp_path / "root", chaos=chaos)
+        assert result.ok
+        crashed = result.outcomes[0]
+        assert crashed.status == "done"
+        assert crashed.attempts == 2
+        assert [e.kind for e in crashed.errors] == ["worker-death"]
+        assert "signal 9" in crashed.errors[0].detail
+
+    def test_hung_worker_reclaimed_by_timeout(self, tmp_path):
+        spec = SweepSpec(**{**PAIR_KWARGS, "axes": {"app": ["AMG"]}})
+        chaos = ChaosSpec.parse(
+            '{"faults": [{"fault": "hang", "cell": 0, "attempt": "*"}]}')
+        result = _run(spec, tmp_path / "root", chaos=chaos, timeout=0.75,
+                      retry=RetryPolicy(max_attempts=1, backoff_base=0.0,
+                                        jitter=0.0))
+        outcome = result.outcomes[0]
+        assert outcome.status == "quarantined"
+        assert [e.kind for e in outcome.errors] == ["timeout"]
+
+    def test_corrupted_run_dir_fails_verify_then_recomputes(self, tmp_path):
+        spec = SweepSpec(**PAIR_KWARGS)
+        chaos = ChaosSpec.parse(
+            '{"faults": [{"fault": "corrupt", "cell": 1, "attempt": 1}]}')
+        result = _run(spec, tmp_path / "root", chaos=chaos)
+        assert result.ok
+        torn = result.outcomes[1]
+        assert torn.attempts == 2
+        assert [e.kind for e in torn.errors] == ["verify-failed"]
+        verify_run(tmp_path / "root" / spec.expand()[1].run_dir_name)
+
+    def test_poison_cell_quarantined_while_others_complete(self, tmp_path):
+        spec = SweepSpec(**PAIR_KWARGS)
+        chaos = ChaosSpec.parse(
+            '{"faults": [{"fault": "error", "cell": 0, "attempt": "*"}]}')
+        result = _run(spec, tmp_path / "root", chaos=chaos)
+        poison, healthy = result.outcomes
+        assert poison.status == "quarantined"
+        assert poison.attempts == FAST_RETRY.max_attempts
+        assert all(e.kind == "nonzero-exit" for e in poison.errors)
+        assert "chaos: injected worker error" in poison.errors[-1].detail
+        assert healthy.status == "done"
+        report = build_report(spec, tmp_path / "root")
+        assert report["cells_complete"] == 1
+        assert report["cells_quarantined"] == 1
+
+    def test_quarantine_parked_on_resume_until_lifted(self, tmp_path):
+        spec = SweepSpec(**PAIR_KWARGS)
+        root = tmp_path / "root"
+        chaos = ChaosSpec.parse(
+            '{"faults": [{"fault": "error", "cell": 0, "attempt": "*"}]}')
+        _run(spec, root, chaos=chaos)
+        parked = _run(spec, root, resume=True)
+        assert parked.counts == {"done": 0, "cached": 1, "quarantined": 1}
+        # --retry-quarantined grants a fresh budget; without the fault
+        # armed the cell now completes.
+        lifted = _run(spec, root, resume=True, retry_quarantined=True)
+        assert lifted.counts == {"done": 1, "cached": 1, "quarantined": 0}
+        assert build_report(spec, root)["cells_complete"] == 2
+
+    def test_bad_timeout_rejected(self, tmp_path):
+        plan = plan_sweep(SweepSpec(**PAIR_KWARGS), tmp_path / "root")
+        with pytest.raises(ValueError, match="timeout"):
+            SweepRunner(plan, timeout=0.0)
+
+
+def _repro_sweep(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", *args],
+        env=env, cwd=cwd, capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestKillAndResume:
+    """The acceptance invariant, end to end through the real CLI."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("killresume")
+        spec = SweepSpec(
+            name="kill-resume",
+            command="profile",
+            base={"scale": "1node", "seed": 0},
+            axes={"app": ["AMG", "XSBench"],
+                  "machine": ["Quartz", "Lassen"]},
+        )
+        spec_path = base / "spec.json"
+        spec.save(spec_path)
+        return base, spec, spec_path
+
+    def test_killed_sweep_resumes_bit_identically(self, campaign):
+        base, spec, spec_path = campaign
+        killed_root = base / "killed"
+        clean_root = base / "clean"
+
+        # The orchestrator os._exit(70)s after two verified cells — the
+        # in-process stand-in for `kill -9` of the sweep itself.
+        killed = _repro_sweep(
+            [str(spec_path), "--run-root", str(killed_root), "--jobs", "1",
+             "--chaos", '{"faults": [{"fault": "parent-exit",'
+                        ' "after_done": 2}]}'],
+            base,
+        )
+        assert killed.returncode == 70, killed.stderr
+        journal = SweepJournal(killed_root / JOURNAL_NAME)
+        survivors = {
+            cell_id for cell_id, last in
+            SweepJournal.reduce(journal.read()).items()
+            if last["event"] == "done"
+        }
+        assert len(survivors) == 2
+        assert not (killed_root / REPORT_NAME).exists()
+
+        resumed = _repro_sweep(
+            [str(spec_path), "--run-root", str(killed_root), "--resume"],
+            base,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "2 cached, 2 pending" in resumed.stdout
+
+        # No verified cell was recomputed: each survivor has exactly the
+        # one pre-kill "started" and a post-resume "cached" record.
+        entries = journal.read()
+        for cell_id in survivors:
+            starts = [e for e in entries
+                      if e.get("cell") == cell_id
+                      and e["event"] == "started"]
+            assert len(starts) == 1
+            assert any(e.get("cell") == cell_id
+                       and e["event"] == "cached" for e in entries)
+
+        clean = _repro_sweep(
+            [str(spec_path), "--run-root", str(clean_root), "--jobs", "2"],
+            base,
+        )
+        assert clean.returncode == 0, clean.stderr
+        assert (killed_root / REPORT_NAME).read_bytes() == \
+            (clean_root / REPORT_NAME).read_bytes()
+        for cell in spec.expand():
+            assert verify_run(killed_root / cell.run_dir_name).config == \
+                verify_run(clean_root / cell.run_dir_name).config
+
+    def test_rerun_without_resume_is_refused(self, campaign):
+        base, _, spec_path = campaign
+        again = _repro_sweep(
+            [str(spec_path), "--run-root", str(base / "killed")], base)
+        assert again.returncode == 2
+        assert "--resume" in again.stderr
+
+    def test_report_mode_runs_nothing(self, campaign):
+        base, spec, spec_path = campaign
+        before = sorted((base / "killed").rglob("*"))
+        report = _repro_sweep(
+            [str(spec_path), "--run-root", str(base / "killed"),
+             "--report"], base)
+        assert report.returncode == 0, report.stderr
+        assert "4/4 complete" in report.stdout
+        after = sorted((base / "killed").rglob("*"))
+        assert before == after  # only the (existing) report file touched
+        payload = json.loads((base / "killed" / REPORT_NAME).read_text())
+        assert payload["spec_hash"] == spec.content_hash()

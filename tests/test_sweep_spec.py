@@ -1,0 +1,363 @@
+"""Tests for the sweep layer's declarative side (repro.sweep):
+
+* ``SweepSpec`` — validation, JSON round-trip, grid expansion, and
+  deterministic sampling;
+* ``SweepJournal`` — append/replay, torn-tail tolerance, mid-file
+  corruption detection, last-event-wins reduction;
+* ``plan_sweep`` — artifact memoization, quarantine persistence, stale
+  run dirs, and resume hygiene;
+* ``ChaosSpec`` — fault-spec parsing and cell/attempt matching.
+
+The execution engine itself is covered in test_sweep_runner.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.artifacts import RunDir
+from repro.errors import ReproError, SweepCellError, SweepError
+from repro.sweep import (
+    JOURNAL_NAME,
+    ChaosSpec,
+    SweepJournal,
+    SweepSpec,
+    plan_sweep,
+)
+
+SPEC_KWARGS = dict(
+    name="grid",
+    command="profile",
+    base={"scale": "1node", "seed": 0},
+    axes={"app": ["AMG", "XSBench"], "machine": ["Quartz", "Lassen"]},
+)
+
+
+@pytest.fixture
+def spec() -> SweepSpec:
+    return SweepSpec(**SPEC_KWARGS)
+
+
+class TestSweepSpecValidation:
+    def test_unknown_command_is_typed(self):
+        with pytest.raises(ReproError):
+            SweepSpec(name="x", command="no-such-command",
+                      axes={"app": ["AMG"]})
+
+    def test_unknown_axis_field_lists_known(self):
+        with pytest.raises(SweepError, match="not a field"):
+            SweepSpec(name="x", command="profile",
+                      axes={"gpu_count": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepError, match="at least one value"):
+            SweepSpec(name="x", command="profile", axes={"app": []})
+
+    def test_base_axes_overlap_rejected(self):
+        with pytest.raises(SweepError, match="both base and axes"):
+            SweepSpec(name="x", command="profile",
+                      base={"app": "AMG"}, axes={"app": ["AMG"]})
+
+    def test_bad_sample_rejected(self):
+        for sample in (0, -1, True, "3"):
+            with pytest.raises(SweepError, match="sample"):
+                SweepSpec(name="x", command="profile",
+                          axes={"app": ["AMG"]}, sample=sample)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SweepError, match="name"):
+            SweepSpec(name=" ", command="profile", axes={"app": ["AMG"]})
+
+    def test_invalid_axis_value_names_the_cell(self):
+        bad = SweepSpec(name="x", command="profile",
+                        axes={"app": ["AMG"], "seed": ["not-an-int"]})
+        with pytest.raises(SweepError, match="cell 0 .*seed="):
+            bad.expand()
+
+
+class TestSweepSpecRoundTrip:
+    def test_dict_round_trip(self, spec):
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_save_load_round_trip(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert SweepSpec.load(path) == spec
+
+    def test_schema_version_pinned(self, spec):
+        data = spec.to_dict()
+        data["sweep_schema_version"] = 999
+        with pytest.raises(SweepError, match="schema version"):
+            SweepSpec.from_dict(data)
+
+    def test_unknown_key_rejected(self, spec):
+        data = spec.to_dict()
+        data["axs"] = {}
+        with pytest.raises(SweepError, match="axs"):
+            SweepSpec.from_dict(data)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SweepError, match="missing"):
+            SweepSpec.from_dict({"sweep_schema_version": 1, "name": "x"})
+
+    def test_load_bad_json_is_typed(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{oops")
+        with pytest.raises(SweepError, match="cannot read"):
+            SweepSpec.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SweepSpec.load(tmp_path / "absent.json")
+
+    def test_content_hash_tracks_content(self, spec):
+        assert spec.content_hash() == SweepSpec(**SPEC_KWARGS).content_hash()
+        other = SweepSpec(**{**SPEC_KWARGS,
+                             "axes": {"app": ["AMG"],
+                                      "machine": ["Quartz", "Lassen"]}})
+        assert other.content_hash() != spec.content_hash()
+
+
+class TestSweepSpecExpansion:
+    def test_grid_order_last_axis_fastest(self, spec):
+        cells = spec.expand()
+        assert [dict(c.axes) for c in cells] == [
+            {"app": "AMG", "machine": "Quartz"},
+            {"app": "AMG", "machine": "Lassen"},
+            {"app": "XSBench", "machine": "Quartz"},
+            {"app": "XSBench", "machine": "Lassen"},
+        ]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+        assert spec.grid_size == 4
+
+    def test_cells_freeze_base_and_axes(self, spec):
+        cell = spec.expand()[3]
+        cfg = cell.experiment.config
+        assert (cfg.app, cfg.machine, cfg.scale, cfg.seed) == \
+            ("XSBench", "Lassen", "1node", 0)
+        assert cell.config_hash == cell.experiment.content_hash()
+        assert cell.cell_id == f"0003-{cell.config_hash[:12]}"
+        assert cell.run_dir_name == f"profile-{cell.config_hash[:12]}"
+
+    def test_cell_ids_are_distinct(self, spec):
+        cells = spec.expand()
+        assert len({c.cell_id for c in cells}) == len(cells)
+        assert len({c.config_hash for c in cells}) == len(cells)
+
+    def test_sampling_deterministic_subset(self):
+        full = SweepSpec(**SPEC_KWARGS)
+        sampled = SweepSpec(**SPEC_KWARGS, sample=2, sample_seed=5)
+        cells = sampled.expand()
+        assert len(cells) == 2
+        # Sampled cells keep their full-grid index (ids stay stable
+        # when the sample size changes) and come back in grid order.
+        full_ids = [c.cell_id for c in full.expand()]
+        assert [c.cell_id for c in cells] == \
+            [i for i in full_ids if i in {c.cell_id for c in cells}]
+        again = SweepSpec(**SPEC_KWARGS, sample=2, sample_seed=5).expand()
+        assert [c.cell_id for c in again] == [c.cell_id for c in cells]
+
+    def test_sample_seed_changes_subset(self):
+        picks = {
+            tuple(c.index for c in
+                  SweepSpec(**SPEC_KWARGS, sample=2,
+                            sample_seed=seed).expand())
+            for seed in range(8)
+        }
+        assert len(picks) > 1
+
+    def test_sample_larger_than_grid_is_full_grid(self, spec):
+        sampled = SweepSpec(**SPEC_KWARGS, sample=99)
+        assert [c.cell_id for c in sampled.expand()] == \
+            [c.cell_id for c in spec.expand()]
+
+
+class TestSweepJournal:
+    def test_record_read_round_trip(self, tmp_path):
+        journal = SweepJournal(tmp_path / JOURNAL_NAME)
+        journal.open_sweep("abc123", "grid")
+        journal.record("started", "0001-deadbeef0000", "deadbeef", attempt=1)
+        journal.record("done", "0001-deadbeef0000", "deadbeef", attempt=1)
+        events = [e["event"] for e in journal.read()]
+        assert events == ["sweep-open", "started", "done"]
+        assert journal.spec_hashes() == {"abc123"}
+
+    def test_unknown_event_rejected(self, tmp_path):
+        journal = SweepJournal(tmp_path / JOURNAL_NAME)
+        with pytest.raises(SweepError, match="unknown journal event"):
+            journal.record("exploded", "0001", "hash")
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        journal = SweepJournal(tmp_path / JOURNAL_NAME)
+        journal.open_sweep("abc", "grid")
+        journal.record("started", "0001", "hash", attempt=1)
+        with open(journal.path, "a") as handle:
+            handle.write('{"v": 1, "event": "done", "ce')  # mid-append kill
+        events = [e["event"] for e in journal.read()]
+        assert events == ["sweep-open", "started"]
+
+    def test_mid_file_corruption_is_typed(self, tmp_path):
+        journal = SweepJournal(tmp_path / JOURNAL_NAME)
+        journal.path.write_text('{"event": "sweep-open"}\n'
+                                '{torn}\n'
+                                '{"event": "done", "cell": "0001"}\n')
+        with pytest.raises(SweepError, match="corrupt journal line"):
+            journal.read()
+
+    def test_non_event_entry_is_typed(self, tmp_path):
+        journal = SweepJournal(tmp_path / JOURNAL_NAME)
+        journal.path.write_text('[1, 2, 3]\n{"event": "done"}\n')
+        with pytest.raises(SweepError, match="not an event"):
+            journal.read()
+
+    def test_reduce_last_event_wins(self):
+        entries = [
+            {"event": "sweep-open", "spec": "abc"},
+            {"event": "started", "cell": "a", "attempt": 1},
+            {"event": "failed", "cell": "a", "attempt": 1},
+            {"event": "started", "cell": "b", "attempt": 1},
+            {"event": "retry-scheduled", "cell": "a", "attempt": 2},
+            {"event": "done", "cell": "b", "attempt": 1},
+            {"event": "quarantined", "cell": "a", "attempt": 3},
+        ]
+        state = SweepJournal.reduce(entries)
+        assert state["a"]["event"] == "quarantined"
+        assert state["b"]["event"] == "done"
+        assert set(state) == {"a", "b"}
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / JOURNAL_NAME).read() == []
+
+
+def _finalize_cell(run_root, cell) -> None:
+    """Materialize a verified run dir for *cell* without executing it."""
+    run = RunDir.create(run_root, cell.experiment)
+    run.save_metrics({"time_seconds": 1.0})
+    run.finalize()
+
+
+class TestPlanSweep:
+    def test_fresh_root_all_pending(self, tmp_path, spec):
+        plan = plan_sweep(spec, tmp_path / "root")
+        assert plan.counts == {"pending": 4, "cached": 0, "quarantined": 0}
+        assert not plan.resumed
+
+    def test_verified_run_dir_is_cached(self, tmp_path, spec):
+        root = tmp_path / "root"
+        cells = spec.expand()
+        _finalize_cell(root, cells[1])
+        plan = plan_sweep(spec, root)
+        by_id = {cp.cell.cell_id: cp for cp in plan.cells}
+        assert by_id[cells[1].cell_id].status == "cached"
+        assert plan.counts["pending"] == 3
+
+    def test_unverified_run_dir_is_stale_pending(self, tmp_path, spec):
+        root = tmp_path / "root"
+        cell = spec.expand()[0]
+        torn = root / cell.run_dir_name
+        torn.mkdir(parents=True)
+        (torn / "metrics.json").write_text("{}")  # no manifest: torn cell
+        plan = plan_sweep(spec, root)
+        cp = next(c for c in plan.cells if c.cell.cell_id == cell.cell_id)
+        assert cp.status == "pending"
+        assert cp.stale
+
+    def test_existing_journal_requires_resume(self, tmp_path, spec):
+        root = tmp_path / "root"
+        SweepJournal(root / JOURNAL_NAME).open_sweep(
+            spec.content_hash(), spec.name)
+        with pytest.raises(SweepError, match="--resume"):
+            plan_sweep(spec, root)
+        assert plan_sweep(spec, root, resume=True).resumed
+
+    def test_resume_refuses_foreign_spec(self, tmp_path, spec):
+        root = tmp_path / "root"
+        SweepJournal(root / JOURNAL_NAME).open_sweep("f" * 64, "other")
+        with pytest.raises(SweepError, match="different sweep spec"):
+            plan_sweep(spec, root, resume=True)
+
+    def test_quarantine_survives_resume(self, tmp_path, spec):
+        root = tmp_path / "root"
+        cell = spec.expand()[2]
+        journal = SweepJournal(root / JOURNAL_NAME)
+        journal.open_sweep(spec.content_hash(), spec.name)
+        journal.record("quarantined", cell.cell_id, cell.config_hash,
+                       attempt=3)
+        plan = plan_sweep(spec, root, resume=True)
+        cp = next(c for c in plan.cells if c.cell.cell_id == cell.cell_id)
+        assert cp.status == "quarantined"
+        lifted = plan_sweep(spec, root, resume=True, retry_quarantined=True)
+        cp = next(c for c in lifted.cells if c.cell.cell_id == cell.cell_id)
+        assert cp.status == "pending"
+
+    def test_verified_dir_beats_quarantine_record(self, tmp_path, spec):
+        # A quarantined cell whose run dir somehow verifies (e.g. run by
+        # hand afterwards) is complete — artifacts outrank the journal.
+        root = tmp_path / "root"
+        cell = spec.expand()[0]
+        journal = SweepJournal(root / JOURNAL_NAME)
+        journal.open_sweep(spec.content_hash(), spec.name)
+        journal.record("quarantined", cell.cell_id, cell.config_hash)
+        _finalize_cell(root, cell)
+        plan = plan_sweep(spec, root, resume=True)
+        cp = next(c for c in plan.cells if c.cell.cell_id == cell.cell_id)
+        assert cp.status == "cached"
+
+
+class TestChaosSpec:
+    def test_parse_inline_json(self):
+        chaos = ChaosSpec.parse(
+            '{"faults": [{"fault": "crash", "cell": 1, "attempt": 1},'
+            ' {"fault": "parent-exit", "after_done": 2}]}'
+        )
+        assert chaos.worker_faults(1, "0001-abc", 1) == ("crash",)
+        assert chaos.worker_faults(1, "0001-abc", 2) == ()
+        assert chaos.worker_faults(0, "0000-abc", 1) == ()
+        assert chaos.parent_exit_after() == 2
+
+    def test_parse_at_file(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps(
+            {"faults": [{"fault": "hang", "cell": "0002", "attempt": "*"}]}
+        ))
+        chaos = ChaosSpec.parse(f"@{path}")
+        # String matchers are cell-id prefixes; "*" hits every attempt.
+        assert chaos.worker_faults(2, "0002-beef", 1) == ("hang",)
+        assert chaos.worker_faults(2, "0002-beef", 7) == ("hang",)
+        assert chaos.worker_faults(12, "0012-beef", 1) == ()
+
+    def test_empty_parse(self):
+        assert ChaosSpec.parse(None) == ChaosSpec()
+        assert ChaosSpec.parse("") == ChaosSpec()
+
+    def test_bad_json_is_typed(self):
+        with pytest.raises(SweepError, match="not valid JSON"):
+            ChaosSpec.parse("{oops")
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SweepError, match="unknown chaos fault"):
+            ChaosSpec.parse('{"faults": [{"fault": "meteor", "cell": 0}]}')
+
+    def test_worker_fault_needs_cell(self):
+        with pytest.raises(SweepError, match="cell"):
+            ChaosSpec.parse('{"faults": [{"fault": "crash"}]}')
+
+    def test_parent_exit_needs_after_done(self):
+        with pytest.raises(SweepError, match="after_done"):
+            ChaosSpec.parse('{"faults": [{"fault": "parent-exit"}]}')
+
+    def test_missing_faults_list_rejected(self):
+        with pytest.raises(SweepError, match="faults"):
+            ChaosSpec.parse('{"fault": "crash"}')
+
+
+class TestSweepCellError:
+    def test_typed_and_kinds_pinned(self):
+        err = SweepCellError("0001-abc", "timeout", 2, "exceeded 5.0s")
+        assert isinstance(err, ReproError)
+        assert err.kind == "timeout"
+        assert "0001-abc" in str(err) and "exceeded 5.0s" in str(err)
+        with pytest.raises(ValueError, match="kind"):
+            SweepCellError("0001-abc", "meteor", 1)

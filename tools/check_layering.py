@@ -5,11 +5,22 @@ The spine modules must stay at the bottom of the layer graph so that
 every other layer can depend on them without cycles:
 
 * ``repro.errors``    may import nothing from ``repro``;
+* ``repro.ioutils``   may import nothing from ``repro`` (crash-safe
+  write primitives used by every artifact writer);
 * ``repro.registry``  may import only ``repro.errors``;
-* ``repro.config``    may import only ``repro.errors`` / ``repro.registry``;
+* ``repro.config``    may import only ``repro.errors`` /
+  ``repro.registry`` / ``repro.ioutils``;
 * ``repro.telemetry`` (and its submodules) may import only
   ``repro.errors`` and each other — it is instrumented *into* every
-  layer, so it must depend on none of them.
+  layer, so it must depend on none of them;
+* ``repro.sweep``     (and its submodules) may import only the spine
+  plus ``repro.artifacts``, ``repro.parallel``, and the retry policy —
+  cells are executed through the CLI replay path, so the sweep layer
+  must never import ``repro.ml``/``repro.sched``/``repro.dataset``
+  directly.  Sole exception: ``repro.sweep.runner`` may import
+  ``repro.cli`` *inside the worker process* (the worker is an
+  execution sandbox; the import is lazy, so no cycle exists at import
+  time).
 
 This script walks each module's AST (no imports are executed, so it is
 safe to run on a broken tree) and fails with one line per violation.
@@ -38,16 +49,50 @@ _TELEMETRY_DEPS = {
     "repro.telemetry.report",
 }
 
+#: Sweep-layer modules: spine + artifact store + parallel/retry + each
+#: other.  Conspicuously absent: repro.ml / repro.sched / repro.dataset
+#: — sweep cells execute through the CLI replay path, never by direct
+#: library import.
+_SWEEP_DEPS = {
+    "repro.errors",
+    "repro.ioutils",
+    "repro.registry",
+    "repro.config",
+    "repro.artifacts",
+    "repro.telemetry",
+    "repro.parallel",
+    "repro.parallel.executor",
+    "repro.parallel.seeding",
+    "repro.resilience.retry",
+    "repro.sweep",
+    "repro.sweep.spec",
+    "repro.sweep.journal",
+    "repro.sweep.planner",
+    "repro.sweep.chaos",
+    "repro.sweep.runner",
+    "repro.sweep.report",
+}
+
 #: module -> repro modules it may import (itself is always allowed).
 ALLOWED = {
     "repro.errors": set(),
+    "repro.ioutils": set(),
     "repro.registry": {"repro.errors"},
-    "repro.config": {"repro.errors", "repro.registry"},
+    "repro.config": {"repro.errors", "repro.registry", "repro.ioutils"},
     "repro.telemetry": _TELEMETRY_DEPS,
     "repro.telemetry.metrics": _TELEMETRY_DEPS,
     "repro.telemetry.spans": _TELEMETRY_DEPS,
     "repro.telemetry.export": _TELEMETRY_DEPS,
     "repro.telemetry.report": _TELEMETRY_DEPS,
+    "repro.sweep": _SWEEP_DEPS,
+    "repro.sweep.spec": _SWEEP_DEPS,
+    "repro.sweep.journal": _SWEEP_DEPS,
+    "repro.sweep.planner": _SWEEP_DEPS,
+    "repro.sweep.chaos": _SWEEP_DEPS,
+    # The runner's worker function re-enters the CLI replay path; the
+    # import is function-local (lazy), so no import-time cycle exists.
+    "repro.sweep.runner": _SWEEP_DEPS | {"repro.cli"},
+    "repro.sweep.report": _SWEEP_DEPS,
 }
 
 
