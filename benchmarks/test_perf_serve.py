@@ -1,0 +1,138 @@
+"""Microbenchmark: the serving stack's micro-batching payoff.
+
+Two numbers define the service's performance story:
+
+* ``coalesce_speedup`` — rows/sec through the :class:`MicroBatcher`
+  (concurrent submits riding the vectorized predict) over rows/sec of
+  the same predictions issued as sequential single-row calls.  This is
+  the ratio micro-batching exists to win, measured back to back on the
+  same host, so it gates cleanly across differently-sized CI machines.
+* ``requests_per_sec`` (with p50/p99 latency) — end-to-end HTTP
+  throughput of the full service under the deterministic load driver.
+
+Both are recorded to ``benchmarks/BENCH_serve.json``.  Regression
+gate: the committed file is read *before* being overwritten; a fresh
+``coalesce_speedup`` or ``requests_per_sec`` below half its committed
+value fails the run (same REGRESSION_FACTOR discipline as
+``BENCH_sched.json``).  Latency percentiles are informational — they
+track host speed, not code health.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience import ResilientPredictor
+from repro.serve import MicroBatcher, PredictionService, run_load
+from repro.serve.model_manager import ActiveModel, ModelManager
+
+BENCH_PATH = Path(__file__).parent / "BENCH_serve.json"
+
+N_ROWS = 2048
+N_HTTP_REQUESTS = 150
+#: Fresh-measurement floor: batching must beat row-at-a-time by at
+#: least this much or the coalescer is not earning its complexity.
+MIN_COALESCE_SPEEDUP = 2.0
+#: A measured ratio below half its committed value is a regression.
+REGRESSION_FACTOR = 2.0
+
+
+def _baseline() -> dict:
+    if BENCH_PATH.exists():
+        return json.loads(BENCH_PATH.read_text())
+    return {}
+
+
+class _PreloadedManager(ModelManager):
+    """A ModelManager pinned to an in-memory model (no registry I/O),
+    so the benchmark times the serving stack, not pickle loads."""
+
+    def __init__(self, predictor, dataset):
+        super().__init__("/nonexistent-registry")
+
+        class _FakeRun:
+            path = Path("/dev/null")
+            config_hash = "bench" + "0" * 59
+
+        resilient = ResilientPredictor.from_training(predictor, dataset)
+        self._active = ActiveModel(predictor, resilient, _FakeRun())
+
+
+def test_perf_serve(bench_dataset, bench_predictor):
+    results: dict = {}
+    X = bench_dataset.X()[:N_ROWS]
+    rows = [np.ascontiguousarray(row) for row in X]
+
+    # --- sequential single-row predicts (the no-batching world) -------
+    t0 = time.perf_counter()
+    sequential = [bench_predictor.predict(row[None, :])[0] for row in rows]
+    sequential_s = time.perf_counter() - t0
+
+    # --- the same rows through the coalescer ---------------------------
+    def flush(items):
+        return list(bench_predictor.predict(np.vstack(items)))
+
+    async def batched_run():
+        batcher = MicroBatcher(flush, max_batch=32, max_delay_s=0.05)
+        t1 = time.perf_counter()
+        out = await asyncio.gather(*(batcher.submit(row) for row in rows))
+        return out, time.perf_counter() - t1
+
+    batched, batched_s = asyncio.run(batched_run())
+    # Bit-identicality holds at benchmark scale too (tree traversal is
+    # batch-size invariant) — a speedup that changed answers is a bug.
+    for a, b in zip(sequential, batched):
+        assert np.array_equal(a, b)
+
+    coalesce_speedup = sequential_s / batched_s
+    results["serve_rows"] = N_ROWS
+    results["sequential_rows_per_s"] = round(N_ROWS / sequential_s)
+    results["batched_rows_per_s"] = round(N_ROWS / batched_s)
+    results["coalesce_speedup"] = round(coalesce_speedup, 2)
+
+    # --- end-to-end HTTP throughput ------------------------------------
+    manager = _PreloadedManager(bench_predictor, bench_dataset)
+    service = PredictionService(manager, max_batch=32,
+                                batch_deadline_s=0.002)
+    payloads = [
+        {"features": [float(v) for v in X[i % N_ROWS]]}
+        for i in range(N_HTTP_REQUESTS)
+    ]
+
+    async def http_run():
+        host, port = await service.start(port=0)
+        try:
+            return await run_load(host, port, payloads,
+                                  rate_per_second=0.0)
+        finally:
+            await service.stop()
+
+    report = asyncio.run(http_run())
+    assert report.ok == N_HTTP_REQUESTS, report.to_dict()
+    results["http_requests"] = N_HTTP_REQUESTS
+    results["requests_per_sec"] = round(report.requests_per_sec, 1)
+    results["p50_ms"] = round(report.percentile_ms(50), 3)
+    results["p99_ms"] = round(report.percentile_ms(99), 3)
+
+    # --- gates ----------------------------------------------------------
+    baseline = _baseline()
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print("\n" + json.dumps(results, indent=2))
+
+    assert coalesce_speedup >= MIN_COALESCE_SPEEDUP, (
+        f"micro-batching speedup {coalesce_speedup:.2f}x below the "
+        f"{MIN_COALESCE_SPEEDUP}x floor"
+    )
+    for key in ("coalesce_speedup", "requests_per_sec"):
+        committed = baseline.get(key)
+        if committed:
+            assert results[key] >= committed / REGRESSION_FACTOR, (
+                f"{key} regressed: {results[key]} vs committed "
+                f"{committed} (allowed floor "
+                f"{committed / REGRESSION_FACTOR:.2f})"
+            )

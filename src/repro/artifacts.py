@@ -50,6 +50,8 @@ __all__ = [
     "LoadedRun",
     "load_run",
     "verify_run",
+    "list_runs",
+    "find_run",
 ]
 
 #: Bumped whenever the manifest layout changes incompatibly.
@@ -237,6 +239,62 @@ def load_run(path: str | Path) -> LoadedRun:
             f"{manifest_path}: missing manifest key(s): {', '.join(missing)}"
         )
     return LoadedRun(path, manifest)
+
+
+def list_runs(root: str | Path, command: str | None = None) -> list[LoadedRun]:
+    """All finalized runs directly under *root*, sorted by directory name.
+
+    Unfinalized directories (no manifest yet — a run in progress or a
+    torn write) are skipped rather than raised on: a registry being
+    watched for promotions is *expected* to contain half-built runs,
+    and discovery must not die on them.  Directories whose manifest is
+    corrupt are skipped for the same reason; :func:`find_run` /
+    :func:`verify_run` surface the corruption when a specific run is
+    actually requested.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    runs = []
+    for entry in sorted(root.iterdir()):
+        if not entry.is_dir() or not (entry / MANIFEST_NAME).is_file():
+            continue
+        try:
+            run = load_run(entry)
+        except ArtifactError:
+            continue
+        if command is None or run.command == command:
+            runs.append(run)
+    return runs
+
+
+def find_run(root: str | Path, config_hash: str,
+             command: str | None = None) -> LoadedRun:
+    """The run under *root* whose config hash starts with *config_hash*.
+
+    Raises :class:`~repro.errors.ArtifactError` when no finalized run
+    matches or the prefix is ambiguous.  This is the lookup the serving
+    layer uses to turn a promoted hash into a concrete run directory.
+    """
+    prefix = str(config_hash).strip().lower()
+    if not prefix:
+        raise ArtifactError(f"empty config hash for lookup under {root}")
+    matches = [
+        run for run in list_runs(root, command=command)
+        if run.config_hash.startswith(prefix)
+    ]
+    if not matches:
+        what = f"{command} run" if command else "run"
+        raise ArtifactError(
+            f"no finalized {what} under {root} matches config hash "
+            f"{prefix!r}"
+        )
+    if len(matches) > 1:
+        raise ArtifactError(
+            f"config hash prefix {prefix!r} is ambiguous under {root}: "
+            f"{', '.join(run.path.name for run in matches)}"
+        )
+    return matches[0]
 
 
 def verify_run(path: str | Path) -> LoadedRun:

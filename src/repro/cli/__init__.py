@@ -11,6 +11,9 @@ Exposes the reproduction's main workflows as ``repro <subcommand>``:
 * ``profile``   — profile one (app, machine, scale) run; print counters.
 * ``predict``   — profile a run and predict its RPV with a saved model.
 * ``schedule``  — the Section VII scheduling experiment.
+* ``serve``     — online prediction + placement service: micro-batched
+  JSON-over-HTTP predictions with model hot-swap and admission control
+  (see :mod:`repro.serve` and ``docs/SERVING.md``).
 * ``sweep``     — run a declared grid over the registries with
   journal-backed resume, per-cell timeouts, retry, and quarantine
   (see :mod:`repro.sweep` and ``docs/SWEEPS.md``).
@@ -41,6 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
         evaluate_cmd,
         profile_cmd,
         schedule_cmd,
+        serve_cmd,
         sweep_cmd,
         train_cmd,
     )
@@ -56,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_cmd.add_subparsers(sub)
     profile_cmd.add_subparsers(sub)
     schedule_cmd.add_subparsers(sub)
+    serve_cmd.add_subparsers(sub)
     sweep_cmd.add_subparsers(sub)
     return parser
 

@@ -30,6 +30,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.core import CrossArchPredictor
     from repro.dataset import generate_dataset
     from repro.ml import mean_absolute_error, same_order_score, train_test_split
+    from repro.resilience import ResilientPredictor
 
     experiment = experiment_from_args(args)
     cfg = experiment.config
@@ -52,5 +53,13 @@ def cmd_train(args: argparse.Namespace) -> int:
         run.attach(cfg.output)
         run.save_model(predictor.model)
         run.save_metrics({cfg.model: {"mae": mae, "sos": sos}})
+        # Training-set stats that arm the serving-time degradation
+        # chain (repro serve loads these to answer without the model
+        # under overload or with broken counters).
+        resilient = ResilientPredictor.from_training(predictor, dataset)
+        run.save_json("resilience.json", {
+            "feature_fill": [float(v) for v in resilient.feature_fill],
+            "mean_rpv": [float(v) for v in resilient.mean_rpv],
+        })
     close_run(run)
     return 0

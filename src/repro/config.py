@@ -59,6 +59,7 @@ __all__ = [
     "WhatifConfig",
     "CalibrateConfig",
     "ScheduleConfig",
+    "ServeConfig",
     "ExperimentConfig",
     "COMMAND_CONFIGS",
 ]
@@ -388,6 +389,56 @@ class ScheduleConfig(BaseConfig):
             )
 
 
+@dataclass(frozen=True)
+class ServeConfig(BaseConfig):
+    """``repro serve`` (the online prediction + placement service)."""
+
+    command: ClassVar[str] = "serve"
+
+    registry: str = ""
+    model_hash: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 32
+    batch_deadline_ms: float = 5.0
+    soft_inflight: int = 64
+    max_inflight: int = 256
+    strategy: str = "model"
+    watch_interval_ms: float = 200.0
+    selftest_requests: int = 0
+    selftest_rate: float = 200.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_name(self, "registry", "host", "strategy")
+        _require_positive(self, "max_batch", "soft_inflight",
+                          "max_inflight")
+        _require_non_negative(self, "port", "selftest_requests", "seed")
+        if self.max_inflight < self.soft_inflight:
+            raise ConfigError(
+                f"ServeConfig.max_inflight ({self.max_inflight}) must be "
+                f">= soft_inflight ({self.soft_inflight})"
+            )
+        for name in ("batch_deadline_ms", "watch_interval_ms",
+                     "selftest_rate"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ) or not value >= 0:
+                raise ConfigError(
+                    f"ServeConfig.{name} must be a non-negative number, "
+                    f"got {value!r}"
+                )
+        if self.model_hash is not None and (
+            not isinstance(self.model_hash, str)
+            or not self.model_hash.strip()
+        ):
+            raise ConfigError(
+                "ServeConfig.model_hash must be None or a non-empty "
+                f"string, got {self.model_hash!r}"
+            )
+
+
 #: Command name -> config class.  Aliases mirror the CLI's (``dataset``
 #: is an alias of ``generate``); lookups of unknown commands raise a
 #: typed UnknownNameError.
@@ -402,6 +453,7 @@ COMMAND_CONFIGS.register("predict", PredictConfig)
 COMMAND_CONFIGS.register("whatif", WhatifConfig)
 COMMAND_CONFIGS.register("calibrate", CalibrateConfig)
 COMMAND_CONFIGS.register("schedule", ScheduleConfig)
+COMMAND_CONFIGS.register("serve", ServeConfig)
 
 
 # ---------------------------------------------------------------------------

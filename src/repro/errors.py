@@ -31,6 +31,7 @@ __all__ = [
     "ParallelExecutionError",
     "SweepError",
     "SweepCellError",
+    "ServeError",
 ]
 
 
@@ -131,6 +132,25 @@ class SweepError(ReproError, ValueError):
     """A sweep spec, journal, or resume precondition is invalid: bad
     spec JSON, an axis naming an unknown config field, a journal for a
     different spec, or an existing journal without ``--resume``."""
+
+
+class ServeError(ReproError, ValueError):
+    """A prediction-service request or server precondition is invalid.
+
+    Carries an HTTP-ish status ``code`` so the server can map every
+    defect to one response shape: ``400`` for malformed payloads (not
+    an object, neither/both of ``record``/``features``, wrong feature
+    width, non-numeric entries), ``503`` for load shedding, ``500`` for
+    an internal batch failure.  The ``reason`` is a short machine-
+    readable slug (``"bad-payload"``, ``"shed"``, ...) that load tests
+    assert on without parsing prose.
+    """
+
+    def __init__(self, message: str, code: int = 400,
+                 reason: str = "bad-payload"):
+        super().__init__(message)
+        self.code = int(code)
+        self.reason = reason
 
 
 class SweepCellError(ReproError, RuntimeError):

@@ -26,6 +26,7 @@ from repro.resilience.degrade import (
     CorruptingPredictor,
     PredictionOutcome,
     ResilientPredictor,
+    TierSnapshot,
 )
 from repro.resilience.faults import FAULT_PROFILES, FaultInjector, FaultProfile
 from repro.resilience.retry import RetryPolicy
@@ -38,4 +39,5 @@ __all__ = [
     "ResilientPredictor",
     "PredictionOutcome",
     "CorruptingPredictor",
+    "TierSnapshot",
 ]

@@ -50,7 +50,12 @@ from repro.dataset.schema import ARCH_COLUMNS, CONFIG_FEATURES, RATIO_FEATURES
 from repro.errors import ReproError
 from repro.frame import Frame
 
-__all__ = ["ResilientPredictor", "PredictionOutcome", "CorruptingPredictor"]
+__all__ = [
+    "ResilientPredictor",
+    "PredictionOutcome",
+    "CorruptingPredictor",
+    "TierSnapshot",
+]
 
 #: Degradation tiers, best first.
 TIERS = ("model", "imputed", "mean_rpv", "heuristic")
@@ -78,6 +83,46 @@ class PredictionOutcome:
     rpv: np.ndarray
     tier: str
     repaired: tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class TierSnapshot:
+    """Point-in-time view of the degradation chain's tier usage.
+
+    Unlike the run-dir telemetry counters (merged only when a run
+    finalizes), a snapshot is readable at any moment — the admission
+    controller in :mod:`repro.serve` polls one per ``/metrics`` scrape,
+    and tests can assert tier transitions mid-stream.
+    """
+
+    counts: tuple[tuple[str, int], ...]
+    total: int
+    degraded_fraction: float
+
+    def count(self, tier: str) -> int:
+        return dict(self.counts).get(tier, 0)
+
+    def delta(self, earlier: "TierSnapshot") -> "TierSnapshot":
+        """Tier usage between *earlier* and this snapshot."""
+        before = dict(earlier.counts)
+        counts = tuple(
+            (tier, n - before.get(tier, 0)) for tier, n in self.counts
+        )
+        total = sum(n for _, n in counts)
+        degraded = total - dict(counts).get("model", 0)
+        return TierSnapshot(
+            counts=counts,
+            total=total,
+            degraded_fraction=degraded / total if total else 0.0,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what ``/metrics`` serves)."""
+        return {
+            "counts": dict(self.counts),
+            "total": self.total,
+            "degraded_fraction": self.degraded_fraction,
+        }
 
 
 def _heuristic_rpv(uses_gpu: bool, systems: tuple[str, ...]) -> np.ndarray:
@@ -177,6 +222,16 @@ class ResilientPredictor:
         metrics) can never disagree."""
         self.tier_counts[tier] += n
         telemetry.counter(f"resilience.tier.{tier}").inc(n)
+
+    def baseline(self, uses_gpu: bool = False) -> PredictionOutcome:
+        """Answer from the model-free tiers (``mean_rpv``/``heuristic``).
+
+        Public entry point for callers that must *not* touch the model:
+        the serving layer's admission controller sheds overload here —
+        an O(1) answer instead of a queued model prediction — and the
+        tier counters record the degradation honestly.
+        """
+        return self._baseline(uses_gpu)
 
     def _baseline(self, uses_gpu: bool) -> PredictionOutcome:
         if self.mean_rpv is not None:
@@ -323,6 +378,24 @@ class ResilientPredictor:
     def summary(self) -> dict[str, int]:
         """Tier usage counts, best tier first."""
         return {tier: self.tier_counts.get(tier, 0) for tier in TIERS}
+
+    def tier_snapshot(self) -> TierSnapshot:
+        """A live, immutable :class:`TierSnapshot` of tier usage so far.
+
+        Cheap enough to call per request; two snapshots bracketing a
+        window yield the window's transitions via
+        :meth:`TierSnapshot.delta`.
+        """
+        counts = tuple(
+            (tier, self.tier_counts.get(tier, 0)) for tier in TIERS
+        )
+        total = sum(n for _, n in counts)
+        degraded = total - self.tier_counts.get("model", 0)
+        return TierSnapshot(
+            counts=counts,
+            total=total,
+            degraded_fraction=degraded / total if total else 0.0,
+        )
 
 
 class CorruptingPredictor:

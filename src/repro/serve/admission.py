@@ -1,0 +1,92 @@
+"""Admission control: bounded in-flight work with graceful shedding.
+
+An unbounded service queues until it falls over; this controller keeps
+the queue honest with two watermarks over the in-flight request count:
+
+* below ``soft_limit``          — **full** service: the request joins a
+  micro-batch and gets a model-tier prediction;
+* ``soft_limit``..``hard_limit``— **degraded**: the request is answered
+  immediately from the :class:`ResilientPredictor`'s model-free tiers
+  (``mean_rpv`` when training stats are loaded, else ``heuristic``) —
+  O(1), no queueing, honestly labeled with its tier;
+* at ``hard_limit``             — **shed**: a typed 503, the caller's
+  signal to back off.
+
+Shedding *into the degradation chain* instead of straight to errors is
+the serving-time continuation of the chain's design: a coarse answer
+now beats a precise answer after the deadline, and the tier label keeps
+the quality loss observable (``tier_snapshot`` + the
+``serve.admission.*`` counters below).
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.errors import ServeError
+
+__all__ = ["AdmissionController"]
+
+#: Admission decisions, best first.
+DECISIONS = ("full", "degraded", "shed")
+
+
+class AdmissionController:
+    """Watermark-based admission over an in-flight counter."""
+
+    def __init__(self, soft_limit: int = 64, hard_limit: int = 256):
+        if soft_limit < 1:
+            raise ServeError(f"soft_limit must be >= 1, got {soft_limit}",
+                             code=500, reason="bad-config")
+        if hard_limit < soft_limit:
+            raise ServeError(
+                f"hard_limit ({hard_limit}) must be >= soft_limit "
+                f"({soft_limit})",
+                code=500, reason="bad-config",
+            )
+        self.soft_limit = int(soft_limit)
+        self.hard_limit = int(hard_limit)
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.counts = {d: 0 for d in DECISIONS}
+
+    # ------------------------------------------------------------------
+    def decide(self) -> str:
+        """Admission decision for one arriving request (and count it)."""
+        if self.inflight >= self.hard_limit:
+            decision = "shed"
+        elif self.inflight >= self.soft_limit:
+            decision = "degraded"
+        else:
+            decision = "full"
+        self.counts[decision] += 1
+        telemetry.counter(f"serve.admission.{decision}").inc()
+        return decision
+
+    def enter(self) -> None:
+        """Account one admitted (full or degraded) request in-flight."""
+        self.inflight += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+        telemetry.gauge("serve.inflight").set(self.inflight)
+
+    def exit(self) -> None:
+        self.inflight -= 1
+        telemetry.gauge("serve.inflight").set(self.inflight)
+
+    # ------------------------------------------------------------------
+    def shed_error(self) -> ServeError:
+        return ServeError(
+            f"service overloaded ({self.inflight} requests in flight, "
+            f"limit {self.hard_limit}); retry with backoff",
+            code=503, reason="shed",
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready admission state (``/metrics``)."""
+        return {
+            "inflight": self.inflight,
+            "peak_inflight": self.peak_inflight,
+            "soft_limit": self.soft_limit,
+            "hard_limit": self.hard_limit,
+            "decisions": dict(self.counts),
+        }

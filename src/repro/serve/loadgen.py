@@ -1,0 +1,266 @@
+"""Deterministic load generation for the prediction service.
+
+The scheduler simulation's arrival process doubles as the service's
+load generator: request arrival times come from
+:func:`repro.workloads.poisson_arrivals` and request payloads from the
+same profiler pipeline that builds the MP-HPC dataset (``profile_run``
+-> ``run_record``), all under one seed.  Two runs with the same seed
+send byte-identical payloads at identical offsets — so load-test
+assertions (goodput, shed counts, tier mix) are reproducible instead of
+flaky.
+
+Defect injection is deterministic too: ``degraded_fraction`` strips a
+required counter field from evenly-spaced payloads (the service answers
+those from the degradation chain, HTTP 200 with a non-``model`` tier),
+and ``malformed_fraction`` mangles the request schema itself (the
+service rejects those with a typed 400).
+
+:func:`http_request` is the one tiny HTTP client used by the load
+driver, the CLI self-test, and the CI smoke job — stdlib asyncio
+streams, one request per connection, JSON in/out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LoadReport",
+    "http_request",
+    "run_load",
+    "synthesize_payloads",
+]
+
+#: Required counter fields stripped (round-robin) from payloads marked
+#: degraded — their absence drops a record into the degradation chain.
+_STRIPPABLE = ("total_instructions", "branch", "l2_load_miss")
+
+
+def synthesize_payloads(
+    n: int,
+    seed: int = 0,
+    degraded_fraction: float = 0.0,
+    malformed_fraction: float = 0.0,
+    apps: tuple[str, ...] | None = None,
+    machines: tuple[str, ...] | None = None,
+    scale: str = "1node",
+) -> list[dict]:
+    """*n* seeded ``/predict`` payloads from the profiler pipeline.
+
+    Each payload profiles a seeded (app, machine) draw and wraps the
+    resulting run record; ``nodes_required`` is a seeded small integer
+    so placement exercises real node accounting.  Defective payloads
+    land at seeded-permutation indices — ``round(n * fraction)`` of
+    each kind exactly, not a coin flip per payload — so load-test
+    assertions on the defect mix are equalities.
+    """
+    from repro.apps import APPLICATIONS, generate_inputs, get_app
+    from repro.arch import SYSTEM_ORDER, get_machine
+    from repro.hatchet_lite import run_record
+    from repro.perfsim.config import make_run_config
+    from repro.profiler import profile_run
+
+    if n < 1:
+        raise ValueError(f"need n >= 1 payloads, got {n}")
+    if not 0.0 <= degraded_fraction + malformed_fraction <= 1.0:
+        raise ValueError("defect fractions must sum into [0, 1]")
+    app_names = tuple(apps) if apps else tuple(APPLICATIONS)
+    machine_names = tuple(machines) if machines else SYSTEM_ORDER
+    rng = np.random.default_rng(seed)
+    n_degraded = int(round(n * degraded_fraction))
+    n_malformed = int(round(n * malformed_fraction))
+    shuffled = rng.permutation(n)
+    degraded_at = set(shuffled[:n_degraded].tolist())
+    malformed_at = set(
+        shuffled[n_degraded:n_degraded + n_malformed].tolist()
+    )
+
+    payloads: list[dict] = []
+    for i in range(n):
+        app = get_app(app_names[int(rng.integers(len(app_names)))])
+        machine = get_machine(
+            machine_names[int(rng.integers(len(machine_names)))]
+        )
+        inp = generate_inputs(app, 1, seed=seed + i)[0]
+        profile = profile_run(app, inp, machine,
+                              make_run_config(app, machine, scale),
+                              seed=seed + i)
+        record = run_record(profile)
+        payload: dict = {
+            "record": record,
+            "nodes_required": int(rng.integers(1, 5)),
+        }
+        if i in degraded_at:
+            victim = _STRIPPABLE[i % len(_STRIPPABLE)]
+            payload["record"] = {
+                k: v for k, v in record.items() if k != victim
+            }
+        elif i in malformed_at:
+            # Three rotating schema defects, all typed-400 material.
+            defect = i % 3
+            if defect == 0:
+                payload = {"record": record, "features": [1.0]}
+            elif defect == 1:
+                payload = {"record": record, "nodes_required": 0}
+            else:
+                payload = {"features": ["not-a-number"]}
+        payloads.append(payload)
+    return payloads
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP client (stdlib asyncio streams)
+# ----------------------------------------------------------------------
+async def http_request(
+    host: str,
+    port: int,
+    method: str = "GET",
+    target: str = "/healthz",
+    payload: dict | None = None,
+    timeout_s: float = 30.0,
+) -> tuple[int, dict]:
+    """One JSON HTTP exchange; returns ``(status, body)``."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout_s
+    )
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"host: {host}:{port}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            f"connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    status_line = head_blob.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, json.loads(body_blob.decode())
+
+
+# ----------------------------------------------------------------------
+# Load driver
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """Outcome of one load run, JSON-ready via :meth:`to_dict`."""
+
+    sent: int = 0
+    ok: int = 0
+    shed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    tiers: dict = field(default_factory=dict)
+    statuses: dict = field(default_factory=dict)
+    latencies_s: list = field(default_factory=list)
+    duration_s: float = 0.0
+
+    def observe(self, status: int, body: dict, latency_s: float) -> None:
+        self.sent += 1
+        self.latencies_s.append(latency_s)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if status == 200:
+            self.ok += 1
+            tier = body.get("tier", "unknown")
+            self.tiers[tier] = self.tiers.get(tier, 0) + 1
+        elif status == 503 and body.get("reason") == "shed":
+            self.shed += 1
+        elif status == 400:
+            self.rejected += 1
+        else:
+            self.failed += 1
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q) * 1e3)
+
+    @property
+    def goodput_per_sec(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.sent / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "tiers": dict(sorted(self.tiers.items())),
+            "statuses": {str(k): v
+                         for k, v in sorted(self.statuses.items())},
+            "duration_s": round(self.duration_s, 4),
+            "requests_per_sec": round(self.requests_per_sec, 2),
+            "goodput_per_sec": round(self.goodput_per_sec, 2),
+            "latency_ms": {
+                "p50": round(self.percentile_ms(50), 3),
+                "p99": round(self.percentile_ms(99), 3),
+                "max": round(self.percentile_ms(100), 3),
+            },
+        }
+
+
+async def run_load(
+    host: str,
+    port: int,
+    payloads: list[dict],
+    rate_per_second: float = 0.0,
+    seed: int = 0,
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Fire *payloads* at the service and aggregate a report.
+
+    With a positive *rate_per_second*, request *i* launches at the
+    ``i``-th seeded Poisson arrival offset (the scheduler simulation's
+    arrival process).  With rate 0, everything launches at once — the
+    overload shape that drives admission into degraded/shed territory.
+    """
+    from repro.workloads import poisson_arrivals
+
+    if rate_per_second > 0:
+        offsets = poisson_arrivals(len(payloads), rate_per_second,
+                                   seed=seed)
+    else:
+        offsets = np.zeros(len(payloads))
+    report = LoadReport()
+
+    async def _one(payload: dict, delay: float) -> None:
+        await asyncio.sleep(delay)
+        t0 = time.perf_counter()
+        try:
+            status, body = await http_request(
+                host, port, "POST", "/predict", payload,
+                timeout_s=timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError, ValueError,
+                json.JSONDecodeError):
+            report.sent += 1
+            report.failed += 1
+            return
+        report.observe(status, body, time.perf_counter() - t0)
+
+    t_start = time.perf_counter()
+    await asyncio.gather(*(
+        _one(payload, float(offsets[i]))
+        for i, payload in enumerate(payloads)
+    ))
+    report.duration_s = time.perf_counter() - t_start
+    return report

@@ -1,0 +1,165 @@
+"""Wire schema for the online prediction service.
+
+One request shape covers both deployment modes the paper implies:
+
+* ``{"record": {...}}`` — a raw profiled run record (the output of
+  :func:`repro.hatchet_lite.run_record`: canonical counter fields plus
+  run metadata).  The service featurizes it with the active model's
+  fitted normalizer, exactly as
+  :meth:`repro.core.CrossArchPredictor.predict_record` would.
+* ``{"features": [...]}`` — an already-featurized row, matching the
+  active model's feature columns.  The fast path for callers that
+  featurize upstream (e.g. a scheduler holding a feature cache).
+
+Optional keys: ``nodes_required`` (placement sizing, default 1) and
+``uses_gpu`` (drives the model-free heuristic tier; inferred from the
+record when present).
+
+Responses always carry ``rpv`` (time ratios, canonical system order),
+``systems``, ``ranked`` (fastest first), ``recommended`` (the strategy's
+placement), ``tier`` (which degradation tier answered), ``model_hash``
+(the config hash of the model that answered — hot-swap observability),
+and ``batch_size`` (how many requests shared the micro-batch).
+
+Every defect raises a typed :class:`~repro.errors.ServeError` carrying
+an HTTP status code and a machine-readable ``reason`` slug, so the
+server maps malformed input to one 400 response shape and load tests
+assert on slugs instead of prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ParsedRequest",
+    "parse_predict_payload",
+    "predict_response",
+    "error_response",
+]
+
+#: Bumped whenever the request/response schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request's feature width; anything wider is hostile.
+_MAX_FEATURES = 4096
+
+
+@dataclass(frozen=True)
+class ParsedRequest:
+    """One validated prediction request.
+
+    ``kind`` is ``"record"`` or ``"features"``; exactly one of
+    ``record``/``features`` is set.  ``features`` width is validated
+    against the *active model* at batch time (the model can change
+    between admission and flush under hot-swap), not here.
+    """
+
+    kind: str
+    record: dict | None
+    features: tuple[float, ...] | None
+    nodes_required: int
+    uses_gpu: bool
+
+
+def parse_predict_payload(payload) -> ParsedRequest:
+    """Validate one ``/predict`` body; typed :class:`ServeError` on any
+    defect (the server turns these into one 400 JSON shape)."""
+    if not isinstance(payload, dict):
+        raise ServeError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = sorted(
+        set(payload) - {"record", "features", "nodes_required", "uses_gpu"}
+    )
+    if unknown:
+        raise ServeError(f"unknown request key(s): {', '.join(unknown)}")
+    has_record = "record" in payload
+    has_features = "features" in payload
+    if has_record == has_features:
+        raise ServeError(
+            "request must carry exactly one of 'record' or 'features'"
+        )
+
+    nodes = payload.get("nodes_required", 1)
+    if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+        raise ServeError(
+            f"nodes_required must be a positive integer, got {nodes!r}"
+        )
+
+    record = None
+    features = None
+    if has_record:
+        record = payload["record"]
+        if not isinstance(record, dict) or not record:
+            raise ServeError("'record' must be a non-empty object of "
+                             "counter fields")
+        bad_keys = [k for k in record if not isinstance(k, str)]
+        if bad_keys:
+            raise ServeError("'record' keys must be strings")
+        uses_gpu = bool(payload.get("uses_gpu",
+                                    record.get("uses_gpu", False)))
+    else:
+        raw = payload["features"]
+        if not isinstance(raw, list) or not raw:
+            raise ServeError("'features' must be a non-empty array of "
+                             "numbers")
+        if len(raw) > _MAX_FEATURES:
+            raise ServeError(
+                f"'features' has {len(raw)} entries (limit {_MAX_FEATURES})"
+            )
+        values = []
+        for i, v in enumerate(raw):
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ServeError(
+                    f"'features'[{i}] is {type(v).__name__}, expected a "
+                    "number"
+                )
+            values.append(float(v))
+        features = tuple(values)
+        uses_gpu = bool(payload.get("uses_gpu", False))
+    return ParsedRequest(
+        kind="record" if has_record else "features",
+        record=record,
+        features=features,
+        nodes_required=nodes,
+        uses_gpu=uses_gpu,
+    )
+
+
+def predict_response(
+    rpv: np.ndarray,
+    systems: tuple[str, ...],
+    recommended: str,
+    tier: str,
+    model_hash: str,
+    batch_size: int,
+) -> dict:
+    """The one ``/predict`` success shape (JSON-ready)."""
+    values = [float(v) for v in np.asarray(rpv, dtype=np.float64)]
+    order = np.argsort(np.asarray(values), kind="stable")
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "rpv": values,
+        "systems": list(systems),
+        "ranked": [systems[i] for i in order],
+        "recommended": recommended,
+        "tier": tier,
+        "model_hash": model_hash,
+        "batch_size": int(batch_size),
+    }
+
+
+def error_response(exc: ServeError) -> tuple[int, dict]:
+    """Map a typed serve error to ``(status, body)``."""
+    return exc.code, {
+        "protocol_version": PROTOCOL_VERSION,
+        "error": str(exc),
+        "reason": exc.reason,
+    }

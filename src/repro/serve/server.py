@@ -1,0 +1,421 @@
+"""The online prediction + placement service.
+
+A :class:`PredictionService` answers "which machine should this job run
+on" at decision time: JSON profile/counter payloads arrive over a local
+HTTP endpoint, concurrent requests coalesce into micro-batches through
+the active model's vectorized predict path, and each response carries
+the predicted RPV plus a placement recommendation from a registered
+scheduling strategy.
+
+Request path (``POST /predict``)::
+
+    parse -> admission -> [full]     coalesce -> batch predict -> place
+                          [degraded] model-free tier answer     -> place
+                          [shed]     typed 503
+
+Batch atomicity under hot-swap: a flush captures ``manager.active``
+*once* and featurizes + predicts the entire batch against that one
+model; the response's ``model_hash`` names it.  A promotion landing
+mid-batch affects only later batches — no request ever observes a
+half-loaded model (pinned by tests/test_serve.py).
+
+Endpoints: ``POST /predict``, ``GET /metrics`` (admission counters,
+tier snapshot, coalescer state, telemetry snapshot), ``GET /healthz``,
+``GET /model``.  The HTTP layer is deliberately minimal stdlib asyncio
+(request line + headers + content-length body) — the service binds to
+loopback for a scheduler sidecar, not the open internet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ReproError, ServeError
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import MicroBatcher
+from repro.serve.model_manager import ActiveModel, ModelManager
+from repro.serve.protocol import (
+    ParsedRequest,
+    error_response,
+    parse_predict_payload,
+    predict_response,
+)
+
+__all__ = ["PredictionService", "BatchResult"]
+
+#: Response statuses the minimal HTTP writer knows how to phrase.
+_PHRASES = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+@dataclass
+class BatchResult:
+    """One request's share of a flushed batch."""
+
+    rpv: np.ndarray
+    tier: str
+    model: ActiveModel
+    batch_size: int
+
+
+class PredictionService:
+    """Micro-batching prediction server over a hot-swappable model."""
+
+    def __init__(
+        self,
+        manager: ModelManager,
+        strategy: str = "model",
+        max_batch: int = 32,
+        batch_deadline_s: float = 0.005,
+        soft_inflight: int = 64,
+        max_inflight: int = 256,
+        cluster=None,
+    ):
+        from repro.sched.machines import ClusterState
+        from repro.sched.strategies import strategy_by_name
+
+        self.manager = manager
+        self.batcher = MicroBatcher(
+            self._predict_batch, max_batch=max_batch,
+            max_delay_s=batch_deadline_s,
+        )
+        self.admission = AdmissionController(
+            soft_limit=soft_inflight, hard_limit=max_inflight
+        )
+        self.strategy_name = strategy
+        self.strategy = strategy_by_name(strategy)
+        self.cluster = cluster if cluster is not None else ClusterState()
+        self._job_ids = itertools.count()
+        self._assign_index = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._started = time.monotonic()
+        self.address: tuple[str, int] | None = None
+        #: endpoint -> request count; status -> response count.  Kept
+        #: service-side (not only in telemetry) so ``/metrics`` answers
+        #: even with telemetry off.
+        self.request_counts: dict[str, int] = {}
+        self.status_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Batch prediction (runs inside MicroBatcher flushes)
+    # ------------------------------------------------------------------
+    def _predict_batch(self, items: list[ParsedRequest]) -> list:
+        """Predict one coalesced batch against ONE captured model.
+
+        Per-item results are :class:`BatchResult`; an item whose
+        features cannot fit the captured model gets a
+        :class:`ServeError` result (its caller alone fails).  Raw
+        records with broken counters drop into the degradation chain
+        individually; clean rows ride the vectorized path together.
+        """
+        model = self.manager.active  # the swap point: captured once
+        n = len(items)
+        results: list = [None] * n
+        rows: list[np.ndarray] = []
+        row_items: list[int] = []
+        for i, item in enumerate(items):
+            if item.kind == "features":
+                if len(item.features) != model.n_features:
+                    results[i] = ServeError(
+                        f"'features' has {len(item.features)} entries; "
+                        f"model {model.config_hash[:12]} expects "
+                        f"{model.n_features}"
+                    )
+                    continue
+                rows.append(np.asarray(item.features, dtype=np.float64))
+                row_items.append(i)
+                continue
+            # Raw record: the clean path featurizes exactly like the
+            # offline CrossArchPredictor.predict_record (single-record
+            # frame through the fitted normalizer) so batched answers
+            # are bit-identical to single-shot ones.
+            try:
+                rows.append(self._featurize(item.record, model))
+                row_items.append(i)
+            except (ReproError, ValueError, KeyError, TypeError):
+                outcome = model.resilient.predict_record_detailed(
+                    item.record
+                )
+                results[i] = BatchResult(outcome.rpv, outcome.tier,
+                                         model, 1)
+        if rows:
+            X = np.vstack(rows)
+            finite = np.isfinite(X).all(axis=1)
+            Y = model.resilient.predict(X)
+            fallback = (
+                "imputed" if model.resilient.feature_fill is not None
+                else ("mean_rpv" if model.resilient.mean_rpv is not None
+                      else "heuristic")
+            )
+            for k, i in enumerate(row_items):
+                tier = "model" if finite[k] else fallback
+                results[i] = BatchResult(Y[k], tier, model, len(rows))
+        return results
+
+    @staticmethod
+    def _featurize(record: dict, model: ActiveModel) -> np.ndarray:
+        """One record -> one feature row, the predict_record way."""
+        from repro.dataset.features import (
+            REQUIRED_RECORD_FIELDS,
+            derive_feature_frame,
+        )
+        from repro.frame import Frame
+
+        predictor = model.predictor
+        if predictor.normalizer is None:
+            raise ServeError("model has no fitted normalizer", code=500,
+                             reason="bad-model")
+        missing = [f for f in REQUIRED_RECORD_FIELDS if f not in record]
+        if missing:
+            raise KeyError(f"record is missing fields: {sorted(missing)}")
+        bad = [
+            f for f in REQUIRED_RECORD_FIELDS
+            if not np.isfinite(np.asarray(record[f], dtype=np.float64))
+        ]
+        if bad:
+            raise ValueError(f"record has non-finite values: {sorted(bad)}")
+        frame = Frame.from_records([record])
+        featured, _ = derive_feature_frame(
+            frame, normalizer=predictor.normalizer
+        )
+        return featured.to_matrix(list(predictor.feature_columns))[0]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _recommend(self, request: ParsedRequest, rpv: np.ndarray,
+                   model: ActiveModel) -> str:
+        """Route the predicted RPV through the configured strategy."""
+        from repro.sched.job import Job
+
+        app = "request"
+        if request.record is not None:
+            app = str(request.record.get("app", app)) or app
+        job = Job(
+            job_id=next(self._job_ids),
+            app=app,
+            uses_gpu=request.uses_gpu,
+            nodes_required=request.nodes_required,
+            # RPVs are relative times: positive-clamped they double as
+            # the placeholder runtimes Job validation requires.
+            runtimes={
+                s: max(float(v), 1e-9)
+                for s, v in zip(model.systems, rpv)
+            },
+            predicted_rpv=np.asarray(rpv, dtype=np.float64),
+        )
+        try:
+            choice = self.strategy.assign(job, self._assign_index,
+                                          self.cluster)
+            self._assign_index += 1
+            return choice
+        finally:
+            release = getattr(self.strategy, "release", None)
+            if release is not None:
+                release(job.job_id)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def handle_predict(self, payload) -> dict:
+        """Full ``/predict`` flow for one parsed JSON payload."""
+        request = parse_predict_payload(payload)
+        decision = self.admission.decide()
+        if decision == "shed":
+            raise self.admission.shed_error()
+        self.admission.enter()
+        try:
+            if decision == "degraded":
+                model = self.manager.active
+                outcome = model.resilient.baseline(request.uses_gpu)
+                rpv, tier, batch_size = outcome.rpv, outcome.tier, 1
+            else:
+                result = await self.batcher.submit(request)
+                model = result.model
+                rpv, tier, batch_size = (
+                    result.rpv, result.tier, result.batch_size
+                )
+            recommended = self._recommend(request, rpv, model)
+            return predict_response(
+                rpv, model.systems, recommended, tier,
+                model.config_hash, batch_size,
+            )
+        finally:
+            self.admission.exit()
+
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[int, dict]:
+        target = target.split("?", 1)[0]
+        endpoint = target.strip("/") or "root"
+        self.request_counts[endpoint] = (
+            self.request_counts.get(endpoint, 0) + 1
+        )
+        t0 = time.perf_counter()
+        try:
+            if target == "/predict":
+                if method != "POST":
+                    return 405, {"error": "POST required", "reason": "method"}
+                try:
+                    payload = json.loads(body or b"")
+                except json.JSONDecodeError as exc:
+                    raise ServeError(
+                        f"request body is not valid JSON: {exc}"
+                    ) from exc
+                return 200, await self.handle_predict(payload)
+            if method != "GET":
+                return 405, {"error": "GET required", "reason": "method"}
+            if target == "/metrics":
+                return 200, self.metrics_payload()
+            if target == "/healthz":
+                return 200, {
+                    "status": "ok" if self.manager.has_model else "no-model",
+                    "model_hash": (
+                        self.manager.active.config_hash
+                        if self.manager.has_model else None
+                    ),
+                }
+            if target == "/model":
+                return 200, self.manager.active.describe()
+            return 404, {"error": f"no such endpoint {target!r}",
+                         "reason": "not-found"}
+        except ServeError as exc:
+            return error_response(exc)
+        finally:
+            if telemetry.metrics_enabled():
+                telemetry.histogram(
+                    f"serve.http.{endpoint}.seconds"
+                ).observe(time.perf_counter() - t0)
+                telemetry.counter(f"serve.http.{endpoint}.requests").inc()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_payload(self) -> dict:
+        """Everything ``/metrics`` serves (also a run-dir artifact)."""
+        service = {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "requests": dict(sorted(self.request_counts.items())),
+            "responses_by_status": {
+                str(k): v for k, v in sorted(self.status_counts.items())
+            },
+            "admission": self.admission.snapshot(),
+            "coalescer": {
+                "pending": self.batcher.pending,
+                "max_batch": self.batcher.max_batch,
+                "max_delay_ms": self.batcher.max_delay_s * 1000.0,
+            },
+            "strategy": self.strategy_name,
+        }
+        if self.manager.has_model:
+            active = self.manager.active
+            service["model"] = active.describe()
+            service["tiers"] = active.resilient.tier_snapshot().to_dict()
+        else:
+            service["model"] = None
+            service["tiers"] = None
+        payload = {"service": service}
+        if telemetry.metrics_enabled():
+            payload["telemetry"] = telemetry.snapshot()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[str, int]:
+        """Bind and serve; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        return self.address
+
+    async def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, flush."""
+        await self.manager.stop_watching()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + drain_timeout_s
+        while self.admission.inflight > 0 and time.monotonic() < deadline:
+            self.batcher.flush_now()
+            await asyncio.sleep(0.005)
+        await self.batcher.close()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("ascii").split(maxsplit=2)
+                    )
+                except (UnicodeDecodeError, ValueError):
+                    await self._respond(
+                        writer, 400,
+                        {"error": "malformed request line",
+                         "reason": "bad-http"},
+                        close=True,
+                    )
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0 or length > (1 << 22):
+                    await self._respond(
+                        writer, 400,
+                        {"error": "bad content-length", "reason": "bad-http"},
+                        close=True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload = await self._route(
+                    method.upper(), target, body
+                )
+                close = headers.get("connection", "").lower() == "close"
+                await self._respond(writer, status, payload, close=close)
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict, close: bool = False) -> None:
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_PHRASES.get(status, 'Unknown')}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            f"connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()

@@ -8,6 +8,8 @@ from repro.artifacts import (
     MANIFEST_FORMAT_VERSION,
     MANIFEST_NAME,
     RunDir,
+    find_run,
+    list_runs,
     load_run,
     verify_run,
 )
@@ -195,3 +197,95 @@ class TestTrainRunManifest:
 
         manifest = load_run(run.path).manifest
         assert manifest["model_format_version"] == MODEL_FORMAT_VERSION
+
+
+class TestRegistryDiscovery:
+    """list_runs/find_run: the serving layer's registry lookups, which
+    must tolerate a registry being mutated while watched."""
+
+    def _make(self, root, inputs_per_app, command="evaluate"):
+        cfg = (TrainConfig(inputs_per_app=inputs_per_app)
+               if command == "train"
+               else EvaluateConfig(inputs_per_app=inputs_per_app))
+        run = RunDir.create(root, ExperimentConfig(command, cfg))
+        run.save_metrics({"m": {"v": inputs_per_app}})
+        run.finalize()
+        return run
+
+    def test_lists_finalized_runs_sorted(self, tmp_path):
+        r2 = self._make(tmp_path, 2)
+        r3 = self._make(tmp_path, 3)
+        names = [run.path.name for run in list_runs(tmp_path)]
+        assert names == sorted([r2.path.name, r3.path.name])
+
+    def test_missing_root_is_empty_not_an_error(self, tmp_path):
+        assert list_runs(tmp_path / "nowhere") == []
+
+    def test_skips_half_built_runs(self, tmp_path):
+        """A publisher mid-copy leaves a dir without a manifest; the
+        watcher's discovery pass must skip it, not die on it."""
+        keeper = self._make(tmp_path, 2)
+        (tmp_path / "train-0123abcd").mkdir()  # no manifest yet
+        (tmp_path / "stray_file.json").write_text("{}")
+        torn = tmp_path / "evaluate-deadbeef0000"
+        torn.mkdir()
+        (torn / MANIFEST_NAME).write_text('{"files": ')  # torn JSON
+        found = list_runs(tmp_path)
+        assert [run.path for run in found] == [keeper.path]
+
+    def test_filters_by_command(self, tmp_path):
+        self._make(tmp_path, 2, command="evaluate")
+        train = self._make(tmp_path, 2, command="train")
+        found = list_runs(tmp_path, command="train")
+        assert [run.path for run in found] == [train.path]
+
+    def test_find_run_by_hash_prefix(self, tmp_path):
+        run = self._make(tmp_path, 2)
+        chash = load_run(run.path).config_hash
+        assert find_run(tmp_path, chash[:10]).path == run.path
+        assert find_run(tmp_path, chash.upper()[:10]).path == run.path
+
+    def test_find_run_rejects_empty_and_missing(self, tmp_path):
+        self._make(tmp_path, 2)
+        with pytest.raises(ArtifactError, match="empty config hash"):
+            find_run(tmp_path, "  ")
+        with pytest.raises(ArtifactError, match="matches config hash"):
+            find_run(tmp_path, "ffffffffffff")
+
+    def test_find_run_rejects_ambiguous_prefix(self, tmp_path):
+        a = load_run(self._make(tmp_path, 2).path).config_hash
+        b = load_run(self._make(tmp_path, 3).path).config_hash
+        prefix = ""
+        for ca, cb in zip(a, b):
+            if ca != cb:
+                break
+            prefix += ca
+        # One shared-prefix character is enough to be ambiguous (the
+        # empty string is rejected as empty first).
+        if prefix:
+            with pytest.raises(ArtifactError, match="ambiguous"):
+                find_run(tmp_path, prefix)
+
+    def test_mutation_after_load_is_caught_by_verify(self, finalized):
+        """load_run + verify_run on a run dir mutated *between* the
+        watcher's poll and the promotion check: the torn write is
+        detected, so the caller (ModelManager) keeps its old model."""
+        loaded = load_run(finalized.path)  # watcher saw a healthy run
+        victim = finalized.path / "metrics.json"
+        victim.write_text(victim.read_text()[:-4])  # truncated mid-copy
+        # The stale LoadedRun still answers from its manifest...
+        assert "metrics.json" in loaded.files()
+        # ...but promotion re-verifies the bytes and refuses.
+        with pytest.raises(ArtifactError, match="metrics.json"):
+            verify_run(finalized.path)
+
+    def test_file_swapped_while_watched_is_caught(self, finalized):
+        """Same-size content swap (no mtime/size tell) is still caught
+        by the checksum pass."""
+        load_run(finalized.path)
+        victim = finalized.path / "extra" / "notes.json"
+        original = victim.read_text()
+        victim.write_text(original[:-8] + '"HELLO"}'[: 8])
+        assert len(victim.read_text()) == len(original)
+        with pytest.raises(ArtifactError, match="notes.json"):
+            verify_run(finalized.path)

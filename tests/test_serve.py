@@ -1,0 +1,712 @@
+"""The online prediction service: protocol, coalescing, hot-swap,
+admission, and the bit-identicality contract.
+
+The acceptance bar pinned here:
+
+* batched service predictions are **bit-identical** (``np.array_equal``,
+  not allclose) to offline single-row ``predict_record``/``predict``;
+* a promotion that lands mid-stream never breaks an in-flight request —
+  each batch completes on the model it captured;
+* a *torn* promotion (tampered/truncated run dir) is detected by
+  ``verify_run`` before the swap and the old model keeps serving, with
+  zero failed in-flight requests.
+
+No pytest-asyncio in the image: async scenarios run via ``asyncio.run``
+inside plain test functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import RunDir
+from repro.config import ExperimentConfig, TrainConfig
+from repro.core.predictor import CrossArchPredictor
+from repro.errors import ArtifactError, ServeError
+from repro.resilience import ResilientPredictor
+from repro.serve import (
+    AdmissionController,
+    MicroBatcher,
+    ModelManager,
+    PredictionService,
+    parse_predict_payload,
+    publish_model,
+    synthesize_payloads,
+)
+from repro.serve.model_manager import CURRENT_NAME
+from repro.serve.protocol import error_response, predict_response
+
+
+# ----------------------------------------------------------------------
+# Registry scaffolding
+# ----------------------------------------------------------------------
+def make_train_run(root, predictor, dataset=None, seed=0) -> str:
+    """Finalize a train run dir holding *predictor*; returns its config
+    hash.  Distinct *seed* values produce distinct run dirs."""
+    experiment = ExperimentConfig("train", TrainConfig(seed=seed))
+    run = RunDir.create(root, experiment)
+    predictor.save(run.file("predictor.pkl"))
+    if dataset is not None:
+        resilient = ResilientPredictor.from_training(predictor, dataset)
+        run.save_json("resilience.json", {
+            "feature_fill": [float(v) for v in resilient.feature_fill],
+            "mean_rpv": [float(v) for v in resilient.mean_rpv],
+        })
+    run.finalize()
+    return experiment.content_hash()
+
+
+@pytest.fixture(scope="module")
+def second_model(small_dataset, split_indices) -> CrossArchPredictor:
+    """A second, distinguishable predictor for hot-swap scenarios.
+
+    Another (smaller) tree ensemble, not a linear model: dense
+    ``X @ W`` takes different BLAS paths at different batch sizes, so
+    only tree traversal gives the bit-identical batch-vs-single
+    guarantee the swap tests assert.
+    """
+    train_rows, _ = split_indices
+    return CrossArchPredictor.train(small_dataset, model="xgboost",
+                                    rows=train_rows,
+                                    n_estimators=20, max_depth=4)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory, trained_xgb, small_dataset):
+    """A read-only registry with one armed train run.  Tests that
+    mutate a registry build their own with :func:`make_train_run`."""
+    root = tmp_path_factory.mktemp("registry")
+    chash = make_train_run(root, trained_xgb, small_dataset, seed=0)
+    return root, chash
+
+
+@pytest.fixture(scope="module")
+def sample_payloads():
+    """Six seeded profiled-run payloads (records + nodes_required)."""
+    return synthesize_payloads(6, seed=42)
+
+
+def make_service(registry_root, **kwargs) -> PredictionService:
+    manager = ModelManager(registry_root, poll_interval_s=0.05)
+    manager.promote(manager.resolve_hash(None))
+    return PredictionService(manager, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Protocol validation
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_rejects_non_object(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            parse_predict_payload([1, 2])
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ServeError, match="unknown request key"):
+            parse_predict_payload({"record": {"a": 1}, "recrod": {}})
+
+    def test_rejects_neither_and_both(self):
+        with pytest.raises(ServeError, match="exactly one"):
+            parse_predict_payload({})
+        with pytest.raises(ServeError, match="exactly one"):
+            parse_predict_payload({"record": {"a": 1}, "features": [1.0]})
+
+    @pytest.mark.parametrize("nodes", [0, -3, True, "2", 1.5, None])
+    def test_rejects_bad_nodes_required(self, nodes):
+        with pytest.raises(ServeError, match="nodes_required"):
+            parse_predict_payload({"features": [1.0],
+                                   "nodes_required": nodes})
+
+    @pytest.mark.parametrize("record", [{}, [], "x", {1: 2.0}])
+    def test_rejects_bad_record(self, record):
+        with pytest.raises(ServeError, match="record"):
+            parse_predict_payload({"record": record})
+
+    @pytest.mark.parametrize("features", [[], {}, [1.0, "x"], [True]])
+    def test_rejects_bad_features(self, features):
+        with pytest.raises(ServeError, match="features"):
+            parse_predict_payload({"features": features})
+
+    def test_rejects_oversized_features(self):
+        with pytest.raises(ServeError, match="limit"):
+            parse_predict_payload({"features": [1.0] * 5000})
+
+    def test_uses_gpu_inferred_from_record(self):
+        parsed = parse_predict_payload({"record": {"uses_gpu": 1.0}})
+        assert parsed.uses_gpu is True
+        parsed = parse_predict_payload(
+            {"record": {"uses_gpu": 1.0}, "uses_gpu": False}
+        )
+        assert parsed.uses_gpu is False
+
+    def test_error_response_carries_code_and_reason(self):
+        status, body = error_response(
+            ServeError("nope", code=503, reason="shed")
+        )
+        assert status == 503
+        assert body["reason"] == "shed"
+        assert "nope" in body["error"]
+
+    def test_predict_response_ranked_fastest_first(self):
+        body = predict_response(
+            np.array([0.5, 0.2, 1.0]), ("A", "B", "C"), "B", "model",
+            "hash", 3,
+        )
+        assert body["ranked"] == ["B", "A", "C"]
+        assert body["recommended"] == "B"
+        assert body["batch_size"] == 3
+        assert json.loads(json.dumps(body)) == body  # JSON-clean
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher semantics
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ServeError, match="max_batch"):
+            MicroBatcher(lambda items: items, max_batch=0)
+        with pytest.raises(ServeError, match="max_delay"):
+            MicroBatcher(lambda items: items, max_delay_s=-1)
+
+    def test_flush_on_size(self):
+        batches = []
+
+        def flush(items):
+            batches.append(list(items))
+            return [i * 10 for i in items]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_delay_s=30.0)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(4))
+            )
+            return results
+
+        assert asyncio.run(scenario()) == [0, 10, 20, 30]
+        # One flush, size exactly max_batch, submission order preserved.
+        assert batches == [[0, 1, 2, 3]]
+
+    def test_flush_on_deadline_for_lone_item(self):
+        batches = []
+
+        def flush(items):
+            batches.append(list(items))
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=100, max_delay_s=0.02)
+            return await batcher.submit("only")
+
+        assert asyncio.run(scenario()) == "only"
+        assert batches == [["only"]]
+
+    def test_deadline_armed_by_oldest_item(self):
+        """Items trickling in under the deadline share the first item's
+        flush — the deadline is never re-armed by later arrivals."""
+        batches = []
+
+        def flush(items):
+            batches.append(list(items))
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=100, max_delay_s=0.05)
+            tasks = []
+            for i in range(3):
+                tasks.append(asyncio.create_task(batcher.submit(i)))
+                await asyncio.sleep(0.005)
+            return await asyncio.gather(*tasks)
+
+        assert asyncio.run(scenario()) == [0, 1, 2]
+        assert batches == [[0, 1, 2]]
+
+    def test_per_item_exception_spares_batch_mates(self):
+        def flush(items):
+            return [
+                ServeError("bad item") if i == "bad" else i for i in items
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=3, max_delay_s=30.0)
+            ok1, bad, ok2 = await asyncio.gather(
+                batcher.submit("a"), batcher.submit("bad"),
+                batcher.submit("b"), return_exceptions=True,
+            )
+            return ok1, bad, ok2
+
+        ok1, bad, ok2 = asyncio.run(scenario())
+        assert (ok1, ok2) == ("a", "b")
+        assert isinstance(bad, ServeError)
+
+    def test_flush_fn_raise_fails_whole_batch(self):
+        def flush(items):
+            raise RuntimeError("model exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_delay_s=30.0)
+            return await asyncio.gather(
+                batcher.submit(1), batcher.submit(2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_length_mismatch_is_typed_batch_failure(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda items: [1], max_batch=2,
+                                   max_delay_s=30.0)
+            return await asyncio.gather(
+                batcher.submit(1), batcher.submit(2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert all(
+            isinstance(r, ServeError) and r.reason == "batch-failure"
+            for r in results
+        )
+
+    def test_closed_batcher_refuses_submissions(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda items: items)
+            await batcher.close()
+            with pytest.raises(ServeError, match="closed"):
+                await batcher.submit(1)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Bit-identicality: the batched path vs the offline path
+# ----------------------------------------------------------------------
+class TestBitIdentical:
+    def test_batched_records_match_predict_record(
+        self, registry, trained_xgb, sample_payloads
+    ):
+        """One coalesced batch of raw records answers exactly what N
+        separate offline ``predict_record`` calls answer — bit for bit."""
+        root, _ = registry
+        service = make_service(root, max_batch=len(sample_payloads),
+                               batch_deadline_s=30.0)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(service.handle_predict(dict(p)) for p in sample_payloads)
+            )
+
+        responses = asyncio.run(scenario())
+        assert len(responses) == len(sample_payloads)
+        for payload, response in zip(sample_payloads, responses):
+            assert response["tier"] == "model"
+            # All requests were concurrent: one batch served them all.
+            assert response["batch_size"] == len(sample_payloads)
+            offline = trained_xgb.predict_record(payload["record"])
+            assert np.array_equal(np.asarray(response["rpv"]), offline)
+
+    def test_batched_features_match_predict(
+        self, registry, trained_xgb, small_dataset
+    ):
+        root, _ = registry
+        X = small_dataset.X()[:5]
+        service = make_service(root, max_batch=5, batch_deadline_s=30.0)
+
+        async def scenario():
+            return await asyncio.gather(*(
+                service.handle_predict({"features": list(map(float, row))})
+                for row in X
+            ))
+
+        responses = asyncio.run(scenario())
+        offline = trained_xgb.predict(X)
+        for i, response in enumerate(responses):
+            assert np.array_equal(np.asarray(response["rpv"]), offline[i])
+
+    def test_nan_features_degrade_without_poisoning_batch(
+        self, registry, trained_xgb, small_dataset
+    ):
+        root, _ = registry
+        X = small_dataset.X()[:3].copy()
+        broken = list(map(float, X[1]))
+        broken[0] = float("nan")
+        service = make_service(root, max_batch=3, batch_deadline_s=30.0)
+
+        async def scenario():
+            return await asyncio.gather(
+                service.handle_predict(
+                    {"features": list(map(float, X[0]))}
+                ),
+                service.handle_predict({"features": broken}),
+                service.handle_predict(
+                    {"features": list(map(float, X[2]))}
+                ),
+            )
+
+        clean0, degraded, clean2 = asyncio.run(scenario())
+        assert degraded["tier"] == "imputed"
+        assert clean0["tier"] == clean2["tier"] == "model"
+        offline = trained_xgb.predict(X[[0, 2]])
+        assert np.array_equal(np.asarray(clean0["rpv"]), offline[0])
+        assert np.array_equal(np.asarray(clean2["rpv"]), offline[1])
+
+    def test_width_mismatch_fails_only_its_caller(self, registry):
+        root, _ = registry
+        service = make_service(root, max_batch=2, batch_deadline_s=30.0)
+
+        async def scenario():
+            return await asyncio.gather(
+                service.handle_predict({"features": [1.0, 2.0]}),
+                service.handle_predict(
+                    {"features": [0.0] * service.manager.active.n_features}
+                ),
+                return_exceptions=True,
+            )
+
+        bad, good = asyncio.run(scenario())
+        assert isinstance(bad, ServeError) and "expects" in str(bad)
+        assert good["tier"] == "model"
+
+    def test_broken_record_degrades_with_tier_label(
+        self, registry, sample_payloads
+    ):
+        root, _ = registry
+        record = dict(sample_payloads[0]["record"])
+        record.pop("total_instructions")
+        service = make_service(root)
+
+        async def scenario():
+            return await service.handle_predict({"record": record})
+
+        response = asyncio.run(scenario())
+        assert response["tier"] == "imputed"
+        assert len(response["rpv"]) == len(response["systems"])
+
+    def test_recommendation_names_a_real_machine(
+        self, registry, sample_payloads
+    ):
+        root, _ = registry
+        service = make_service(root)
+
+        async def scenario():
+            return await service.handle_predict(dict(sample_payloads[0]))
+
+        response = asyncio.run(scenario())
+        assert response["recommended"] in response["systems"]
+        assert response["ranked"][0] == min(
+            zip(response["rpv"], response["systems"])
+        )[1]
+
+
+# ----------------------------------------------------------------------
+# ModelManager: resolution, promotion, torn-promotion detection
+# ----------------------------------------------------------------------
+class TestModelManager:
+    def test_resolve_explicit_beats_current(self, registry):
+        root, chash = registry
+        manager = ModelManager(root)
+        assert manager.resolve_hash("deadbeef") == "deadbeef"
+        assert manager.resolve_hash(None) == chash  # single-run fallback
+
+    def test_resolve_prefers_current_file(self, tmp_path, trained_xgb):
+        h1 = make_train_run(tmp_path, trained_xgb, seed=1)
+        make_train_run(tmp_path, trained_xgb, seed=2)
+        publish_model(tmp_path, h1)
+        assert ModelManager(tmp_path).resolve_hash(None) == h1
+
+    def test_resolve_empty_registry_is_typed(self, tmp_path):
+        with pytest.raises(ServeError, match="no finalized train runs"):
+            ModelManager(tmp_path).resolve_hash(None)
+
+    def test_resolve_ambiguous_registry_is_typed(
+        self, tmp_path, trained_xgb
+    ):
+        make_train_run(tmp_path, trained_xgb, seed=1)
+        make_train_run(tmp_path, trained_xgb, seed=2)
+        with pytest.raises(ServeError, match="publish one hash"):
+            ModelManager(tmp_path).resolve_hash(None)
+
+    def test_promote_by_prefix(self, registry):
+        root, chash = registry
+        manager = ModelManager(root)
+        assert manager.promote(chash[:12]) is True
+        assert manager.active.config_hash == chash
+
+    def test_first_load_failure_raises(self, tmp_path):
+        manager = ModelManager(tmp_path)
+        with pytest.raises(ServeError, match="cannot load model"):
+            manager.promote("0123456789ab")
+
+    def test_promote_same_hash_is_noop(self, registry):
+        root, chash = registry
+        manager = ModelManager(root)
+        manager.promote(chash)
+        first = manager.active
+        assert manager.promote(chash[:12]) is True
+        assert manager.active is first  # not reloaded
+
+    def test_tampered_run_keeps_old_model_live(
+        self, tmp_path, trained_xgb, second_model
+    ):
+        """verify_run catches a flipped byte before the swap."""
+        h1 = make_train_run(tmp_path, trained_xgb, seed=1)
+        h2 = make_train_run(tmp_path, second_model, seed=2)
+        manager = ModelManager(tmp_path)
+        manager.promote(h1)
+        # Same-size tamper in the new run's pickle: only the checksum
+        # pass can see it.
+        victim = next(tmp_path.glob(f"train-{h2[:12]}/predictor.pkl"))
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+
+        publish_model(tmp_path, h2)
+        assert manager.check_registry() is False
+        assert manager.active.config_hash == h1
+        with pytest.raises(ArtifactError):
+            manager.load_model(h2)
+
+    def test_torn_promotion_missing_file_detected(
+        self, tmp_path, trained_xgb, second_model
+    ):
+        """A half-copied run (file missing vs manifest) never swaps in,
+        and the watcher converges once the publisher finishes."""
+        h1 = make_train_run(tmp_path, trained_xgb, seed=1)
+        h2 = make_train_run(tmp_path, second_model, seed=2)
+        manager = ModelManager(tmp_path)
+        manager.promote(h1)
+        victim = next(tmp_path.glob(f"train-{h2[:12]}/predictor.pkl"))
+        stashed = victim.read_bytes()
+        victim.unlink()
+
+        publish_model(tmp_path, h2)
+        assert manager.check_registry() is False  # torn: old stays
+        assert manager.active.config_hash == h1
+        victim.write_bytes(stashed)  # publisher finishes the copy
+        assert manager.check_registry() is True  # next poll converges
+        assert manager.active.config_hash == h2
+
+    def test_check_registry_ignores_missing_current(self, registry):
+        root, chash = registry
+        manager = ModelManager(root)
+        manager.promote(chash)
+        # The read-only module registry has no CURRENT file.
+        assert manager.check_registry() is False
+        assert manager.active.config_hash == chash
+
+    def test_active_before_load_is_typed_503(self, tmp_path):
+        manager = ModelManager(tmp_path)
+        with pytest.raises(ServeError) as excinfo:
+            _ = manager.active
+        assert excinfo.value.code == 503
+        assert excinfo.value.reason == "no-model"
+
+
+# ----------------------------------------------------------------------
+# Hot-swap atomicity under load
+# ----------------------------------------------------------------------
+class TestHotSwap:
+    def test_mid_stream_swap_keeps_every_answer_consistent(
+        self, tmp_path, trained_xgb, second_model, small_dataset,
+        sample_payloads,
+    ):
+        """Requests in flight across a promotion each get an answer
+        that is bit-identical to *some* whole model — the one their
+        batch captured — never a mixture."""
+        h1 = make_train_run(tmp_path, trained_xgb, small_dataset, seed=1)
+        h2 = make_train_run(tmp_path, second_model, small_dataset, seed=2)
+        publish_model(tmp_path, h1)
+        # max_batch above the wave size: the wave stays parked until the
+        # test decides to flush, which is what puts it "in flight"
+        # across the swap.
+        service = make_service(tmp_path, max_batch=64,
+                               batch_deadline_s=30.0)
+        manager = service.manager
+        by_hash = {h1: trained_xgb, h2: second_model}
+
+        async def wave():
+            tasks = [
+                asyncio.create_task(service.handle_predict(dict(p)))
+                for p in sample_payloads
+            ]
+            await asyncio.sleep(0)  # run each task up to its submit()
+            assert service.batcher.pending == len(sample_payloads)
+            service.batcher.flush_now()
+            return await asyncio.gather(*tasks)
+
+        async def scenario():
+            first_tasks = [
+                asyncio.create_task(service.handle_predict(dict(p)))
+                for p in sample_payloads
+            ]
+            await asyncio.sleep(0)  # wave 1 enqueued, still pending
+            assert service.batcher.pending == len(sample_payloads)
+            publish_model(tmp_path, h2)
+            assert manager.check_registry() is True  # swap mid-stream
+            service.batcher.flush_now()
+            first = await asyncio.gather(*first_tasks)
+            second = await wave()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        # Wave 1 enqueued before the swap; the flush ran after it.  The
+        # batch captured exactly one model — whichever — and every
+        # answer must match that model bit-for-bit.
+        for responses in (first, second):
+            for payload, response in zip(sample_payloads, responses):
+                model = by_hash[response["model_hash"]]
+                offline = model.predict_record(payload["record"])
+                assert np.array_equal(np.asarray(response["rpv"]), offline)
+        # After the swap, new batches must serve the new model.
+        assert {r["model_hash"] for r in second} == {h2}
+
+    def test_kill_during_hot_swap_chaos(
+        self, tmp_path, trained_xgb, second_model, small_dataset,
+        sample_payloads,
+    ):
+        """Acceptance: the publisher dies mid-copy (torn run dir) while
+        requests are in flight — the old model keeps serving and zero
+        in-flight requests fail."""
+        h1 = make_train_run(tmp_path, trained_xgb, small_dataset, seed=1)
+        h2 = make_train_run(tmp_path, second_model, small_dataset, seed=2)
+        publish_model(tmp_path, h1)
+        # The "kill": the new run dir is left half-copied.
+        victim = next(tmp_path.glob(f"train-{h2[:12]}/predictor.pkl"))
+        victim.write_bytes(victim.read_bytes()[:100])  # truncated
+
+        service = make_service(tmp_path, max_batch=64,
+                               batch_deadline_s=30.0)
+
+        async def scenario():
+            inflight = [
+                asyncio.create_task(service.handle_predict(dict(p)))
+                for p in sample_payloads
+            ]
+            await asyncio.sleep(0)
+            assert service.batcher.pending == len(sample_payloads)
+            publish_model(tmp_path, h2)  # promote the torn run...
+            assert service.manager.check_registry() is False  # ...refused
+            service.batcher.flush_now()
+            return await asyncio.gather(*inflight, return_exceptions=True)
+
+        responses = asyncio.run(scenario())
+        failures = [r for r in responses if isinstance(r, Exception)]
+        assert failures == []  # zero failed in-flight requests
+        assert {r["model_hash"] for r in responses} == {h1}
+        for payload, response in zip(sample_payloads, responses):
+            offline = trained_xgb.predict_record(payload["record"])
+            assert np.array_equal(np.asarray(response["rpv"]), offline)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ServeError, match="soft_limit"):
+            AdmissionController(soft_limit=0)
+        with pytest.raises(ServeError, match="hard_limit"):
+            AdmissionController(soft_limit=10, hard_limit=5)
+
+    def test_three_way_transitions(self):
+        controller = AdmissionController(soft_limit=2, hard_limit=4)
+        assert controller.decide() == "full"
+        controller.inflight = 2
+        assert controller.decide() == "degraded"
+        controller.inflight = 4
+        assert controller.decide() == "shed"
+        controller.inflight = 1
+        assert controller.decide() == "full"
+        assert controller.counts == {"full": 2, "degraded": 1, "shed": 1}
+
+    def test_shed_error_is_typed_503(self):
+        error = AdmissionController().shed_error()
+        assert error.code == 503 and error.reason == "shed"
+
+    def test_degraded_requests_get_instant_model_free_answers(
+        self, registry, sample_payloads
+    ):
+        """With soft_limit=1, the first request parks in the batch and
+        every later one answers instantly from the mean_rpv tier."""
+        root, _ = registry
+        service = make_service(root, soft_inflight=1, max_inflight=100,
+                               max_batch=100, batch_deadline_s=0.03)
+
+        async def scenario():
+            return await asyncio.gather(*(
+                service.handle_predict(dict(sample_payloads[0]))
+                for _ in range(6)
+            ))
+
+        responses = asyncio.run(scenario())
+        tiers = [r["tier"] for r in responses]
+        assert tiers.count("model") == 1
+        assert tiers.count("mean_rpv") == 5  # armed by resilience.json
+        assert all(r["batch_size"] == 1 for r in responses
+                   if r["tier"] == "mean_rpv")
+        assert service.admission.counts["degraded"] == 5
+
+    def test_overload_sheds_with_typed_503(
+        self, registry, sample_payloads
+    ):
+        root, _ = registry
+        service = make_service(root, soft_inflight=1, max_inflight=1,
+                               max_batch=100, batch_deadline_s=0.03)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(service.handle_predict(dict(sample_payloads[0]))
+                  for _ in range(5)),
+                return_exceptions=True,
+            )
+
+        responses = asyncio.run(scenario())
+        ok = [r for r in responses if isinstance(r, dict)]
+        shed = [r for r in responses if isinstance(r, ServeError)]
+        assert len(ok) == 1 and ok[0]["tier"] == "model"
+        assert len(shed) == 4
+        assert all(e.code == 503 and e.reason == "shed" for e in shed)
+        assert service.admission.counts["shed"] == 4
+
+
+# ----------------------------------------------------------------------
+# TierSnapshot: live, pollable degradation stats
+# ----------------------------------------------------------------------
+class TestTierSnapshot:
+    def test_snapshot_is_pollable_mid_stream(
+        self, trained_xgb, small_dataset, sample_payloads
+    ):
+        resilient = ResilientPredictor.from_training(
+            trained_xgb, small_dataset
+        )
+        record = dict(sample_payloads[0]["record"])
+        before = resilient.tier_snapshot()
+        assert before.total == 0 and before.degraded_fraction == 0.0
+
+        resilient.predict_record_detailed(record)
+        mid = resilient.tier_snapshot()
+        assert mid.count("model") == 1
+
+        broken = {k: v for k, v in record.items() if k != "branch"}
+        resilient.predict_record_detailed(broken)
+        resilient.predict_record_detailed(broken)
+        after = resilient.tier_snapshot()
+        assert after.count("imputed") == 2
+        assert after.total == 3
+
+        window = after.delta(mid)
+        assert window.count("imputed") == 2
+        assert window.count("model") == 0
+        assert window.degraded_fraction == 1.0
+        # Snapshots are frozen values, not live views.
+        resilient.predict_record_detailed(record)
+        assert after.total == 3
+
+    def test_snapshot_round_trips_to_json(self, trained_xgb):
+        resilient = ResilientPredictor(predictor=trained_xgb)
+        snapshot = resilient.tier_snapshot()
+        payload = snapshot.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert set(payload) == {"counts", "total", "degraded_fraction"}

@@ -20,7 +20,11 @@ every other layer can depend on them without cycles:
   directly.  Sole exception: ``repro.sweep.runner`` may import
   ``repro.cli`` *inside the worker process* (the worker is an
   execution sandbox; the import is lazy, so no cycle exists at import
-  time).
+  time);
+* ``repro.serve``     (and its submodules) may import the library
+  layers it composes (artifacts, resilience, sched, profiler, ...) but
+  never ``repro.cli`` or ``repro.sweep`` — the service is a library the
+  CLI wraps, not the other way round.
 
 This script walks each module's AST (no imports are executed, so it is
 safe to run on a broken tree) and fails with one line per violation.
@@ -73,6 +77,42 @@ _SWEEP_DEPS = {
     "repro.sweep.report",
 }
 
+#: Serve-layer modules: the online service sits above the libraries
+#: (model, resilience, sched, profiler) and *below* the CLI — it may
+#: import any of them, but never ``repro.cli`` (which imports serve:
+#: allowing the reverse edge would be a cycle) and never ``repro.sweep``
+#: (batch orchestration has no business inside a request handler).
+_SERVE_DEPS = {
+    "repro",  # `from repro import telemetry` (the instrumented-layer idiom)
+    "repro.errors",
+    "repro.ioutils",
+    "repro.registry",
+    "repro.config",
+    "repro.artifacts",
+    "repro.telemetry",
+    "repro.frame",
+    "repro.apps",
+    "repro.arch",
+    "repro.perfsim.config",
+    "repro.profiler",
+    "repro.hatchet_lite",
+    "repro.dataset.features",
+    "repro.core.predictor",
+    "repro.ml",
+    "repro.resilience.degrade",
+    "repro.sched.job",
+    "repro.sched.machines",
+    "repro.sched.strategies",
+    "repro.workloads",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.coalescer",
+    "repro.serve.model_manager",
+    "repro.serve.admission",
+    "repro.serve.server",
+    "repro.serve.loadgen",
+}
+
 #: module -> repro modules it may import (itself is always allowed).
 ALLOWED = {
     "repro.errors": set(),
@@ -93,6 +133,13 @@ ALLOWED = {
     # import is function-local (lazy), so no import-time cycle exists.
     "repro.sweep.runner": _SWEEP_DEPS | {"repro.cli"},
     "repro.sweep.report": _SWEEP_DEPS,
+    "repro.serve": _SERVE_DEPS,
+    "repro.serve.protocol": _SERVE_DEPS,
+    "repro.serve.coalescer": _SERVE_DEPS,
+    "repro.serve.model_manager": _SERVE_DEPS,
+    "repro.serve.admission": _SERVE_DEPS,
+    "repro.serve.server": _SERVE_DEPS,
+    "repro.serve.loadgen": _SERVE_DEPS,
 }
 
 
