@@ -17,6 +17,10 @@ Exposes the reproduction's main workflows as ``repro <subcommand>``:
 * ``sweep``     — run a declared grid over the registries with
   journal-backed resume, per-cell timeouts, retry, and quarantine
   (see :mod:`repro.sweep` and ``docs/SWEEPS.md``).
+* ``perf``      — profile the simulator/predictor hot paths with the
+  deterministic self-profiler; writes a checksummed
+  ``perf_report.json`` whose top entries ``repro report`` renders
+  (see :mod:`repro.perf` and ``docs/PERF.md``).
 
 Every subcommand is a thin module under :mod:`repro.cli` that builds a
 typed :class:`~repro.config.ExperimentConfig` and calls library entry
@@ -42,6 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.cli import (
         dataset_cmd,
         evaluate_cmd,
+        perf_cmd,
         profile_cmd,
         schedule_cmd,
         serve_cmd,
@@ -62,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     schedule_cmd.add_subparsers(sub)
     serve_cmd.add_subparsers(sub)
     sweep_cmd.add_subparsers(sub)
+    perf_cmd.add_subparsers(sub)
     return parser
 
 

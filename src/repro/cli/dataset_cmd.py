@@ -94,7 +94,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def _report_run(path: str) -> int:
     """Summarize a finalized run directory's saved telemetry."""
-    from repro import telemetry
+    from repro import perf, telemetry
     from repro.artifacts import load_run
 
     run = load_run(path)
@@ -105,4 +105,8 @@ def _report_run(path: str) -> int:
     print(telemetry.render_run_report(
         run.manifest, _artifact("metrics.json"), _artifact("trace.json")
     ))
+    perf_report = _artifact("perf_report.json")
+    if perf_report is not None:
+        print()
+        print(perf.render_report(perf.validate_report(perf_report), top=3))
     return 0

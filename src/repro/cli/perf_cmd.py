@@ -1,0 +1,110 @@
+"""``repro perf`` — profile the reproduction's own hot paths.
+
+Runs a scaled-down schedule or predict workload under the deterministic
+self-profiler (:mod:`repro.perf`), prints the attribution summary, and
+— with ``--run-dir`` — saves the checksummed ``perf_report.json`` into
+the run's manifest inventory.  ``repro report <run-dir>`` renders the
+top self-time entries back out of any run that carries one.
+
+The workloads are deliberately synthetic and seed-deterministic: the
+point is attribution (which functions burn the time, which sites churn
+allocations), not science, so they mirror the shapes of the
+``benchmarks/`` microbenchmarks rather than the full experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import perf
+from repro.cli._options import (
+    add_spine_options,
+    close_run,
+    experiment_from_args,
+    open_run,
+)
+from repro.config import PerfConfig
+
+#: perf_report.json artifact name inside a run directory.
+REPORT_NAME = "perf_report.json"
+
+
+def add_subparsers(sub) -> None:
+    d = PerfConfig()
+    p = sub.add_parser(
+        "perf",
+        help="profile the simulator/predictor hot paths; write a "
+             "checksummed perf_report.json",
+    )
+    p.add_argument("--workload", choices=("sched", "predict"),
+                   default=d.workload,
+                   help="which hot path to profile")
+    p.add_argument("--jobs", type=int, default=d.jobs,
+                   help="jobs in the sched workload")
+    p.add_argument("--rows", type=int, default=d.rows,
+                   help="rows scored in the predict workload")
+    p.add_argument("--seed", type=int, default=d.seed)
+    p.add_argument("--top", type=int, default=d.top,
+                   help="entries kept per report section")
+    add_spine_options(p)
+    p.set_defaults(func=cmd_perf)
+
+
+def _sched_workload(jobs: int, seed: int):
+    """A contended EASY-backfilling run (the simulator's hot loop)."""
+    from repro.arch.machines import SYSTEM_ORDER
+    from repro.sched import ClusterState, Job, Scheduler, strategy_by_name
+
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    workload = []
+    for i in range(jobs):
+        t += float(rng.exponential(4.0))
+        rpv = rng.uniform(0.5, 3.0, size=len(SYSTEM_ORDER))
+        base = float(rng.uniform(10.0, 600.0))
+        workload.append(Job(
+            job_id=i, app="CoMD", uses_gpu=bool(rng.integers(2)),
+            nodes_required=int(rng.integers(1, 16)),
+            runtimes={s: base * float(r)
+                      for s, r in zip(SYSTEM_ORDER, rpv)},
+            submit_time=t,
+            predicted_rpv=rpv * rng.uniform(0.9, 1.1, size=rpv.shape),
+            true_rpv=rpv,
+        ))
+    cluster = ClusterState({s: 32 for s in SYSTEM_ORDER})
+    scheduler = Scheduler(strategy_by_name("model"), cluster)
+    return lambda: scheduler.run(workload)
+
+
+def _predict_workload(rows: int, seed: int):
+    """Flat-ensemble inference over a packed feature matrix."""
+    from repro.ml.boosting import GradientBoostedTrees
+
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(2000, 12))
+    Y = rng.normal(size=(2000, 4))
+    model = GradientBoostedTrees(n_estimators=40, max_depth=5,
+                                 random_state=seed).fit(X, Y)
+    Xb = model.binner_.transform(rng.normal(size=(rows, 12)))
+    model.predict_binned(Xb)  # build the flat ensemble outside the profile
+    return lambda: model.predict_binned(Xb)
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    experiment = experiment_from_args(args)
+    cfg = experiment.config
+    if cfg.workload == "sched":
+        workload = _sched_workload(cfg.jobs, cfg.seed)
+    else:
+        workload = _predict_workload(cfg.rows, cfg.seed)
+    report = perf.collect(
+        workload, label=cfg.workload, top=cfg.top, meta=cfg.to_dict()
+    )
+    print(perf.render_report(report, top=3))
+    run = open_run(args, experiment)
+    if run is not None:
+        run.save_json(REPORT_NAME, report)
+    close_run(run)
+    return 0

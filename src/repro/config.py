@@ -60,6 +60,7 @@ __all__ = [
     "CalibrateConfig",
     "ScheduleConfig",
     "ServeConfig",
+    "PerfConfig",
     "ExperimentConfig",
     "COMMAND_CONFIGS",
 ]
@@ -439,6 +440,28 @@ class ServeConfig(BaseConfig):
             )
 
 
+@dataclass(frozen=True)
+class PerfConfig(BaseConfig):
+    """``repro perf`` (deterministic self-profiling of the hot paths)."""
+
+    command: ClassVar[str] = "perf"
+
+    workload: str = "sched"
+    jobs: int = 1500
+    rows: int = 5000
+    seed: int = 0
+    top: int = 20
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("sched", "predict"):
+            raise ConfigError(
+                f"PerfConfig.workload must be 'sched' or 'predict', "
+                f"got {self.workload!r}"
+            )
+        _require_positive(self, "jobs", "rows", "top")
+        _require_non_negative(self, "seed")
+
+
 #: Command name -> config class.  Aliases mirror the CLI's (``dataset``
 #: is an alias of ``generate``); lookups of unknown commands raise a
 #: typed UnknownNameError.
@@ -454,6 +477,7 @@ COMMAND_CONFIGS.register("whatif", WhatifConfig)
 COMMAND_CONFIGS.register("calibrate", CalibrateConfig)
 COMMAND_CONFIGS.register("schedule", ScheduleConfig)
 COMMAND_CONFIGS.register("serve", ServeConfig)
+COMMAND_CONFIGS.register("perf", PerfConfig)
 
 
 # ---------------------------------------------------------------------------

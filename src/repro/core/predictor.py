@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.arch.machines import SYSTEM_ORDER
+from repro.errors import PackingError
 from repro.dataset.features import (
     REQUIRED_RECORD_FIELDS,
     FeatureNormalizer,
@@ -111,6 +112,67 @@ class CrossArchPredictor:
             ).observe(X.shape[0])
             return result
         return self.model.predict(X)
+
+    def pack(self, X: np.ndarray) -> np.ndarray:
+        """Pack a float feature matrix into uint8 bin codes, once.
+
+        Tree models discretize features into at most 256 quantile bins
+        before any traversal, so repeated scoring of the same rows
+        (every scheduler wake-up, every sweep cell, every serve
+        hot-batch) can skip both the quantile transform and the float64
+        matrix entirely: a packed matrix streams 1 byte per cell
+        instead of 8.  Feed the result to :meth:`predict_packed`.
+
+        Raises :class:`repro.errors.PackingError` when the underlying
+        model has no binner (linear/mean models traverse nothing, so
+        there is no packing to do).
+        """
+        binner = getattr(self.model, "binner_", None)
+        if binner is None:
+            raise PackingError(
+                f"{self.kind} model has no feature binner; "
+                "pack() applies to tree models only"
+            )
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_columns):
+            raise PackingError(
+                f"X has shape {X.shape}, expected "
+                f"(n, {len(self.feature_columns)})"
+            )
+        return binner.transform(X)
+
+    def predict_packed(self, Xb: np.ndarray) -> np.ndarray:
+        """Predict RPVs from a matrix packed by :meth:`pack`.
+
+        Bit-identical to ``predict`` on the floats the codes came from
+        (the binning is exactly the transform ``predict`` applies
+        first); only the repeated quantile searchsorted is skipped.
+        """
+        if not hasattr(self.model, "predict_binned"):
+            raise PackingError(
+                f"{self.kind} model cannot score packed features"
+            )
+        Xb = np.asarray(Xb)
+        if Xb.dtype != np.uint8:
+            raise PackingError(
+                f"packed matrix must be uint8 bin codes, got {Xb.dtype}"
+            )
+        if Xb.ndim != 2 or Xb.shape[1] != len(self.feature_columns):
+            raise PackingError(
+                f"packed matrix has shape {Xb.shape}, expected "
+                f"(n, {len(self.feature_columns)})"
+            )
+        if telemetry.metrics_enabled():
+            t0 = time.perf_counter()
+            result = self.model.predict_binned(Xb)
+            telemetry.histogram("predict.batch_seconds").observe(
+                time.perf_counter() - t0
+            )
+            telemetry.histogram(
+                "predict.batch_rows", telemetry.SIZE_BUCKETS
+            ).observe(Xb.shape[0])
+            return result
+        return self.model.predict_binned(Xb)
 
     def predict_frame(self, frame: Frame) -> np.ndarray:
         """Predict RPVs for rows of a frame containing feature columns."""

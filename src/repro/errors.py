@@ -23,6 +23,7 @@ __all__ = [
     "ProfileError",
     "TraceError",
     "DatasetError",
+    "PackingError",
     "UnknownNameError",
     "ConfigError",
     "SerializationError",
@@ -51,6 +52,14 @@ class DatasetError(ReproError, ValueError):
     """A persisted dataset artifact (CSV/npz) is corrupt or has drifted
     from the MP-HPC schema; the message names the path and the
     missing/extra columns."""
+
+
+class PackingError(ReproError, ValueError):
+    """A feature matrix cannot be packed to uint8 bin codes: the bin
+    count exceeds the uint8 range (or is too small to split on), or a
+    pre-packed matrix has the wrong dtype/shape for the model it is
+    offered to.  Subclasses :class:`ValueError` so call sites that
+    predate the typed error keep catching it."""
 
 
 class UnknownNameError(ReproError, KeyError, ValueError):

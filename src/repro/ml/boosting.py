@@ -127,10 +127,11 @@ class GradientBoostedTrees:
         self.n_outputs_: int = 0
         self._single_output_input = False
         # Lazily-built flat stacked ensemble for vectorized prediction,
-        # keyed by the identity of every tree so direct trees_
-        # replacement (e.g. deserialization, early-stopping truncation)
-        # invalidates it.
-        self._flat_cache: tuple[tuple[int, ...], FlatEnsemble] | None = None
+        # keyed by strong references to the trees themselves so direct
+        # trees_ replacement (deserialization, early-stopping
+        # truncation, a serve hot-swap) always misses — an id-based key
+        # could false-hit when a replaced tree's id is recycled.
+        self._flat_cache: tuple[tuple[Tree, ...], FlatEnsemble] | None = None
         #: Per-round metrics recorded during fit: train MAE always, and
         #: validation MAE when an eval_set is supplied.
         self.eval_history_: dict[str, list[float]] = {}
@@ -168,6 +169,7 @@ class GradientBoostedTrees:
         self.base_score_ = Y.mean(axis=0)
         pred = np.tile(self.base_score_, (n, 1))
         self.trees_ = []
+        self._flat_cache = None
 
         val_pack = None
         if eval_set is not None:
@@ -282,14 +284,24 @@ class GradientBoostedTrees:
         return pred
 
     def _flat_ensemble(self) -> FlatEnsemble:
-        trees = [t for round_trees in self.trees_ for t in round_trees]
-        key = tuple(map(id, trees))
+        key = tuple(t for round_trees in self.trees_ for t in round_trees)
         cached = self._flat_cache
         if cached is not None and cached[0] == key:
             return cached[1]
-        flat = FlatEnsemble(trees)
+        flat = FlatEnsemble(list(key))
         self._flat_cache = (key, flat)
         return flat
+
+    def __getstate__(self) -> dict:
+        # The flat cache is a pure derivation of trees_ and roughly
+        # doubles the pickled model size; persisting it would also leave
+        # a stale entry on every deserialized copy (the unpickled trees
+        # are new objects, so the key can never hit again).  Serve
+        # hot-swaps load models via pickle, so shipping the cache would
+        # leak one dead FlatEnsemble per swap.
+        state = self.__dict__.copy()
+        state["_flat_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     def feature_importances(self, kind: str = "gain") -> np.ndarray:

@@ -132,9 +132,11 @@ class RandomForestRegressor:
         self.trees_: list[Tree] = []
         self.n_features_ = 0
         self.n_outputs_ = 0
-        # Lazily-built flat stacked ensemble, keyed by tree identities
-        # so replacing trees_ (e.g. deserialization) invalidates it.
-        self._flat_cache: tuple[tuple[int, ...], FlatEnsemble] | None = None
+        # Lazily-built flat stacked ensemble, keyed by strong references
+        # to the trees themselves so replacing trees_ (e.g.
+        # deserialization, a serve hot-swap) always invalidates it —
+        # an id-based key could false-hit on recycled ids.
+        self._flat_cache: tuple[tuple[Tree, ...], FlatEnsemble] | None = None
 
     def fit(self, X: np.ndarray, Y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=np.float64)
@@ -152,6 +154,7 @@ class RandomForestRegressor:
         G = -Y
         H = np.ones_like(Y)
         self.trees_ = []
+        self._flat_cache = None
         for _ in range(self.n_estimators):
             rows = rng.integers(0, n, size=n) if self.bootstrap else None
             cols = None
@@ -192,16 +195,23 @@ class RandomForestRegressor:
         """
         if not self.trees_:
             raise RuntimeError("predict called before fit")
-        trees = self.trees_
-        key = tuple(map(id, trees))
+        key = tuple(self.trees_)
         cached = self._flat_cache
         if cached is not None and cached[0] == key:
             flat = cached[1]
         else:
-            flat = FlatEnsemble(trees)
+            flat = FlatEnsemble(self.trees_)
             self._flat_cache = (key, flat)
         leaves = flat.predict_leaves(np.asarray(Xb))
         return flat.values[leaves]
+
+    def __getstate__(self) -> dict:
+        # Never pickle the derived flat cache: a deserialized copy's
+        # trees are new objects so the entry could only sit stale (see
+        # GradientBoostedTrees.__getstate__).
+        state = self.__dict__.copy()
+        state["_flat_cache"] = None
+        return state
 
     def feature_importances(self) -> np.ndarray:
         """Average-gain importances over all trees (normalized)."""

@@ -31,6 +31,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import native
+from repro.errors import PackingError
+
 __all__ = ["TreeParams", "Binner", "Tree", "FlatEnsemble", "grow_tree"]
 
 _MAX_BINS = 256  # bins are stored in uint8
@@ -85,7 +88,11 @@ class Binner:
 
     def __init__(self, n_bins: int = 64):
         if not 2 <= n_bins <= _MAX_BINS:
-            raise ValueError(f"n_bins must be in [2, {_MAX_BINS}]")
+            raise PackingError(
+                f"n_bins must be in [2, {_MAX_BINS}]: bin codes are "
+                f"packed end-to-end as uint8, so {n_bins} bins cannot "
+                "be represented"
+            )
         self.n_bins = n_bins
         self.edges_: list[np.ndarray] | None = None
 
@@ -295,13 +302,22 @@ class FlatEnsemble:
 
         ``Xb`` is the pre-binned uint8 feature matrix.  Routing
         decisions are integer comparisons, so the resulting leaves are
-        exactly those each tree's own traversal reaches.
+        exactly those each tree's own traversal reaches — on both the
+        native path and the numpy fallback (same uint8 compare, same
+        child arrays), so which path runs is unobservable except in
+        speed.
         """
         Xb = np.ascontiguousarray(Xb, dtype=np.uint8)
         n, n_features = Xb.shape
         T = self.n_trees
         featthr = self._featthr
         children = self._children
+        if n:
+            out = np.empty((T, n), dtype=np.int32)
+            if native.route_leaves(
+                featthr, children, self.roots, Xb, self.max_depth, out
+            ):
+                return out
         Xf = Xb.reshape(-1)
         out = np.empty((T, n), dtype=np.int32)
         chunk = max(128, _LEAF_STATE_BUDGET // T)

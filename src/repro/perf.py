@@ -1,0 +1,278 @@
+"""Deterministic self-profiling: per-function attribution for our own hot loops.
+
+The paper predicts application performance from hardware counters; this
+module turns the same methodology on the reproduction itself.  A
+:func:`collect` run executes a workload under *deterministic* (fully
+instrumented, not sampled) profiling and produces one JSON-serializable
+report with three counter families:
+
+* **Self-time attribution** — per-function self time, cumulative time,
+  and call counts from :mod:`cProfile` (CPython's deterministic
+  profiler: every call and return is instrumented, so call counts are
+  exact and reproducible run to run; only the times vary with the
+  host).
+* **Allocation counters** — allocation sites, block counts, and bytes
+  from :mod:`tracemalloc`.  numpy registers its array-buffer allocator
+  with tracemalloc, so the numpy *temporaries* a hot loop churns
+  through show up here as high-block-count sites, the usual smoking gun
+  for a loop that should be fused or pushed into a kernel.
+* **Cache-behavior proxy** — a working-set-size estimate per allocation
+  site (bytes live at peak) classified against nominal cache capacities
+  (L1/L2/L3/DRAM).  A site whose working set falls out of L2 is the
+  first candidate for tiling/chunking; this is exactly the heuristic
+  that sized the flat-ensemble row chunks and the native kernel's row
+  tiles.
+
+The report embeds its own SHA-256 (:func:`checksum_report`) over the
+canonical payload so downstream consumers (CI smoke, ``repro report``)
+can detect truncated or hand-edited artifacts independently of the run
+manifest's file digests.
+
+This module is bottom-layer: it profiles a zero-argument callable and
+imports nothing from ``repro``, so any layer can be profiled without
+import cycles (the ``repro perf`` CLI wires in the schedule/predict
+workloads).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import json
+import pstats
+import time
+import tracemalloc
+from typing import Any, Callable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CACHE_LEVELS",
+    "collect",
+    "checksum_report",
+    "validate_report",
+    "render_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Nominal per-level cache capacities (bytes) for the working-set
+#: classification.  These are deliberately generic desktop/server sizes
+#: — the classification is a coarse proxy ("does this loop's working
+#: set stream from DRAM?"), not a micro-architectural model.
+CACHE_LEVELS: tuple[tuple[str, int], ...] = (
+    ("L1", 32 * 1024),
+    ("L2", 1024 * 1024),
+    ("L3", 32 * 1024 * 1024),
+)
+
+
+def _cache_level(nbytes: int) -> str:
+    for name, capacity in CACHE_LEVELS:
+        if nbytes <= capacity:
+            return name
+    return "DRAM"
+
+
+def _function_rows(stats: pstats.Stats, top: int,
+                   wall_s: float) -> tuple[list[dict], dict]:
+    """Top-*top* functions by self time, plus whole-run call counters."""
+    rows = []
+    total_calls = 0
+    primitive_calls = 0
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        total_calls += nc
+        primitive_calls += cc
+        rows.append({
+            "function": name,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "self_time_s": round(tt, 6),
+            "cum_time_s": round(ct, 6),
+            "self_frac": round(tt / wall_s, 4) if wall_s > 0 else 0.0,
+        })
+    rows.sort(key=lambda r: (-r["self_time_s"], r["file"], r["line"]))
+    counters = {
+        "total_calls": int(total_calls),
+        "primitive_calls": int(primitive_calls),
+    }
+    return rows[:top], counters
+
+
+def _allocation_rows(snapshot: tracemalloc.Snapshot,
+                     top: int) -> tuple[list[dict], dict]:
+    """Top-*top* allocation sites by bytes, plus whole-run totals."""
+    stats = snapshot.statistics("lineno")
+    numpy_bytes = 0
+    numpy_blocks = 0
+    total_bytes = 0
+    total_blocks = 0
+    rows = []
+    for stat in stats:
+        total_bytes += stat.size
+        total_blocks += stat.count
+        frame = stat.traceback[0]
+        if "numpy" in frame.filename:
+            numpy_bytes += stat.size
+            numpy_blocks += stat.count
+        rows.append({
+            "file": frame.filename,
+            "line": frame.lineno,
+            "bytes": stat.size,
+            "blocks": stat.count,
+            "wss_estimate_bytes": stat.size,
+            "cache_level": _cache_level(stat.size),
+        })
+    rows.sort(key=lambda r: (-r["bytes"], r["file"], r["line"]))
+    totals = {
+        "traced_bytes": int(total_bytes),
+        "traced_blocks": int(total_blocks),
+        "numpy_bytes": int(numpy_bytes),
+        "numpy_blocks": int(numpy_blocks),
+    }
+    return rows[:top], totals
+
+
+def collect(workload: Callable[[], Any], *, label: str = "workload",
+            top: int = 20, meta: dict | None = None) -> dict:
+    """Run *workload* under deterministic profiling; return the report.
+
+    The callable is executed exactly once with :mod:`cProfile` and
+    :mod:`tracemalloc` active (expect a few-times slowdown — profile a
+    scaled-down workload, the attribution ratios are what matter).
+    ``label`` names the workload in the report; ``meta`` is an optional
+    free-form dict recorded verbatim (e.g. the CLI's config fields).
+
+    The returned dict matches :func:`validate_report` and carries its
+    own ``checksum``.
+    """
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    profiler = cProfile.Profile()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        workload()
+    finally:
+        profiler.disable()
+        wall_s = time.perf_counter() - t0
+        snapshot = tracemalloc.take_snapshot()
+        _, peak_bytes = tracemalloc.get_traced_memory()
+        if not was_tracing:
+            tracemalloc.stop()
+    stats = pstats.Stats(profiler)
+    functions, call_counters = _function_rows(stats, top, wall_s)
+    allocations, alloc_totals = _allocation_rows(snapshot, top)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": label,
+        "wall_time_s": round(wall_s, 6),
+        "counters": {**call_counters, **alloc_totals,
+                     "peak_traced_bytes": int(peak_bytes)},
+        "functions": functions,
+        "allocations": allocations,
+        "cache_levels": {name: size for name, size in CACHE_LEVELS},
+        "meta": dict(meta or {}),
+    }
+    report["checksum"] = checksum_report(report)
+    return report
+
+
+def checksum_report(report: dict) -> str:
+    """SHA-256 over the canonical JSON of *report* minus ``checksum``."""
+    payload = {k: v for k, v in report.items() if k != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+_REQUIRED_KEYS = ("schema_version", "workload", "wall_time_s", "counters",
+                  "functions", "allocations", "cache_levels", "checksum")
+_FUNCTION_KEYS = ("function", "file", "line", "ncalls", "self_time_s",
+                  "cum_time_s", "self_frac")
+_ALLOCATION_KEYS = ("file", "line", "bytes", "blocks",
+                    "wss_estimate_bytes", "cache_level")
+
+
+def validate_report(report: object) -> dict:
+    """Check a loaded ``perf_report.json``; returns it typed as a dict.
+
+    Raises :class:`ValueError` naming the first structural defect:
+    missing keys, a schema-version mismatch, malformed entry rows, or a
+    checksum that does not match the payload.
+    """
+    if not isinstance(report, dict):
+        raise ValueError(
+            f"perf report must be an object, got {type(report).__name__}"
+        )
+    missing = [k for k in _REQUIRED_KEYS if k not in report]
+    if missing:
+        raise ValueError(f"perf report missing keys: {missing}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"perf report schema_version {report['schema_version']!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    for row in report["functions"]:
+        gone = [k for k in _FUNCTION_KEYS if k not in row]
+        if gone:
+            raise ValueError(f"function entry missing {gone}: {row}")
+    for row in report["allocations"]:
+        gone = [k for k in _ALLOCATION_KEYS if k not in row]
+        if gone:
+            raise ValueError(f"allocation entry missing {gone}: {row}")
+    expected = checksum_report(report)
+    if report["checksum"] != expected:
+        raise ValueError(
+            f"perf report checksum mismatch: recorded "
+            f"{report['checksum'][:12]}…, payload hashes to "
+            f"{expected[:12]}…"
+        )
+    return report
+
+
+def _short_path(filename: str) -> str:
+    for marker in ("/repro/", "/numpy/"):
+        idx = filename.rfind(marker)
+        if idx >= 0:
+            return filename[idx + 1:]
+    return filename.rsplit("/", 1)[-1]
+
+
+def render_report(report: dict, top: int = 3) -> str:
+    """Human-readable summary: top self-time, allocation, and WSS lines.
+
+    ``repro report <run-dir>`` prints this section whenever the run
+    carries a ``perf_report.json``.
+    """
+    lines = [
+        f"perf profile ({report['workload']}): "
+        f"{report['wall_time_s']:.3f} s wall, "
+        f"{report['counters']['total_calls']:,} calls, "
+        f"peak {report['counters']['peak_traced_bytes'] / 1e6:.1f} MB traced",
+        f"top {top} functions by self time:",
+    ]
+    for row in report["functions"][:top]:
+        lines.append(
+            f"  {row['self_time_s']:8.3f}s  {row['self_frac']:6.1%}  "
+            f"{row['ncalls']:>9,}x  {row['function']}  "
+            f"({_short_path(row['file'])}:{row['line']})"
+        )
+    lines.append(f"top {top} allocation sites (working-set proxy):")
+    for row in report["allocations"][:top]:
+        lines.append(
+            f"  {row['bytes'] / 1e6:8.2f} MB  {row['blocks']:>7,} blocks  "
+            f"[{row['cache_level']:>4}]  "
+            f"{_short_path(row['file'])}:{row['line']}"
+        )
+    c = report["counters"]
+    if c.get("numpy_blocks"):
+        lines.append(
+            f"numpy temporaries: {c['numpy_blocks']:,} blocks, "
+            f"{c['numpy_bytes'] / 1e6:.2f} MB live at snapshot"
+        )
+    return "\n".join(lines)

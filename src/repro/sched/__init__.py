@@ -34,6 +34,7 @@ from repro.sched.policies import (
     WidestFirstPolicy,
     policy_by_name,
 )
+from repro.sched.replicas import ReplicaSpec, run_replicas, schedule_digest
 from repro.sched.simulator import ScheduleResult, Scheduler, SimStats
 from repro.sched.strategies import (
     STRATEGIES,
@@ -53,6 +54,9 @@ __all__ = [
     "Scheduler",
     "ScheduleResult",
     "SimStats",
+    "ReplicaSpec",
+    "run_replicas",
+    "schedule_digest",
     "RoundRobinStrategy",
     "RandomStrategy",
     "UserRRStrategy",

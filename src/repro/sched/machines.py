@@ -36,6 +36,9 @@ class MachineState:
     anywhere on the simulator's hot path.
     """
 
+    __slots__ = ("name", "total_nodes", "free_nodes", "state",
+                 "offline_nodes", "_running", "_seq")
+
     def __init__(self, name: str, total_nodes: int):
         if total_nodes < 1:
             raise ValueError("total_nodes must be >= 1")

@@ -1,0 +1,115 @@
+"""Sharded simulation replicas with a bit-identical ordered merge.
+
+Fig. 7/8-style experiments run the *same* workload through several
+independent simulations (one per assignment strategy, or one per seed
+in a robustness sweep).  Each replica is a pure function of
+``(jobs, spec)`` — the simulator mutates only its own cluster and
+strategy — so the replicas can run on :mod:`repro.parallel` worker
+processes and be reassembled in spec order with results identical to a
+sequential loop, bit for bit:
+
+* every worker rebuilds its strategy and cluster from the spec (no
+  shared mutable state crosses the process boundary);
+* :func:`repro.parallel.executor.run_tasks` returns results in task
+  submission order regardless of completion order;
+* :class:`~repro.sched.simulator.ScheduleResult` round-trips through
+  pickle exactly (int/float64 arrays and strings).
+
+:func:`schedule_digest` condenses a result to a SHA-256 over its
+placement-relevant fields; the golden test pins
+``run_replicas(workers=k) == run_replicas(workers=1)`` through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.parallel.executor import run_tasks
+from repro.sched.machines import ClusterState
+from repro.sched.policies import policy_by_name
+from repro.sched.simulator import ScheduleResult, Scheduler
+from repro.sched.strategies import strategy_by_name
+
+__all__ = ["ReplicaSpec", "run_replicas", "schedule_digest"]
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica: everything needed to rebuild its simulator.
+
+    Plain data only (it crosses the pickle channel to workers):
+    strategy/policy *names*, not instances.
+    """
+
+    strategy: str
+    seed: int = 0
+    #: Machine -> node count; None uses the Table I cluster.
+    node_counts: dict[str, int] | None = None
+    queue_policy: str = "fcfs"
+    backfill_policy: str = "fcfs"
+    #: Requested-walltime factor forwarded to the Scheduler.
+    walltime_factor: float = 1.0
+    #: Free-form tag carried through to the result's ``extra``.
+    label: str = ""
+
+    def build_scheduler(self) -> Scheduler:
+        cluster = ClusterState(
+            dict(self.node_counts) if self.node_counts else None
+        )
+        return Scheduler(
+            strategy_by_name(self.strategy, seed=self.seed),
+            cluster,
+            queue_policy=policy_by_name(self.queue_policy),
+            backfill_policy=policy_by_name(self.backfill_policy),
+            walltime_factor=self.walltime_factor,
+        )
+
+
+def _run_replica(task) -> ScheduleResult:
+    """Worker entry point (module-level: pools pickle it by reference)."""
+    jobs, spec = task
+    result = spec.build_scheduler().run(jobs)
+    if spec.label:
+        result.extra["replica_label"] = spec.label
+    return result
+
+
+def run_replicas(
+    jobs,
+    specs: list[ReplicaSpec],
+    workers: int | None = 1,
+) -> list[ScheduleResult]:
+    """Run every replica over *jobs*; results in spec order.
+
+    ``workers=1`` runs inline (no pool, no pickling); any other value
+    shards replicas across processes.  Output is independent of
+    *workers* — same objects' values, same order — so parallelism is a
+    pure wall-time knob; pin it with :func:`schedule_digest` equality.
+
+    The job list is shipped to each worker by pickle; replicas are
+    whole simulations, so the one-time shipping cost is noise against
+    the simulation itself.
+    """
+    job_list = list(jobs)
+    tasks = [(job_list, spec) for spec in specs]
+    return run_tasks(_run_replica, tasks, jobs=workers)
+
+
+def schedule_digest(result: ScheduleResult) -> str:
+    """SHA-256 over a result's placement-relevant content.
+
+    Covers job ids, machine assignments, submit/start/end times, the
+    strategy name, and the backfill count — everything the equivalence
+    suite asserts on, in one comparable string.  Float times hash via
+    their exact IEEE-754 bytes, so two digests agree only when the
+    schedules are bit-identical.
+    """
+    h = hashlib.sha256()
+    h.update(result.strategy_name.encode())
+    h.update(str(result.backfilled).encode())
+    h.update("\x00".join(result.machines).encode())
+    for arr in (result.job_ids, result.submit_times,
+                result.start_times, result.end_times):
+        h.update(arr.tobytes())
+    return h.hexdigest()

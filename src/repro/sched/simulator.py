@@ -55,7 +55,7 @@ zero-cost (bit-identical output) when off.
 from __future__ import annotations
 
 import heapq
-from bisect import insort
+from bisect import bisect, insort
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -278,14 +278,23 @@ class Scheduler:
         window_span = 4 * depth
         walltime_factor = self.walltime_factor
         trace = self.trace
+        # A schedule pass may be elided (see `can_skip` below) only when
+        # the strategy has no call-order-dependent state — the protocol
+        # promises stateful strategies the reference call sequence — and
+        # tracing is off (a skipped pass would drop its "reserve" event).
+        skippable = stateless and not trace
 
         n = len(jobs)
-        # Queue of (R1 key, job_id, job) triples in sorted order; keys
-        # are total so the job object is never compared.
-        # `interior_stale` counts lazily-deleted entries at or beyond
-        # head_idx (backfilled jobs whose queue copy remains until the
-        # next compaction) — when zero, compaction degrades to a plain
-        # prefix slice and the backfill window needs no filtering.
+        # Queue of (R1 key, job_id, job) triples in sorted order from
+        # `head_idx` on; keys are total so the job object is never
+        # compared.  `interior_stale` counts lazily-deleted entries at
+        # or beyond head_idx (backfilled jobs whose queue copy remains
+        # until the next compaction).  Invariant: every such entry lies
+        # inside ``queue[head_idx : head_idx + 1 + window_span]`` —
+        # backfills only happen inside the window, the head cursor never
+        # moves backwards, and arrivals are only inserted after
+        # compaction — so compaction is an O(window) splice instead of a
+        # whole-queue copy.
         queue: list[tuple] = []
         head_idx = 0
         interior_stale = 0
@@ -297,30 +306,19 @@ class Scheduler:
         now = 0.0
         wakeups = 0
         events: list[tuple[float, str, int, str]] = []
-
-        def admit_arrivals() -> None:
-            nonlocal arrival_idx, queue, head_idx, interior_stale
-            if (arrival_idx >= n
-                    or arrivals[arrival_idx].submit_time > now):
-                return
-            # Compact lazily-deleted entries (mirrors the seed
-            # implementation's batch compaction), then merge each new
-            # arrival into R1 order with a binary insertion instead of
-            # re-sorting the whole queue.  Entries before head_idx are
-            # all scheduled, so with no stale interior entries the
-            # filter is a plain slice.
-            if interior_stale:
-                queue = [e for e in queue[head_idx:]
-                         if e[1] not in scheduled]
-                interior_stale = 0
-            elif head_idx:
-                queue = queue[head_idx:]
-            head_idx = 0
-            while (arrival_idx < n
-                   and arrivals[arrival_idx].submit_time <= now):
-                job = arrivals[arrival_idx]
-                insort(queue, (r1k[job.job_id], job.job_id, job))
-                arrival_idx += 1
+        # `_running` lists mutate in place (start/release/cancel never
+        # rebind them), so the pairs bound here stay valid for the whole
+        # run and `r[0][0]` peeks replace two method calls per machine
+        # per wakeup.
+        running_of = [(m, m._running) for m in machine_list]
+        # True while the last schedule pass provably cannot decide
+        # differently: it left the head blocked (or the live queue
+        # empty), and since then no completion freed nodes and no
+        # arrival landed inside the head's backfill window.  Free nodes
+        # can only shrink between releases and the shadow-feasibility
+        # test is monotone in `now`, so every candidate the pass
+        # rejected stays rejected — the rerun is a no-op and is elided.
+        can_skip = False
 
         def start_job(job: Job, machine_name: str) -> None:
             nonlocal started
@@ -334,126 +332,186 @@ class Scheduler:
                 release(job.job_id)
 
         while len(start_out) < n:
-            admit_arrivals()
-
-            while True:
-                while head_idx < len(queue) and queue[head_idx][1] in scheduled:
-                    # Entries skipped here are exactly the backfilled
-                    # jobs counted in interior_stale (head starts bump
-                    # head_idx directly, below).
-                    head_idx += 1
-                    interior_stale -= 1
-                if head_idx > 64 and head_idx * 2 > len(queue):
-                    queue = queue[head_idx:]
-                    head_idx = 0
-                if head_idx >= len(queue):
-                    break
-                head = queue[head_idx][2]
-                m_name = assign(head, started, cluster)
-                machine = machines[m_name]
-                if not machine.can_ever_fit(head.nodes_required):
-                    raise RuntimeError(
-                        f"job {head.job_id} needs {head.nodes_required} "
-                        f"nodes; {m_name} has {machine.total_nodes}"
-                    )
-                if machine.can_fit(head.nodes_required):
-                    start_job(head, m_name)
-                    if trace:
-                        events.append((now, "start", head.job_id, m_name))
-                    head_idx += 1
-                    continue
-
-                if not backfill or head_idx + 1 >= len(queue):
-                    break
-                total_free = sum(m.free_nodes for m in machine_list)
-                if stateless and total_free == 0 and not trace:
-                    # No machine can start anything and the strategy has
-                    # no call-order-dependent state, so the whole
-                    # backfill pass would be a no-op; skip it.
-                    break
-                # EASY: reserve head at its machine's shadow time, then
-                # scan a bounded near-head window in R2 order.
-                shadow = machine.shadow_time(head.nodes_required, now)
-                if trace:
-                    events.append((shadow, "reserve", head.job_id, m_name))
-                if same_order:
-                    # Queue order *is* R2 order: the window is the next
-                    # `depth` live entries, no decoration or sort.
-                    if interior_stale:
-                        cands = [
-                            e for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ][:depth]
+            # -- admit due arrivals ------------------------------------
+            if arrival_idx < n and arrivals[arrival_idx].submit_time <= now:
+                if interior_stale:
+                    # Splice the stale entries out of the window region
+                    # (equivalent to the reference engine's whole-queue
+                    # compaction by the invariant above).
+                    hi = head_idx + 1 + window_span
+                    queue[head_idx:hi] = [
+                        e for e in queue[head_idx:hi]
+                        if e[1] not in scheduled
+                    ]
+                    interior_stale = 0
+                    can_skip = False  # live entries shifted into the window
+                win_end = head_idx + 1 + window_span
+                qlen = len(queue)
+                while (arrival_idx < n
+                       and arrivals[arrival_idx].submit_time <= now):
+                    job = arrivals[arrival_idx]
+                    entry = (r1k[job.job_id], job.job_id, job)
+                    if qlen and entry < queue[-1]:
+                        pos = bisect(queue, entry, head_idx)
+                        queue.insert(pos, entry)
                     else:
-                        cands = queue[head_idx + 1:
-                                      head_idx + 1 + depth]
-                else:
-                    if interior_stale:
-                        window = [
-                            (r2k[e[1]], e[1], e[2])
-                            for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ]
-                    else:
-                        window = [
-                            (r2k[e[1]], e[1], e[2])
-                            for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                        ]
-                    window.sort()
-                    cands = window[:depth]
-                max_free = max(m.free_nodes for m in machine_list)
-                for _, cjid, cand in cands:
-                    need = cand.nodes_required
-                    if stateless and need > max_free and need <= max_total:
-                        # No machine has a block this large free right
-                        # now, so the candidate cannot start; skipping
-                        # the (stateless) strategy call changes nothing.
-                        continue
-                    c_name = assign(cand, started, cluster)
-                    c_machine = machines[c_name]
-                    if not c_machine.can_ever_fit(need):
-                        continue
-                    if not c_machine.can_fit(need):
-                        continue
-                    # Feasibility uses the (possibly inflated) estimate;
-                    # actual execution below uses the true runtime.
-                    finishes = now + (cand.runtime_on(c_name)
-                                      * walltime_factor)
-                    if c_name == m_name and finishes > shadow:
-                        # Would delay the head's reservation (the head
-                        # consumes every node freed up to the shadow
-                        # time by construction).
-                        continue
-                    if conservative and finishes > shadow:
-                        # Conservative mode: nothing may outlive the
-                        # reservation horizon, even on other machines.
-                        continue
-                    start_job(cand, c_name)
-                    backfilled += 1
-                    interior_stale += 1
-                    if trace:
-                        events.append((now, "backfill_start",
-                                       cjid, c_name))
-                    total_free -= need
-                    if stateless and total_free <= 0:
+                        # Monotone R1 keys (FCFS): the whole arrival
+                        # batch lands as O(1) tail appends.
+                        pos = qlen
+                        queue.append(entry)
+                    qlen += 1
+                    if pos < win_end:
+                        can_skip = False
+                    arrival_idx += 1
+
+            # -- schedule pass -----------------------------------------
+            if not can_skip:
+                while True:
+                    while (head_idx < len(queue)
+                           and queue[head_idx][1] in scheduled):
+                        # Entries skipped here are exactly the backfilled
+                        # jobs counted in interior_stale (head starts bump
+                        # head_idx directly, below).
+                        head_idx += 1
+                        interior_stale -= 1
+                    if head_idx > 64 and head_idx * 2 > len(queue):
+                        del queue[:head_idx]
+                        head_idx = 0
+                    if head_idx >= len(queue):
+                        can_skip = skippable
                         break
+                    head = queue[head_idx][2]
+                    m_name = assign(head, started, cluster)
+                    machine = machines[m_name]
+                    if not machine.can_ever_fit(head.nodes_required):
+                        raise RuntimeError(
+                            f"job {head.job_id} needs {head.nodes_required} "
+                            f"nodes; {m_name} has {machine.total_nodes}"
+                        )
+                    if machine.can_fit(head.nodes_required):
+                        start_job(head, m_name)
+                        if trace:
+                            events.append((now, "start", head.job_id, m_name))
+                        head_idx += 1
+                        continue
+
+                    if not backfill or head_idx + 1 >= len(queue):
+                        can_skip = skippable
+                        break
+                    total_free = sum(m.free_nodes for m in machine_list)
+                    if stateless and total_free == 0 and not trace:
+                        # No machine can start anything and the strategy
+                        # has no call-order-dependent state, so the whole
+                        # backfill pass would be a no-op; skip it.
+                        can_skip = skippable
+                        break
+                    # EASY: reserve head at its machine's shadow time,
+                    # then scan a bounded near-head window in R2 order.
+                    shadow = machine.shadow_time(head.nodes_required, now)
+                    if trace:
+                        events.append((shadow, "reserve", head.job_id,
+                                       m_name))
+                    if same_order:
+                        # Queue order *is* R2 order: scan the raw window
+                        # in place, counting live entries up to `depth`
+                        # — identical to filter-then-truncate because
+                        # live job ids are unique in the queue (a
+                        # candidate this scan starts is never seen again
+                        # later in the same scan).  When no entry is
+                        # stale the bound degrades to the next `depth`
+                        # raw entries and the membership test is skipped.
+                        lo = head_idx + 1
+                        check_stale = interior_stale > 0
+                        hi = min(len(queue),
+                                 lo + (window_span if check_stale
+                                       else depth))
+                        cands = None
+                    else:
+                        if interior_stale:
+                            window = [
+                                (r2k[e[1]], e[1], e[2])
+                                for e in
+                                queue[head_idx + 1:
+                                      head_idx + 1 + window_span]
+                                if e[1] not in scheduled
+                            ]
+                        else:
+                            window = [
+                                (r2k[e[1]], e[1], e[2])
+                                for e in
+                                queue[head_idx + 1:
+                                      head_idx + 1 + window_span]
+                            ]
+                        window.sort()
+                        cands = [e[2] for e in window[:depth]]
+                        lo, hi, check_stale = 0, len(cands), False
                     max_free = max(m.free_nodes for m in machine_list)
-                break  # head still blocked; wait for an event
+                    taken = 0
+                    for i in range(lo, hi):
+                        if taken == depth:
+                            break
+                        if cands is None:
+                            e = queue[i]
+                            if check_stale and e[1] in scheduled:
+                                continue
+                            cand = e[2]
+                        else:
+                            cand = cands[i]
+                        taken += 1
+                        need = cand.nodes_required
+                        if (stateless and need > max_free
+                                and need <= max_total):
+                            # No machine has a block this large free
+                            # right now, so the candidate cannot start;
+                            # skipping the (stateless) strategy call
+                            # changes nothing.
+                            continue
+                        c_name = assign(cand, started, cluster)
+                        c_machine = machines[c_name]
+                        if (c_machine.total_nodes
+                                - c_machine.offline_nodes < need):
+                            continue  # can_ever_fit, inlined
+                        if (c_machine.state != "up"
+                                or c_machine.free_nodes < need):
+                            continue  # can_fit, inlined
+                        # Feasibility uses the (possibly inflated)
+                        # estimate; actual execution below uses the true
+                        # runtime.
+                        finishes = now + (cand.runtime_on(c_name)
+                                          * walltime_factor)
+                        if c_name == m_name and finishes > shadow:
+                            # Would delay the head's reservation (the
+                            # head consumes every node freed up to the
+                            # shadow time by construction).
+                            continue
+                        if conservative and finishes > shadow:
+                            # Conservative mode: nothing may outlive the
+                            # reservation horizon, even on other
+                            # machines.
+                            continue
+                        start_job(cand, c_name)
+                        backfilled += 1
+                        interior_stale += 1
+                        if trace:
+                            events.append((now, "backfill_start",
+                                           cand.job_id, c_name))
+                        total_free -= need
+                        if stateless and total_free <= 0:
+                            break
+                        max_free = max(m.free_nodes for m in machine_list)
+                    can_skip = skippable
+                    break  # head still blocked; wait for an event
 
             if len(start_out) >= n:
                 break
-            # Advance time to the next event.
+            # Advance time to the next event (peeks inlined: the
+            # `_running` lists are the live objects).
             next_done = None
-            for m in machine_list:
-                t = m.next_completion()
-                if t is not None and (next_done is None or t < next_done):
-                    next_done = t
+            for m, r in running_of:
+                if r:
+                    t = r[0][0]
+                    if next_done is None or t < next_done:
+                        next_done = t
             if arrival_idx < n:
                 next_arrival = arrivals[arrival_idx].submit_time
                 if next_done is None or next_arrival < next_done:
@@ -462,8 +520,12 @@ class Scheduler:
                 raise RuntimeError("deadlock: no events but jobs unscheduled")
             if next_done > now:
                 now = next_done
-            for m in machine_list:
-                m.release_until(now)
+            for m, r in running_of:
+                if r and r[0][0] <= now:
+                    # Bulk-release every allocation due by `now`; freed
+                    # nodes invalidate the no-op-pass proof.
+                    m.release_until(now)
+                    can_skip = False
             wakeups += 1
 
         self.last_run_stats = SimStats(
@@ -565,22 +627,38 @@ class Scheduler:
         def remaining(jid: int) -> float:
             return max(0.0, 1.0 - progress.get(jid, 0.0))
 
+        def compact_window() -> None:
+            """Splice lazily-deleted entries out of the window region.
+
+            Equivalent to the reference engine's whole-queue compaction:
+            every stale entry lies inside ``queue[head_idx : head_idx +
+            1 + window_span]`` (backfills only happen inside the window,
+            the head cursor never moves backwards, and insertions only
+            happen right after compaction).
+            """
+            nonlocal interior_stale
+            hi = head_idx + 1 + window_span
+            queue[head_idx:hi] = [
+                e for e in queue[head_idx:hi] if e[1] not in scheduled
+            ]
+            interior_stale = 0
+
         def admit_arrivals() -> None:
-            nonlocal arrival_idx, queue, head_idx, interior_stale
+            nonlocal arrival_idx
             if (arrival_idx >= n
                     or arrivals[arrival_idx].submit_time > now):
                 return
             if interior_stale:
-                queue = [e for e in queue[head_idx:]
-                         if e[1] not in scheduled]
-                interior_stale = 0
-            elif head_idx:
-                queue = queue[head_idx:]
-            head_idx = 0
+                compact_window()
             while (arrival_idx < n
                    and arrivals[arrival_idx].submit_time <= now):
                 job = arrivals[arrival_idx]
-                insort(queue, (r1k[job.job_id], job.job_id, job))
+                entry = (r1k[job.job_id], job.job_id, job)
+                if queue and entry < queue[-1]:
+                    insort(queue, entry, head_idx)
+                else:
+                    # Monotone R1 keys (FCFS): O(1) tail append.
+                    queue.append(entry)
                 arrival_idx += 1
 
         def start_job(job: Job, machine_name: str) -> None:
@@ -635,19 +713,13 @@ class Scheduler:
             push(now + retry.delay(attempts[jid], jid), "requeue", jid)
 
         def handle_requeue(jid: int) -> None:
-            nonlocal queue, head_idx, interior_stale
             # Purge any stale queue copy (a backfilled job stays in the
             # window until compaction) *before* clearing the scheduled
-            # mark, then re-admit under R1 order.
+            # mark, then re-admit under R1 order among the live suffix.
             if interior_stale:
-                queue = [e for e in queue[head_idx:]
-                         if e[1] not in scheduled]
-                interior_stale = 0
-            elif head_idx:
-                queue = queue[head_idx:]
-            head_idx = 0
+                compact_window()
             scheduled.discard(jid)
-            insort(queue, (r1k[jid], jid, by_id[jid]))
+            insort(queue, (r1k[jid], jid, by_id[jid]), head_idx)
             if trace:
                 events.append((now, "requeue", jid, ""))
 
@@ -677,13 +749,13 @@ class Scheduler:
             push(now + injector.repair_duration(m_name), "recover", m_name)
 
         def schedule_pass() -> None:
-            nonlocal queue, head_idx, interior_stale, backfilled
+            nonlocal head_idx, interior_stale, backfilled
             while True:
                 while head_idx < len(queue) and queue[head_idx][1] in scheduled:
                     head_idx += 1
                     interior_stale -= 1
                 if head_idx > 64 and head_idx * 2 > len(queue):
-                    queue = queue[head_idx:]
+                    del queue[:head_idx]
                     head_idx = 0
                 if head_idx >= len(queue):
                     return
@@ -723,16 +795,15 @@ class Scheduler:
                 if trace:
                     events.append((shadow, "reserve", head.job_id, m_name))
                 if same_order:
-                    if interior_stale:
-                        cands = [
-                            e for e in
-                            queue[head_idx + 1:
-                                  head_idx + 1 + window_span]
-                            if e[1] not in scheduled
-                        ][:depth]
-                    else:
-                        cands = queue[head_idx + 1:
-                                      head_idx + 1 + depth]
+                    # Scan the raw window in place, counting live
+                    # entries up to `depth` — identical to
+                    # filter-then-truncate because live job ids are
+                    # unique in the queue.
+                    lo = head_idx + 1
+                    check_stale = interior_stale > 0
+                    hi = min(len(queue),
+                             lo + (window_span if check_stale else depth))
+                    cands = None
                 else:
                     if interior_stale:
                         window = [
@@ -750,9 +821,21 @@ class Scheduler:
                                   head_idx + 1 + window_span]
                         ]
                     window.sort()
-                    cands = window[:depth]
+                    cands = [e[2] for e in window[:depth]]
+                    lo, hi, check_stale = 0, len(cands), False
                 max_free = max(m.free_nodes for m in machine_list)
-                for _, cjid, cand in cands:
+                taken = 0
+                for i in range(lo, hi):
+                    if taken == depth:
+                        break
+                    if cands is None:
+                        e = queue[i]
+                        if check_stale and e[1] in scheduled:
+                            continue
+                        cand = e[2]
+                    else:
+                        cand = cands[i]
+                    taken += 1
                     need = cand.nodes_required
                     if stateless and need > max_free and need <= max_total:
                         continue
@@ -766,7 +849,7 @@ class Scheduler:
                     if not c_machine.can_fit(need):
                         continue
                     finishes = now + (cand.runtime_on(c_name)
-                                      * remaining(cjid)
+                                      * remaining(cand.job_id)
                                       * walltime_factor)
                     if c_name == m_name and finishes > shadow:
                         continue
@@ -777,7 +860,7 @@ class Scheduler:
                     interior_stale += 1
                     if trace:
                         events.append((now, "backfill_start",
-                                       cjid, c_name))
+                                       cand.job_id, c_name))
                     total_free -= need
                     if stateless and total_free <= 0:
                         break
@@ -799,7 +882,9 @@ class Scheduler:
                 raise RuntimeError("deadlock: no events but jobs unresolved")
             now = max(now, min(wake_times))
             for m in machine_list:
-                m.release_until(now)
+                r = m._running
+                if r and r[0][0] <= now:
+                    m.release_until(now)
             wakeups += 1
 
             while evq and evq[0][0] <= now:

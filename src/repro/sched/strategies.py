@@ -214,7 +214,17 @@ class ModelBasedStrategy:
         return cached
 
     def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
-        order_machines, _ = self._preferences(job, cluster)
+        # Memo fast path inlined: the simulator re-consults the strategy
+        # on every wake-up while a job waits, so the cache-hit lookup is
+        # itself hot.  The identity check guards against a swapped
+        # cluster exactly like :meth:`_preferences` does.
+        if cluster is self._cluster:
+            cached = self._pref_cache.get(job.job_id)
+            if cached is None:
+                cached = self._preferences(job, cluster)
+        else:
+            cached = self._preferences(job, cluster)
+        order_machines = cached[0]
         need = job.nodes_required
         # Fastest machine with room now; if all full, the overall fastest
         # (Algorithm 2 lines 4-5: "if all s in M are full: return m").

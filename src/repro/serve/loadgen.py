@@ -15,9 +15,13 @@ those from the degradation chain, HTTP 200 with a non-``model`` tier),
 and ``malformed_fraction`` mangles the request schema itself (the
 service rejects those with a typed 400).
 
-:func:`http_request` is the one tiny HTTP client used by the load
-driver, the CLI self-test, and the CI smoke job — stdlib asyncio
-streams, one request per connection, JSON in/out.
+:func:`http_request` is the one tiny HTTP client used by the CLI
+self-test and the CI smoke job — stdlib asyncio streams, one request
+per connection, JSON in/out.  The load driver itself uses
+:class:`HttpSession` — a persistent keep-alive connection with
+content-length response framing — across a fixed pool, so sustained
+load measures the service, not per-request TCP setup (the old
+connection-per-request driver put handshake queueing in the p99).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "HttpSession",
     "LoadReport",
     "http_request",
     "run_load",
@@ -152,6 +157,98 @@ async def http_request(
     return status, json.loads(body_blob.decode())
 
 
+class HttpSession:
+    """A persistent keep-alive HTTP connection (stdlib asyncio streams).
+
+    One in-flight request at a time (requests on a connection are
+    sequential by construction); responses are framed by their
+    ``content-length`` header so the connection survives the exchange.
+    A dropped connection — server restart, error-path close — is
+    re-opened transparently on the next request.  Close with
+    :meth:`aclose`.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.connects = 0
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.timeout_s,
+            )
+            self.connects += 1
+
+    async def _close_transport(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def request(
+        self,
+        method: str = "GET",
+        target: str = "/healthz",
+        payload: dict | None = None,
+    ) -> tuple[int, dict]:
+        """One JSON exchange on the persistent connection."""
+        await self._ensure_connected()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"host: {self.host}:{self.port}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n\r\n"
+        ).encode("ascii")
+        try:
+            self._writer.write(head + body)
+            await self._writer.drain()
+            status_line = await asyncio.wait_for(
+                self._reader.readline(), self.timeout_s
+            )
+            if not status_line:
+                raise ConnectionResetError("server closed the connection")
+            status = int(status_line.split()[1])
+            length = 0
+            close_after = False
+            while True:
+                line = await asyncio.wait_for(
+                    self._reader.readline(), self.timeout_s
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                name = name.strip().lower()
+                if name == "content-length":
+                    length = int(value.strip())
+                elif name == "connection" and value.strip().lower() == "close":
+                    close_after = True
+            raw = await asyncio.wait_for(
+                self._reader.readexactly(length), self.timeout_s
+            ) if length else b""
+        except BaseException:
+            # Leave no half-read response behind: the next request gets
+            # a fresh connection instead of desynchronized framing.
+            await self._close_transport()
+            raise
+        if close_after:
+            await self._close_transport()
+        return status, json.loads(raw.decode()) if raw else {}
+
+    async def aclose(self) -> None:
+        await self._close_transport()
+
+
 # ----------------------------------------------------------------------
 # Load driver
 # ----------------------------------------------------------------------
@@ -168,6 +265,10 @@ class LoadReport:
     statuses: dict = field(default_factory=dict)
     latencies_s: list = field(default_factory=list)
     duration_s: float = 0.0
+    #: Pool size and actual TCP connects (reconnects show up as
+    #: ``connects > connections``).
+    connections: int = 0
+    connects: int = 0
 
     def observe(self, status: int, body: dict, latency_s: float) -> None:
         self.sent += 1
@@ -208,6 +309,8 @@ class LoadReport:
             "statuses": {str(k): v
                          for k, v in sorted(self.statuses.items())},
             "duration_s": round(self.duration_s, 4),
+            "connections": self.connections,
+            "connects": self.connects,
             "requests_per_sec": round(self.requests_per_sec, 2),
             "goodput_per_sec": round(self.goodput_per_sec, 2),
             "latency_ms": {
@@ -225,42 +328,67 @@ async def run_load(
     rate_per_second: float = 0.0,
     seed: int = 0,
     timeout_s: float = 30.0,
+    connections: int = 8,
 ) -> LoadReport:
     """Fire *payloads* at the service and aggregate a report.
 
     With a positive *rate_per_second*, request *i* launches at the
     ``i``-th seeded Poisson arrival offset (the scheduler simulation's
-    arrival process).  With rate 0, everything launches at once — the
-    overload shape that drives admission into degraded/shed territory.
+    arrival process).  With rate 0, everything launches as fast as the
+    pool allows — the overload shape that drives admission into
+    degraded/shed territory.
+
+    Requests are driven through a pool of *connections* persistent
+    keep-alive sessions (payload *i* rides session ``i % connections``,
+    a deterministic assignment).  Reusing connections keeps TCP/accept
+    setup out of the measured latencies; it also bounds concurrent
+    in-flight requests at the pool size, the way real clients behave.
+    A session that falls behind its arrival offsets fires back-to-back
+    until it catches up (closed-loop per connection).
     """
     from repro.workloads import poisson_arrivals
 
+    if connections < 1:
+        raise ValueError(f"need connections >= 1, got {connections}")
     if rate_per_second > 0:
         offsets = poisson_arrivals(len(payloads), rate_per_second,
                                    seed=seed)
     else:
         offsets = np.zeros(len(payloads))
     report = LoadReport()
-
-    async def _one(payload: dict, delay: float) -> None:
-        await asyncio.sleep(delay)
-        t0 = time.perf_counter()
-        try:
-            status, body = await http_request(
-                host, port, "POST", "/predict", payload,
-                timeout_s=timeout_s,
-            )
-        except (OSError, asyncio.TimeoutError, ValueError,
-                json.JSONDecodeError):
-            report.sent += 1
-            report.failed += 1
-            return
-        report.observe(status, body, time.perf_counter() - t0)
-
     t_start = time.perf_counter()
-    await asyncio.gather(*(
-        _one(payload, float(offsets[i]))
-        for i, payload in enumerate(payloads)
-    ))
+
+    async def _drive(session: HttpSession, assigned) -> None:
+        for payload, offset in assigned:
+            delay = offset - (time.perf_counter() - t_start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            t0 = time.perf_counter()
+            try:
+                status, body = await session.request(
+                    "POST", "/predict", payload
+                )
+            except (OSError, asyncio.TimeoutError, ValueError,
+                    json.JSONDecodeError, asyncio.IncompleteReadError):
+                report.sent += 1
+                report.failed += 1
+                continue
+            report.observe(status, body, time.perf_counter() - t0)
+
+    pool = [HttpSession(host, port, timeout_s)
+            for _ in range(min(connections, max(1, len(payloads))))]
+    shards = [[] for _ in pool]
+    for i, payload in enumerate(payloads):
+        shards[i % len(pool)].append((payload, float(offsets[i])))
+    try:
+        await asyncio.gather(*(
+            _drive(session, shard)
+            for session, shard in zip(pool, shards)
+        ))
+    finally:
+        for session in pool:
+            await session.aclose()
     report.duration_s = time.perf_counter() - t_start
+    report.connections = len(pool)
+    report.connects = sum(s.connects for s in pool)
     return report

@@ -1,0 +1,117 @@
+"""repro.perf: deterministic self-profiling reports."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import perf
+
+
+def _busy_workload():
+    """Small but non-trivial: named helpers + numpy allocations."""
+    def inner(n):
+        acc = np.zeros(n)
+        for _ in range(20):
+            acc = acc + np.arange(n, dtype=np.float64)
+        return float(acc.sum())
+
+    total = 0.0
+    for _ in range(5):
+        total += inner(4096)
+    return total
+
+
+def test_collect_produces_valid_checksummed_report():
+    report = perf.collect(_busy_workload, label="busy", top=10,
+                          meta={"jobs": 5})
+    assert perf.validate_report(report) is report
+    assert report["workload"] == "busy"
+    assert report["meta"] == {"jobs": 5}
+    assert report["schema_version"] == perf.SCHEMA_VERSION
+    assert report["wall_time_s"] > 0
+    assert report["checksum"] == perf.checksum_report(report)
+    # The report is JSON round-trippable and the checksum survives it.
+    loaded = json.loads(json.dumps(report))
+    assert perf.validate_report(loaded)["checksum"] == report["checksum"]
+
+
+def test_collect_call_counts_are_exact():
+    """cProfile is deterministic: the helper's call count is exact."""
+    report = perf.collect(_busy_workload, top=200)
+    by_name = {(r["function"]): r for r in report["functions"]}
+    assert "inner" in by_name, sorted(by_name)
+    assert by_name["inner"]["ncalls"] == 5
+    assert report["counters"]["total_calls"] >= 5
+    assert report["counters"]["primitive_calls"] >= 5
+
+
+def test_collect_sees_numpy_allocations():
+    """numpy registers buffers with tracemalloc → counters are nonzero."""
+    report = perf.collect(_busy_workload, top=50)
+    assert report["counters"]["peak_traced_bytes"] > 0
+    assert report["counters"]["numpy_blocks"] > 0
+    assert report["counters"]["numpy_bytes"] > 0
+    levels = {r["cache_level"] for r in report["allocations"]}
+    assert levels <= {"L1", "L2", "L3", "DRAM"}
+
+
+def test_collect_restores_tracemalloc_state():
+    import tracemalloc
+
+    assert not tracemalloc.is_tracing()
+    perf.collect(lambda: None, top=1)
+    assert not tracemalloc.is_tracing()
+    tracemalloc.start()
+    try:
+        perf.collect(lambda: None, top=1)
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()
+
+
+def test_collect_rejects_bad_top():
+    with pytest.raises(ValueError):
+        perf.collect(lambda: None, top=0)
+
+
+def test_validate_rejects_tampered_report():
+    report = perf.collect(_busy_workload, top=5)
+    tampered = json.loads(json.dumps(report))
+    tampered["wall_time_s"] = 0.0
+    with pytest.raises(ValueError, match="checksum"):
+        perf.validate_report(tampered)
+
+
+def test_validate_names_first_defect():
+    with pytest.raises(ValueError, match="must be an object"):
+        perf.validate_report([1, 2])
+    report = perf.collect(lambda: None, top=1)
+    clipped = {k: v for k, v in report.items() if k != "functions"}
+    with pytest.raises(ValueError, match="missing keys.*functions"):
+        perf.validate_report(clipped)
+    wrong_version = dict(report, schema_version=99)
+    with pytest.raises(ValueError, match="schema_version"):
+        perf.validate_report(wrong_version)
+
+
+def test_cache_level_classification():
+    assert perf._cache_level(1024) == "L1"
+    assert perf._cache_level(512 * 1024) == "L2"
+    assert perf._cache_level(16 * 1024 * 1024) == "L3"
+    assert perf._cache_level(1 << 30) == "DRAM"
+
+
+def test_render_report_top3():
+    report = perf.collect(_busy_workload, top=10)
+    text = perf.render_report(report, top=3)
+    lines = text.splitlines()
+    assert "perf profile (workload)" in lines[0]
+    assert "top 3 functions by self time" in text
+    # Exactly the top-3 function rows render, in self-time order.
+    start = lines.index("top 3 functions by self time:") + 1
+    rendered = lines[start:start + 3]
+    for row, line in zip(report["functions"][:3], rendered):
+        assert row["function"] in line

@@ -7,6 +7,14 @@ every other layer can depend on them without cycles:
 * ``repro.errors``    may import nothing from ``repro``;
 * ``repro.ioutils``   may import nothing from ``repro`` (crash-safe
   write primitives used by every artifact writer);
+* ``repro.native``    may import nothing from ``repro`` (optional C
+  kernels with numpy fallback; imported from the ml hot loops, so it
+  must sit below everything);
+* ``repro.perf``      may import nothing from ``repro`` (the
+  deterministic self-profiler profiles arbitrary callables, so keeping
+  it import-free means any layer can be profiled without cycles), and
+  — enforced by the reverse check below — may itself be imported only
+  by the CLI (benchmarks/tests live outside ``src`` and are free);
 * ``repro.registry``  may import only ``repro.errors``;
 * ``repro.config``    may import only ``repro.errors`` /
   ``repro.registry`` / ``repro.ioutils``;
@@ -117,6 +125,8 @@ _SERVE_DEPS = {
 ALLOWED = {
     "repro.errors": set(),
     "repro.ioutils": set(),
+    "repro.native": set(),
+    "repro.perf": set(),
     "repro.registry": {"repro.errors"},
     "repro.config": {"repro.errors", "repro.registry", "repro.ioutils"},
     "repro.telemetry": _TELEMETRY_DEPS,
@@ -174,6 +184,29 @@ def repro_imports(module: str) -> list[tuple[int, str]]:
     return found
 
 
+#: module -> the only repro packages allowed to import it.  The forward
+#: check above constrains a module's *outgoing* edges; this constrains
+#: *incoming* ones, for tools that must never leak into the library
+#: layers (the self-profiler is operational tooling the CLI exposes,
+#: not a dependency science code may grow).  An importer matches if it
+#: equals an entry or lives under an entry's package.
+RESTRICTED_IMPORTERS = {
+    "repro.perf": {"repro.cli"},
+}
+
+
+def _all_modules() -> list[str]:
+    """Every repro module under SRC, as dotted names."""
+    modules = []
+    for path in (SRC / "repro").rglob("*.py"):
+        rel = path.relative_to(SRC).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules.append(".".join(parts))
+    return modules
+
+
 def violations() -> list[str]:
     problems = []
     for module, allowed in ALLOWED.items():
@@ -183,6 +216,20 @@ def violations() -> list[str]:
             problems.append(
                 f"{module} (line {lineno}) imports {imported}; allowed: "
                 f"{', '.join(sorted(allowed)) or 'nothing from repro'}"
+            )
+    for module in _all_modules():
+        for lineno, imported in repro_imports(module):
+            allowed_importers = RESTRICTED_IMPORTERS.get(imported)
+            if allowed_importers is None:
+                continue
+            if module == imported or any(
+                module == pkg or module.startswith(pkg + ".")
+                for pkg in allowed_importers
+            ):
+                continue
+            problems.append(
+                f"{module} (line {lineno}) imports {imported}, which only "
+                f"{', '.join(sorted(allowed_importers))} may import"
             )
     return problems
 
