@@ -12,6 +12,15 @@ are latency-oriented CPU machines (Ruby adds AVX-512 and more cores),
 Lassen and Corona are throughput-oriented GPU machines.
 """
 
+from repro.arch.descriptor import (
+    DESCRIPTOR_FEATURES,
+    DESCRIPTOR_SCHEMA_VERSION,
+    MachineDescriptor,
+    descriptor_from_spec,
+    descriptor_matrix,
+    machine_digest,
+    spec_from_descriptor,
+)
 from repro.arch.hardware import CacheLevel, CPUSpec, GPUSpec, MachineSpec
 from repro.arch.machines import (
     CORONA,
@@ -35,4 +44,11 @@ __all__ = [
     "MACHINES",
     "SYSTEM_ORDER",
     "get_machine",
+    "DESCRIPTOR_SCHEMA_VERSION",
+    "DESCRIPTOR_FEATURES",
+    "MachineDescriptor",
+    "descriptor_from_spec",
+    "spec_from_descriptor",
+    "descriptor_matrix",
+    "machine_digest",
 ]

@@ -1,0 +1,310 @@
+"""Canonical machine descriptors for zero-shot architecture scoring.
+
+The paper's model only ranks the four machines it was trained on: the
+RPV target is *indexed* by the frozen ``SYSTEM_ORDER`` list, so a fifth
+machine has no slot to land in.  Following the cross-machine modeling
+line of work (Li et al.'s generalizable program/architecture
+representations; Stevens & Klöckner's black-box GPU transfer), this
+module turns every :class:`~repro.arch.hardware.MachineSpec` into an
+explicit numeric **descriptor vector** — clock, cores, vector width,
+cache geometry, memory/GPU bandwidth, peak flops, interconnect — that a
+model can condition on, so a machine registered *after* training can be
+scored from its spec sheet alone.
+
+Three things live here:
+
+* :class:`MachineDescriptor` — the frozen feature record, with a
+  canonical column order (:data:`DESCRIPTOR_FEATURES`) shared by the
+  schema-v2 dataset builder, the zero-shot predictor, and the serve
+  wire format;
+* :func:`descriptor_from_spec` / :func:`spec_from_descriptor` — the
+  (lossy-but-sufficient) round trip between the analytical-model-grade
+  ``MachineSpec`` and the descriptor, so a machine can be *registered*
+  from a descriptor received over the wire;
+* :func:`machine_digest` — a SHA-256 content digest built
+  programmatically from every dataclass field of a spec (recursively),
+  so two machines differing in *any* descriptor-feeding field can never
+  collide to one config hash.  Hand-written subsets (``describe()``)
+  go stale when fields are added; walking ``dataclasses.fields`` cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+
+import numpy as np
+
+from repro.arch.hardware import CacheLevel, CPUSpec, GPUSpec, MachineSpec
+from repro.config import canonical_json, content_digest
+from repro.errors import ConfigError
+
+__all__ = [
+    "DESCRIPTOR_SCHEMA_VERSION",
+    "DESCRIPTOR_FEATURES",
+    "MachineDescriptor",
+    "descriptor_from_spec",
+    "spec_from_descriptor",
+    "descriptor_matrix",
+    "spec_canonical_dict",
+    "machine_digest",
+]
+
+#: Bumped whenever descriptor fields or their meaning change; stamped
+#: into :func:`machine_digest` so digests from different schema
+#: generations never compare equal.
+DESCRIPTOR_SCHEMA_VERSION = 1
+
+#: Canonical numeric feature order.  This tuple IS the wire/dataset
+#: contract: schema-v2 descriptor columns, the zero-shot model's input
+#: layout, and the serve ``machines`` payload all follow it.
+DESCRIPTOR_FEATURES: tuple[str, ...] = (
+    "cores",
+    "clock_ghz",
+    "ipc_scalar",
+    "vector_width_dp",
+    "fma",
+    "l1_kib",
+    "l2_kib",
+    "l3_mib",
+    "mem_bw_gbs",
+    "mem_latency_ns",
+    "peak_dp_gflops",
+    "peak_sp_gflops",
+    "gpus_per_node",
+    "gpu_sp_gflops",
+    "gpu_dp_gflops",
+    "gpu_mem_bw_gbs",
+    "gpu_mem_gib",
+    "interconnect_bw_gbs",
+    "interconnect_latency_us",
+    "nodes",
+)
+
+
+@dataclass(frozen=True)
+class MachineDescriptor:
+    """One machine as the model sees it: a named numeric feature record.
+
+    All rates are node-level aggregates (GPU figures sum over
+    ``gpus_per_node``); sizes use the unit in the field name.  CPU-only
+    machines carry zeros in every ``gpu_*`` field — "no device" is a
+    value the model conditions on, not a missing feature.
+    """
+
+    name: str
+    cores: float
+    clock_ghz: float
+    ipc_scalar: float
+    vector_width_dp: float
+    fma: float
+    l1_kib: float
+    l2_kib: float
+    l3_mib: float
+    mem_bw_gbs: float
+    mem_latency_ns: float
+    peak_dp_gflops: float
+    peak_sp_gflops: float
+    gpus_per_node: float
+    gpu_sp_gflops: float
+    gpu_dp_gflops: float
+    gpu_mem_bw_gbs: float
+    gpu_mem_gib: float
+    interconnect_bw_gbs: float
+    interconnect_latency_us: float
+    nodes: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ConfigError("descriptor name must be a non-empty string")
+        for feature in DESCRIPTOR_FEATURES:
+            value = getattr(self, feature)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ) or not np.isfinite(value):
+                raise ConfigError(
+                    f"descriptor field {feature!r} must be a finite "
+                    f"number, got {value!r}"
+                )
+
+    def vector(self) -> np.ndarray:
+        """The feature vector in :data:`DESCRIPTOR_FEATURES` order."""
+        return np.array(
+            [float(getattr(self, f)) for f in DESCRIPTOR_FEATURES],
+            dtype=np.float64,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (name + every descriptor feature)."""
+        out: dict = {"name": self.name}
+        for feature in DESCRIPTOR_FEATURES:
+            out[feature] = float(getattr(self, feature))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineDescriptor":
+        """Parse a descriptor mapping; typed :class:`ConfigError` on any
+        defect (missing field, unknown field, non-numeric value)."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"machine descriptor must be an object, got "
+                f"{type(data).__name__}"
+            )
+        expected = {"name", *DESCRIPTOR_FEATURES}
+        unknown = sorted(set(data) - expected)
+        if unknown:
+            raise ConfigError(
+                f"unknown descriptor field(s): {', '.join(unknown)}"
+            )
+        missing = sorted(expected - set(data))
+        if missing:
+            raise ConfigError(
+                f"descriptor is missing field(s): {', '.join(missing)}"
+            )
+        values = {}
+        for feature in DESCRIPTOR_FEATURES:
+            v = data[feature]
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ConfigError(
+                    f"descriptor field {feature!r} must be a number, "
+                    f"got {v!r}"
+                )
+            values[feature] = float(v)
+        return cls(name=str(data["name"]), **values)
+
+    def digest(self) -> str:
+        """Content digest of the descriptor itself (schema-stamped)."""
+        return content_digest({
+            "descriptor_schema_version": DESCRIPTOR_SCHEMA_VERSION,
+            **self.to_dict(),
+        })
+
+
+def descriptor_from_spec(spec: MachineSpec) -> MachineDescriptor:
+    """Extract the canonical descriptor from a registered machine spec."""
+    cpu = spec.cpu
+    return MachineDescriptor(
+        name=spec.name,
+        cores=float(cpu.cores),
+        clock_ghz=float(cpu.clock_ghz),
+        ipc_scalar=float(cpu.ipc_scalar),
+        vector_width_dp=float(cpu.vector_width_dp),
+        fma=1.0 if cpu.fma else 0.0,
+        l1_kib=cpu.l1.size_bytes / 1024.0,
+        l2_kib=cpu.l2.size_bytes / 1024.0,
+        l3_mib=cpu.l3.size_bytes / (1024.0 * 1024.0),
+        mem_bw_gbs=float(cpu.mem_bw_gbs),
+        mem_latency_ns=float(cpu.mem_latency_ns),
+        peak_dp_gflops=float(cpu.peak_dp_gflops),
+        peak_sp_gflops=float(cpu.peak_sp_gflops),
+        gpus_per_node=float(spec.gpus_per_node),
+        gpu_sp_gflops=float(spec.node_peak_gpu_sp_gflops),
+        gpu_dp_gflops=float(spec.node_peak_gpu_dp_gflops),
+        gpu_mem_bw_gbs=float(spec.node_gpu_mem_bw_gbs),
+        gpu_mem_gib=(
+            spec.gpu.mem_bytes * spec.gpus_per_node / (1024.0 ** 3)
+            if spec.gpu is not None else 0.0
+        ),
+        interconnect_bw_gbs=float(spec.interconnect_bw_gbs),
+        interconnect_latency_us=float(spec.interconnect_latency_us),
+        nodes=float(spec.nodes),
+    )
+
+
+def spec_from_descriptor(desc: MachineDescriptor) -> MachineSpec:
+    """Build a registerable :class:`MachineSpec` from a descriptor.
+
+    The inverse of :func:`descriptor_from_spec` up to the fields the
+    descriptor carries; quantities the descriptor does not describe
+    (cache latencies, noise sigma, launch overheads) take the hardware
+    dataclasses' defaults.  Good enough to register a machine post-hoc
+    for scheduling and serving — per-node counts, bandwidths, and peaks
+    round-trip exactly.
+    """
+    cores = max(1, int(round(desc.cores)))
+    gpus = max(0, int(round(desc.gpus_per_node)))
+    cpu = CPUSpec(
+        model=f"{desc.name} (from descriptor)",
+        cores=cores,
+        clock_ghz=desc.clock_ghz,
+        ipc_scalar=desc.ipc_scalar,
+        vector_width_dp=max(1, int(round(desc.vector_width_dp))),
+        fma=desc.fma >= 0.5,
+        l1=CacheLevel(max(1, int(round(desc.l1_kib * 1024))), 4.0),
+        l2=CacheLevel(max(1, int(round(desc.l2_kib * 1024))), 14.0),
+        l3=CacheLevel(max(1, int(round(desc.l3_mib * 1024 * 1024))),
+                      40.0, shared=True),
+        mem_bw_gbs=desc.mem_bw_gbs,
+        mem_latency_ns=desc.mem_latency_ns,
+    )
+    gpu = None
+    if gpus > 0:
+        gpu = GPUSpec(
+            model=f"{desc.name} GPU (from descriptor)",
+            peak_sp_tflops=desc.gpu_sp_gflops / 1000.0 / gpus,
+            peak_dp_tflops=desc.gpu_dp_gflops / 1000.0 / gpus,
+            mem_bw_gbs=desc.gpu_mem_bw_gbs / gpus,
+            mem_bytes=max(1, int(round(
+                desc.gpu_mem_gib * (1024 ** 3) / gpus
+            ))),
+        )
+    return MachineSpec(
+        name=desc.name,
+        cpu=cpu,
+        gpu=gpu,
+        gpus_per_node=gpus,
+        nodes=max(1, int(round(desc.nodes))),
+        interconnect_bw_gbs=desc.interconnect_bw_gbs,
+        interconnect_latency_us=desc.interconnect_latency_us,
+    )
+
+
+def descriptor_matrix(
+    descriptors: "list[MachineDescriptor] | tuple[MachineDescriptor, ...]",
+) -> np.ndarray:
+    """Stack descriptor vectors, shape ``(n, len(DESCRIPTOR_FEATURES))``."""
+    if not descriptors:
+        raise ValueError("need at least one descriptor")
+    return np.vstack([d.vector() for d in descriptors])
+
+
+def spec_canonical_dict(spec) -> dict:
+    """Every field of a (possibly nested) spec dataclass, recursively.
+
+    Unlike ``describe()``-style hand-picked summaries, this walks
+    ``dataclasses.fields`` so a newly added field is covered by
+    construction — the digest below can never silently ignore one.
+    """
+    if is_dataclass(spec) and not isinstance(spec, type):
+        return {
+            f.name: spec_canonical_dict(getattr(spec, f.name))
+            for f in fields(spec)
+        }
+    if isinstance(spec, dict):
+        return {str(k): spec_canonical_dict(v) for k, v in spec.items()}
+    if isinstance(spec, (list, tuple)):
+        return [spec_canonical_dict(v) for v in spec]
+    if spec is None or isinstance(spec, (bool, int, float, str)):
+        return spec
+    raise ConfigError(
+        f"cannot canonicalize spec field of type {type(spec).__name__}"
+    )
+
+
+def machine_digest(spec: MachineSpec) -> str:
+    """SHA-256 content digest covering EVERY field of *spec*.
+
+    Two machines that differ in any descriptor-feeding field — a cache
+    size, a GPU bandwidth, the noise sigma, an ``extra`` entry — get
+    different digests, so config hashes that embed this digest can
+    never collide across distinct hardware.  Stamped with the
+    descriptor schema version so the digest space is versioned too.
+    """
+    material = {
+        "descriptor_schema_version": DESCRIPTOR_SCHEMA_VERSION,
+        "machine": spec_canonical_dict(spec),
+    }
+    # canonical_json is the same encoder config digests use everywhere
+    # (sorted keys, compact separators), so this digest is stable across
+    # processes and platforms.
+    assert canonical_json(material)  # fails loudly on non-JSON leakage
+    return content_digest(material)

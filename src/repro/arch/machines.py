@@ -12,6 +12,7 @@ SP/DP balances.
 from __future__ import annotations
 
 from repro.arch.hardware import CacheLevel, CPUSpec, GPUSpec, MachineSpec
+from repro.config import set_machine_digest_resolver
 from repro.registry import Registry
 
 __all__ = [
@@ -156,3 +157,22 @@ def get_machine(name: str) -> MachineSpec:
     did-you-mean suggestions on a miss.
     """
     return MACHINES[name]
+
+
+def _machine_digest_for_config(name: str) -> str:
+    """Resolver wired into :mod:`repro.config` so experiment hashes pin
+    the full spec of every machine they name.
+
+    Reads the registry at call time, so a spec swapped in via
+    ``MACHINES.__setitem__`` (calibration studies, test fixtures) is
+    reflected in hashes computed afterwards.
+    """
+    from repro.arch.descriptor import machine_digest
+
+    return machine_digest(MACHINES[name])
+
+
+# Dependency inversion: repro.config sits below the arch layer (it may
+# import only errors/registry/ioutils), so it cannot look up machine
+# specs itself — this layer pushes the resolver down instead.
+set_machine_digest_resolver(_machine_digest_for_config)

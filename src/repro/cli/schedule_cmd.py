@@ -42,6 +42,12 @@ def add_subparsers(sub) -> None:
     p.add_argument("--max-attempts", type=int, default=s.max_attempts,
                    help="abandon a job after this many attempts "
                         "(default: retry forever)")
+    p.add_argument("--with-uncertainty", dest="with_uncertainty",
+                   action="store_true", default=s.with_uncertainty,
+                   help="attach per-job predictive uncertainty to the "
+                        "workload (arms the risk-aware/uncertainty "
+                        "strategies; per-machine summary lands in "
+                        "metrics.json)")
     add_spine_options(p)
     p.set_defaults(func=cmd_schedule)
 
@@ -65,11 +71,16 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     dataset = generate_dataset(inputs_per_app=cfg.inputs_per_app,
                                seed=cfg.seed)
     train_rows, _ = train_test_split(dataset.num_rows, 0.1, random_state=42)
-    predictor = CrossArchPredictor.train(dataset, rows=train_rows)
+    # Quantile heads fit strictly after (and independently of) the main
+    # boosting rounds, so turning them on leaves every prediction — and
+    # therefore every strategy's schedule — bit-identical.
+    extra = {"quantile_heads": (0.25, 0.75)} if cfg.with_uncertainty else {}
+    predictor = CrossArchPredictor.train(dataset, rows=train_rows, **extra)
     if cfg.fault_profile != "none":
         return _schedule_with_faults(args, experiment, dataset, predictor)
     jobs = build_workload(dataset, n_jobs=cfg.jobs, seed=cfg.seed + 1,
-                          predictor=predictor)
+                          predictor=predictor,
+                          with_uncertainty=cfg.with_uncertainty)
     # In trace mode the simulator also records its (simulated-time)
     # event log, exported per strategy as a Chrome trace of its own.
     sim_trace = telemetry.tracing_enabled()
@@ -92,6 +103,23 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                       header="repro scheduling experiment")
             print(f"  SWF trace written to {cfg.swf_output}")
             swf_path = cfg.swf_output
+    if cfg.with_uncertainty:
+        import numpy as np
+
+        stds = np.vstack([job.rpv_std for job in jobs])
+        uncertainty = {
+            system: {
+                "mean_std": float(stds[:, i].mean()),
+                "p95_std": float(np.percentile(stds[:, i], 95)),
+                "max_std": float(stds[:, i].max()),
+            }
+            for i, system in enumerate(predictor.systems)
+        }
+        metrics["uncertainty"] = uncertainty
+        print("per-machine predictive uncertainty (rel-time std):")
+        for system, stats in uncertainty.items():
+            print(f"{system:>12s} mean {stats['mean_std']:.4f} "
+                  f"p95 {stats['p95_std']:.4f} max {stats['max_std']:.4f}")
     run = open_run(args, experiment)
     if run is not None:
         run.save_metrics(metrics)

@@ -22,6 +22,15 @@ def add_subparsers(sub) -> None:
     p.add_argument("--seed", type=int, default=t.seed)
     p.add_argument("--split-seed", type=int, default=t.split_seed)
     p.add_argument("--output", default=t.output)
+    p.add_argument("--zeroshot", action="store_true", default=t.zeroshot,
+                   help="also fit the descriptor-conditioned zero-shot "
+                        "head (saved as zeroshot.pkl in the run dir)")
+    p.add_argument("--exclude-machine", dest="exclude_machines",
+                   action="append", default=list(t.exclude_machines),
+                   metavar="NAME",
+                   help="hold a machine out of the zero-shot training "
+                        "rows (repeatable; leave-one-machine-out "
+                        "generalization runs)")
     add_spine_options(p)
     p.set_defaults(func=cmd_train)
 
@@ -48,11 +57,37 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"{cfg.model}: test MAE {mae:.4f} SOS {sos:.3f}")
     predictor.save(cfg.output)
     print(f"saved predictor to {cfg.output}")
+    zeroshot = None
+    zeroshot_rows = 0
+    if cfg.zeroshot:
+        from repro.core.zeroshot import DescriptorConditionedPredictor
+        from repro.dataset.longform import build_longform
+
+        longform = build_longform(dataset)
+        for name in cfg.exclude_machines:
+            longform = longform.exclude_machine(name)
+        zeroshot_rows = longform.frame.num_rows
+        zeroshot = DescriptorConditionedPredictor.train(
+            longform, model=cfg.model
+        )
+        held_out = (f", held out: {', '.join(cfg.exclude_machines)}"
+                    if cfg.exclude_machines else "")
+        print(f"zero-shot head: {cfg.model} on {zeroshot_rows} "
+              f"long-format rows{held_out}")
     run = open_run(args, experiment)
     if run is not None:
         run.attach(cfg.output)
         run.save_model(predictor.model)
-        run.save_metrics({cfg.model: {"mae": mae, "sos": sos}})
+        metrics = {cfg.model: {"mae": mae, "sos": sos}}
+        if zeroshot is not None:
+            from repro.serve.model_manager import ZEROSHOT_MODEL_NAME
+
+            zeroshot.save(run.file(ZEROSHOT_MODEL_NAME))
+            metrics["zeroshot"] = {
+                "rows": zeroshot_rows,
+                "excluded": list(cfg.exclude_machines),
+            }
+        run.save_metrics(metrics)
         # Training-set stats that arm the serving-time degradation
         # chain (repro serve loads these to answer without the model
         # under overload or with broken counters).

@@ -48,6 +48,7 @@ __all__ = [
     "SCALES",
     "canonical_json",
     "content_digest",
+    "set_machine_digest_resolver",
     "BaseConfig",
     "DatasetConfig",
     "ReportConfig",
@@ -86,6 +87,54 @@ def canonical_json(value) -> str:
 def content_digest(value) -> str:
     """SHA-256 hex digest of the canonical JSON encoding of *value*."""
     return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+#: Machine-name -> spec-digest resolver, installed by
+#: :mod:`repro.arch.machines` at import time.  Dependency inversion:
+#: this module sits *below* the arch layer (it may import only errors/
+#: registry/ioutils), so it cannot look machine specs up itself — the
+#: arch layer pushes the resolver down instead.  When installed,
+#: :meth:`ExperimentConfig.content_hash` folds the full-spec digest of
+#: every machine the config *names* into the hash material, so two runs
+#: against same-named but differently-specced machines can never
+#: collide to one config hash.
+_MACHINE_DIGEST_RESOLVER = None
+
+#: Config fields whose string value names a registered machine.
+_MACHINE_NAME_FIELDS = ("machine", "source")
+
+
+def set_machine_digest_resolver(resolver) -> None:
+    """Install the machine-name -> digest function (or None to clear).
+
+    Called by :mod:`repro.arch.machines` when it registers the paper's
+    machines; test fixtures may swap it temporarily.
+    """
+    global _MACHINE_DIGEST_RESOLVER
+    _MACHINE_DIGEST_RESOLVER = resolver
+
+
+def _named_machine_digests(config) -> dict:
+    """Digest of every registered machine *config* names, by name.
+
+    Unknown names contribute nothing — pinning them is impossible and
+    execution raises the typed lookup error with suggestions anyway.
+    """
+    resolver = _MACHINE_DIGEST_RESOLVER
+    if resolver is None:
+        return {}
+    digests = {}
+    for f in fields(config):
+        if f.name not in _MACHINE_NAME_FIELDS:
+            continue
+        name = getattr(config, f.name)
+        if not isinstance(name, str) or not name.strip():
+            continue
+        try:
+            digests[name] = resolver(name)
+        except KeyError:
+            continue
+    return digests
 
 
 # ---------------------------------------------------------------------------
@@ -237,11 +286,31 @@ class TrainConfig(BaseConfig):
     seed: int = 0
     split_seed: int = 42
     output: str = "predictor.pkl"
+    zeroshot: bool = False
+    exclude_machines: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        _freeze_tuple(self, "exclude_machines")
         _require_name(self, "model")
         _require_positive(self, "inputs_per_app")
         _require_non_negative(self, "seed", "split_seed")
+        if not isinstance(self.zeroshot, bool):
+            raise ConfigError(
+                f"TrainConfig.zeroshot must be a boolean, "
+                f"got {self.zeroshot!r}"
+            )
+        if not all(
+            isinstance(m, str) and m.strip() for m in self.exclude_machines
+        ):
+            raise ConfigError(
+                "TrainConfig.exclude_machines must be a tuple of machine "
+                f"names, got {self.exclude_machines!r}"
+            )
+        if self.exclude_machines and not self.zeroshot:
+            raise ConfigError(
+                "TrainConfig.exclude_machines only applies to the "
+                "zero-shot head; pass zeroshot=True (--zeroshot)"
+            )
 
 
 @dataclass(frozen=True)
@@ -366,9 +435,15 @@ class ScheduleConfig(BaseConfig):
     fault_profile: str = "none"
     checkpoint: bool = False
     max_attempts: int | None = None
+    with_uncertainty: bool = False
 
     def __post_init__(self) -> None:
         _freeze_tuple(self, "strategies")
+        if not isinstance(self.with_uncertainty, bool):
+            raise ConfigError(
+                f"ScheduleConfig.with_uncertainty must be a boolean, "
+                f"got {self.with_uncertainty!r}"
+            )
         _require_positive(self, "jobs", "inputs_per_app")
         _require_non_negative(self, "seed")
         _require_name(self, "fault_profile")
@@ -567,8 +642,21 @@ class ExperimentConfig:
     # -- identity -------------------------------------------------------
     def content_hash(self) -> str:
         """SHA-256 content address of this experiment (same scheme as
-        the dataset shard cache)."""
-        return content_digest(self.to_dict())
+        the dataset shard cache).
+
+        When the config *names* registered machines (``machine`` /
+        ``source`` fields), their full-spec digests are folded into the
+        hash material: a ``profile --machine Quartz`` run against a
+        re-specced Quartz gets a different identity, even though the
+        config document itself is byte-identical.  Only named machines
+        are pinned — not the whole registry — so registering a *new*
+        machine never invalidates existing run identities.
+        """
+        material = self.to_dict()
+        digests = _named_machine_digests(self.config)
+        if digests:
+            material["machine_digests"] = digests
+        return content_digest(material)
 
     @property
     def seed(self) -> int:

@@ -13,6 +13,7 @@
 """
 
 from repro.core.predictor import CrossArchPredictor
+from repro.core.zeroshot import DescriptorConditionedPredictor
 from repro.core.pipeline import (
     MODEL_FACTORIES,
     TrainedModel,
@@ -38,6 +39,7 @@ __all__ = [
     "rpv_relative_to_slowest",
     "rpv_relative_to_fastest",
     "CrossArchPredictor",
+    "DescriptorConditionedPredictor",
     "MODEL_FACTORIES",
     "TrainedModel",
     "train_model",

@@ -216,29 +216,81 @@ class CrossArchPredictor:
         order = np.argsort(self.predict_record(record), kind="stable")
         return [self.systems[i] for i in order]
 
+    @property
+    def has_uncertainty(self) -> bool:
+        """Whether the wrapped model exposes an uncertainty estimate."""
+        return bool(getattr(self.model, "has_uncertainty", False)) or \
+            hasattr(self.model, "predict_per_tree")
+
     def predict_with_uncertainty(
         self, X: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Predict RPVs with a per-component uncertainty estimate.
 
-        Only the ``forest`` model supports this (bagging spread: the
-        standard deviation of the per-tree predictions).  Returns
-        ``(mean, std)``, both shaped ``(n, n_outputs)``.  A scheduler
-        can use the std to fall back to safer placements when the model
-        is unsure which system wins.
+        Models advertising ``has_uncertainty`` answer through the
+        uncertainty protocol — ensemble spread for forests, the
+        inter-quantile half-width for boosting fitted with
+        ``quantile_heads`` — and the mean stays bit-identical to
+        :meth:`predict` (uncertainty is a second output, never a
+        different answer).  Returns ``(mean, spread)``, both shaped
+        ``(n, n_outputs)``.  A scheduler can use the spread to fall
+        back to safer placements when the model is unsure which system
+        wins.
         """
-        if not hasattr(self.model, "predict_per_tree"):
-            raise TypeError(
-                f"{self.kind} model has no uncertainty estimate; "
-                "use model='forest'"
-            )
+        model = self._uncertainty_model()
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != len(self.feature_columns):
             raise ValueError(
                 f"X has shape {X.shape}, expected (n, {len(self.feature_columns)})"
             )
+        if model is not None:
+            return model.predict_with_uncertainty(X)
         per_tree = self.model.predict_per_tree(X)
         return per_tree.mean(axis=0), per_tree.std(axis=0)
+
+    def predict_packed_with_uncertainty(
+        self, Xb: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mean, spread)`` from a matrix packed by :meth:`pack`.
+
+        The mean is bit-identical to :meth:`predict_packed` on the same
+        codes (same flat-ensemble traversal, same accumulation order).
+        """
+        model = self._uncertainty_model()
+        if model is None or not hasattr(
+            model, "predict_binned_with_uncertainty"
+        ):
+            raise PackingError(
+                f"{self.kind} model cannot score packed features "
+                "with uncertainty"
+            )
+        Xb = np.asarray(Xb)
+        if Xb.dtype != np.uint8:
+            raise PackingError(
+                f"packed matrix must be uint8 bin codes, got {Xb.dtype}"
+            )
+        if Xb.ndim != 2 or Xb.shape[1] != len(self.feature_columns):
+            raise PackingError(
+                f"packed matrix has shape {Xb.shape}, expected "
+                f"(n, {len(self.feature_columns)})"
+            )
+        return model.predict_binned_with_uncertainty(Xb)
+
+    def _uncertainty_model(self):
+        """The wrapped model if it speaks the uncertainty protocol.
+
+        Returns None when only the legacy ``predict_per_tree`` fallback
+        applies; raises the documented ``TypeError`` when neither path
+        exists (e.g. boosting without quantile heads, linear, mean).
+        """
+        if getattr(self.model, "has_uncertainty", False):
+            return self.model
+        if hasattr(self.model, "predict_per_tree"):
+            return None
+        raise TypeError(
+            f"{self.kind} model has no uncertainty estimate; "
+            "use model='forest' or fit xgboost with quantile_heads"
+        )
 
     # ------------------------------------------------------------------
     def feature_importances(self) -> dict[str, float]:

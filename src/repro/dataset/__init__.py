@@ -28,10 +28,19 @@ from repro.dataset.features import (
     derive_feature_frame,
 )
 from repro.dataset.generate import MPHPCDataset, ShardTask, generate_dataset
+from repro.dataset.longform import (
+    LongformDataset,
+    build_longform,
+    frame_digest,
+)
 from repro.dataset.schema import (
     ARCH_COLUMNS,
     DATASET_SCHEMA_VERSION,
     FEATURE_COLUMNS,
+    LONG_FEATURE_COLUMNS,
+    LONG_META_COLUMNS,
+    LONG_SCHEMA_VERSION,
+    LONG_TARGET_COLUMN,
     MAGNITUDE_FEATURES,
     META_COLUMNS,
     RATIO_FEATURES,
@@ -47,6 +56,10 @@ from repro.dataset.store import (
 
 __all__ = [
     "DATASET_SCHEMA_VERSION",
+    "LONG_SCHEMA_VERSION",
+    "LONG_FEATURE_COLUMNS",
+    "LONG_META_COLUMNS",
+    "LONG_TARGET_COLUMN",
     "FEATURE_COLUMNS",
     "RATIO_FEATURES",
     "MAGNITUDE_FEATURES",
@@ -56,6 +69,9 @@ __all__ = [
     "FeatureNormalizer",
     "derive_feature_frame",
     "MPHPCDataset",
+    "LongformDataset",
+    "build_longform",
+    "frame_digest",
     "ShardTask",
     "generate_dataset",
     "ShardCache",

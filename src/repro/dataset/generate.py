@@ -138,6 +138,12 @@ class MPHPCDataset:
             bare ``KeyError`` at first column access.
         """
         frame = read_csv(path)
+        if "target_machine" in frame and "rel_time" in frame:
+            raise DatasetError(
+                f"{path}: this is a schema-v2 long-format dataset; "
+                "load it with repro.dataset.LongformDataset.load "
+                "(or fold it back with LongformDataset.to_wide())"
+            )
         expected = list(META_COLUMNS) + list(FEATURE_COLUMNS) + list(TARGET_COLUMNS)
         missing = [c for c in expected if c not in frame]
         extra = [c for c in frame.columns if c not in set(expected)]

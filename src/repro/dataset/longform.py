@@ -1,0 +1,392 @@
+"""Schema-v2 long-format dataset: one row per (profile, target machine).
+
+The v1 table is *wide*: each profiled run carries a 4-slot RPV target
+indexed by the frozen ``SYSTEM_ORDER`` list, so the model can only rank
+the machines it was trained on.  This module reshapes the same
+measurements into the *long* format the descriptor-conditioned
+predictor consumes: every (profile, target-machine) pair becomes one
+row whose features are the profile's counters plus the **source** and
+**target** machine descriptors, and whose target is the scalar
+``rel_time = t_target / t_source``.  Because ``rel_time`` never
+references "the slowest of the four", a model trained on these rows can
+score a machine it has never seen from its descriptor alone.
+
+The paper's figures must keep reproducing bit-identically, so the
+transform is reversible: every long row carries both endpoint times and
+:meth:`LongformDataset.to_wide` recomputes the wide RPV table with the
+exact arithmetic :func:`repro.dataset.generate.generate_dataset` uses
+(``times / times.max`` per group).  ``tests/test_longform.py`` pins the
+round trip with a golden frame digest.
+
+Loading is typed in both directions: handing a v1 wide CSV to
+:meth:`LongformDataset.load` (or a v2 long CSV to
+:meth:`~repro.dataset.generate.MPHPCDataset.load`) raises a
+:class:`~repro.errors.DatasetError` that names the schema mismatch and
+the upgrade path instead of failing on a missing column downstream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.arch.descriptor import (
+    DESCRIPTOR_FEATURES,
+    MachineDescriptor,
+    descriptor_from_spec,
+)
+from repro.arch.machines import MACHINES, SYSTEM_ORDER
+from repro.dataset.features import FeatureNormalizer
+from repro.dataset.generate import MPHPCDataset
+from repro.dataset.schema import (
+    ARCH_COLUMNS,
+    COUNTER_FEATURES,
+    FEATURE_COLUMNS,
+    LONG_FEATURE_COLUMNS,
+    LONG_META_COLUMNS,
+    LONG_SCHEMA_VERSION,
+    LONG_TARGET_COLUMN,
+    META_COLUMNS,
+    SOURCE_DESCRIPTOR_COLUMNS,
+    TARGET_COLUMNS,
+    TARGET_DESCRIPTOR_COLUMNS,
+)
+from repro.errors import DatasetError
+from repro.frame import Frame, read_csv, write_csv
+
+__all__ = [
+    "LongformDataset",
+    "build_longform",
+    "frame_digest",
+]
+
+
+def frame_digest(frame: Frame) -> str:
+    """SHA-256 over a frame's exact contents (names, dtypes, bytes).
+
+    Two frames digest equal iff every column name, dtype, and value is
+    identical — the "bit-identical" witness used by the v1→v2→v1
+    golden round-trip test.
+    """
+    h = hashlib.sha256()
+    for name in frame.columns:
+        col = frame[name]
+        h.update(name.encode())
+        h.update(b"\x00")
+        h.update(str(col.dtype).encode())
+        h.update(b"\x00")
+        if col.dtype == object:
+            for value in col.tolist():
+                h.update(repr(value).encode())
+                h.update(b"\x1f")
+        else:
+            h.update(np.ascontiguousarray(col).tobytes())
+    return h.hexdigest()
+
+
+def _default_descriptors() -> dict[str, MachineDescriptor]:
+    return {name: descriptor_from_spec(spec)
+            for name, spec in MACHINES.items()}
+
+
+@dataclass
+class LongformDataset:
+    """The descriptor-conditioned (schema-v2) dataset.
+
+    Attributes
+    ----------
+    frame:
+        Long table: :data:`~repro.dataset.schema.LONG_META_COLUMNS` +
+        :data:`~repro.dataset.schema.LONG_FEATURE_COLUMNS` +
+        ``rel_time``, in (source row, target machine) order.
+    normalizer:
+        The wide dataset's fitted magnitude normalizer, carried through
+        so new raw profiles featurize consistently at prediction time.
+    targets:
+        Target-machine names, in the column order each source row was
+        expanded with.
+    """
+
+    frame: Frame
+    normalizer: FeatureNormalizer
+    targets: tuple[str, ...] = field(default=SYSTEM_ORDER)
+    feature_columns: tuple[str, ...] = field(default=LONG_FEATURE_COLUMNS)
+    target_column: str = LONG_TARGET_COLUMN
+
+    schema_version: int = LONG_SCHEMA_VERSION
+
+    @property
+    def num_rows(self) -> int:
+        return self.frame.num_rows
+
+    def X(self) -> np.ndarray:
+        """Feature matrix, shape ``(rows, len(LONG_FEATURE_COLUMNS))``."""
+        return self.frame.to_matrix(list(self.feature_columns))
+
+    def y(self) -> np.ndarray:
+        """``rel_time`` target vector, shape ``(rows,)``."""
+        return np.asarray(self.frame[self.target_column], dtype=np.float64)
+
+    def group_labels(self) -> np.ndarray:
+        """(app, input, scale) label per long row, for grouped splits."""
+        apps = self.frame["app"]
+        inputs = self.frame["input"]
+        scales = self.frame["scale"]
+        return np.array(
+            [f"{a}|{i}|{s}" for a, i, s in zip(apps, inputs, scales)],
+            dtype=object,
+        )
+
+    def subset(self, mask: np.ndarray) -> "LongformDataset":
+        """Row-filtered copy sharing the fitted normalizer."""
+        return LongformDataset(
+            frame=self.frame.filter(mask),
+            normalizer=self.normalizer,
+            targets=self.targets,
+            feature_columns=self.feature_columns,
+            target_column=self.target_column,
+        )
+
+    def exclude_machine(self, name: str) -> "LongformDataset":
+        """Leave-one-machine-out view: drop every row that *touches*
+        machine *name*, as source or as target.
+
+        This is the training-side half of the holdout protocol in
+        docs/GENERALIZATION.md: the returned dataset contains no
+        measurement from the held-out machine, yet the trained model
+        can still score it from its descriptor.
+        """
+        sources = self.frame["machine"].astype(str)
+        targets = self.frame["target_machine"].astype(str)
+        mask = (sources != name) & (targets != name)
+        if not mask.any():
+            raise DatasetError(
+                f"excluding machine {name!r} leaves no rows"
+            )
+        out = self.subset(mask)
+        out.targets = tuple(t for t in self.targets if t != name)
+        return out
+
+    def target_descriptors(self) -> dict[str, MachineDescriptor]:
+        """Reconstruct each target machine's descriptor from its rows."""
+        machines = self.frame["target_machine"].astype(str)
+        out: dict[str, MachineDescriptor] = {}
+        for name in self.targets:
+            rows = np.flatnonzero(machines == name)
+            if rows.size == 0:  # pragma: no cover - targets match frame
+                continue
+            row = int(rows[0])
+            values = {
+                feat: float(self.frame[f"tgt_{feat}"][row])
+                for feat in DESCRIPTOR_FEATURES
+            }
+            out[name] = MachineDescriptor(name=name, **values)
+        return out
+
+    def to_wide(self) -> MPHPCDataset:
+        """Reconstruct the schema-v1 wide RPV dataset, bit-identically.
+
+        Only defined for a longform built over the paper's full frozen
+        machine set (``targets == SYSTEM_ORDER``): the wide schema's
+        arch one-hot and RPV slots have nowhere to put any other set.
+        The RPV is recomputed with the same expression
+        ``generate_dataset`` uses — identical operands, identical IEEE
+        results — so figures rendered from either table match bit for
+        bit.
+        """
+        if self.targets != tuple(SYSTEM_ORDER):
+            raise DatasetError(
+                "to_wide needs the full frozen machine set "
+                f"{tuple(SYSTEM_ORDER)}, got targets={self.targets}"
+            )
+        n_targets = len(SYSTEM_ORDER)
+        n_long = self.frame.num_rows
+        if n_long == 0 or n_long % n_targets:
+            raise DatasetError(
+                f"longform row count {n_long} is not a multiple of "
+                f"{n_targets} target machines"
+            )
+        tgt_names = self.frame["target_machine"].astype(str)
+        expected = np.tile(np.array(SYSTEM_ORDER, dtype=object),
+                           n_long // n_targets).astype(str)
+        if not (tgt_names == expected).all():
+            raise DatasetError(
+                "longform target_machine column is not the canonical "
+                "SYSTEM_ORDER tiling; cannot rebuild the wide view"
+            )
+
+        base = np.arange(0, n_long, n_targets)
+        columns: dict[str, np.ndarray] = {}
+        for name in META_COLUMNS:
+            columns[name] = self.frame[name][base]
+        for name in COUNTER_FEATURES:
+            columns[name] = self.frame[name][base]
+        machines = self.frame["machine"].astype(str)[base]
+        for system, column in zip(SYSTEM_ORDER, ARCH_COLUMNS):
+            columns[column] = (machines == system).astype(np.float64)
+
+        times = np.asarray(
+            self.frame["target_time_seconds"], dtype=np.float64
+        ).reshape(-1, n_targets)
+        rpv = times / times.max(axis=1, keepdims=True)
+        for j, column in enumerate(TARGET_COLUMNS):
+            columns[column] = rpv[:, j]
+
+        order = list(META_COLUMNS) + list(FEATURE_COLUMNS) + list(
+            TARGET_COLUMNS
+        )
+        frame = Frame({name: columns[name] for name in order})
+        return MPHPCDataset(frame=frame, normalizer=self.normalizer)
+
+    def save(self, path: str | Path) -> None:
+        write_csv(self.frame, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LongformDataset":
+        """Load a schema-v2 CSV; typed errors on drift or a v1 file.
+
+        Raises
+        ------
+        DatasetError
+            With an explicit upgrade hint when handed a schema-v1 wide
+            dataset, or with the missing/extra columns on any other
+            schema drift.
+        """
+        frame = read_csv(path)
+        if ("rpv_quartz" in frame and "arch_quartz" in frame
+                and "target_machine" not in frame):
+            raise DatasetError(
+                f"{path}: this is a schema-v1 wide-RPV dataset "
+                f"(schema v{LONG_SCHEMA_VERSION} expected); upgrade it "
+                "with build_longform(MPHPCDataset.load(path))"
+            )
+        expected = (list(LONG_META_COLUMNS) + list(LONG_FEATURE_COLUMNS)
+                    + [LONG_TARGET_COLUMN])
+        missing = [c for c in expected if c not in frame]
+        extra = [c for c in frame.columns if c not in set(expected)]
+        if missing or extra:
+            raise DatasetError(
+                f"{path}: longform schema drift — missing columns "
+                f"{missing}, unexpected columns {extra}"
+            )
+        tgt_names = frame["target_machine"].astype(str)
+        targets = tuple(dict.fromkeys(tgt_names.tolist()))
+        return cls(frame=frame, normalizer=FeatureNormalizer.identity(),
+                   targets=targets)
+
+
+def build_longform(
+    dataset: MPHPCDataset,
+    descriptors: Mapping[str, MachineDescriptor] | None = None,
+    targets: tuple[str, ...] | None = None,
+) -> LongformDataset:
+    """Reshape a wide (schema-v1) dataset into the long v2 format.
+
+    Parameters
+    ----------
+    dataset:
+        The wide MP-HPC dataset (any row subset, as long as every
+        (app, input, scale) group retains one row per target machine).
+    descriptors:
+        Machine name → descriptor.  Defaults to descriptors extracted
+        from every registered :data:`~repro.arch.machines.MACHINES`
+        spec; pass your own to include machines registered post-hoc.
+    targets:
+        Target machines each profile is expanded against, in column
+        order.  Defaults to the frozen ``SYSTEM_ORDER``.
+
+    Every source row becomes ``len(targets)`` long rows, in source-row
+    major order, so ``to_wide`` can fold them back losslessly.
+    """
+    if descriptors is None:
+        descriptors = _default_descriptors()
+    if targets is None:
+        targets = tuple(SYSTEM_ORDER)
+    if not targets:
+        raise DatasetError("build_longform needs at least one target")
+    unknown = [t for t in targets if t not in descriptors]
+    if unknown:
+        raise DatasetError(
+            f"no descriptor for target machine(s) {unknown}; pass one "
+            "via the descriptors mapping"
+        )
+
+    frame = dataset.frame
+    n = frame.num_rows
+    n_targets = len(targets)
+    sources = frame["machine"].astype(str)
+    unknown_src = sorted(set(sources.tolist()) - set(descriptors))
+    if unknown_src:
+        raise DatasetError(
+            f"no descriptor for source machine(s) {unknown_src}"
+        )
+    labels = np.array(
+        [f"{a}|{i}|{s}" for a, i, s in zip(
+            frame["app"], frame["input"], frame["scale"])],
+        dtype=object,
+    )
+    times = np.asarray(frame["time_seconds"], dtype=np.float64)
+
+    # Time of each (group, machine) pair, for the target-time lookup.
+    group_time: dict[tuple[str, str], float] = {}
+    for label, machine, t in zip(labels, sources, times):
+        group_time[(label, machine)] = t
+
+    target_times = np.empty((n, n_targets), dtype=np.float64)
+    for j, target in enumerate(targets):
+        for i, label in enumerate(labels):
+            try:
+                target_times[i, j] = group_time[(label, target)]
+            except KeyError:
+                raise DatasetError(
+                    f"group {label!r} has no row on target machine "
+                    f"{target!r}; every group must be profiled on every "
+                    "target"
+                ) from None
+
+    columns: dict[str, np.ndarray] = {
+        "app": np.repeat(frame["app"], n_targets),
+        "input": np.repeat(frame["input"], n_targets),
+        "scale": np.repeat(frame["scale"], n_targets),
+        "machine": np.repeat(frame["machine"], n_targets),
+        "target_machine": np.tile(
+            np.array(targets, dtype=object), n
+        ),
+        "time_seconds": np.repeat(times, n_targets),
+        "target_time_seconds": target_times.reshape(-1),
+    }
+    for name in COUNTER_FEATURES:
+        # np.repeat preserves dtype, so to_wide() recovers each counter
+        # column exactly as the wide table stored it.
+        columns[name] = np.repeat(frame[name], n_targets)
+
+    # Source descriptor: one vector per source row, repeated per target.
+    vec_by_name = {m: descriptors[m].vector()
+                   for m in set(sources.tolist())}
+    src_matrix = np.vstack([vec_by_name[m] for m in sources])
+    src_long = np.repeat(src_matrix, n_targets, axis=0)
+    for k, column in enumerate(SOURCE_DESCRIPTOR_COLUMNS):
+        columns[column] = src_long[:, k]
+
+    # Target descriptor: the targets' matrix tiled across source rows.
+    tgt_matrix = np.vstack([descriptors[t].vector() for t in targets])
+    tgt_long = np.tile(tgt_matrix, (n, 1))
+    for k, column in enumerate(TARGET_DESCRIPTOR_COLUMNS):
+        columns[column] = tgt_long[:, k]
+
+    columns[LONG_TARGET_COLUMN] = (
+        columns["target_time_seconds"] / columns["time_seconds"]
+    )
+
+    order = (list(LONG_META_COLUMNS) + list(LONG_FEATURE_COLUMNS)
+             + [LONG_TARGET_COLUMN])
+    long_frame = Frame({name: columns[name] for name in order})
+    return LongformDataset(
+        frame=long_frame,
+        normalizer=dataset.normalizer,
+        targets=tuple(targets),
+    )

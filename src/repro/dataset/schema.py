@@ -2,18 +2,26 @@
 
 from __future__ import annotations
 
+from repro.arch.descriptor import DESCRIPTOR_FEATURES
 from repro.arch.machines import SYSTEM_ORDER
 
 __all__ = [
     "DATASET_SCHEMA_VERSION",
+    "LONG_SCHEMA_VERSION",
     "RATIO_FEATURES",
     "MAGNITUDE_FEATURES",
     "CONFIG_FEATURES",
+    "COUNTER_FEATURES",
     "ARCH_COLUMNS",
     "FEATURE_COLUMNS",
     "TARGET_COLUMNS",
     "META_COLUMNS",
     "FEATURE_LABELS",
+    "SOURCE_DESCRIPTOR_COLUMNS",
+    "TARGET_DESCRIPTOR_COLUMNS",
+    "LONG_FEATURE_COLUMNS",
+    "LONG_TARGET_COLUMN",
+    "LONG_META_COLUMNS",
 ]
 
 #: Version of the raw-record/feature schema.  Part of every shard-cache
@@ -96,3 +104,54 @@ FEATURE_LABELS: dict[str, str] = {
 }
 
 assert len(FEATURE_COLUMNS) == 21, "paper: 21 feature columns"
+
+
+# ---------------------------------------------------------------------------
+# Schema v2: the descriptor-conditioned long format
+# ---------------------------------------------------------------------------
+# v1 is "wide": one row per profiled run, with a 4-slot RPV target
+# indexed by the frozen machine list.  v2 is "long": one row per
+# (profile, target machine), the profile's counters plus *explicit
+# machine descriptors* for the source and target, and a scalar
+# machine-set-independent target (the target/source time ratio).  A
+# model trained on v2 rows can score a machine it never saw from its
+# descriptor alone.  See docs/GENERALIZATION.md.
+
+#: Version of the long-format table schema (v1 is the wide RPV table).
+LONG_SCHEMA_VERSION = 2
+
+#: The machine-independent counter features shared by both schemas
+#: (v1's 21 columns minus the arch one-hot, which v2 replaces with the
+#: source machine's descriptor).
+COUNTER_FEATURES: tuple[str, ...] = (
+    RATIO_FEATURES + MAGNITUDE_FEATURES + CONFIG_FEATURES
+)
+
+#: Descriptor columns for the machine the profile was collected on.
+SOURCE_DESCRIPTOR_COLUMNS: tuple[str, ...] = tuple(
+    f"src_{name}" for name in DESCRIPTOR_FEATURES
+)
+
+#: Descriptor columns for the machine whose performance is predicted.
+TARGET_DESCRIPTOR_COLUMNS: tuple[str, ...] = tuple(
+    f"tgt_{name}" for name in DESCRIPTOR_FEATURES
+)
+
+#: All v2 model features, in canonical order.
+LONG_FEATURE_COLUMNS: tuple[str, ...] = (
+    COUNTER_FEATURES + SOURCE_DESCRIPTOR_COLUMNS + TARGET_DESCRIPTOR_COLUMNS
+)
+
+#: v2 regression target: ``t_target / t_source`` for the profiled run.
+#: Unlike the RPV (normalized by the slowest of a *fixed* machine set),
+#: this ratio is well-defined for any machine pair, so rankings over an
+#: arbitrary candidate set fall out of one argsort.
+LONG_TARGET_COLUMN = "rel_time"
+
+#: v2 identity columns: the v1 meta plus the target machine and both
+#: endpoint times (kept exact so the wide view can be reconstructed
+#: bit-identically).
+LONG_META_COLUMNS: tuple[str, ...] = (
+    "app", "input", "scale", "machine", "target_machine",
+    "time_seconds", "target_time_seconds",
+)

@@ -66,6 +66,17 @@ class GradientBoostedTrees:
         ``"per_output"`` or ``"multi_output_tree"`` (see module docstring).
     random_state:
         Seed for row/column subsampling.
+    quantile_heads:
+        Optional quantile levels (e.g. ``(0.25, 0.75)``) to fit as
+        auxiliary pinball-loss ensembles **after** the main fit.  When
+        set, :meth:`predict_with_uncertainty` returns the inter-quantile
+        half-width as the uncertainty estimate.  The heads are trained
+        strictly after (and independently of) the main boosting loop —
+        they consume no shared randomness and never touch the mean
+        prediction, so enabling them cannot perturb ``predict``.
+    n_quantile_rounds, quantile_max_depth:
+        Size of each quantile head's ensemble (heads are deliberately
+        smaller than the main model; they estimate a band, not a mean).
 
     Examples
     --------
@@ -94,6 +105,9 @@ class GradientBoostedTrees:
         huber_delta: float = 1.0,
         multi_strategy: str = "per_output",
         random_state: int | None = None,
+        quantile_heads: tuple[float, ...] | None = None,
+        n_quantile_rounds: int = 100,
+        quantile_max_depth: int = 4,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -103,6 +117,16 @@ class GradientBoostedTrees:
             raise ValueError(f"unknown objective {objective!r}")
         if multi_strategy not in ("per_output", "multi_output_tree"):
             raise ValueError(f"unknown multi_strategy {multi_strategy!r}")
+        if quantile_heads is not None:
+            quantile_heads = tuple(sorted(float(q) for q in quantile_heads))
+            if len(quantile_heads) < 2:
+                raise ValueError("quantile_heads needs >= 2 levels")
+            if not all(0.0 < q < 1.0 for q in quantile_heads):
+                raise ValueError("quantile levels must be in (0, 1)")
+            if len(set(quantile_heads)) != len(quantile_heads):
+                raise ValueError("quantile levels must be distinct")
+        if n_quantile_rounds < 1:
+            raise ValueError("n_quantile_rounds must be >= 1")
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.params = TreeParams(
@@ -119,6 +143,15 @@ class GradientBoostedTrees:
         self.huber_delta = huber_delta
         self.multi_strategy = multi_strategy
         self.random_state = random_state
+        self.quantile_heads = quantile_heads
+        self.n_quantile_rounds = n_quantile_rounds
+        self.quantile_params = TreeParams(
+            max_depth=quantile_max_depth,
+            min_child_weight=min_child_weight,
+            reg_lambda=reg_lambda,
+            gamma=gamma,
+            min_samples_leaf=min_samples_leaf,
+        )
 
         self.binner_: Binner | None = None
         self.trees_: list[list[Tree]] = []  # trees_[round] = trees that round
@@ -135,6 +168,10 @@ class GradientBoostedTrees:
         #: Per-round metrics recorded during fit: train MAE always, and
         #: validation MAE when an eval_set is supplied.
         self.eval_history_: dict[str, list[float]] = {}
+        #: quantile level -> (base score, per-round per-output trees).
+        self.quantile_trees_: dict[
+            float, tuple[np.ndarray, list[list[Tree]]]
+        ] = {}
 
     # ------------------------------------------------------------------
     def fit(
@@ -170,6 +207,7 @@ class GradientBoostedTrees:
         pred = np.tile(self.base_score_, (n, 1))
         self.trees_ = []
         self._flat_cache = None
+        self.quantile_trees_ = {}
 
         val_pack = None
         if eval_set is not None:
@@ -242,7 +280,39 @@ class GradientBoostedTrees:
                         if stall >= early_stopping_rounds:
                             self.trees_ = self.trees_[: best_round + 1]
                             break
+        if self.quantile_heads:
+            self._fit_quantile_heads(Xb, Y)
         return self
+
+    def _fit_quantile_heads(self, Xb: np.ndarray, Y: np.ndarray) -> None:
+        """Fit one pinball-loss ensemble per requested quantile level.
+
+        Pinball loss ``l_q(y, f) = max(q (y - f), (q - 1)(y - f))`` has
+        gradient ``-q`` where the model underestimates and ``1 - q``
+        where it overestimates; its true hessian is zero, so we use the
+        standard constant-hessian trick (h = 1), which turns each leaf
+        weight into a damped step toward the empirical quantile.  Heads
+        run after the main loop with no subsampling, so they neither
+        consume the shared rng nor alter any main-ensemble tree.
+        """
+        n = Xb.shape[0]
+        for q in self.quantile_heads:
+            base = np.quantile(Y, q, axis=0)
+            pred = np.tile(base, (n, 1))
+            rounds: list[list[Tree]] = []
+            for _ in range(self.n_quantile_rounds):
+                g = np.where(Y > pred, -q, 1.0 - q)
+                h = np.ones_like(Y)
+                round_trees: list[Tree] = []
+                for out in range(Y.shape[1]):
+                    tree = grow_tree(
+                        Xb, g[:, out], h[:, out], self.quantile_params,
+                        self.n_bins, leaf_scale=self.learning_rate,
+                    )
+                    pred[:, out] += tree.predict_binned(Xb)[:, 0]
+                    round_trees.append(tree)
+                rounds.append(round_trees)
+            self.quantile_trees_[q] = (base, rounds)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets; always returns shape ``(n, n_outputs)``."""
@@ -282,6 +352,57 @@ class GradientBoostedTrees:
                     pred[:, out] += values[leaves[ti], 0]
                     ti += 1
         return pred
+
+    @property
+    def has_uncertainty(self) -> bool:
+        """True once quantile heads are fitted (uncertainty protocol)."""
+        return bool(self.quantile_trees_)
+
+    def predict_quantile_binned(self, q: float, Xb: np.ndarray) -> np.ndarray:
+        """One quantile head's prediction from pre-binned features."""
+        if q not in self.quantile_trees_:
+            raise RuntimeError(
+                f"no quantile head fitted for level {q!r}; "
+                f"available: {sorted(self.quantile_trees_)}"
+            )
+        base, rounds = self.quantile_trees_[q]
+        Xb = np.asarray(Xb)
+        pred = np.tile(base, (Xb.shape[0], 1))
+        for round_trees in rounds:
+            for out, tree in enumerate(round_trees):
+                pred[:, out] += tree.predict_binned(Xb)[:, 0]
+        return pred
+
+    def predict_with_uncertainty(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mean, spread)``, both ``(n, n_outputs)``.
+
+        The mean is :meth:`predict`'s output, untouched; the spread is
+        the half-width between the highest and lowest fitted quantile
+        heads, clipped at zero (crossed quantile estimates collapse to
+        zero spread rather than going negative).
+        """
+        if self.binner_ is None:
+            raise RuntimeError("predict called before fit")
+        Xb = self.binner_.transform(np.asarray(X, dtype=np.float64))
+        return self.predict_binned_with_uncertainty(Xb)
+
+    def predict_binned_with_uncertainty(
+        self, Xb: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mean, spread)`` from pre-binned features."""
+        if not self.quantile_trees_:
+            raise RuntimeError(
+                "model has no quantile heads; construct with "
+                "quantile_heads=(lo, hi) to enable uncertainty"
+            )
+        mean = self.predict_binned(Xb)
+        levels = sorted(self.quantile_trees_)
+        lo = self.predict_quantile_binned(levels[0], Xb)
+        hi = self.predict_quantile_binned(levels[-1], Xb)
+        spread = np.clip((hi - lo) / 2.0, 0.0, None)
+        return mean, spread
 
     def _flat_ensemble(self) -> FlatEnsemble:
         key = tuple(t for round_trees in self.trees_ for t in round_trees)

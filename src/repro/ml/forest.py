@@ -167,9 +167,32 @@ class RandomForestRegressor:
             )
         return self
 
+    #: Forests always carry an uncertainty estimate: the bagging spread.
+    has_uncertainty = True
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Mean prediction over trees; shape ``(n, n_outputs)``."""
         return self.predict_per_tree(X).mean(axis=0)
+
+    def predict_with_uncertainty(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mean, std)`` over trees, each ``(n, n_outputs)``.
+
+        The mean is computed by the same ``per_tree.mean(axis=0)``
+        expression as :meth:`predict`, so it is bit-identical to the
+        plain prediction — uncertainty is a second output, never a
+        different answer.
+        """
+        per_tree = self.predict_per_tree(X)
+        return per_tree.mean(axis=0), per_tree.std(axis=0)
+
+    def predict_binned_with_uncertainty(
+        self, Xb: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mean, std)`` over trees from pre-binned features."""
+        per_tree = self.predict_binned_per_tree(Xb)
+        return per_tree.mean(axis=0), per_tree.std(axis=0)
 
     def predict_per_tree(self, X: np.ndarray) -> np.ndarray:
         """Every tree's prediction; shape ``(n_trees, n, n_outputs)``.

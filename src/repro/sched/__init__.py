@@ -41,6 +41,7 @@ from repro.sched.strategies import (
     ModelBasedStrategy,
     OracleStrategy,
     RandomStrategy,
+    RiskAwareStrategy,
     RoundRobinStrategy,
     UncertaintyAwareStrategy,
     UserRRStrategy,
@@ -63,6 +64,7 @@ __all__ = [
     "ModelBasedStrategy",
     "OracleStrategy",
     "UncertaintyAwareStrategy",
+    "RiskAwareStrategy",
     "strategy_by_name",
     "FCFSPolicy",
     "SJFPolicy",

@@ -35,6 +35,11 @@ class Job:
         in canonical system order; required by the Model-based strategy.
     true_rpv:
         Ground-truth RPV, kept for oracle comparisons.
+    rpv_std:
+        Per-system predictive uncertainty aligned with
+        ``predicted_rpv`` (ensemble spread or quantile half-width);
+        optional — only workloads built with an uncertainty-capable
+        predictor carry it, and only the risk-aware strategy reads it.
     """
 
     job_id: int
@@ -45,6 +50,7 @@ class Job:
     submit_time: float = 0.0
     predicted_rpv: np.ndarray | None = None
     true_rpv: np.ndarray | None = field(default=None, repr=False)
+    rpv_std: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.nodes_required < 1:

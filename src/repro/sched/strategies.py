@@ -54,6 +54,7 @@ __all__ = [
     "ModelBasedStrategy",
     "OracleStrategy",
     "UncertaintyAwareStrategy",
+    "RiskAwareStrategy",
     "strategy_by_name",
 ]
 
@@ -297,6 +298,73 @@ class UncertaintyAwareStrategy(ModelBasedStrategy):
             return max(with_room, key=lambda s: machines[s].free_nodes)
         # No near-tied machine has room now: fall back to standard
         # model-based behavior (next-fastest with room, else fastest).
+        return super().assign(job, index, cluster)
+
+
+@STRATEGIES.register(aliases=("risk_aware",))
+class RiskAwareStrategy(ModelBasedStrategy):
+    """Model-based assignment whose trust scales with model confidence.
+
+    The descriptor-conditioned predictor reports a per-system spread
+    alongside each prediction (:attr:`~repro.sched.job.Job.rpv_std`).
+    This strategy widens :class:`UncertaintyAwareStrategy`'s fixed tie
+    margin by that spread: when the model is confident the behavior
+    collapses to plain model-based assignment, and as predictive
+    variance grows more machines count as "tied" and the choice falls
+    back toward load balancing (the near-tied machine with the largest
+    *free-node fraction*, so small machines are not starved the way a
+    raw free-node count would).  Jobs without ``rpv_std`` get just the
+    base margin, making the strategy safe on any workload.
+    """
+
+    name = "risk-aware"
+
+    def __init__(self, base_margin: float = 0.02, risk_scale: float = 1.0,
+                 systems: tuple[str, ...] = SYSTEM_ORDER):
+        super().__init__(systems=systems)
+        if base_margin < 0:
+            raise ValueError("base_margin must be non-negative")
+        if risk_scale < 0:
+            raise ValueError("risk_scale must be non-negative")
+        self.base_margin = base_margin
+        self.risk_scale = risk_scale
+
+    def _margin(self, job: Job, candidates: list[str]) -> float:
+        margin = self.base_margin
+        std = job.rpv_std
+        if std is not None and self.risk_scale > 0:
+            std = np.asarray(std, dtype=np.float64)
+            idx = self._sys_index
+            margin += self.risk_scale * float(
+                np.mean([std[idx[s]] for s in candidates])
+            )
+        return margin
+
+    def assign(self, job: Job, index: int, cluster: ClusterState) -> str:
+        _, values = self._preferences(job, cluster)
+        machines = cluster.machines
+        need = job.nodes_required
+        # Canonical-order candidate iteration, like UncertaintyAware:
+        # max() keeps the first maximal element on exact fraction ties.
+        fit = [s for s in self._candidates
+               if machines[s].can_ever_fit(need)]
+        if not fit:
+            raise RuntimeError(
+                f"job {job.job_id} ({job.nodes_required} nodes) fits "
+                "no machine"
+            )
+        margin = self._margin(job, fit)
+        best_value = min(values[s] for s in fit)
+        tied = [s for s in fit if values[s] <= best_value + margin]
+        with_room = [s for s in tied if machines[s].can_fit(need)]
+        if with_room:
+            return max(
+                with_room,
+                key=lambda s: machines[s].free_nodes
+                / machines[s].total_nodes,
+            )
+        # Nothing near-tied has room: standard model-based fallback
+        # (next-fastest with room, else overall fastest).
         return super().assign(job, index, cluster)
 
 

@@ -46,6 +46,7 @@ from repro.ioutils import atomic_write_text
 __all__ = [
     "CURRENT_NAME",
     "RESILIENCE_STATS_NAME",
+    "ZEROSHOT_MODEL_NAME",
     "ActiveModel",
     "ModelManager",
     "publish_model",
@@ -56,6 +57,11 @@ CURRENT_NAME = "CURRENT"
 
 #: Optional train-run artifact arming the degradation chain.
 RESILIENCE_STATS_NAME = "resilience.json"
+
+#: Optional train-run artifact (``repro train --zeroshot``): the
+#: descriptor-conditioned predictor that scores machines the RPV model
+#: has no slot for.  Loaded alongside the main predictor when present.
+ZEROSHOT_MODEL_NAME = "zeroshot.pkl"
 
 
 def publish_model(registry_root: str | Path, config_hash: str) -> Path:
@@ -78,10 +84,14 @@ class ActiveModel:
     and the identity (config hash) stamped into every response.
     """
 
-    def __init__(self, predictor, resilient, run: LoadedRun):
+    def __init__(self, predictor, resilient, run: LoadedRun,
+                 zeroshot=None):
         self.predictor = predictor
         self.resilient = resilient
         self.run = run
+        #: Descriptor-conditioned head for inline-machine requests, or
+        #: None when the train run carried no zeroshot.pkl.
+        self.zeroshot = zeroshot
         self.config_hash: str = run.config_hash
         self.loaded_at: float = time.monotonic()
 
@@ -102,6 +112,7 @@ class ActiveModel:
             "n_features": self.n_features,
             "systems": list(self.systems),
             "degradation_armed": self.resilient.mean_rpv is not None,
+            "zeroshot": self.zeroshot is not None,
             "uptime_seconds": round(time.monotonic() - self.loaded_at, 3),
         }
 
@@ -172,7 +183,8 @@ class ModelManager:
         """
         run = find_run(self.registry_root, config_hash, command="train")
         verify_run(run.path)
-        pickles = [name for name in run.files() if name.endswith(".pkl")]
+        pickles = [name for name in run.files()
+                   if name.endswith(".pkl") and name != ZEROSHOT_MODEL_NAME]
         if len(pickles) != 1:
             raise ArtifactError(
                 f"{run.path}: expected exactly one .pkl predictor "
@@ -195,7 +207,53 @@ class ModelManager:
             raise ArtifactError(
                 f"{run.path}: predictor probe returned shape {probe.shape}"
             )
-        return ActiveModel(predictor, resilient, run)
+        zeroshot = self._load_zeroshot(run)
+        return ActiveModel(predictor, resilient, run, zeroshot=zeroshot)
+
+    @staticmethod
+    def _load_zeroshot(run: LoadedRun):
+        """Load + smoke-test the optional descriptor-conditioned head.
+
+        A zeroshot.pkl that deserializes into garbage or cannot answer
+        a probe row *with uncertainty* fails promotion here — serving a
+        zero-shot head that returns null uncertainty would defeat the
+        risk-aware scheduling it exists for.
+        """
+        if ZEROSHOT_MODEL_NAME not in run.files():
+            return None
+        from repro.arch.descriptor import descriptor_from_spec
+        from repro.arch.machines import MACHINES, SYSTEM_ORDER
+        from repro.core.zeroshot import DescriptorConditionedPredictor
+        from repro.dataset.schema import COUNTER_FEATURES, FEATURE_COLUMNS
+
+        try:
+            zeroshot = DescriptorConditionedPredictor.load(
+                run.path / ZEROSHOT_MODEL_NAME
+            )
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"{run.path}: cannot deserialize {ZEROSHOT_MODEL_NAME}: "
+                f"{exc}"
+            ) from exc
+        probe_row = np.zeros((1, len(FEATURE_COLUMNS)))
+        probe_row[0, len(COUNTER_FEATURES)] = 1.0  # one-hot a source
+        probe_desc = descriptor_from_spec(MACHINES[SYSTEM_ORDER[0]])
+        try:
+            scores, spread = zeroshot.predict_wide_with_uncertainty(
+                probe_row, [probe_desc]
+            )
+        except TypeError as exc:
+            raise ArtifactError(
+                f"{run.path}: {ZEROSHOT_MODEL_NAME} has no uncertainty "
+                f"estimate: {exc}"
+            ) from exc
+        if scores.shape != (1, 1) or spread.shape != (1, 1):
+            raise ArtifactError(
+                f"{run.path}: zero-shot probe returned shapes "
+                f"{scores.shape}/{spread.shape}"
+            )
+        return zeroshot
 
     @staticmethod
     def _build_resilient(predictor, run: LoadedRun):

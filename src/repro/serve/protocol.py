@@ -15,6 +15,14 @@ Optional keys: ``nodes_required`` (placement sizing, default 1) and
 ``uses_gpu`` (drives the model-free heuristic tier; inferred from the
 record when present).
 
+A third, zero-shot mode rides on the same request: add ``"machines"``,
+a list of inline :class:`~repro.arch.descriptor.MachineDescriptor`
+objects (``MachineDescriptor.to_dict()`` shape).  The service then
+scores the profile against *those* machines — seen in training or not —
+via the active model's descriptor-conditioned head, and the response
+carries per-machine ``scores`` (predicted ``t_machine / t_source``) and
+``uncertainty`` instead of a fixed-slot RPV.
+
 Responses always carry ``rpv`` (time ratios, canonical system order),
 ``systems``, ``ranked`` (fastest first), ``recommended`` (the strategy's
 placement), ``tier`` (which degradation tier answered), ``model_hash``
@@ -33,13 +41,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro.arch.descriptor import MachineDescriptor
+from repro.errors import ConfigError, ServeError
 
 __all__ = [
     "PROTOCOL_VERSION",
     "ParsedRequest",
     "parse_predict_payload",
     "predict_response",
+    "zeroshot_response",
     "error_response",
 ]
 
@@ -48,6 +58,10 @@ PROTOCOL_VERSION = 1
 
 #: Hard cap on one request's feature width; anything wider is hostile.
 _MAX_FEATURES = 4096
+
+#: Hard cap on inline descriptors per request (each one is a model
+#: evaluation; a thousand-machine list is a DoS, not a placement).
+_MAX_MACHINES = 64
 
 
 @dataclass(frozen=True)
@@ -65,6 +79,8 @@ class ParsedRequest:
     features: tuple[float, ...] | None
     nodes_required: int
     uses_gpu: bool
+    #: Inline descriptors for zero-shot scoring; None = classic RPV mode.
+    machines: tuple[MachineDescriptor, ...] | None = None
 
 
 def parse_predict_payload(payload) -> ParsedRequest:
@@ -76,7 +92,8 @@ def parse_predict_payload(payload) -> ParsedRequest:
             f"{type(payload).__name__}"
         )
     unknown = sorted(
-        set(payload) - {"record", "features", "nodes_required", "uses_gpu"}
+        set(payload) - {"record", "features", "nodes_required", "uses_gpu",
+                        "machines"}
     )
     if unknown:
         raise ServeError(f"unknown request key(s): {', '.join(unknown)}")
@@ -130,7 +147,41 @@ def parse_predict_payload(payload) -> ParsedRequest:
         features=features,
         nodes_required=nodes,
         uses_gpu=uses_gpu,
+        machines=_parse_machines(payload),
     )
+
+
+def _parse_machines(payload: dict):
+    """Validate the optional ``machines`` list of inline descriptors."""
+    if "machines" not in payload:
+        return None
+    raw = payload["machines"]
+    if not isinstance(raw, list) or not raw:
+        raise ServeError(
+            "'machines' must be a non-empty array of machine descriptors",
+            reason="bad-descriptor",
+        )
+    if len(raw) > _MAX_MACHINES:
+        raise ServeError(
+            f"'machines' has {len(raw)} entries (limit {_MAX_MACHINES})",
+            reason="bad-descriptor",
+        )
+    machines = []
+    for i, entry in enumerate(raw):
+        try:
+            machines.append(MachineDescriptor.from_dict(entry))
+        except ConfigError as exc:
+            raise ServeError(
+                f"'machines'[{i}]: {exc}", reason="bad-descriptor"
+            ) from exc
+    names = [m.name for m in machines]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ServeError(
+            f"'machines' repeats name(s): {', '.join(dupes)}",
+            reason="bad-descriptor",
+        )
+    return tuple(machines)
 
 
 def predict_response(
@@ -153,6 +204,37 @@ def predict_response(
         "tier": tier,
         "model_hash": model_hash,
         "batch_size": int(batch_size),
+    }
+
+
+def zeroshot_response(
+    machines: "tuple[MachineDescriptor, ...]",
+    scores: np.ndarray,
+    uncertainty: np.ndarray,
+    tier: str,
+    model_hash: str,
+) -> dict:
+    """The ``/predict`` success shape for inline-descriptor requests.
+
+    ``scores`` are predicted ``t_machine / t_source`` ratios (lower is
+    faster) in request order; ``uncertainty`` is the per-machine
+    predictive spread (quantile band half-width or ensemble std), never
+    null for a served zero-shot head.
+    """
+    names = [m.name for m in machines]
+    values = [float(v) for v in np.asarray(scores, dtype=np.float64)]
+    spread = [float(v) for v in np.asarray(uncertainty, dtype=np.float64)]
+    order = np.argsort(np.asarray(values), kind="stable")
+    ranked = [names[i] for i in order]
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "machines": names,
+        "scores": values,
+        "uncertainty": spread,
+        "ranked": ranked,
+        "recommended": ranked[0],
+        "tier": tier,
+        "model_hash": model_hash,
     }
 
 

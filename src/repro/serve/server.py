@@ -46,6 +46,7 @@ from repro.serve.protocol import (
     error_response,
     parse_predict_payload,
     predict_response,
+    zeroshot_response,
 )
 
 __all__ = ["PredictionService", "BatchResult"]
@@ -189,6 +190,58 @@ class PredictionService:
         return featured.to_matrix(list(predictor.feature_columns))[0]
 
     # ------------------------------------------------------------------
+    # Zero-shot scoring (inline machine descriptors)
+    # ------------------------------------------------------------------
+    def _predict_zeroshot(self, request: ParsedRequest) -> dict:
+        """Score one request against its inline machine descriptors.
+
+        Captures ``manager.active`` once (same hot-swap atomicity as a
+        batch flush) and routes through the descriptor-conditioned
+        head.  The response ranks the *request's* machines by predicted
+        ``t_machine / t_source`` and carries per-machine uncertainty.
+        """
+        model = self.manager.active  # the swap point: captured once
+        zeroshot = model.zeroshot
+        if zeroshot is None:
+            raise ServeError(
+                f"model {model.config_hash[:12]} has no zero-shot head; "
+                f"retrain with --zeroshot to score inline machines",
+                code=503, reason="no-zeroshot-model",
+            )
+        machines = request.machines
+        try:
+            if request.kind == "features":
+                if len(request.features) != model.n_features:
+                    raise ServeError(
+                        f"'features' has {len(request.features)} entries; "
+                        f"model {model.config_hash[:12]} expects "
+                        f"{model.n_features}"
+                    )
+                row = np.asarray(request.features, dtype=np.float64)
+                scores, spread = zeroshot.predict_wide_with_uncertainty(
+                    row[None, :], machines
+                )
+                scores, spread = scores[0], spread[0]
+            else:
+                scores, spread = zeroshot.score_record(
+                    request.record, machines
+                )
+        except ServeError:
+            raise
+        except (ReproError, ValueError, KeyError, TypeError,
+                RuntimeError) as exc:
+            # Unlike the RPV path there is no degradation tier to fall
+            # into: a heuristic has no opinion on a machine it has
+            # never seen, so a bad profile is the caller's error.
+            raise ServeError(
+                f"cannot score request against inline machines: {exc}"
+            ) from exc
+        telemetry.counter("serve.zeroshot.requests").inc()
+        return zeroshot_response(
+            machines, scores, spread, "zeroshot", model.config_hash
+        )
+
+    # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
     def _recommend(self, request: ParsedRequest, rpv: np.ndarray,
@@ -233,6 +286,13 @@ class PredictionService:
             raise self.admission.shed_error()
         self.admission.enter()
         try:
+            if request.machines is not None:
+                # Zero-shot scoring of inline descriptors: a rare
+                # control-plane request (capacity planning, onboarding a
+                # new machine), answered directly — no micro-batching,
+                # and no degraded tier (there is no model-free answer
+                # for machines the heuristics have never seen).
+                return self._predict_zeroshot(request)
             if decision == "degraded":
                 model = self.manager.active
                 outcome = model.resilient.baseline(request.uses_gpu)

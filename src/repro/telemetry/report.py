@@ -19,6 +19,7 @@ __all__ = [
     "span_rollup",
     "format_span_table",
     "format_metrics_tables",
+    "format_uncertainty_table",
     "render_run_report",
 ]
 
@@ -114,6 +115,32 @@ def format_metrics_tables(snapshot: dict) -> str:
     return "\n\n".join(sections)
 
 
+def format_uncertainty_table(payload: dict) -> str:
+    """Per-machine predictive-uncertainty table from ``metrics.json``.
+
+    ``repro schedule --with-uncertainty`` (and any run that stores an
+    ``"uncertainty"`` mapping of ``machine -> {stat: value}``) renders
+    through here.  Pure dict formatting — this module knows nothing
+    about machine specs, so the telemetry layer stays arch-free.
+    """
+    rows = []
+    for machine in sorted(payload):
+        stats = payload[machine]
+        if not isinstance(stats, dict):
+            rows.append([str(machine), str(stats), "", ""])
+            continue
+        rows.append([
+            str(machine),
+            *(f"{stats[k]:.4f}" if isinstance(stats.get(k), (int, float))
+              else "-" for k in ("mean_std", "p95_std", "max_std")),
+        ])
+    if not rows:
+        return "no per-machine uncertainty recorded"
+    return "\n".join(
+        _table(["machine", "mean_std", "p95_std", "max_std"], rows)
+    )
+
+
 def render_run_report(manifest: dict, metrics: dict | None,
                       trace: dict | None) -> str:
     """The full ``repro report <run-dir>`` text."""
@@ -135,10 +162,16 @@ def render_run_report(manifest: dict, metrics: dict | None,
         if snapshot:
             lines += ["", "telemetry metrics:",
                       format_metrics_tables(snapshot)]
+        uncertainty = (metrics.get("uncertainty")
+                       if isinstance(metrics, dict) else None)
+        if isinstance(uncertainty, dict) and uncertainty:
+            lines += ["", "per-machine predictive uncertainty "
+                          "(rel-time std):",
+                      format_uncertainty_table(uncertainty)]
         headline = {
             k: v for k, v in (metrics.items()
                               if isinstance(metrics, dict) else [])
-            if k != "telemetry"
+            if k not in ("telemetry", "uncertainty")
         }
         if headline:
             lines += ["", "headline metrics (metrics.json):"]

@@ -30,6 +30,7 @@ def build_workload(
     seed: int = 0,
     predictor: CrossArchPredictor | None = None,
     arrival_rate: float | None = None,
+    with_uncertainty: bool = False,
 ) -> list[Job]:
     """Sample *n_jobs* jobs (with replacement) from the dataset.
 
@@ -39,9 +40,16 @@ def build_workload(
     from the features of one randomly chosen source system's row (batch
     predicted for speed).  ``true_rpv`` is always attached.
 
+    *with_uncertainty* additionally attaches ``rpv_std`` from the
+    predictor's ``predict_with_uncertainty`` (for the risk-aware
+    strategy).  The mean side of that call is bit-identical to
+    ``predict``, so enabling it never changes ``predicted_rpv``.
+
     *arrival_rate* (jobs/second) switches from the paper's batch
     submission (everything at t=0) to Poisson arrivals.
     """
+    if with_uncertainty and predictor is None:
+        raise ValueError("with_uncertainty requires a predictor")
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
     frame = dataset.frame
@@ -74,9 +82,13 @@ def build_workload(
         rows = group_rows[g]
         source_rows[j] = rows[int(rng.integers(len(rows)))]
     predicted = None
+    pred_std = None
     if predictor is not None:
         X = dataset.X()[source_rows]
-        predicted = predictor.predict(X)
+        if with_uncertainty:
+            predicted, pred_std = predictor.predict_with_uncertainty(X)
+        else:
+            predicted = predictor.predict(X)
 
     jobs: list[Job] = []
     for j, g in enumerate(picks):
@@ -98,6 +110,7 @@ def build_workload(
                 submit_time=float(submit[j]),
                 predicted_rpv=None if predicted is None else predicted[j],
                 true_rpv=true_rpv,
+                rpv_std=None if pred_std is None else pred_std[j],
             )
         )
     return jobs

@@ -1,0 +1,253 @@
+"""Machine descriptors, full-spec digests, and config-hash pinning.
+
+The regression being guarded: machines that differ only in a
+descriptor-feeding field (a cache size, a GPU bandwidth, the noise
+sigma) must never collide to one identity — neither in
+:func:`repro.arch.descriptor.machine_digest` nor in the config hash of
+an experiment that names the machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch.descriptor import (
+    DESCRIPTOR_FEATURES,
+    MachineDescriptor,
+    descriptor_from_spec,
+    descriptor_matrix,
+    machine_digest,
+    spec_canonical_dict,
+    spec_from_descriptor,
+)
+from repro.arch.hardware import MachineSpec
+from repro.arch.machines import (
+    CORONA,
+    LASSEN,
+    MACHINES,
+    QUARTZ,
+    RUBY,
+    SYSTEM_ORDER,
+)
+from repro.config import ExperimentConfig, ProfileConfig, WhatifConfig
+from repro.errors import ConfigError
+
+
+class TestMachineDescriptor:
+    def test_vector_order_matches_features(self):
+        desc = descriptor_from_spec(RUBY)
+        vec = desc.vector()
+        assert vec.shape == (len(DESCRIPTOR_FEATURES),)
+        for i, feature in enumerate(DESCRIPTOR_FEATURES):
+            assert vec[i] == float(getattr(desc, feature))
+
+    def test_dict_round_trip(self):
+        desc = descriptor_from_spec(LASSEN)
+        again = MachineDescriptor.from_dict(desc.to_dict())
+        assert again == desc
+        assert np.array_equal(again.vector(), desc.vector())
+
+    def test_cpu_only_machine_has_zero_gpu_fields(self):
+        desc = descriptor_from_spec(QUARTZ)
+        assert desc.gpus_per_node == 0.0
+        assert desc.gpu_sp_gflops == 0.0
+        assert desc.gpu_mem_bw_gbs == 0.0
+
+    def test_from_dict_rejects_missing_field(self):
+        payload = descriptor_from_spec(QUARTZ).to_dict()
+        payload.pop("mem_bw_gbs")
+        with pytest.raises(ConfigError, match="missing field.*mem_bw_gbs"):
+            MachineDescriptor.from_dict(payload)
+
+    def test_from_dict_rejects_unknown_field(self):
+        payload = descriptor_from_spec(QUARTZ).to_dict()
+        payload["warp_size"] = 32
+        with pytest.raises(ConfigError, match="unknown.*warp_size"):
+            MachineDescriptor.from_dict(payload)
+
+    def test_from_dict_rejects_non_numeric(self):
+        payload = descriptor_from_spec(QUARTZ).to_dict()
+        payload["cores"] = "many"
+        with pytest.raises(ConfigError, match="cores.*must be a number"):
+            MachineDescriptor.from_dict(payload)
+
+    def test_rejects_non_finite(self):
+        payload = descriptor_from_spec(QUARTZ).to_dict()
+        payload["clock_ghz"] = float("nan")
+        with pytest.raises(ConfigError, match="finite"):
+            MachineDescriptor.from_dict(payload)
+
+    def test_descriptor_matrix_stacks_in_order(self):
+        descs = [descriptor_from_spec(MACHINES[n]) for n in SYSTEM_ORDER]
+        mat = descriptor_matrix(descs)
+        assert mat.shape == (4, len(DESCRIPTOR_FEATURES))
+        for i, desc in enumerate(descs):
+            assert np.array_equal(mat[i], desc.vector())
+
+    def test_descriptor_matrix_rejects_empty(self):
+        with pytest.raises(ValueError):
+            descriptor_matrix([])
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", SYSTEM_ORDER)
+    def test_spec_round_trips_descriptor_exactly(self, name):
+        """spec -> descriptor -> spec -> descriptor is a fixed point."""
+        original = descriptor_from_spec(MACHINES[name])
+        rebuilt = descriptor_from_spec(spec_from_descriptor(original))
+        assert np.array_equal(rebuilt.vector(), original.vector())
+        assert rebuilt.name == original.name
+
+    def test_rebuilt_spec_is_registerable(self):
+        desc = descriptor_from_spec(CORONA)
+        spec = spec_from_descriptor(desc)
+        assert isinstance(spec, MachineSpec)
+        assert spec.nodes == CORONA.nodes
+        assert spec.gpus_per_node == CORONA.gpus_per_node
+
+
+def _leaf_paths(value, prefix=()):
+    """Every (path, leaf) in a spec_canonical_dict tree."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _leaf_paths(sub, prefix + (key,))
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            yield from _leaf_paths(sub, prefix + (i,))
+    else:
+        yield prefix, value
+
+
+def _perturb(spec, path):
+    """A copy of *spec* with the leaf at *path* changed."""
+    if len(path) == 1:
+        name = path[0]
+        value = getattr(spec, name)
+        if isinstance(value, bool):
+            new = not value
+        elif isinstance(value, (int, float)):
+            new = value + 1
+        elif isinstance(value, str):
+            new = value + "_x"
+        elif value is None:
+            return None  # optional sub-spec absent; nothing to perturb
+        elif isinstance(value, dict):
+            new = {**value, "_perturbed": 1}
+        else:  # pragma: no cover - no other leaf types exist
+            raise AssertionError(f"unhandled leaf {value!r}")
+        return dataclasses.replace(spec, **{name: new})
+    sub = getattr(spec, path[0])
+    new_sub = _perturb(sub, path[1:])
+    if new_sub is None:
+        return None
+    return dataclasses.replace(spec, **{path[0]: new_sub})
+
+
+class TestMachineDigest:
+    def test_distinct_for_all_registered_machines(self):
+        digests = {machine_digest(MACHINES[n]) for n in SYSTEM_ORDER}
+        assert len(digests) == len(SYSTEM_ORDER)
+
+    def test_stable_across_calls(self):
+        assert machine_digest(QUARTZ) == machine_digest(QUARTZ)
+
+    def test_every_field_changes_the_digest(self):
+        """Exhaustive by construction: perturb every leaf of every
+        registered spec (recursively, via dataclasses.fields) and
+        require a digest change.  A newly added MachineSpec/CPUSpec/
+        GPUSpec field is covered automatically — this test cannot go
+        stale the way a hand-written field list would."""
+        for name in SYSTEM_ORDER:
+            spec = MACHINES[name]
+            base = machine_digest(spec)
+            tree = spec_canonical_dict(spec)
+            paths = [p for p, _ in _leaf_paths(tree)]
+            assert paths, "spec tree unexpectedly empty"
+            tested = 0
+            for path in paths:
+                try:
+                    mutated = _perturb(spec, path)
+                except (ValueError, ConfigError):
+                    # The perturbed spec fails hardware validation
+                    # (e.g. a GPU count without a GPU spec) — a value
+                    # that cannot exist cannot collide.
+                    continue
+                if mutated is None:
+                    continue
+                tested += 1
+                assert machine_digest(mutated) != base, (
+                    f"{name}: perturbing {'.'.join(map(str, path))} "
+                    "did not change machine_digest"
+                )
+            # Most leaves must survive perturbation, or the test is
+            # vacuous; every spec has >15 numeric leaves.
+            assert tested >= 0.7 * len(paths), (
+                f"{name}: only {tested}/{len(paths)} spec leaves were "
+                "perturbable"
+            )
+
+    def test_extra_dict_entries_covered(self):
+        spec = dataclasses.replace(QUARTZ, extra={"stream_triad_gbs": 65.0})
+        assert machine_digest(spec) != machine_digest(QUARTZ)
+
+
+class TestConfigHashPinsNamedMachines:
+    """Satellite regression: configs naming a machine embed its full
+    spec digest, so a re-specced machine changes the run identity."""
+
+    def _swap(self, name, spec):
+        MACHINES[name] = spec
+
+    def test_respecced_machine_changes_profile_hash(self):
+        experiment = ExperimentConfig(
+            "profile", ProfileConfig(app="lulesh", machine="Quartz")
+        )
+        base = experiment.content_hash()
+        try:
+            self._swap(
+                "Quartz",
+                dataclasses.replace(QUARTZ,
+                                    counter_noise_sigma=QUARTZ
+                                    .counter_noise_sigma + 0.01),
+            )
+            assert experiment.content_hash() != base
+        finally:
+            self._swap("Quartz", QUARTZ)
+        assert experiment.content_hash() == base
+
+    def test_source_field_is_pinned_too(self):
+        experiment = ExperimentConfig(
+            "whatif",
+            WhatifConfig(predictor="p.pkl", apps=("lulesh",),
+                         source="Ruby"),
+        )
+        base = experiment.content_hash()
+        try:
+            self._swap("Ruby", dataclasses.replace(RUBY, nodes=RUBY.nodes + 1))
+            assert experiment.content_hash() != base
+        finally:
+            self._swap("Ruby", RUBY)
+
+    def test_unnamed_machines_do_not_pin(self):
+        """Re-speccing a machine the config does NOT name leaves the
+        hash alone — registering or tweaking machine N+1 must never
+        invalidate existing run identities."""
+        experiment = ExperimentConfig(
+            "profile", ProfileConfig(app="lulesh", machine="Quartz")
+        )
+        base = experiment.content_hash()
+        try:
+            self._swap("Corona",
+                       dataclasses.replace(CORONA, nodes=CORONA.nodes + 5))
+            assert experiment.content_hash() == base
+        finally:
+            self._swap("Corona", CORONA)
+
+    def test_unknown_machine_name_hashes_without_pin(self):
+        experiment = ExperimentConfig(
+            "profile", ProfileConfig(app="lulesh", machine="NoSuchMachine")
+        )
+        assert len(experiment.content_hash()) == 64

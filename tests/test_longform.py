@@ -1,0 +1,189 @@
+"""Schema-v2 long-format dataset: build, round-trip, migration errors.
+
+The load-bearing guarantee: the wide (v1) table and the long (v2) table
+are two views of the same measurements, and converting v1 -> v2 -> v1
+is **bit-identical** (pinned with :func:`frame_digest`, a SHA-256 over
+every column's name, dtype, and bytes) — so every paper figure renders
+the same from either schema.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.descriptor import descriptor_from_spec, spec_from_descriptor
+from repro.arch.machines import MACHINES, SYSTEM_ORDER
+from repro.dataset.generate import MPHPCDataset, generate_dataset
+from repro.dataset.longform import LongformDataset, build_longform, frame_digest
+from repro.dataset.schema import (
+    COUNTER_FEATURES,
+    LONG_FEATURE_COLUMNS,
+    LONG_META_COLUMNS,
+    LONG_TARGET_COLUMN,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def longform(small_dataset) -> LongformDataset:
+    return build_longform(small_dataset)
+
+
+class TestBuildLongform:
+    def test_row_expansion(self, small_dataset, longform):
+        assert longform.num_rows == small_dataset.num_rows * len(SYSTEM_ORDER)
+        assert longform.targets == tuple(SYSTEM_ORDER)
+
+    def test_column_layout(self, longform):
+        expected = (list(LONG_META_COLUMNS) + list(LONG_FEATURE_COLUMNS)
+                    + [LONG_TARGET_COLUMN])
+        assert list(longform.frame.columns) == expected
+
+    def test_rel_time_is_target_over_source(self, longform):
+        frame = longform.frame
+        src = np.asarray(frame["time_seconds"], dtype=np.float64)
+        tgt = np.asarray(frame["target_time_seconds"], dtype=np.float64)
+        assert np.array_equal(longform.y(), tgt / src)
+
+    def test_self_target_rel_time_is_one(self, longform):
+        frame = longform.frame
+        self_rows = (frame["machine"].astype(str)
+                     == frame["target_machine"].astype(str))
+        assert self_rows.any()
+        assert np.allclose(longform.y()[self_rows], 1.0)
+
+    def test_descriptor_columns_match_specs(self, longform):
+        frame = longform.frame
+        tgt_names = frame["target_machine"].astype(str)
+        for name in SYSTEM_ORDER:
+            rows = np.flatnonzero(tgt_names == name)
+            vec = descriptor_from_spec(MACHINES[name]).vector()
+            got = np.array([
+                frame[col][rows[0]]
+                for col in longform.feature_columns
+                if col.startswith("tgt_")
+            ])
+            assert np.array_equal(got, vec)
+
+    def test_X_y_shapes(self, longform):
+        X, y = longform.X(), longform.y()
+        assert X.shape == (longform.num_rows, len(LONG_FEATURE_COLUMNS))
+        assert y.shape == (longform.num_rows,)
+        assert np.isfinite(X).all() and np.isfinite(y).all()
+
+    def test_custom_descriptor_target(self, small_dataset):
+        """A machine that never existed at collection time can be a
+        target via an explicit descriptor — the zero-shot premise."""
+        ghost = descriptor_from_spec(MACHINES["Ruby"])
+        ghost = type(ghost).from_dict({**ghost.to_dict(), "name": "Ghost"})
+        descriptors = {name: descriptor_from_spec(spec)
+                       for name, spec in MACHINES.items()}
+        descriptors["Ghost"] = ghost
+        with pytest.raises(DatasetError, match="no row on target"):
+            # No measured times on Ghost -> targets including it fail
+            # loudly instead of fabricating labels.
+            build_longform(small_dataset, descriptors=descriptors,
+                           targets=tuple(SYSTEM_ORDER) + ("Ghost",))
+
+    def test_unknown_target_descriptor_rejected(self, small_dataset):
+        with pytest.raises(DatasetError, match="no descriptor for target"):
+            build_longform(small_dataset,
+                           targets=tuple(SYSTEM_ORDER) + ("Mystery",))
+
+
+class TestWideRoundTrip:
+    def test_bit_identical_round_trip(self, small_dataset, longform):
+        """v1 -> v2 -> v1 reproduces every byte of every column."""
+        wide = longform.to_wide()
+        assert frame_digest(wide.frame) == frame_digest(small_dataset.frame)
+
+    def test_round_trip_on_other_seed(self):
+        dataset = generate_dataset(inputs_per_app=2, seed=777)
+        again = build_longform(dataset).to_wide()
+        assert frame_digest(again.frame) == frame_digest(dataset.frame)
+
+    def test_rpv_matches_exactly(self, small_dataset, longform):
+        wide = longform.to_wide()
+        assert np.array_equal(wide.Y(), small_dataset.Y())
+        assert np.array_equal(wide.X(), small_dataset.X())
+
+    def test_to_wide_requires_full_machine_set(self, longform):
+        held_out = longform.exclude_machine("Corona")
+        with pytest.raises(DatasetError, match="full frozen machine set"):
+            held_out.to_wide()
+
+
+class TestExcludeMachine:
+    def test_drops_machine_as_source_and_target(self, longform):
+        held_out = longform.exclude_machine("Corona")
+        frame = held_out.frame
+        assert "Corona" not in set(frame["machine"].astype(str))
+        assert "Corona" not in set(frame["target_machine"].astype(str))
+        assert held_out.targets == ("Quartz", "Ruby", "Lassen")
+        # 3/4 of sources x 3/4 of targets survive.
+        assert held_out.num_rows == longform.num_rows * 9 // 16
+
+    def test_excluding_everything_raises(self, longform):
+        held = longform
+        with pytest.raises(DatasetError, match="leaves no rows"):
+            for name in SYSTEM_ORDER:
+                held = held.exclude_machine(name)
+
+    def test_target_descriptors_reconstruct(self, longform):
+        held_out = longform.exclude_machine("Corona")
+        descs = held_out.target_descriptors()
+        assert set(descs) == {"Quartz", "Ruby", "Lassen"}
+        for name, desc in descs.items():
+            expected = descriptor_from_spec(MACHINES[name])
+            assert np.array_equal(desc.vector(), expected.vector())
+            # The reconstructed descriptor is registerable again.
+            assert spec_from_descriptor(desc).name == name
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, longform, tmp_path):
+        path = tmp_path / "long.csv"
+        longform.save(path)
+        loaded = LongformDataset.load(path)
+        assert loaded.targets == longform.targets
+        assert np.allclose(loaded.X(), longform.X())
+        assert np.allclose(loaded.y(), longform.y())
+
+    def test_load_rejects_v1_with_upgrade_hint(self, small_dataset,
+                                               tmp_path):
+        path = tmp_path / "wide.csv"
+        small_dataset.save(path)
+        with pytest.raises(DatasetError) as err:
+            LongformDataset.load(path)
+        message = str(err.value)
+        assert "schema-v1" in message
+        assert "build_longform" in message  # the upgrade hint
+
+    def test_v1_loader_rejects_v2_with_hint(self, longform, tmp_path):
+        path = tmp_path / "long.csv"
+        longform.save(path)
+        with pytest.raises(DatasetError, match="long"):
+            MPHPCDataset.load(path)
+
+    def test_load_names_schema_drift(self, longform, tmp_path):
+        from repro.frame import write_csv
+
+        path = tmp_path / "drift.csv"
+        frame = longform.frame.select(
+            [c for c in longform.frame.columns if c != "tgt_cores"]
+        )
+        write_csv(frame, path)
+        with pytest.raises(DatasetError, match="tgt_cores"):
+            LongformDataset.load(path)
+
+
+class TestCounterDtypePreservation:
+    def test_counters_survive_expansion_exactly(self, small_dataset,
+                                                longform):
+        wide = small_dataset.frame
+        n_targets = len(SYSTEM_ORDER)
+        for name in COUNTER_FEATURES:
+            expanded = longform.frame[name]
+            assert expanded.dtype == wide[name].dtype
+            assert np.array_equal(expanded[::n_targets], wide[name])

@@ -438,6 +438,37 @@ class TestExport:
         assert "c" in text
         assert "mae" in text
 
+    def test_format_uncertainty_table(self):
+        from repro.telemetry.report import format_uncertainty_table
+
+        text = format_uncertainty_table({
+            "Ruby": {"mean_std": 0.12, "p95_std": 0.3, "max_std": 0.45},
+            "Quartz": {"mean_std": 0.08, "p95_std": 0.2, "max_std": 0.3},
+        })
+        lines = text.splitlines()
+        assert lines[0].split() == ["machine", "mean_std", "p95_std",
+                                    "max_std"]
+        # Sorted by machine name; values rendered to 4 decimals.
+        assert lines[2].startswith("Quartz")
+        assert "0.1200" in lines[3]
+        assert format_uncertainty_table({}) \
+            == "no per-machine uncertainty recorded"
+
+    def test_render_run_report_includes_uncertainty(self):
+        text = telemetry.render_run_report(
+            {"command": "schedule", "config_hash": "abc", "seed": 1,
+             "files": {}},
+            {"uncertainty": {"Ruby": {"mean_std": 0.1, "p95_std": 0.2,
+                                      "max_std": 0.3}},
+             "mae": 0.03},
+            None,
+        )
+        assert "per-machine predictive uncertainty" in text
+        assert "Ruby" in text
+        # The mapping renders as a table, not a headline dump.
+        assert "'mean_std'" not in text
+        assert "mae" in text
+
 
 # ---------------------------------------------------------------------------
 # CLI end-to-end
@@ -480,6 +511,32 @@ class TestCLI:
 
         # load_run still reads the run plainly.
         assert load_run(run_dir).command == "schedule"
+
+    def test_schedule_with_uncertainty_report_roundtrip(self, tmp_path,
+                                                        capsys):
+        from repro.artifacts import verify_run
+        from repro.cli import main
+
+        run_root = tmp_path / "runs"
+        rc = main([
+            "schedule", "--jobs", "50", "--inputs-per-app", "1",
+            "--strategies", "model", "risk-aware",
+            "--with-uncertainty", "--run-dir", str(run_root),
+        ])
+        assert rc == 0
+        (run_dir,) = list(run_root.iterdir())
+        metrics = verify_run(run_dir).read_json("metrics.json")
+        assert set(metrics["uncertainty"]) \
+            == {"Quartz", "Ruby", "Lassen", "Corona"}
+        for stats in metrics["uncertainty"].values():
+            assert 0 <= stats["mean_std"] <= stats["p95_std"] \
+                <= stats["max_std"]
+
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "per-machine predictive uncertainty" in out
+        assert "Corona" in out
 
     def test_telemetry_off_writes_no_artifacts(self, tmp_path):
         from repro.artifacts import verify_run

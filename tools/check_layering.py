@@ -105,7 +105,11 @@ _SERVE_DEPS = {
     "repro.profiler",
     "repro.hatchet_lite",
     "repro.dataset.features",
+    "repro.dataset.schema",
+    "repro.arch.descriptor",
+    "repro.arch.machines",
     "repro.core.predictor",
+    "repro.core.zeroshot",
     "repro.ml",
     "repro.resilience.degrade",
     "repro.sched.job",
@@ -134,6 +138,29 @@ ALLOWED = {
     "repro.telemetry.spans": _TELEMETRY_DEPS,
     "repro.telemetry.export": _TELEMETRY_DEPS,
     "repro.telemetry.report": _TELEMETRY_DEPS,
+    # Descriptor plumbing: the canonical machine descriptor sits just
+    # above hardware/config, and the machine registry may reach *down*
+    # into config only to install the digest resolver (dependency
+    # inversion — config itself still imports nothing from arch).
+    "repro.arch.descriptor": {
+        "repro.arch.hardware", "repro.config", "repro.errors",
+    },
+    "repro.arch.machines": {
+        "repro.arch.hardware", "repro.arch.descriptor", "repro.config",
+        "repro.registry",
+    },
+    # The schema-v2 long-format builder and the zero-shot head compose
+    # dataset + arch layers; neither may touch sched/serve/cli.
+    "repro.dataset.longform": {
+        "repro.arch.descriptor", "repro.arch.machines",
+        "repro.dataset.features", "repro.dataset.generate",
+        "repro.dataset.schema", "repro.errors", "repro.frame",
+    },
+    "repro.core.zeroshot": {
+        "repro.arch.descriptor", "repro.arch.machines",
+        "repro.dataset.features", "repro.dataset.longform",
+        "repro.dataset.schema", "repro.frame", "repro.ml",
+    },
     "repro.sweep": _SWEEP_DEPS,
     "repro.sweep.spec": _SWEEP_DEPS,
     "repro.sweep.journal": _SWEEP_DEPS,
