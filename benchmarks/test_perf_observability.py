@@ -1,0 +1,174 @@
+"""Microbenchmark: request-level observability overhead on ``/predict``.
+
+The tentpole claim of the observability layer is that it is cheap
+enough to leave on: per-request spans (``serve.request`` →
+``serve.coalescer.batch`` → ``serve.predict``) plus id minting/echoing
+must not meaningfully move end-to-end latency.  This benchmark holds
+that to numbers: the same keep-alive load (the deterministic
+``run_load`` driver, rate 0 = as fast as the pool allows) is fired at
+an identical service with tracing off and with tracing on, back to
+back on the same host, min-of-N per mode.
+
+Recorded to ``benchmarks/BENCH_observability.json``:
+
+* ``requests_per_sec`` and ``p50/p99`` per mode (absolute values are
+  host-dependent — informational);
+* ``trace_p99_ratio`` / ``trace_throughput_ratio`` — the same-host
+  ratios that gate.
+
+Gates: tracing-on p99 within :data:`TRACE_P99_RATIO_LIMIT` of
+tracing-off, throughput within :data:`TRACE_THROUGHPUT_RATIO_LIMIT`,
+plus the standard committed-baseline regression gate (a fresh
+throughput below half its committed value fails).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.serve import PredictionService, run_load
+
+from test_perf_serve import _PreloadedManager
+
+BENCH_PATH = Path(__file__).parent / "BENCH_observability.json"
+
+N_REQUESTS = 200
+REPEATS = 3
+#: Tracing-on p99 may not exceed this multiple of tracing-off p99.
+#: Generous: HTTP tail latency at this scale is scheduler-noise-bound,
+#: and the spans themselves cost microseconds.
+TRACE_P99_RATIO_LIMIT = 3.0
+#: Tracing-off throughput may not exceed this multiple of tracing-on.
+TRACE_THROUGHPUT_RATIO_LIMIT = 1.5
+#: A fresh throughput below half its committed value is a regression.
+REGRESSION_FACTOR = 2.0
+
+
+def _baseline() -> dict:
+    if BENCH_PATH.exists():
+        return json.loads(BENCH_PATH.read_text())
+    return {}
+
+
+def _drive(manager, payloads) -> dict:
+    """Best-of-N load run against a fresh service; returns stats."""
+    best_rps = 0.0
+    best_p50 = best_p99 = float("inf")
+    for _ in range(REPEATS):
+        service = PredictionService(manager, max_batch=32,
+                                    batch_deadline_s=0.002)
+
+        async def run(service=service):
+            host, port = await service.start(port=0)
+            try:
+                return await run_load(host, port, payloads,
+                                      rate_per_second=0.0)
+            finally:
+                await service.stop()
+
+        report = asyncio.run(run())
+        assert report.ok == len(payloads), report.to_dict()
+        best_rps = max(best_rps, report.requests_per_sec)
+        best_p50 = min(best_p50, report.percentile_ms(50))
+        best_p99 = min(best_p99, report.percentile_ms(99))
+        # Bound span accumulation across repeats (spans are the point
+        # of trace mode, but the benchmark only needs the latest run's).
+        telemetry.reset()
+    return {
+        "requests_per_sec": round(best_rps, 1),
+        "p50_ms": round(best_p50, 3),
+        "p99_ms": round(best_p99, 3),
+    }
+
+
+def test_perf_observability(bench_dataset, bench_predictor):
+    manager = _PreloadedManager(bench_predictor, bench_dataset)
+    X = bench_dataset.X()
+    payloads = [
+        {"features": [float(v) for v in X[i % len(X)]],
+         "request_id": f"req-bench-{i}", "trace_id": f"trace-bench-{i}"}
+        for i in range(N_REQUESTS)
+    ]
+
+    results: dict = {"http_requests": N_REQUESTS, "repeats": REPEATS}
+    try:
+        telemetry.configure("off")
+        telemetry.reset()
+        # Warm both paths once (JIT-less, but import/alloc warmup real).
+        _drive(manager, payloads[:16])
+        results["tracing_off"] = _drive(manager, payloads)
+
+        telemetry.configure("trace")
+        telemetry.reset()
+        # Prove the traced run actually records the request span tree
+        # before trusting its timings.
+        service = PredictionService(manager, max_batch=32,
+                                    batch_deadline_s=0.002)
+
+        async def probe():
+            host, port = await service.start(port=0)
+            try:
+                return await run_load(host, port, payloads[:8],
+                                      rate_per_second=0.0)
+            finally:
+                await service.stop()
+
+        asyncio.run(probe())
+        names = {record.name for record in telemetry.spans()}
+        assert {"serve.request", "serve.predict",
+                "serve.coalescer.batch"} <= names, names
+        telemetry.reset()
+        results["tracing_on"] = _drive(manager, payloads)
+    finally:
+        telemetry.configure("off")
+        telemetry.reset()
+
+    off, on = results["tracing_off"], results["tracing_on"]
+    p99_ratio = on["p99_ms"] / off["p99_ms"]
+    throughput_ratio = off["requests_per_sec"] / on["requests_per_sec"]
+    results["trace_p99_ratio"] = round(p99_ratio, 3)
+    results["trace_throughput_ratio"] = round(throughput_ratio, 3)
+
+    baseline = _baseline()
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print("\n" + json.dumps(results, indent=2))
+
+    assert p99_ratio <= TRACE_P99_RATIO_LIMIT, (
+        f"tracing-on p99 {on['p99_ms']}ms is {p99_ratio:.2f}x "
+        f"tracing-off {off['p99_ms']}ms (limit "
+        f"{TRACE_P99_RATIO_LIMIT}x)")
+    assert throughput_ratio <= TRACE_THROUGHPUT_RATIO_LIMIT, (
+        f"tracing costs {throughput_ratio:.2f}x throughput (limit "
+        f"{TRACE_THROUGHPUT_RATIO_LIMIT}x): off "
+        f"{off['requests_per_sec']} rps vs on "
+        f"{on['requests_per_sec']} rps")
+    for mode in ("tracing_off", "tracing_on"):
+        committed = (baseline.get(mode) or {}).get("requests_per_sec")
+        if committed:
+            fresh = results[mode]["requests_per_sec"]
+            assert fresh >= committed / REGRESSION_FACTOR, (
+                f"{mode} throughput regressed: {fresh} rps vs committed "
+                f"{committed} (floor {committed / REGRESSION_FACTOR:.1f})")
+
+
+def test_perf_id_minting():
+    """Minting a request id must stay deep in no-op territory — it sits
+    on every unlabeled request's hot path."""
+    from repro.serve.protocol import mint_request_id
+
+    n = 50_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        mint_request_id()
+    per_call_us = (time.perf_counter() - t0) / n * 1e6
+
+    data = _baseline()
+    data["mint_request_id_us_per_call"] = round(per_call_us, 4)
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert per_call_us < 25.0, (
+        f"mint_request_id costs {per_call_us:.2f} µs/call")

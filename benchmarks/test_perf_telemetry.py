@@ -127,3 +127,70 @@ def test_perf_telemetry_overhead():
         f"disabled counter() costs {counter_us:.2f} µs/call")
     assert span_us <= MAX_NOOP_US_PER_CALL, (
         f"disabled span() costs {span_us:.2f} µs/call")
+
+
+def test_perf_flightrec_overhead():
+    """The flight recorder must be free when disabled and boundary-cheap
+    when enabled.
+
+    ``flightrec.record`` sits on serve/sched boundary paths that run
+    with the recorder *disabled* by default, so the disabled call gets
+    the same no-op gate as the telemetry accessors.  The enabled ring
+    append is O(1) and lock-guarded; the sched workload (which records
+    one boundary event per run) must not move past the 5% gate either.
+    """
+    from repro.telemetry import flightrec
+
+    jobs = _workload(N_JOBS)
+    results: dict = {}
+
+    try:
+        flightrec.disable()
+        flightrec.recorder().clear()
+        t_disabled = _time_run(jobs)
+
+        flightrec.enable(512)
+        t_enabled = _time_run(jobs)
+        # One sched-run boundary event per scheduling run really landed.
+        assert len(flightrec.recorder()) >= REPEATS
+
+        # --- disabled-mode no-op record -------------------------------
+        flightrec.disable()
+        t0 = time.perf_counter()
+        for _ in range(N_NOOP_CALLS):
+            flightrec.record("bench.noop", value=1)
+        noop_us = (time.perf_counter() - t0) / N_NOOP_CALLS * 1e6
+
+        # --- enabled ring append (informational) ----------------------
+        flightrec.enable(512)
+        t0 = time.perf_counter()
+        for i in range(N_NOOP_CALLS):
+            flightrec.record("bench.append", value=i)
+        append_us = (time.perf_counter() - t0) / N_NOOP_CALLS * 1e6
+        assert len(flightrec.recorder()) == 512  # ring stayed bounded
+    finally:
+        flightrec.disable()
+        flightrec.recorder().clear()
+
+    overhead = t_enabled / t_disabled
+    results["flightrec"] = {
+        "n_jobs": N_JOBS,
+        "repeats": REPEATS,
+        "wall_s_disabled": round(t_disabled, 4),
+        "wall_s_enabled": round(t_enabled, 4),
+        "overhead_enabled_vs_disabled": round(overhead, 4),
+        "disabled_record_us_per_call": round(noop_us, 4),
+        "enabled_append_us_per_call": round(append_us, 4),
+    }
+
+    data = {}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    data.update(results)
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"enabled flight recorder costs {overhead:.3f}x on the sched "
+        f"workload (gate {OVERHEAD_LIMIT}x)")
+    assert noop_us <= MAX_NOOP_US_PER_CALL, (
+        f"disabled flightrec.record() costs {noop_us:.2f} µs/call")

@@ -41,7 +41,11 @@ from pathlib import Path
 from repro import __version__
 from repro.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
 from repro.errors import ArtifactError
-from repro.ioutils import atomic_write_bytes, atomic_write_json
+from repro.ioutils import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
@@ -121,6 +125,14 @@ class RunDir:
         path = self.file(name)
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_json(path, payload)
+        return path
+
+    def save_text(self, name: str, text: str) -> Path:
+        """Write a plain-text artifact atomically (e.g. ``metrics.prom``,
+        the Prometheus exposition the serve self-test captures)."""
+        path = self.file(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, text)
         return path
 
     def save_metrics(self, metrics: dict, name: str = "metrics.json") -> Path:

@@ -61,6 +61,20 @@ def add_subparsers(sub) -> None:
                    help="placement strategy (registry name)")
     p.add_argument("--watch-interval-ms", type=float,
                    default=s.watch_interval_ms)
+    p.add_argument("--slo-target", type=float, default=s.slo_target,
+                   help="SLO availability target in (0, 1), e.g. 0.99; "
+                        "0 disables SLO-driven admission")
+    p.add_argument("--slo-threshold-ms", type=float,
+                   default=s.slo_threshold_ms,
+                   help="latency above this burns SLO error budget")
+    p.add_argument("--slo-degrade-burn", type=float,
+                   default=s.slo_degrade_burn,
+                   help="burn-rate multiple that degrades service")
+    p.add_argument("--slo-shed-burn", type=float,
+                   default=s.slo_shed_burn,
+                   help="sustained burn-rate multiple that sheds")
+    p.add_argument("--flight-events", type=int, default=s.flight_events,
+                   help="flight-recorder ring capacity (0 disables)")
     p.add_argument("--self-test", dest="selftest_requests", type=int,
                    default=s.selftest_requests, metavar="N",
                    help="serve N generated requests to myself, print the "
@@ -94,21 +108,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_deadline_s=cfg.batch_deadline_ms / 1e3,
         soft_inflight=cfg.soft_inflight,
         max_inflight=cfg.max_inflight,
+        slo=_build_slo(cfg),
+        flight_events=cfg.flight_events,
     )
     run = open_run(args, experiment)
+    if run is not None and cfg.flight_events:
+        service.flight_path = run.file("flight.json")
     try:
         if cfg.selftest_requests:
             report = asyncio.run(_self_test(service, cfg))
             print(json.dumps(report, indent=2))
             if run is not None:
-                run.save_metrics({"load_report": report})
+                metrics = {"load_report": report}
+                if service.admission.slo is not None:
+                    metrics["slo"] = service.admission.slo.snapshot()
+                run.save_metrics(metrics)
                 run.save_json("serve_metrics.json",
                               service.metrics_payload())
+                run.save_text("metrics.prom",
+                              str(service.prometheus_payload()))
+                service.dump_flight("selftest-complete")
         else:
             asyncio.run(_serve_forever(service, cfg, run))
     finally:
         close_run(run)
     return 0
+
+
+def _build_slo(cfg):
+    """The configured SLO admission policy, or None (slo_target == 0)."""
+    if not cfg.slo_target:
+        return None
+    from repro.telemetry.slo import SLOShedPolicy, SLOSpec
+
+    spec = SLOSpec(
+        name="serve-predict-latency",
+        objective="latency",
+        target=cfg.slo_target,
+        histogram="serve.http.predict.seconds",
+        threshold_s=cfg.slo_threshold_ms / 1e3,
+        description="fraction of /predict answers under the latency "
+                    "threshold",
+    )
+    return SLOShedPolicy(spec, degrade_burn=cfg.slo_degrade_burn,
+                         shed_burn=cfg.slo_shed_burn)
 
 
 async def _self_test(service, cfg) -> dict:
@@ -144,6 +187,11 @@ async def _serve_forever(service, cfg, run) -> None:
         await stop.wait()
     finally:
         print("shutting down...")
+        # Dump before the drain: the ring as it stood when the signal
+        # arrived is the post-mortem state of interest.
+        service.dump_flight("shutdown-signal")
         await service.stop()
         if run is not None:
             run.save_json("serve_metrics.json", service.metrics_payload())
+            run.save_text("metrics.prom",
+                          str(service.prometheus_payload()))

@@ -484,12 +484,45 @@ class ServeConfig(BaseConfig):
     selftest_requests: int = 0
     selftest_rate: float = 200.0
     seed: int = 0
+    #: SLO availability target in (0, 1); 0 disables SLO-driven
+    #: admission (the watermark controller runs unchanged).
+    slo_target: float = 0.0
+    #: Latency threshold (ms) above which a request burns SLO budget.
+    slo_threshold_ms: float = 50.0
+    #: Burn-rate multiples gating degraded service / shedding.
+    slo_degrade_burn: float = 1.0
+    slo_shed_burn: float = 4.0
+    #: Flight-recorder ring capacity; 0 disables recording.
+    flight_events: int = 512
 
     def __post_init__(self) -> None:
         _require_name(self, "registry", "host", "strategy")
         _require_positive(self, "max_batch", "soft_inflight",
                           "max_inflight")
-        _require_non_negative(self, "port", "selftest_requests", "seed")
+        _require_non_negative(self, "port", "selftest_requests", "seed",
+                              "flight_events")
+        if not isinstance(self.slo_target, (int, float)) or isinstance(
+            self.slo_target, bool
+        ) or not 0.0 <= self.slo_target < 1.0:
+            raise ConfigError(
+                f"ServeConfig.slo_target must be in [0, 1) (0 = off), "
+                f"got {self.slo_target!r}"
+            )
+        for name in ("slo_threshold_ms", "slo_degrade_burn",
+                     "slo_shed_burn"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ) or not value > 0:
+                raise ConfigError(
+                    f"ServeConfig.{name} must be a positive number, "
+                    f"got {value!r}"
+                )
+        if self.slo_shed_burn < self.slo_degrade_burn:
+            raise ConfigError(
+                f"ServeConfig.slo_shed_burn ({self.slo_shed_burn}) must "
+                f"be >= slo_degrade_burn ({self.slo_degrade_burn})"
+            )
         if self.max_inflight < self.soft_inflight:
             raise ConfigError(
                 f"ServeConfig.max_inflight ({self.max_inflight}) must be "

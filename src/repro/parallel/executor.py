@@ -26,7 +26,10 @@ runs under a traced wrapper that resets the worker's (possibly
 fork-inherited) registry, runs the task, and ships a per-task metric
 snapshot back through the ordered result channel; the parent folds the
 snapshots in task order, so for deterministic workloads the merged
-numbers equal a sequential run's exactly.
+numbers equal a sequential run's exactly.  In trace mode the worker's
+finished spans ship back too and are grafted under the parent's
+current span with remapped ids, so a ``jobs=N`` run exports the same
+span tree (modulo timestamps) as ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -52,30 +55,43 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _traced_call(fn, task):
+def _traced_call(fn, task, ctx):
     """Run one task with a clean worker-local registry and return
-    ``(result, metric_snapshot)``.
+    ``(result, metric_snapshot, spans_or_None)``.
 
     The reset is what makes fork-started workers correct: a forked child
     inherits the parent's already-populated registry, and snapshotting
     without a reset would re-ship (and double-count) everything the
     parent had recorded before the pool spawned.
+
+    In trace mode the task runs under the parent's ambient trace
+    (*ctx* carries the parent-side ``trace_id``) and the worker's
+    finished spans ship back with the snapshot; the parent grafts them
+    under its own span tree via ``telemetry.adopt_spans`` — ids are
+    remapped there, so worker tracers all counting from 1 never
+    collide.
     """
-    telemetry.configure("metrics")
+    mode = ctx.get("mode", "metrics")
+    telemetry.configure(mode)
     telemetry.reset()
+    if mode == "trace":
+        with telemetry.trace_context(ctx.get("trace_id")):
+            result = fn(task)
+        return result, telemetry.snapshot(), telemetry.spans()
     result = fn(task)
-    return result, telemetry.snapshot()
+    return result, telemetry.snapshot(), None
 
 
 def _run_chunk(packed):
     """Pool entry point: run one contiguous chunk of tasks.
 
-    ``packed`` is ``(fn, tasks, traced)``; returns the chunk's results
-    in task order (``(result, snapshot)`` pairs when traced).
+    ``packed`` is ``(fn, tasks, ctx)`` where ``ctx`` is ``None`` for
+    untraced runs; returns the chunk's results in task order
+    (``(result, snapshot, spans)`` triples when traced).
     """
-    fn, tasks, traced = packed
-    if traced:
-        return [_traced_call(fn, task) for task in tasks]
+    fn, tasks, ctx = packed
+    if ctx is not None:
+        return [_traced_call(fn, task, ctx) for task in tasks]
     return [fn(task) for task in tasks]
 
 
@@ -114,12 +130,16 @@ def run_tasks(
     jobs = min(jobs, len(task_list))
     if chunksize is None:
         chunksize = max(1, len(task_list) // (jobs * 4))
-    traced = telemetry.metrics_enabled()
+    ctx = None
+    trace_id = parent_span = None
+    if telemetry.metrics_enabled():
+        trace_id, parent_span = telemetry.current_trace()
+        ctx = {"mode": telemetry.mode(), "trace_id": trace_id}
     chunks = [task_list[i:i + chunksize]
               for i in range(0, len(task_list), chunksize)]
     flat: list = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_run_chunk, (fn, chunk, traced))
+        futures = [pool.submit(_run_chunk, (fn, chunk, ctx))
                    for chunk in chunks]
         start = 0
         for chunk, future in zip(chunks, futures):
@@ -134,8 +154,15 @@ def run_tasks(
                     task_stop=start + len(chunk),
                 ) from exc
             start += len(chunk)
-    if traced:
-        for _, snapshot in flat:
+    if ctx is not None:
+        # Fold worker telemetry back in task order: merged metrics match
+        # a sequential run exactly, and adopted span trees attach under
+        # the span that was open at the call site — so the jobs=2 tree
+        # is structurally identical to jobs=1 (pinned by test).
+        for _, snapshot, spans in flat:
             telemetry.merge_snapshot(snapshot)
-        return [result for result, _ in flat]
+            if spans:
+                telemetry.adopt_spans(spans, parent_id=parent_span,
+                                      trace_id=trace_id)
+        return [result for result, _, _ in flat]
     return flat

@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import flightrec
 from repro.sched.job import Job
 from repro.sched.machines import ClusterState
 from repro.sched.policies import FCFSPolicy
@@ -217,6 +218,13 @@ class Scheduler:
         """Simulate scheduling of *jobs*; returns per-job outcomes."""
         if not jobs:
             raise ValueError("no jobs to schedule")
+        # One boundary event per run (not per job): post-mortem context
+        # at ring-friendly volume, and the disabled-mode branch rides
+        # the scheduler perf gate in benchmarks/test_perf_telemetry.py.
+        flightrec.record(
+            "sched-run", jobs=len(jobs),
+            strategy=getattr(self.strategy, "name", "custom"),
+        )
         with telemetry.span(
             "sched.run",
             strategy=getattr(self.strategy, "name", "custom"),

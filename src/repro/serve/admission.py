@@ -17,6 +17,15 @@ the serving-time continuation of the chain's design: a coarse answer
 now beats a precise answer after the deadline, and the tier label keeps
 the quality loss observable (``tier_snapshot`` + the
 ``serve.admission.*`` counters below).
+
+SLO mode (default off): pass an
+:class:`~repro.telemetry.slo.SLOShedPolicy` and decisions below the
+hard limit come from error-budget burn instead of the soft watermark —
+the service sheds when sustained latency/availability burn says the
+SLO is in danger, not when a raw in-flight count happens to spike.
+The hard limit stays on as the memory-safety backstop, and with no
+policy installed behavior is bit-identical to the watermark
+controller.
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ DECISIONS = ("full", "degraded", "shed")
 class AdmissionController:
     """Watermark-based admission over an in-flight counter."""
 
-    def __init__(self, soft_limit: int = 64, hard_limit: int = 256):
+    def __init__(self, soft_limit: int = 64, hard_limit: int = 256,
+                 slo=None):
         if soft_limit < 1:
             raise ServeError(f"soft_limit must be >= 1, got {soft_limit}",
                              code=500, reason="bad-config")
@@ -45,22 +55,46 @@ class AdmissionController:
             )
         self.soft_limit = int(soft_limit)
         self.hard_limit = int(hard_limit)
+        #: Optional SLOShedPolicy; None = pure watermark mode.
+        self.slo = slo
         self.inflight = 0
         self.peak_inflight = 0
         self.counts = {d: 0 for d in DECISIONS}
 
     # ------------------------------------------------------------------
+    def state(self) -> str:
+        """The decision an arriving request would get *right now*.
+
+        Pure read — no counters move — so error payloads can report the
+        admission state without perturbing the series.
+        """
+        if self.inflight >= self.hard_limit:
+            return "shed"
+        if self.slo is not None:
+            # Burn-driven below the hard backstop: shed only on
+            # sustained budget burn, degrade on fast burn OR the soft
+            # watermark (memory pressure still deserves a cheap tier).
+            burn = self.slo.decision()
+            if burn == "shed":
+                return "shed"
+            if burn == "degraded" or self.inflight >= self.soft_limit:
+                return "degraded"
+            return "full"
+        if self.inflight >= self.soft_limit:
+            return "degraded"
+        return "full"
+
     def decide(self) -> str:
         """Admission decision for one arriving request (and count it)."""
-        if self.inflight >= self.hard_limit:
-            decision = "shed"
-        elif self.inflight >= self.soft_limit:
-            decision = "degraded"
-        else:
-            decision = "full"
+        decision = self.state()
         self.counts[decision] += 1
         telemetry.counter(f"serve.admission.{decision}").inc()
         return decision
+
+    def observe(self, latency_s: float, ok: bool = True) -> None:
+        """Feed one finished request to the SLO policy (no-op without)."""
+        if self.slo is not None:
+            self.slo.observe(latency_s, ok)
 
     def enter(self) -> None:
         """Account one admitted (full or degraded) request in-flight."""
@@ -83,10 +117,13 @@ class AdmissionController:
 
     def snapshot(self) -> dict:
         """JSON-ready admission state (``/metrics``)."""
-        return {
+        out = {
             "inflight": self.inflight,
             "peak_inflight": self.peak_inflight,
             "soft_limit": self.soft_limit,
             "hard_limit": self.hard_limit,
             "decisions": dict(self.counts),
         }
+        if self.slo is not None:
+            out["slo"] = self.slo.snapshot()
+        return out

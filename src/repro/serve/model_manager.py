@@ -39,6 +39,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import flightrec
 from repro.artifacts import LoadedRun, find_run, list_runs, verify_run
 from repro.errors import ArtifactError, ReproError, ServeError
 from repro.ioutils import atomic_write_text
@@ -290,6 +291,8 @@ class ModelManager:
             fresh = self.load_model(config_hash)
         except (ReproError, OSError) as exc:
             telemetry.counter("serve.promote.failed").inc()
+            flightrec.record("promote-failed", config_hash=str(config_hash),
+                             error=type(exc).__name__)
             if active is None:
                 raise ServeError(
                     f"cannot load model {config_hash!r}: {exc}",
@@ -301,6 +304,10 @@ class ModelManager:
         self._active = fresh
         telemetry.counter("serve.promote.ok").inc()
         telemetry.gauge("serve.model.loaded_at").set(fresh.loaded_at)
+        flightrec.record(
+            "model-swap", config_hash=fresh.config_hash,
+            previous=active.config_hash if active is not None else None,
+        )
         return True
 
     # ------------------------------------------------------------------

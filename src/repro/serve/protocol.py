@@ -29,6 +29,12 @@ placement), ``tier`` (which degradation tier answered), ``model_hash``
 (the config hash of the model that answered — hot-swap observability),
 and ``batch_size`` (how many requests shared the micro-batch).
 
+Correlation ids: a request may carry ``request_id`` and/or
+``trace_id`` (bounded, log-safe strings); the server echoes them —
+minting any that are absent — in every response, success or error, and
+stamps its spans with the trace id so one id follows a request from
+the caller's logs through the coalesced batch to the Chrome trace.
+
 Every defect raises a typed :class:`~repro.errors.ServeError` carrying
 an HTTP status code and a machine-readable ``reason`` slug, so the
 server maps malformed input to one 400 response shape and load tests
@@ -37,6 +43,8 @@ assert on slugs instead of prose.
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,6 +59,8 @@ __all__ = [
     "predict_response",
     "zeroshot_response",
     "error_response",
+    "mint_request_id",
+    "peek_wire_ids",
 ]
 
 #: Bumped whenever the request/response schema changes incompatibly.
@@ -62,6 +72,45 @@ _MAX_FEATURES = 4096
 #: Hard cap on inline descriptors per request (each one is a model
 #: evaluation; a thousand-machine list is a DoS, not a placement).
 _MAX_MACHINES = 64
+
+#: Wire-supplied correlation ids: bounded, log-safe charset (no
+#: whitespace, quotes, or control bytes to smuggle into logs/traces).
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+
+def mint_request_id() -> str:
+    """A fresh server-side request id (``req-`` + 12 hex chars)."""
+    return "req-" + os.urandom(6).hex()
+
+
+def peek_wire_ids(payload) -> "tuple[str | None, str | None]":
+    """Best-effort ``(request_id, trace_id)`` extraction, never raises.
+
+    The transport layer needs the caller's correlation ids even when the
+    request is malformed (they go into the error body); a bad id simply
+    reads as absent here — the strict parse in
+    :func:`parse_predict_payload` still rejects the request.
+    """
+    if not isinstance(payload, dict):
+        return None, None
+    ids = []
+    for key in ("request_id", "trace_id"):
+        value = payload.get(key)
+        ids.append(value if isinstance(value, str)
+                   and _ID_PATTERN.match(value) else None)
+    return ids[0], ids[1]
+
+
+def _parse_wire_id(payload: dict, key: str) -> str | None:
+    """The optional ``request_id``/``trace_id`` a caller supplied."""
+    if key not in payload:
+        return None
+    value = payload[key]
+    if not isinstance(value, str) or not _ID_PATTERN.match(value):
+        raise ServeError(
+            f"'{key}' must be 1-128 characters from [A-Za-z0-9._:-]"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -81,6 +130,13 @@ class ParsedRequest:
     uses_gpu: bool
     #: Inline descriptors for zero-shot scoring; None = classic RPV mode.
     machines: tuple[MachineDescriptor, ...] | None = None
+    #: Correlation ids: wire-supplied or minted by the server, echoed in
+    #: every response (success and error) for end-to-end tracing.
+    request_id: str | None = None
+    trace_id: str | None = None
+    #: The request's root span id (server-side), so batch-flush spans in
+    #: other scopes can parent themselves under the request span.
+    span_id: int | None = None
 
 
 def parse_predict_payload(payload) -> ParsedRequest:
@@ -93,7 +149,7 @@ def parse_predict_payload(payload) -> ParsedRequest:
         )
     unknown = sorted(
         set(payload) - {"record", "features", "nodes_required", "uses_gpu",
-                        "machines"}
+                        "machines", "request_id", "trace_id"}
     )
     if unknown:
         raise ServeError(f"unknown request key(s): {', '.join(unknown)}")
@@ -148,6 +204,8 @@ def parse_predict_payload(payload) -> ParsedRequest:
         nodes_required=nodes,
         uses_gpu=uses_gpu,
         machines=_parse_machines(payload),
+        request_id=_parse_wire_id(payload, "request_id"),
+        trace_id=_parse_wire_id(payload, "trace_id"),
     )
 
 
@@ -191,11 +249,13 @@ def predict_response(
     tier: str,
     model_hash: str,
     batch_size: int,
+    request_id: str | None = None,
+    trace_id: str | None = None,
 ) -> dict:
     """The one ``/predict`` success shape (JSON-ready)."""
     values = [float(v) for v in np.asarray(rpv, dtype=np.float64)]
     order = np.argsort(np.asarray(values), kind="stable")
-    return {
+    out = {
         "protocol_version": PROTOCOL_VERSION,
         "rpv": values,
         "systems": list(systems),
@@ -205,6 +265,11 @@ def predict_response(
         "model_hash": model_hash,
         "batch_size": int(batch_size),
     }
+    if request_id is not None:
+        out["request_id"] = request_id
+    if trace_id is not None:
+        out["trace_id"] = trace_id
+    return out
 
 
 def zeroshot_response(
@@ -213,6 +278,8 @@ def zeroshot_response(
     uncertainty: np.ndarray,
     tier: str,
     model_hash: str,
+    request_id: str | None = None,
+    trace_id: str | None = None,
 ) -> dict:
     """The ``/predict`` success shape for inline-descriptor requests.
 
@@ -226,7 +293,7 @@ def zeroshot_response(
     spread = [float(v) for v in np.asarray(uncertainty, dtype=np.float64)]
     order = np.argsort(np.asarray(values), kind="stable")
     ranked = [names[i] for i in order]
-    return {
+    out = {
         "protocol_version": PROTOCOL_VERSION,
         "machines": names,
         "scores": values,
@@ -236,6 +303,11 @@ def zeroshot_response(
         "tier": tier,
         "model_hash": model_hash,
     }
+    if request_id is not None:
+        out["request_id"] = request_id
+    if trace_id is not None:
+        out["trace_id"] = trace_id
+    return out
 
 
 def error_response(exc: ServeError) -> tuple[int, dict]:

@@ -20,17 +20,31 @@ mid-batch affects only later batches — no request ever observes a
 half-loaded model (pinned by tests/test_serve.py).
 
 Endpoints: ``POST /predict``, ``GET /metrics`` (admission counters,
-tier snapshot, coalescer state, telemetry snapshot), ``GET /healthz``,
+tier snapshot, coalescer state, telemetry snapshot; add
+``?format=prometheus`` for text exposition), ``GET /healthz``,
 ``GET /model``.  The HTTP layer is deliberately minimal stdlib asyncio
 (request line + headers + content-length body) — the service binds to
 loopback for a scheduler sidecar, not the open internet.
+
+Observability: every request gets a ``request_id``/``trace_id`` (wire
+values win, absent ones are minted) echoed in the response — success
+*and* error — and stamped on the request's span tree, so one Chrome
+trace shows ``serve.request`` → ``serve.coalescer.batch`` →
+``serve.predict``/``serve.degrade`` as linked parent-child spans even
+though the batch flush runs outside any request's call stack.  Error
+bodies additionally carry the serving model hash and the live admission
+state.  A flight-recorder ring captures admission transitions and batch
+flushes; transitions *into* shed and unhandled server errors dump it to
+``flight.json``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import json
+import sys
 import time
 from dataclasses import dataclass
 
@@ -44,10 +58,13 @@ from repro.serve.model_manager import ActiveModel, ModelManager
 from repro.serve.protocol import (
     ParsedRequest,
     error_response,
+    mint_request_id,
     parse_predict_payload,
+    peek_wire_ids,
     predict_response,
     zeroshot_response,
 )
+from repro.telemetry import flightrec
 
 __all__ = ["PredictionService", "BatchResult"]
 
@@ -55,6 +72,13 @@ __all__ = ["PredictionService", "BatchResult"]
 _PHRASES = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 500: "Internal Server Error",
             503: "Service Unavailable"}
+
+
+class _TextBody(str):
+    """A plain-text response body (``_respond`` defaults to JSON)."""
+
+    #: Prometheus text exposition format version 0.0.4.
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
 
 
 @dataclass
@@ -79,6 +103,8 @@ class PredictionService:
         soft_inflight: int = 64,
         max_inflight: int = 256,
         cluster=None,
+        slo=None,
+        flight_events: int = 0,
     ):
         from repro.sched.machines import ClusterState
         from repro.sched.strategies import strategy_by_name
@@ -89,8 +115,15 @@ class PredictionService:
             max_delay_s=batch_deadline_s,
         )
         self.admission = AdmissionController(
-            soft_limit=soft_inflight, hard_limit=max_inflight
+            soft_limit=soft_inflight, hard_limit=max_inflight, slo=slo
         )
+        #: Where :meth:`dump_flight` writes (set by ``repro serve`` to
+        #: the run dir's ``flight.json``); None = no dumps.
+        self.flight_path = None
+        #: Last admission decision, for transition detection.
+        self._last_decision = "full"
+        if flight_events:
+            flightrec.enable(flight_events)
         self.strategy_name = strategy
         self.strategy = strategy_by_name(strategy)
         self.cluster = cluster if cluster is not None else ClusterState()
@@ -119,6 +152,26 @@ class PredictionService:
         """
         model = self.manager.active  # the swap point: captured once
         n = len(items)
+        # The flush runs on the event loop, outside every request's call
+        # stack, so causality is wired explicitly: one batch span, plus
+        # one serve.predict span per item parented under that item's
+        # serve.request span (item.span_id) in the item's own trace.
+        batch_span = telemetry.start_span("serve.coalescer.batch")
+        item_spans = None
+        if batch_span.span_id is not None:
+            batch_span.annotate(
+                rows=n,
+                trace_ids=sorted({item.trace_id for item in items
+                                  if item.trace_id}),
+            )
+            item_spans = [
+                telemetry.start_span(
+                    "serve.predict", trace_id=item.trace_id,
+                    parent_id=item.span_id, kind=item.kind,
+                    batch_span_id=batch_span.span_id,
+                )
+                for item in items
+            ]
         results: list = [None] * n
         rows: list[np.ndarray] = []
         row_items: list[int] = []
@@ -142,9 +195,14 @@ class PredictionService:
                 rows.append(self._featurize(item.record, model))
                 row_items.append(i)
             except (ReproError, ValueError, KeyError, TypeError):
-                outcome = model.resilient.predict_record_detailed(
-                    item.record
-                )
+                with telemetry.start_span(
+                    "serve.degrade", trace_id=item.trace_id,
+                    parent_id=item.span_id,
+                ) as dspan:
+                    outcome = model.resilient.predict_record_detailed(
+                        item.record
+                    )
+                    dspan.annotate(tier=outcome.tier)
                 results[i] = BatchResult(outcome.rpv, outcome.tier,
                                          model, 1)
         if rows:
@@ -159,6 +217,14 @@ class PredictionService:
             for k, i in enumerate(row_items):
                 tier = "model" if finite[k] else fallback
                 results[i] = BatchResult(Y[k], tier, model, len(rows))
+        if item_spans is not None:
+            for span, result in zip(item_spans, results):
+                if isinstance(result, BatchResult):
+                    span.annotate(tier=result.tier)
+                    span.end()
+                else:
+                    span.end(type(result) if result is not None else None)
+            batch_span.end()
         return results
 
     @staticmethod
@@ -238,7 +304,8 @@ class PredictionService:
             ) from exc
         telemetry.counter("serve.zeroshot.requests").inc()
         return zeroshot_response(
-            machines, scores, spread, "zeroshot", model.config_hash
+            machines, scores, spread, "zeroshot", model.config_hash,
+            request_id=request.request_id, trace_id=request.trace_id,
         )
 
     # ------------------------------------------------------------------
@@ -278,13 +345,42 @@ class PredictionService:
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
-    async def handle_predict(self, payload) -> dict:
-        """Full ``/predict`` flow for one parsed JSON payload."""
+    async def handle_predict(self, payload, request_id: str | None = None,
+                             trace_id: str | None = None) -> dict:
+        """Full ``/predict`` flow for one parsed JSON payload.
+
+        *request_id*/*trace_id* are transport-level fallbacks; ids in
+        the payload win, and whatever is still missing is minted here.
+        The resolved pair is echoed in the response and stamped on the
+        request's ``serve.request`` span, which the coalesced batch
+        parents its per-item spans under.
+        """
         request = parse_predict_payload(payload)
+        request_id = request.request_id or request_id or mint_request_id()
+        trace_id = request.trace_id or trace_id
+        if trace_id is None and telemetry.tracing_enabled():
+            trace_id = (telemetry.current_trace()[0]
+                        or telemetry.new_trace_id())
+        span = telemetry.start_span(
+            "serve.request", trace_id=trace_id, request_id=request_id,
+            kind=request.kind,
+        )
+        request = dataclasses.replace(
+            request, request_id=request_id, trace_id=trace_id,
+            span_id=span.span_id,
+        )
         decision = self.admission.decide()
+        span.annotate(decision=decision)
+        self._note_decision(decision)
         if decision == "shed":
-            raise self.admission.shed_error()
+            span.end(ServeError)
+            error = self.admission.shed_error()
+            error.request_id = request_id
+            error.trace_id = trace_id
+            raise error
         self.admission.enter()
+        t0 = time.perf_counter()
+        ok = False
         try:
             if request.machines is not None:
                 # Zero-shot scoring of inline descriptors: a rare
@@ -292,68 +388,186 @@ class PredictionService:
                 # new machine), answered directly — no micro-batching,
                 # and no degraded tier (there is no model-free answer
                 # for machines the heuristics have never seen).
-                return self._predict_zeroshot(request)
-            if decision == "degraded":
+                response = self._predict_zeroshot(request)
+            elif decision == "degraded":
                 model = self.manager.active
-                outcome = model.resilient.baseline(request.uses_gpu)
-                rpv, tier, batch_size = outcome.rpv, outcome.tier, 1
+                with telemetry.start_span(
+                    "serve.degrade", trace_id=trace_id,
+                    parent_id=span.span_id,
+                ) as dspan:
+                    outcome = model.resilient.baseline(request.uses_gpu)
+                    dspan.annotate(tier=outcome.tier)
+                recommended = self._recommend(request, outcome.rpv, model)
+                response = predict_response(
+                    outcome.rpv, model.systems, recommended, outcome.tier,
+                    model.config_hash, 1,
+                    request_id=request_id, trace_id=trace_id,
+                )
             else:
                 result = await self.batcher.submit(request)
-                model = result.model
-                rpv, tier, batch_size = (
-                    result.rpv, result.tier, result.batch_size
+                recommended = self._recommend(
+                    request, result.rpv, result.model
                 )
-            recommended = self._recommend(request, rpv, model)
-            return predict_response(
-                rpv, model.systems, recommended, tier,
-                model.config_hash, batch_size,
-            )
+                response = predict_response(
+                    result.rpv, result.model.systems, recommended,
+                    result.tier, result.model.config_hash,
+                    result.batch_size,
+                    request_id=request_id, trace_id=trace_id,
+                )
+            ok = True
+            return response
+        except ServeError as exc:
+            # Stamp the resolved ids on the propagating error so the
+            # error body names the same request the span tree does.
+            exc.request_id = request_id
+            exc.trace_id = trace_id
+            raise
         finally:
             self.admission.exit()
+            # Shed requests never get here: only *answered* requests
+            # feed the SLO burn tracker (an already-shedding service
+            # must not count its own 503s as budget burn).
+            self.admission.observe(time.perf_counter() - t0, ok)
+            span.end(None if ok else sys.exc_info()[0])
+
+    # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+    def _note_decision(self, decision: str) -> None:
+        """Track admission transitions; entering shed dumps the ring.
+
+        A transition *into* shed is exactly the moment a post-mortem
+        needs the recent history, and transitions are rare by
+        construction — this can never become a dump-per-request.
+        """
+        previous, self._last_decision = self._last_decision, decision
+        if decision == previous:
+            return
+        flightrec.record(
+            "admission-transition", previous=previous, decision=decision,
+            inflight=self.admission.inflight,
+        )
+        if decision == "shed":
+            self.dump_flight("shed-transition")
+
+    def dump_flight(self, reason: str):
+        """Write the flight ring to ``flight.json``; returns the path
+        (None when no path is configured or recording is off)."""
+        if self.flight_path is None or not flightrec.enabled():
+            return None
+        telemetry.write_json(self.flight_path, flightrec.dump(reason))
+        return self.flight_path
 
     async def _route(self, method: str, target: str,
                      body: bytes) -> tuple[int, dict]:
-        target = target.split("?", 1)[0]
+        target, _, query = target.partition("?")
         endpoint = target.strip("/") or "root"
         self.request_counts[endpoint] = (
             self.request_counts.get(endpoint, 0) + 1
         )
         t0 = time.perf_counter()
+        request_id = trace_id = None
         try:
             if target == "/predict":
                 if method != "POST":
-                    return 405, {"error": "POST required", "reason": "method"}
-                try:
-                    payload = json.loads(body or b"")
-                except json.JSONDecodeError as exc:
+                    status, payload = 405, {"error": "POST required",
+                                            "reason": "method"}
+                else:
+                    try:
+                        data = json.loads(body or b"")
+                    except json.JSONDecodeError as exc:
+                        raise ServeError(
+                            f"request body is not valid JSON: {exc}"
+                        ) from exc
+                    request_id, trace_id = peek_wire_ids(data)
+                    status, payload = 200, await self.handle_predict(
+                        data, request_id=request_id, trace_id=trace_id
+                    )
+            elif method != "GET":
+                status, payload = 405, {"error": "GET required",
+                                        "reason": "method"}
+            elif target == "/metrics":
+                fmt = self._metrics_format(query)
+                if fmt == "prometheus":
+                    status, payload = 200, self.prometheus_payload()
+                elif fmt == "json":
+                    status, payload = 200, self.metrics_payload()
+                else:
                     raise ServeError(
-                        f"request body is not valid JSON: {exc}"
-                    ) from exc
-                return 200, await self.handle_predict(payload)
-            if method != "GET":
-                return 405, {"error": "GET required", "reason": "method"}
-            if target == "/metrics":
-                return 200, self.metrics_payload()
-            if target == "/healthz":
-                return 200, {
+                        f"unknown metrics format {fmt!r} (choose json "
+                        f"or prometheus)", reason="bad-format",
+                    )
+            elif target == "/healthz":
+                status, payload = 200, {
                     "status": "ok" if self.manager.has_model else "no-model",
                     "model_hash": (
                         self.manager.active.config_hash
                         if self.manager.has_model else None
                     ),
                 }
-            if target == "/model":
-                return 200, self.manager.active.describe()
-            return 404, {"error": f"no such endpoint {target!r}",
-                         "reason": "not-found"}
+            elif target == "/model":
+                status, payload = 200, self.manager.active.describe()
+            else:
+                status, payload = 404, {
+                    "error": f"no such endpoint {target!r}",
+                    "reason": "not-found",
+                }
         except ServeError as exc:
-            return error_response(exc)
+            status, payload = error_response(exc)
+            request_id = getattr(exc, "request_id", None) or request_id
+            trace_id = getattr(exc, "trace_id", None) or trace_id
+        except Exception as exc:  # noqa: BLE001 - the 500 must not crash
+            # An unhandled handler error is a server bug: record it,
+            # dump the flight ring for the post-mortem, and answer a
+            # typed 500 instead of tearing down the connection.
+            flightrec.record("unhandled-error", endpoint=endpoint,
+                             error=type(exc).__name__)
+            self.dump_flight("unhandled-error")
+            telemetry.counter("serve.http.unhandled").inc()
+            status, payload = 500, {
+                "error": f"internal error: {type(exc).__name__}",
+                "reason": "internal",
+            }
         finally:
             if telemetry.metrics_enabled():
                 telemetry.histogram(
                     f"serve.http.{endpoint}.seconds"
                 ).observe(time.perf_counter() - t0)
                 telemetry.counter(f"serve.http.{endpoint}.requests").inc()
+        if status >= 400 and isinstance(payload, dict):
+            payload = self._with_error_context(payload, request_id,
+                                               trace_id)
+        return status, payload
+
+    @staticmethod
+    def _metrics_format(query: str) -> str:
+        """The ``format=`` value of a ``/metrics`` query (default json)."""
+        fmt = "json"
+        for part in query.split("&"):
+            key, _, value = part.partition("=")
+            if key == "format" and value:
+                fmt = value
+        return fmt
+
+    def _with_error_context(self, body: dict, request_id: str | None,
+                            trace_id: str | None) -> dict:
+        """Stamp correlation + state context onto an error body.
+
+        Every 4xx/5xx carries the request id (minted when the caller
+        sent none), the serving model hash, and the live admission
+        state, so one error line is debuggable without a second probe.
+        """
+        body.setdefault("request_id", request_id or mint_request_id())
+        if trace_id is not None:
+            body.setdefault("trace_id", trace_id)
+        body.setdefault("model_hash",
+                        self.manager.active.config_hash
+                        if self.manager.has_model else None)
+        body.setdefault("admission", {
+            "inflight": self.admission.inflight,
+            "state": self.admission.state(),
+        })
+        return body
 
     # ------------------------------------------------------------------
     # Observability
@@ -385,6 +599,41 @@ class PredictionService:
         if telemetry.metrics_enabled():
             payload["telemetry"] = telemetry.snapshot()
         return payload
+
+    def prometheus_payload(self) -> _TextBody:
+        """The ``GET /metrics?format=prometheus`` exposition document.
+
+        Service-side series (request/response counts, in-flight) render
+        with labels so they survive even with telemetry off; when the
+        registry is recording, its whole snapshot follows via
+        :func:`~repro.telemetry.export.prometheus_text` — histograms
+        keep their native upper-edge-inclusive ``le`` semantics.
+        """
+        lines = ["# TYPE repro_serve_http_requests_total counter"]
+        lines += [
+            telemetry.prometheus_sample(
+                "repro_serve_http_requests_total",
+                {"endpoint": endpoint}, count,
+            )
+            for endpoint, count in sorted(self.request_counts.items())
+        ]
+        lines.append("# TYPE repro_serve_http_responses_total counter")
+        lines += [
+            telemetry.prometheus_sample(
+                "repro_serve_http_responses_total",
+                {"status": str(status)}, count,
+            )
+            for status, count in sorted(self.status_counts.items())
+        ]
+        lines.append("# TYPE repro_serve_admission_inflight gauge")
+        lines.append(telemetry.prometheus_sample(
+            "repro_serve_admission_inflight", None,
+            self.admission.inflight,
+        ))
+        text = "\n".join(lines) + "\n"
+        if telemetry.metrics_enabled():
+            text += telemetry.prometheus_text(telemetry.snapshot())
+        return _TextBody(text)
 
     # ------------------------------------------------------------------
     # Transport
@@ -426,8 +675,10 @@ class PredictionService:
                 except (UnicodeDecodeError, ValueError):
                     await self._respond(
                         writer, 400,
-                        {"error": "malformed request line",
-                         "reason": "bad-http"},
+                        self._with_error_context(
+                            {"error": "malformed request line",
+                             "reason": "bad-http"}, None, None,
+                        ),
                         close=True,
                     )
                     break
@@ -445,7 +696,10 @@ class PredictionService:
                 if length < 0 or length > (1 << 22):
                     await self._respond(
                         writer, 400,
-                        {"error": "bad content-length", "reason": "bad-http"},
+                        self._with_error_context(
+                            {"error": "bad content-length",
+                             "reason": "bad-http"}, None, None,
+                        ),
                         close=True,
                     )
                     break
@@ -467,12 +721,17 @@ class PredictionService:
                 pass
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict, close: bool = False) -> None:
+                       payload, close: bool = False) -> None:
         self.status_counts[status] = self.status_counts.get(status, 0) + 1
-        body = json.dumps(payload).encode()
+        if isinstance(payload, _TextBody):
+            body = str(payload).encode()
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_PHRASES.get(status, 'Unknown')}\r\n"
-            f"content-type: application/json\r\n"
+            f"content-type: {content_type}\r\n"
             f"content-length: {len(body)}\r\n"
             f"connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"

@@ -39,6 +39,7 @@ directories — so the runner itself holds no state a SIGKILL could lose.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
@@ -95,11 +96,27 @@ def _cell_worker(payload: dict) -> None:
         # process, which is an execution sandbox, may call back into it.
         from repro.cli import main as cli_main
 
-        code = cli_main([
+        args = [
             payload["command"],
             "--config", payload["config_path"],
             "--run-dir", payload["run_root"],
-        ])
+        ]
+        mode = payload.get("telemetry")
+        if mode:
+            args += ["--telemetry", mode]
+        trace = payload.get("trace") or {}
+        if trace.get("trace_id") is not None \
+                or trace.get("parent_span_id") is not None:
+            # Installed before the CLI runs (and surviving its telemetry
+            # reset): every span the cell records carries the parent
+            # sweep's trace id, and the cell's root spans parent to the
+            # parent process's sweep.run span — so the merged Chrome
+            # trace shows one causal tree across processes.
+            with telemetry.trace_context(trace.get("trace_id"),
+                                         trace.get("parent_span_id")):
+                code = cli_main(args)
+        else:
+            code = cli_main(args)
         if "corrupt" in payload["faults"]:
             corrupt_run_dir(Path(payload["run_dir"]))
         atomic_write_json(payload["result_path"],
@@ -219,8 +236,15 @@ class SweepRunner:
             (self._scratch / sub).mkdir(parents=True, exist_ok=True)
         journal.open_sweep(plan.spec.content_hash(), plan.spec.name)
         outcomes: dict[str, CellOutcome] = {}
-        with telemetry.span("sweep.run", sweep=plan.spec.name,
-                            cells=len(plan.cells)):
+        # In trace mode the whole sweep runs under one trace id (the
+        # ambient one when the sweep is itself a child, else freshly
+        # minted) so cell subprocesses can stamp their spans into it.
+        trace_scope = contextlib.nullcontext()
+        if telemetry.tracing_enabled():
+            trace_id = telemetry.current_trace()[0] or telemetry.new_trace_id()
+            trace_scope = telemetry.trace_context(trace_id)
+        with trace_scope, telemetry.span("sweep.run", sweep=plan.spec.name,
+                                         cells=len(plan.cells)):
             for cp in plan.cells:
                 if cp.status == "cached":
                     journal.record("cached", cp.cell.cell_id,
@@ -272,6 +296,13 @@ class SweepRunner:
             "faults": list(self.chaos.worker_faults(
                 cell.index, cell.cell_id, attempt)),
         }
+        if telemetry.tracing_enabled():
+            # The sweep.run span is open on this thread, so the cell's
+            # spans parent under it and inherit the sweep's trace id.
+            trace_id, parent_span = telemetry.current_trace()
+            payload["telemetry"] = telemetry.mode()
+            payload["trace"] = {"trace_id": trace_id,
+                                "parent_span_id": parent_span}
         process = self._ctx.Process(target=_cell_worker, args=(payload,),
                                     daemon=False)
         self.plan.journal.record("started", cell.cell_id, cell.config_hash,

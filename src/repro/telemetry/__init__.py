@@ -40,8 +40,11 @@ every other layer may instrument itself without import cycles.
 from __future__ import annotations
 
 from repro.errors import TelemetryError
+from repro.telemetry import flightrec, slo
 from repro.telemetry.export import (
     chrome_trace,
+    prometheus_sample,
+    prometheus_text,
     sim_events_to_chrome,
     spans_jsonl,
     write_json,
@@ -56,8 +59,8 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullMetric,
 )
-from repro.telemetry.report import render_run_report
-from repro.telemetry.spans import SpanRecord, Tracer
+from repro.telemetry.report import format_slo_table, render_run_report
+from repro.telemetry.spans import SpanRecord, Tracer, new_trace_id
 
 __all__ = [
     "MODES",
@@ -66,6 +69,11 @@ __all__ = [
     "metrics_enabled",
     "tracing_enabled",
     "span",
+    "start_span",
+    "trace_context",
+    "current_trace",
+    "new_trace_id",
+    "adopt_spans",
     "counter",
     "gauge",
     "histogram",
@@ -77,7 +85,12 @@ __all__ = [
     "spans_jsonl",
     "write_json",
     "sim_events_to_chrome",
+    "prometheus_text",
+    "prometheus_sample",
     "render_run_report",
+    "format_slo_table",
+    "flightrec",
+    "slo",
     "Counter",
     "Gauge",
     "Histogram",
@@ -135,6 +148,45 @@ def tracing_enabled() -> bool:
 def span(name: str, **attrs):
     """A span handle (context manager / decorator) for a traced region."""
     return _TRACER.span(name, **attrs)
+
+
+def start_span(name: str, *, trace_id: str | None = None,
+               parent_id: int | None = None, **attrs):
+    """An explicitly-parented span for async request scopes.
+
+    Unlike :func:`span`, parentage is wired by the caller (not the
+    thread-local stack) and the span is finished with ``end()`` — the
+    right tool when many requests interleave on one event-loop thread.
+    Returns a shared no-op handle (``span_id`` is ``None``) while
+    tracing is disabled.
+    """
+    return _TRACER.start_span(name, trace_id=trace_id,
+                              parent_id=parent_id, **attrs)
+
+
+def trace_context(trace_id: str | None = None,
+                  parent_span_id: int | None = None):
+    """Context manager stamping this thread's root spans with a trace.
+
+    Survives :func:`reset` — a worker process installs its parent's
+    trace context once and every span tree it records afterwards
+    (including after mode switches) lands in the parent's trace.
+    """
+    return _TRACER.context(trace_id, parent_span_id)
+
+
+def current_trace() -> tuple[str | None, int | None]:
+    """The ``(trace_id, parent_span_id)`` a child spawned now inherits."""
+    return _TRACER.current_context()
+
+
+def adopt_spans(records, parent_id: int | None = None,
+                trace_id: str | None = None) -> int:
+    """Graft worker-process span records into the global tracer.
+
+    Remaps span ids to this tracer's id space and attaches the worker's
+    root spans under *parent_id* (see :meth:`Tracer.adopt`)."""
+    return _TRACER.adopt(records, parent_id=parent_id, trace_id=trace_id)
 
 
 def counter(name: str):

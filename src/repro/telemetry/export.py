@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 
 from repro.telemetry.spans import SpanRecord
 
@@ -31,6 +32,8 @@ __all__ = [
     "spans_jsonl",
     "write_json",
     "sim_events_to_chrome",
+    "prometheus_text",
+    "prometheus_sample",
 ]
 
 
@@ -49,6 +52,8 @@ def chrome_trace(spans: list[SpanRecord], process_name: str = "repro") -> dict:
     ]
     for span in spans:
         args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
         args.update(span.attrs)
         if span.error:
             args["error"] = True
@@ -78,6 +83,84 @@ def write_json(path, payload: dict) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4).  The histogram
+# already stores upper-edge-inclusive buckets, i.e. exactly Prometheus
+# ``le`` semantics, so rendering is cumulation + formatting — no
+# re-binning.
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus family name."""
+    out = prefix + _PROM_INVALID.sub("_", name)
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_sample(name: str, labels: dict | None, value) -> str:
+    """One exposition sample line, with label escaping."""
+    if labels:
+        rendered = ",".join(
+            '{}="{}"'.format(
+                key,
+                str(val).replace("\\", r"\\").replace('"', r"\"")
+                .replace("\n", r"\n"),
+            )
+            for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {_prom_value(value)}"
+    return f"{name} {_prom_value(value)}"
+
+
+def prometheus_text(snapshot: dict, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters get the conventional ``_total`` suffix; histograms render
+    the full ``_bucket{le=...}`` / ``_sum`` / ``_count`` family with
+    cumulative bucket counts and a ``+Inf`` bucket equal to the total
+    count.  Families are sorted by name for deterministic scrapes.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        family = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(prometheus_sample(family, None, int(value)))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        family = _prom_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(prometheus_sample(family, None, float(value)))
+    for name, state in sorted(snapshot.get("histograms", {}).items()):
+        family = _prom_name(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for edge, count in zip(state.get("edges", []),
+                               state.get("counts", [])):
+            cumulative += int(count)
+            lines.append(prometheus_sample(
+                family + "_bucket", {"le": repr(float(edge))}, cumulative
+            ))
+        total = int(state.get("count", 0))
+        lines.append(prometheus_sample(
+            family + "_bucket", {"le": "+Inf"}, total
+        ))
+        lines.append(prometheus_sample(
+            family + "_sum", None, float(state.get("sum", 0.0))
+        ))
+        lines.append(prometheus_sample(family + "_count", None, total))
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def sim_events_to_chrome(events, time_scale: float = 1e6) -> dict:

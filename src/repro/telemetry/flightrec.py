@@ -1,0 +1,156 @@
+"""Flight recorder: a bounded ring of recent events for post-mortems.
+
+Trace mode answers "what happened?" only when it was switched on
+*before* the interesting request — which is never true for the request
+that crashed production.  The flight recorder closes that gap: the
+serving and scheduling layers drop tiny boundary records (admission
+transitions, batch flushes, model swaps, signals) into a fixed-size
+ring as they run, and when something notable happens — a shed
+transition, SIGTERM, an unhandled server error — the last *capacity*
+events are dumped to a manifest-inventoried ``flight.json``.
+
+Cost discipline, enforced by ``benchmarks/test_perf_telemetry.py``:
+
+* disabled (the default), :func:`record` is one attribute load and a
+  falsy branch — no allocation, no lock (< 2 µs/call gate);
+* enabled, an append is one ``deque.append`` with ``maxlen`` under a
+  lock: O(1), no growth, the oldest record falls off the back.
+
+Timestamps are wall-clock ``time.time_ns()`` — flight dumps are for
+humans correlating with logs, not for measuring durations.
+
+Like the tracer/registry there is one module-level recorder; the
+:class:`FlightRecorder` class stays importable for isolated use in
+tests.  Layering: depends on nothing above the stdlib, so every layer
+may record into it (enforced by ``tools/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "recorder",
+    "enable",
+    "disable",
+    "enabled",
+    "record",
+    "dump",
+]
+
+#: Ring size when :func:`enable` is not given one.  512 events at the
+#: serve layer's record rate (one per admission transition / batch
+#: flush / swap, not one per request) spans minutes of history in a
+#: few tens of kilobytes.
+DEFAULT_CAPACITY = 512
+
+#: Format version stamped into every dump.
+FLIGHT_FORMAT_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded in-memory event ring with O(1) append."""
+
+    __slots__ = ("_ring", "_lock", "_enabled", "_recorded")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 enabled: bool = False):
+        self._ring: deque = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._enabled = bool(enabled)
+        self._recorded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def enable(self, capacity: int | None = None) -> None:
+        """Start recording; resizing drops existing events."""
+        if capacity is not None and capacity != self._ring.maxlen:
+            if capacity < 1:
+                raise ValueError(
+                    f"flight recorder capacity must be >= 1, got {capacity}"
+                )
+            with self._lock:
+                self._ring = deque(maxlen=int(capacity))
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._recorded = 0
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; a no-op (one branch) while disabled."""
+        if not self._enabled:
+            return
+        event = (time.time_ns(), kind, fields)
+        with self._lock:
+            self._ring.append(event)
+            self._recorded += 1
+
+    def dump(self, reason: str = "manual") -> dict:
+        """JSON-ready dump of the ring, oldest event first.
+
+        ``recorded`` counts every event since the last :meth:`clear`,
+        so ``recorded - len(events)`` is how many fell off the back.
+        """
+        with self._lock:
+            events = list(self._ring)
+            recorded = self._recorded
+        return {
+            "flight_format_version": FLIGHT_FORMAT_VERSION,
+            "reason": reason,
+            "dumped_at_unix_ns": time.time_ns(),
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "events": [
+                {"ts_unix_ns": ts, "kind": kind, **fields}
+                for ts, kind, fields in events
+            ],
+        }
+
+
+#: The process-wide recorder the instrumented layers write into.
+_RECORDER = FlightRecorder()
+
+
+def recorder() -> FlightRecorder:
+    """The module-level recorder instance."""
+    return _RECORDER
+
+
+def enable(capacity: int | None = None) -> None:
+    _RECORDER.enable(capacity)
+
+
+def disable() -> None:
+    _RECORDER.disable()
+
+
+def enabled() -> bool:
+    return _RECORDER.enabled
+
+
+def record(kind: str, **fields) -> None:
+    _RECORDER.record(kind, **fields)
+
+
+def dump(reason: str = "manual") -> dict:
+    return _RECORDER.dump(reason)

@@ -56,14 +56,22 @@ SIZE_BUCKETS: tuple[float, ...] = tuple(float(4 ** i) for i in range(11))
 
 
 class Counter:
-    """Monotonic counter; :meth:`inc` only ever adds."""
+    """Monotonic counter; :meth:`inc` only ever adds.
 
-    __slots__ = ("name", "_value", "_lock")
+    ``_touched`` records "written since creation or the last registry
+    reset" — snapshots include only touched metrics, so a reset
+    registry reports nothing until new writes land even though the
+    metric objects themselves survive (see
+    :meth:`MetricsRegistry.reset`).
+    """
+
+    __slots__ = ("name", "_value", "_lock", "_touched")
 
     def __init__(self, name: str):
         self.name = name
         self._value = 0
         self._lock = threading.Lock()
+        self._touched = False
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
@@ -71,27 +79,39 @@ class Counter:
                                  "negative (counters only go up)")
         with self._lock:
             self._value += n
+            self._touched = True
 
     @property
     def value(self) -> int:
         return self._value
 
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+            self._touched = False
+
 
 class Gauge:
     """Last-written value; :meth:`set` replaces."""
 
-    __slots__ = ("name", "_value")
+    __slots__ = ("name", "_value", "_touched")
 
     def __init__(self, name: str):
         self.name = name
         self._value = 0.0
+        self._touched = False
 
     def set(self, value: float) -> None:
         self._value = float(value)
+        self._touched = True
 
     @property
     def value(self) -> float:
         return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+        self._touched = False
 
 
 class Histogram:
@@ -105,7 +125,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "edges", "counts", "_sum", "_count",
-                 "_min", "_max", "_lock")
+                 "_min", "_max", "_lock", "_touched")
 
     def __init__(self, name: str, buckets: tuple[float, ...]):
         edges = tuple(float(b) for b in buckets)
@@ -124,11 +144,13 @@ class Histogram:
         self._min: float | None = None
         self._max: float | None = None
         self._lock = threading.Lock()
+        self._touched = False
 
     def observe(self, value: float) -> None:
         value = float(value)
         idx = bisect_left(self.edges, value)
         with self._lock:
+            self._touched = True
             self.counts[idx] += 1
             self._sum += value
             self._count += 1
@@ -180,6 +202,7 @@ class Histogram:
                 f"buckets, expected {len(self.counts)}"
             )
         with self._lock:
+            self._touched = True
             for i, c in enumerate(counts):
                 self.counts[i] += int(c)
             self._sum += float(state.get("sum", 0.0))
@@ -196,6 +219,15 @@ class Histogram:
                     self._min = merged
                 else:
                     self._max = merged
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.counts = [0] * len(self.counts)
+            self._sum = 0.0
+            self._count = 0
+            self._min = None
+            self._max = None
+            self._touched = False
 
 
 class NullMetric:
@@ -273,17 +305,37 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def reset(self) -> None:
+        """Zero every metric *in place*, keeping the objects registered.
+
+        Clearing the dict instead (the old behavior) orphaned every
+        handed-out handle: a caller holding a ``Counter`` across a
+        reset kept writing to an instance the registry had forgotten,
+        so its increments silently vanished from snapshots.  In-place
+        zeroing preserves handle identity — ``registry.counter(name)``
+        before and after a reset return the same object — and the
+        per-metric touched flag keeps never-rewritten metrics out of
+        post-reset snapshots.
+        """
         with self._lock:
-            self._metrics.clear()
+            for metric in self._metrics.values():
+                metric._reset()
 
     def snapshot(self) -> dict:
         """JSON-ready snapshot: ``{"counters": {...}, "gauges": {...},
-        "histograms": {...}}`` with names sorted for determinism."""
+        "histograms": {...}}`` with names sorted for determinism.
+
+        Only metrics written since creation or the last reset are
+        included — a reset registry snapshots empty, and fork-inherited
+        worker registries never ship zeroed gauges that would clobber
+        the parent's values on merge.
+        """
         counters: dict[str, int] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, dict] = {}
         for name in sorted(self._metrics):
             metric = self._metrics[name]
+            if not metric._touched:
+                continue
             if isinstance(metric, Counter):
                 counters[name] = metric.value
             elif isinstance(metric, Gauge):

@@ -20,6 +20,7 @@ __all__ = [
     "format_span_table",
     "format_metrics_tables",
     "format_uncertainty_table",
+    "format_slo_table",
     "render_run_report",
 ]
 
@@ -141,6 +142,50 @@ def format_uncertainty_table(payload: dict) -> str:
     )
 
 
+def format_slo_table(payload) -> str:
+    """Budget-remaining table from saved SLO state.
+
+    *payload* is one :meth:`repro.telemetry.slo.SLOShedPolicy.snapshot`
+    dict or a list of them (``metrics.json``'s ``"slo"`` entry).  One
+    row per (SLO, window) with the burn rate and the fraction of the
+    window's error budget left; the admission decision rides in the
+    last column of each SLO's first row.
+    """
+    if isinstance(payload, dict):
+        payload = [payload]
+    rows = []
+    for entry in payload or []:
+        if not isinstance(entry, dict):
+            continue
+        spec = entry.get("spec", {})
+        label = str(spec.get("name", "?"))
+        objective = str(spec.get("objective", "?"))
+        target = spec.get("target")
+        target_s = f"{float(target):.4g}" if target is not None else "-"
+        first = True
+        for window_label in ("fast", "slow"):
+            window = (entry.get("windows") or {}).get(window_label)
+            if not isinstance(window, dict):
+                continue
+            rows.append([
+                label if first else "",
+                objective if first else "",
+                target_s if first else "",
+                f"{window_label} {window.get('window_s', 0):g}s",
+                f"{float(window.get('burn_rate', 0.0)):.3f}",
+                f"{float(window.get('budget_remaining', 0.0)):.3f}",
+                str(entry.get("decision", "")) if first else "",
+            ])
+            first = False
+    if not rows:
+        return "no SLO state recorded"
+    return "\n".join(_table(
+        ["slo", "objective", "target", "window", "burn",
+         "budget_left", "decision"],
+        rows,
+    ))
+
+
 def render_run_report(manifest: dict, metrics: dict | None,
                       trace: dict | None) -> str:
     """The full ``repro report <run-dir>`` text."""
@@ -168,10 +213,14 @@ def render_run_report(manifest: dict, metrics: dict | None,
             lines += ["", "per-machine predictive uncertainty "
                           "(rel-time std):",
                       format_uncertainty_table(uncertainty)]
+        slo = metrics.get("slo") if isinstance(metrics, dict) else None
+        if slo:
+            lines += ["", "SLO error-budget status:",
+                      format_slo_table(slo)]
         headline = {
             k: v for k, v in (metrics.items()
                               if isinstance(metrics, dict) else [])
-            if k not in ("telemetry", "uncertainty")
+            if k not in ("telemetry", "uncertainty", "slo")
         }
         if headline:
             lines += ["", "headline metrics (metrics.json):"]

@@ -1,0 +1,348 @@
+"""Declarative SLOs with sliding-window burn-rate tracking.
+
+An *SLO spec* states an objective over requests — "99% of predictions
+complete within 50 ms" (latency) or "99.9% of requests succeed"
+(availability) — and its complement is the *error budget*: the
+fraction of requests allowed to violate the objective.  The *burn
+rate* over a window is how fast that budget is being spent::
+
+    burn = bad_fraction(window) / (1 - target)
+
+``burn == 1`` means the budget is being consumed exactly at the rate
+that exhausts it over the SLO period; ``burn == 10`` exhausts it 10x
+faster.  Multi-window alerting (the Google SRE workbook pattern) pairs
+a *fast* window — reacts quickly, noisy alone — with a *slow* window —
+smooth, laggy alone — and fires only when **both** exceed a threshold,
+which filters blips without missing sustained burns.
+
+Three layers, all pure and clock-injectable (tests pass a fake clock;
+production uses ``time.monotonic``):
+
+* :class:`SLOSpec` — the declarative objective (validated, JSON
+  round-trippable);
+* :class:`BurnRateTracker` — cumulative ``(good, total)`` samples in a
+  deque, windowed bad-fraction / burn-rate / budget-remaining queries;
+  :func:`histogram_good_total` adapts the telemetry
+  :class:`~repro.telemetry.metrics.Histogram` bucket state so existing
+  latency histograms can feed a tracker without per-request hooks;
+* :class:`BurnAlert` / :class:`SLOShedPolicy` — multi-window rules; the
+  shed policy is what ``repro.serve.admission`` consults in SLO mode
+  (shed on budget burn instead of raw in-flight count).
+
+Layering: imports only ``repro.errors`` (enforced by
+``tools/check_layering.py``), like every telemetry submodule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "SLOSpec",
+    "BurnRateTracker",
+    "BurnAlert",
+    "SLOShedPolicy",
+    "histogram_good_total",
+]
+
+#: Objectives a spec may declare.
+OBJECTIVES = ("latency", "availability")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective.
+
+    ``target`` is the good-fraction objective in (0, 1); the error
+    budget is its complement.  Latency objectives additionally name the
+    telemetry histogram that observes the latency and the threshold a
+    good request must meet (``le`` semantics, matching the histogram's
+    upper-edge-inclusive buckets).
+    """
+
+    name: str
+    objective: str
+    target: float
+    histogram: str | None = None
+    threshold_s: float | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise TelemetryError("SLO spec needs a non-empty name")
+        if self.objective not in OBJECTIVES:
+            raise TelemetryError(
+                f"SLO {self.name!r}: unknown objective {self.objective!r} "
+                f"(choose from {', '.join(OBJECTIVES)})"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise TelemetryError(
+                f"SLO {self.name!r}: target must be in (0, 1), got "
+                f"{self.target}"
+            )
+        if self.objective == "latency":
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise TelemetryError(
+                    f"SLO {self.name!r}: latency objective needs "
+                    f"threshold_s > 0, got {self.threshold_s}"
+                )
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed bad fraction, ``1 - target``."""
+        return 1.0 - self.target
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "objective": self.objective,
+               "target": self.target}
+        if self.histogram is not None:
+            out["histogram"] = self.histogram
+        if self.threshold_s is not None:
+            out["threshold_s"] = self.threshold_s
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SLOSpec":
+        if not isinstance(payload, dict):
+            raise TelemetryError(
+                f"SLO spec must be a dict, got {type(payload).__name__}"
+            )
+        known = {"name", "objective", "target", "histogram",
+                 "threshold_s", "description"}
+        unknown = set(payload) - known
+        if unknown:
+            raise TelemetryError(
+                f"SLO spec has unknown key(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(
+                name=str(payload.get("name", "")),
+                objective=str(payload.get("objective", "")),
+                target=float(payload.get("target", 0.0)),
+                histogram=payload.get("histogram"),
+                threshold_s=(None if payload.get("threshold_s") is None
+                             else float(payload["threshold_s"])),
+                description=str(payload.get("description", "")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed SLO spec: {exc}") from exc
+
+
+def histogram_good_total(state: dict, threshold_s: float) -> tuple[int, int]:
+    """``(good, total)`` from a Histogram ``state()`` dict.
+
+    *Good* sums every bucket whose upper edge is <= *threshold_s*
+    (matching the histogram's ``le`` semantics).  When the threshold
+    falls inside a bucket the whole bucket counts as bad — the
+    conservative reading; pick a threshold equal to a bucket edge for
+    an exact split.
+    """
+    edges = state.get("edges", [])
+    counts = state.get("counts", [])
+    good = 0
+    for edge, count in zip(edges, counts):
+        if float(edge) <= threshold_s:
+            good += int(count)
+        else:
+            break
+    return good, int(state.get("count", 0))
+
+
+class BurnRateTracker:
+    """Sliding windows over cumulative ``(good, total)`` samples.
+
+    Append-only: callers :meth:`record` running cumulative totals (or
+    feed histogram snapshots via :meth:`observe_histogram`), and
+    windowed queries diff the newest sample against the newest sample
+    at or before the window start.  A synthetic origin sample ``(t0,
+    0, 0)`` makes young trackers well-defined, and samples older than
+    *horizon_s* are pruned (keeping one baseline at the horizon edge),
+    so memory stays bounded.
+    """
+
+    def __init__(self, spec: SLOSpec, clock=time.monotonic,
+                 horizon_s: float = 3600.0):
+        self.spec = spec
+        self._clock = clock
+        self.horizon_s = float(horizon_s)
+        self._samples: deque = deque([(float(clock()), 0, 0)])
+
+    def record(self, good: int, total: int, now: float | None = None) -> None:
+        """Append cumulative totals (must be non-decreasing)."""
+        now = float(self._clock() if now is None else now)
+        self._samples.append((now, int(good), int(total)))
+        while len(self._samples) >= 2 \
+                and self._samples[1][0] <= now - self.horizon_s:
+            self._samples.popleft()
+
+    def observe_histogram(self, state: dict,
+                          now: float | None = None) -> None:
+        """Record a latency histogram snapshot against the threshold."""
+        if self.spec.threshold_s is None:
+            raise TelemetryError(
+                f"SLO {self.spec.name!r} has no latency threshold; feed "
+                "availability counts via record()"
+            )
+        good, total = histogram_good_total(state, self.spec.threshold_s)
+        self.record(good, total, now)
+
+    # ------------------------------------------------------------------
+    def _delta(self, window_s: float, now: float) -> tuple[int, int]:
+        cutoff = now - window_s
+        baseline = self._samples[0]
+        for sample in self._samples:
+            if sample[0] <= cutoff:
+                baseline = sample
+            else:
+                break
+        latest = self._samples[-1]
+        return latest[1] - baseline[1], latest[2] - baseline[2]
+
+    def bad_fraction(self, window_s: float,
+                     now: float | None = None) -> float:
+        """Fraction of requests in the window violating the objective."""
+        now = float(self._clock() if now is None else now)
+        good, total = self._delta(window_s, now)
+        if total <= 0:
+            return 0.0
+        return (total - good) / total
+
+    def burn_rate(self, window_s: float, now: float | None = None) -> float:
+        """Budget-consumption speed: 1.0 = exactly on budget."""
+        return self.bad_fraction(window_s, now) / self.spec.error_budget
+
+    def budget_remaining(self, window_s: float,
+                         now: float | None = None) -> float:
+        """Fraction of the window's error allowance left (can go < 0)."""
+        return 1.0 - self.burn_rate(window_s, now)
+
+    def window_total(self, window_s: float,
+                     now: float | None = None) -> int:
+        """Requests observed inside the window."""
+        now = float(self._clock() if now is None else now)
+        return self._delta(window_s, now)[1]
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """Multi-window burn alert: fires when BOTH windows exceed the bar."""
+
+    name: str
+    burn_threshold: float
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+
+    def evaluate(self, tracker: BurnRateTracker,
+                 now: float | None = None) -> dict:
+        """``{"name", "firing", "fast_burn", "slow_burn", ...}``."""
+        fast = tracker.burn_rate(self.fast_window_s, now)
+        slow = tracker.burn_rate(self.slow_window_s, now)
+        return {
+            "name": self.name,
+            "burn_threshold": self.burn_threshold,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "fast_burn": fast,
+            "slow_burn": slow,
+            "firing": fast >= self.burn_threshold
+            and slow >= self.burn_threshold,
+        }
+
+
+class SLOShedPolicy:
+    """Burn-rate-driven admission policy for the serving layer.
+
+    Classifies each finished request good/bad against the spec
+    (availability: ``ok``; latency: ``ok`` and under the threshold),
+    tracks cumulative totals through a :class:`BurnRateTracker`, and
+    derives an admission decision from two windows:
+
+    * **shed** when both fast and slow burns reach ``shed_burn``
+      (sustained overload — the multi-window rule keeps one slow
+      request from tripping it once traffic history exists);
+    * **degraded** when the fast burn reaches ``degrade_burn``;
+    * **full** otherwise, including before any request has finished.
+
+    Thread-safe; decisions are pure reads of recorded state, so a
+    seeded load test reproduces exact shed counts run after run.
+    """
+
+    def __init__(self, spec: SLOSpec, *, fast_window_s: float = 5.0,
+                 slow_window_s: float = 30.0, degrade_burn: float = 1.0,
+                 shed_burn: float = 4.0, clock=time.monotonic):
+        if fast_window_s <= 0 or slow_window_s < fast_window_s:
+            raise TelemetryError(
+                "SLO shed policy needs 0 < fast_window_s <= slow_window_s, "
+                f"got {fast_window_s}/{slow_window_s}"
+            )
+        if degrade_burn <= 0 or shed_burn < degrade_burn:
+            raise TelemetryError(
+                "SLO shed policy needs 0 < degrade_burn <= shed_burn, got "
+                f"{degrade_burn}/{shed_burn}"
+            )
+        self.spec = spec
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.degrade_burn = float(degrade_burn)
+        self.shed_burn = float(shed_burn)
+        self.tracker = BurnRateTracker(
+            spec, clock=clock, horizon_s=max(3600.0, 2 * slow_window_s)
+        )
+        self._lock = threading.Lock()
+        self._good = 0
+        self._total = 0
+
+    def observe(self, latency_s: float, ok: bool = True) -> None:
+        """Account one finished request."""
+        bad = not ok or (
+            self.spec.objective == "latency"
+            and self.spec.threshold_s is not None
+            and latency_s > self.spec.threshold_s
+        )
+        with self._lock:
+            self._total += 1
+            if not bad:
+                self._good += 1
+            self.tracker.record(self._good, self._total)
+
+    def decision(self, now: float | None = None) -> str:
+        """``"full"`` | ``"degraded"`` | ``"shed"`` right now."""
+        if self._total == 0:
+            return "full"
+        fast = self.tracker.burn_rate(self.fast_window_s, now)
+        slow = self.tracker.burn_rate(self.slow_window_s, now)
+        if fast >= self.shed_burn and slow >= self.shed_burn:
+            return "shed"
+        if fast >= self.degrade_burn:
+            return "degraded"
+        return "full"
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """JSON-ready state for ``/metrics`` and run reports."""
+        windows = {}
+        for label, window_s in (("fast", self.fast_window_s),
+                                ("slow", self.slow_window_s)):
+            windows[label] = {
+                "window_s": window_s,
+                "bad_fraction": self.tracker.bad_fraction(window_s, now),
+                "burn_rate": self.tracker.burn_rate(window_s, now),
+                "budget_remaining": self.tracker.budget_remaining(
+                    window_s, now
+                ),
+            }
+        return {
+            "spec": self.spec.to_dict(),
+            "degrade_burn": self.degrade_burn,
+            "shed_burn": self.shed_burn,
+            "good": self._good,
+            "total": self._total,
+            "windows": windows,
+            "decision": self.decision(now),
+        }

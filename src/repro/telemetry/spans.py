@@ -30,17 +30,28 @@ check per call site, not a Span allocation.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from functools import wraps
 
-__all__ = ["SpanRecord", "Tracer"]
+__all__ = ["SpanRecord", "Tracer", "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
 
 
 @dataclass
 class SpanRecord:
-    """One finished span (times in perf-counter nanoseconds)."""
+    """One finished span (times in perf-counter nanoseconds).
+
+    ``trace_id`` groups spans belonging to one logical request or run
+    across process boundaries; it is ``None`` for spans recorded outside
+    any trace context (process-local tracing, the common batch case).
+    """
 
     name: str
     span_id: int
@@ -51,6 +62,7 @@ class SpanRecord:
     attrs: dict = field(default_factory=dict)
     error: bool = False
     error_type: str | None = None
+    trace_id: str | None = None
 
     @property
     def duration_ns(self) -> int:
@@ -71,6 +83,8 @@ class SpanRecord:
             "thread_id": self.thread_id,
             "attrs": dict(self.attrs),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.error:
             out["error"] = True
             out["error_type"] = self.error_type
@@ -109,6 +123,11 @@ class _SpanHandle:
         if self._record is not None:
             self._record.attrs.update(attrs)
 
+    @property
+    def span_id(self) -> int | None:
+        """The live span's id (``None`` before entry / when disabled)."""
+        return self._record.span_id if self._record is not None else None
+
     def __call__(self, fn):
         @wraps(fn)
         def wrapper(*args, **kwargs):
@@ -141,6 +160,10 @@ class _NullSpan:
     def annotate(self, **attrs) -> None:
         pass
 
+    @property
+    def span_id(self) -> None:
+        return None
+
     def __call__(self, fn):
         if self._tracer is None:
             return fn
@@ -151,6 +174,92 @@ class _NullSpan:
             with tracer.span(name, **attrs):
                 return fn(*args, **kwargs)
         return wrapper
+
+
+class _ManualSpan:
+    """Explicitly-parented span handle (no thread-local stack).
+
+    The stack-based :class:`_SpanHandle` derives parentage from "the
+    span open on this thread", which is wrong for async request scopes:
+    many requests interleave on one event-loop thread, and a coalesced
+    batch finishes items whose requests started elsewhere.  A manual
+    span instead carries its ``trace_id``/``parent_id`` explicitly and
+    exposes its ``span_id`` so children in other scopes can link to it.
+
+    Usable as a plain handle (``end()``) or a context manager.  The
+    disabled tracer hands out the shared :data:`_NULL_MANUAL`, whose
+    ``span_id`` is ``None`` and whose methods do nothing.
+    """
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer | None", record: SpanRecord | None):
+        self._tracer = tracer
+        self._record = record
+
+    @property
+    def span_id(self) -> int | None:
+        return self._record.span_id if self._record is not None else None
+
+    def annotate(self, **attrs) -> None:
+        if self._record is not None:
+            self._record.attrs.update(attrs)
+
+    def end(self, exc_type: type | None = None) -> None:
+        """Finish the span; idempotent (second call is a no-op)."""
+        record = self._record
+        self._record = None
+        if record is None or self._tracer is None:
+            return
+        record.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            record.error = True
+            record.error_type = exc_type.__name__
+        with self._tracer._lock:
+            self._tracer._spans.append(record)
+
+    def __enter__(self) -> "_ManualSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end(exc_type)
+        return False
+
+
+_NULL_MANUAL = _ManualSpan(None, None)
+
+
+class _TraceContext:
+    """Context manager installing an ambient (trace_id, parent_id) pair.
+
+    Pushed onto a *separate* thread-local stack that survives
+    :meth:`Tracer.reset` — a sweep cell installs its parent's trace
+    before the CLI replay path resets telemetry, and the context must
+    outlive that reset.  Installing a context is allowed while tracing
+    is disabled (the cell sets context first, enables trace mode
+    later).
+    """
+
+    __slots__ = ("_tracer", "_entry", "_token")
+
+    def __init__(self, tracer: "Tracer", trace_id: str | None,
+                 parent_span_id: int | None):
+        self._tracer = tracer
+        self._entry = (trace_id, parent_span_id)
+        self._token = False
+
+    def __enter__(self) -> "_TraceContext":
+        self._tracer._context_stack().append(self._entry)
+        self._token = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token:
+            self._token = False
+            stack = self._tracer._context_stack()
+            if stack:
+                stack.pop()
+        return False
 
 
 class Tracer:
@@ -167,6 +276,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._local = threading.local()
+        # Ambient trace context lives apart from the span stack so that
+        # reset() (which drops collected spans and open stacks) keeps
+        # the cross-process trace parentage installed by context().
+        self._ctx = threading.local()
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs):
@@ -181,11 +294,53 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _context_stack(self) -> list[tuple[str | None, int | None]]:
+        stack = getattr(self._ctx, "stack", None)
+        if stack is None:
+            stack = self._ctx.stack = []
+        return stack
+
+    def context(self, trace_id: str | None = None,
+                parent_span_id: int | None = None) -> _TraceContext:
+        """Install an ambient trace for spans begun with an empty stack.
+
+        While the context is active, root spans on this thread inherit
+        *trace_id* and parent to *parent_span_id* — this is how a child
+        process (sweep cell, parallel worker) stamps its whole span
+        tree as a subtree of the parent process's trace.
+        """
+        return _TraceContext(self, trace_id, parent_span_id)
+
+    def current_context(self) -> tuple[str | None, int | None]:
+        """The (trace_id, parent_span_id) a child started now should use.
+
+        The parent is the innermost open span on this thread when there
+        is one (so children attach below the call site), else the
+        ambient context's parent.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            top = stack[-1]
+            trace_id = top.trace_id
+            if trace_id is None:
+                ctx = self._context_stack()
+                trace_id = ctx[-1][0] if ctx else None
+            return trace_id, top.span_id
+        ctx = self._context_stack()
+        if ctx:
+            return ctx[-1]
+        return None, None
+
     def _begin(self, name: str, attrs: dict) -> SpanRecord | None:
         if not self.enabled:
             return None
         stack = self._stack()
-        parent = stack[-1].span_id if stack else None
+        if stack:
+            parent = stack[-1].span_id
+            trace_id = stack[-1].trace_id
+        else:
+            ctx = self._context_stack()
+            trace_id, parent = ctx[-1] if ctx else (None, None)
         record = SpanRecord(
             name=name,
             span_id=next(self._ids),
@@ -194,9 +349,79 @@ class Tracer:
             end_ns=0,
             thread_id=threading.get_ident(),
             attrs=dict(attrs),
+            trace_id=trace_id,
         )
         stack.append(record)
         return record
+
+    def start_span(self, name: str, *, trace_id: str | None = None,
+                   parent_id: int | None = None, **attrs) -> _ManualSpan:
+        """Begin an explicitly-parented span outside the thread stack.
+
+        For async request scopes where thread-locality lies about
+        causality: the caller wires ``trace_id``/``parent_id`` itself
+        and finishes the span with ``end()``.  Returns the shared no-op
+        handle while tracing is disabled.
+        """
+        if not self.enabled:
+            return _NULL_MANUAL
+        record = SpanRecord(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            start_ns=time.perf_counter_ns(),
+            end_ns=0,
+            thread_id=threading.get_ident(),
+            attrs=dict(attrs),
+            trace_id=trace_id,
+        )
+        return _ManualSpan(self, record)
+
+    def adopt(self, records, parent_id: int | None = None,
+              trace_id: str | None = None) -> int:
+        """Graft finished spans from another tracer into this one.
+
+        Used by the parallel executor to merge worker-process span
+        trees back into the parent: every in-batch span id is remapped
+        to a fresh id from this tracer (worker tracers all count from
+        1, so raw ids collide across workers), in-batch parent links
+        are rewritten through the same mapping, and spans with no
+        parent — the worker's roots — are attached to *parent_id*.
+        Records may be :class:`SpanRecord` objects or their
+        ``to_json()`` dict form.  Returns the number adopted.
+        """
+        if not self.enabled or not records:
+            return 0
+        clean: list[SpanRecord] = []
+        mapping: dict[int, int] = {}
+        for rec in records:
+            if isinstance(rec, dict):
+                start_ns = int(rec.get("start_ns", 0))
+                rec = SpanRecord(
+                    name=rec.get("name", "?"),
+                    span_id=int(rec["span_id"]),
+                    parent_id=rec.get("parent_id"),
+                    start_ns=start_ns,
+                    end_ns=start_ns + int(rec.get("duration_ns", 0)),
+                    thread_id=int(rec.get("thread_id", 0)),
+                    attrs=dict(rec.get("attrs", {})),
+                    error=bool(rec.get("error", False)),
+                    error_type=rec.get("error_type"),
+                    trace_id=rec.get("trace_id"),
+                )
+            mapping[rec.span_id] = next(self._ids)
+            clean.append(rec)
+        for rec in clean:
+            rec.span_id = mapping[rec.span_id]
+            if rec.parent_id is None:
+                rec.parent_id = parent_id
+            else:
+                rec.parent_id = mapping.get(rec.parent_id, rec.parent_id)
+            if trace_id is not None and rec.trace_id is None:
+                rec.trace_id = trace_id
+        with self._lock:
+            self._spans.extend(clean)
+        return len(clean)
 
     def _finish(self, record: SpanRecord, exc_type) -> None:
         record.end_ns = time.perf_counter_ns()
@@ -223,6 +448,12 @@ class Tracer:
         return len(self._spans)
 
     def reset(self) -> None:
+        """Drop collected spans and open stacks.
+
+        The ambient trace context (:meth:`context`) deliberately
+        survives: a sweep cell installs its parent's trace before the
+        CLI replay path calls reset, and must stay stamped after.
+        """
         with self._lock:
             self._spans.clear()
         self._local = threading.local()

@@ -710,3 +710,375 @@ class TestTierSnapshot:
         payload = snapshot.to_dict()
         assert json.loads(json.dumps(payload)) == payload
         assert set(payload) == {"counts", "total", "degraded_fraction"}
+
+
+# ----------------------------------------------------------------------
+# Request-level observability: correlation ids, error context, spans
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def tracing():
+    """Trace mode for one test, restored to off afterwards."""
+    from repro import telemetry
+
+    telemetry.configure("trace")
+    telemetry.reset()
+    yield telemetry
+    telemetry.configure("off")
+    telemetry.reset()
+
+
+class TestObservability:
+    def test_response_echoes_wire_ids(self, registry, sample_payloads):
+        root, _ = registry
+        service = make_service(root)
+        payload = dict(sample_payloads[0])
+        payload["request_id"] = "req-caller-7"
+        payload["trace_id"] = "trace-caller-7"
+        response = asyncio.run(service.handle_predict(payload))
+        assert response["request_id"] == "req-caller-7"
+        assert response["trace_id"] == "trace-caller-7"
+
+    def test_absent_ids_are_minted(self, registry, sample_payloads):
+        root, _ = registry
+        service = make_service(root)
+        response = asyncio.run(
+            service.handle_predict(dict(sample_payloads[0]))
+        )
+        assert response["request_id"].startswith("req-")
+        # No wire trace and tracing off: no trace to speak of.
+        assert "trace_id" not in response
+
+    @pytest.mark.parametrize("value", [7, "", "x" * 129, "bad id!"])
+    def test_invalid_wire_id_is_typed(self, value):
+        with pytest.raises(ServeError, match="request_id"):
+            parse_predict_payload({"features": [1.0],
+                                   "request_id": value})
+
+    def test_error_bodies_carry_request_context(self, registry):
+        """Every 4xx/5xx body names the request, the serving model,
+        and the live admission state (satellite: debuggable errors)."""
+        root, chash = registry
+        service = make_service(root)
+
+        async def scenario():
+            return [
+                await service._route("POST", "/predict", b"{not json"),
+                await service._route("POST", "/predict",
+                                     json.dumps({}).encode()),
+                await service._route("GET", "/nope", b""),
+                await service._route("GET", "/metrics?format=xml", b""),
+            ]
+
+        for status, body in asyncio.run(scenario()):
+            assert status >= 400
+            assert body["request_id"].startswith("req-")
+            assert body["model_hash"] == chash
+            assert body["admission"] == {"inflight": 0, "state": "full"}
+
+    def test_error_body_preserves_wire_ids(self, registry):
+        """Ids peeked off an invalid payload still reach the error
+        body, so the caller can correlate its own failed request."""
+        root, _ = registry
+        service = make_service(root)
+        bad = {"request_id": "req-mine", "trace_id": "trace-mine"}
+        status, body = asyncio.run(
+            service._route("POST", "/predict", json.dumps(bad).encode())
+        )
+        assert status == 400
+        assert body["request_id"] == "req-mine"
+        assert body["trace_id"] == "trace-mine"
+
+    def test_unhandled_error_answers_500_and_dumps_flight(
+        self, registry, tmp_path, monkeypatch
+    ):
+        from repro.telemetry import flightrec
+
+        root, chash = registry
+        service = make_service(root, flight_events=64)
+        service.flight_path = tmp_path / "flight.json"
+
+        def boom():
+            raise RuntimeError("exporter bug")
+
+        monkeypatch.setattr(service, "metrics_payload", boom)
+        try:
+            status, body = asyncio.run(
+                service._route("GET", "/metrics", b"")
+            )
+            assert status == 500
+            assert body["reason"] == "internal"
+            assert "RuntimeError" in body["error"]
+            assert body["model_hash"] == chash
+            dump = json.loads(service.flight_path.read_text())
+            assert dump["flight_format_version"] == 1
+            assert dump["reason"] == "unhandled-error"
+            assert any(e["kind"] == "unhandled-error"
+                       and e["endpoint"] == "metrics"
+                       for e in dump["events"])
+        finally:
+            flightrec.disable()
+            flightrec.recorder().clear()
+
+    def test_batch_spans_link_to_request_spans(
+        self, registry, sample_payloads, tracing
+    ):
+        """One coalesced flush yields serve.request -> serve.predict
+        parent-child links per caller plus one batch span naming every
+        trace it served (the tentpole's causality contract)."""
+        root, _ = registry
+        service = make_service(root, max_batch=3, batch_deadline_s=5.0)
+
+        async def scenario():
+            calls = []
+            for i in range(3):
+                payload = dict(sample_payloads[i])
+                payload["request_id"] = f"req-{i}"
+                payload["trace_id"] = f"trace-{i}"
+                calls.append(service.handle_predict(payload))
+            return await asyncio.gather(*calls)
+
+        responses = asyncio.run(scenario())
+        assert [r["trace_id"] for r in responses] == [
+            "trace-0", "trace-1", "trace-2"
+        ]
+        spans = {name: [] for name in
+                 ("serve.request", "serve.predict",
+                  "serve.coalescer.batch")}
+        for record in tracing.spans():
+            if record.name in spans:
+                spans[record.name].append(record)
+        assert len(spans["serve.request"]) == 3
+        assert len(spans["serve.predict"]) == 3
+        assert len(spans["serve.coalescer.batch"]) == 1
+        batch = spans["serve.coalescer.batch"][0]
+        assert batch.attrs["rows"] == 3
+        assert batch.attrs["trace_ids"] == [
+            "trace-0", "trace-1", "trace-2"
+        ]
+        request_by_trace = {r.trace_id: r for r in spans["serve.request"]}
+        for predict in spans["serve.predict"]:
+            parent = request_by_trace[predict.trace_id]
+            assert predict.parent_id == parent.span_id
+            assert predict.attrs["batch_span_id"] == batch.span_id
+            assert predict.attrs["tier"] == "model"
+        for i, request in enumerate(spans["serve.request"]):
+            assert request.attrs["decision"] == "full"
+            assert request.attrs["request_id"].startswith("req-")
+        # The Chrome export carries the trace ids where viewers (and
+        # repro report) can see them.
+        trace_doc = tracing.chrome_trace(tracing.spans())
+        exported = {e["args"].get("trace_id")
+                    for e in trace_doc["traceEvents"]
+                    if e.get("ph") == "X" and e["name"] == "serve.predict"}
+        assert exported == {"trace-0", "trace-1", "trace-2"}
+
+    def test_degraded_answers_get_a_tier_span(
+        self, registry, sample_payloads, tracing
+    ):
+        root, _ = registry
+        service = make_service(root, soft_inflight=1, max_inflight=100,
+                               max_batch=100, batch_deadline_s=0.03)
+        payload = dict(sample_payloads[0])
+        payload["trace_id"] = "trace-deg"
+
+        async def scenario():
+            return await asyncio.gather(*(
+                service.handle_predict(dict(payload)) for _ in range(4)
+            ))
+
+        asyncio.run(scenario())
+        degrades = [r for r in tracing.spans()
+                    if r.name == "serve.degrade"]
+        requests = {r.span_id: r for r in tracing.spans()
+                    if r.name == "serve.request"}
+        assert len(degrades) == 3
+        for span in degrades:
+            assert span.trace_id == "trace-deg"
+            assert span.attrs["tier"] == "mean_rpv"
+            assert span.parent_id in requests
+
+    def test_minted_trace_id_when_tracing(
+        self, registry, sample_payloads, tracing
+    ):
+        root, _ = registry
+        service = make_service(root)
+        response = asyncio.run(
+            service.handle_predict(dict(sample_payloads[0]))
+        )
+        assert response["trace_id"]  # minted, echoed
+        request = [r for r in tracing.spans()
+                   if r.name == "serve.request"][0]
+        assert request.trace_id == response["trace_id"]
+
+    def test_prometheus_exposition_over_route(self, registry,
+                                              sample_payloads):
+        import importlib.util
+        from pathlib import Path
+
+        from repro import telemetry
+
+        root, _ = registry
+        service = make_service(root)
+        telemetry.configure("metrics")
+        telemetry.reset()
+        try:
+            async def scenario():
+                await service._route(
+                    "POST", "/predict",
+                    json.dumps(dict(sample_payloads[0])).encode(),
+                )
+                return await self._respond_capture(service)
+
+            status, body = asyncio.run(scenario())
+            assert status == 200
+            text = str(body)
+            assert text.startswith("# TYPE repro_serve_http_requests_total")
+            assert 'repro_serve_http_requests_total{endpoint="predict"} 1' \
+                in text
+            assert "# TYPE repro_serve_http_predict_seconds histogram" \
+                in text
+            assert 'repro_serve_http_predict_seconds_bucket{le="+Inf"} 1' \
+                in text
+            checker_path = (Path(__file__).resolve().parent.parent
+                            / "tools" / "check_prometheus.py")
+            spec = importlib.util.spec_from_file_location(
+                "check_prometheus", checker_path
+            )
+            checker = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(checker)
+            assert checker.check_exposition(text) == []
+        finally:
+            telemetry.configure("off")
+            telemetry.reset()
+
+    @staticmethod
+    async def _respond_capture(service):
+        return await service._route("GET", "/metrics?format=prometheus",
+                                    b"")
+
+    def test_prometheus_body_is_plain_text_over_http(
+        self, registry, sample_payloads
+    ):
+        """End-to-end over a real socket: the exposition answers with
+        the text content type, not JSON."""
+        root, _ = registry
+        service = make_service(root)
+
+        async def scenario():
+            host, port = await service.start("127.0.0.1", 0)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"GET /metrics?format=prometheus HTTP/1.1\r\n"
+                    b"connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                return raw
+            finally:
+                await service.stop()
+
+        raw = asyncio.run(scenario()).decode()
+        head, _, body = raw.partition("\r\n\r\n")
+        assert "200 OK" in head
+        assert "content-type: text/plain; version=0.0.4" in head
+        assert body.startswith("# TYPE ")
+
+    def test_metrics_bad_format_is_typed_400(self, registry):
+        root, _ = registry
+        service = make_service(root)
+        status, body = asyncio.run(
+            service._route("GET", "/metrics?format=xml", b"")
+        )
+        assert status == 400
+        assert body["reason"] == "bad-format"
+
+
+# ----------------------------------------------------------------------
+# SLO-driven admission at the service level
+# ----------------------------------------------------------------------
+class TestSLOAdmission:
+    def _policy(self, threshold_s=1e-9, shed_burn=4.0):
+        from repro.telemetry.slo import SLOShedPolicy, SLOSpec
+
+        spec = SLOSpec(name="serve-predict-latency", objective="latency",
+                       target=0.9, histogram="serve.http.predict.seconds",
+                       threshold_s=threshold_s)
+        return SLOShedPolicy(spec, degrade_burn=1.0, shed_burn=shed_burn)
+
+    def test_default_service_has_no_slo(self, registry):
+        root, _ = registry
+        service = make_service(root)
+        assert service.admission.slo is None
+        assert "slo" not in service.metrics_payload()["service"]["admission"]
+
+    def test_sustained_burn_sheds_deterministically(
+        self, registry, sample_payloads
+    ):
+        """With an unmeetable threshold every answered request burns
+        budget, so exactly one request succeeds and every later one is
+        shed — the same count on every run (seeded determinism)."""
+        root, _ = registry
+        service = make_service(root, slo=self._policy(threshold_s=1e-9),
+                               max_batch=1, batch_deadline_s=0.001)
+
+        async def scenario():
+            outcomes = []
+            for payload in sample_payloads:
+                try:
+                    response = await service.handle_predict(dict(payload))
+                    outcomes.append(response["tier"])
+                except ServeError as exc:
+                    outcomes.append(exc.reason)
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert outcomes == ["model"] + ["shed"] * 5
+        assert service.admission.counts["shed"] == 5
+        snapshot = service.metrics_payload()["service"]["admission"]
+        assert snapshot["slo"]["decision"] == "shed"
+        assert snapshot["slo"]["total"] == 1  # shed requests never observe
+
+    def test_healthy_latency_stays_full(self, registry, sample_payloads):
+        root, _ = registry
+        service = make_service(root, slo=self._policy(threshold_s=60.0),
+                               max_batch=1, batch_deadline_s=0.001)
+
+        async def scenario():
+            for payload in sample_payloads:
+                await service.handle_predict(dict(payload))
+
+        asyncio.run(scenario())
+        assert service.admission.counts == {"full": 6, "degraded": 0,
+                                            "shed": 0}
+        snapshot = service.admission.snapshot()["slo"]
+        assert snapshot["decision"] == "full"
+        assert snapshot["good"] == 6
+
+    def test_shed_transition_records_flight_event(
+        self, registry, sample_payloads, tmp_path
+    ):
+        from repro.telemetry import flightrec
+
+        root, _ = registry
+        service = make_service(root, slo=self._policy(threshold_s=1e-9),
+                               max_batch=1, batch_deadline_s=0.001,
+                               flight_events=64)
+        service.flight_path = tmp_path / "flight.json"
+        try:
+            async def scenario():
+                await service.handle_predict(dict(sample_payloads[0]))
+                with pytest.raises(ServeError):
+                    await service.handle_predict(dict(sample_payloads[1]))
+
+            asyncio.run(scenario())
+            dump = json.loads(service.flight_path.read_text())
+            assert dump["reason"] == "shed-transition"
+            transitions = [e for e in dump["events"]
+                           if e["kind"] == "admission-transition"]
+            assert transitions[-1]["previous"] == "full"
+            assert transitions[-1]["decision"] == "shed"
+        finally:
+            flightrec.disable()
+            flightrec.recorder().clear()

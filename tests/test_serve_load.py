@@ -230,3 +230,113 @@ def test_http_surface(load_registry, load_payloads):
     assert body["recommended"] in body["systems"]
     status, body = results["bad_payload"]
     assert status == 400 and "unknown request key" in body["error"]
+
+
+def _latency_slo(threshold_s):
+    from repro.telemetry.slo import SLOShedPolicy, SLOSpec
+
+    spec = SLOSpec(name="serve-predict-latency", objective="latency",
+                   target=0.9, histogram="serve.http.predict.seconds",
+                   threshold_s=threshold_s)
+    return SLOShedPolicy(spec, degrade_burn=1.0, shed_burn=4.0)
+
+
+def test_slo_burn_sheds_exact_counts(load_registry):
+    """SLO admission over real HTTP: with an unmeetable latency
+    threshold every answered request burns budget, so the shed count is
+    exact and identical run after run — one 200, then typed 503s whose
+    bodies name the request and the admission state."""
+    payloads = synthesize_payloads(8, seed=7)
+
+    async def scenario():
+        manager = ModelManager(load_registry)
+        manager.promote(manager.resolve_hash(None))
+        service = PredictionService(manager, slo=_latency_slo(1e-9),
+                                    max_batch=1, batch_deadline_s=0.001)
+        host, port = await service.start(port=0)
+        try:
+            results = []
+            for i, payload in enumerate(payloads):
+                payload = dict(payload)
+                payload["request_id"] = f"req-load-{i}"
+                results.append(await http_request(
+                    host, port, "POST", "/predict", payload=payload
+                ))
+            return results, service.admission.snapshot()
+        finally:
+            await service.stop()
+
+    results, admission = asyncio.run(scenario())
+    statuses = [status for status, _ in results]
+    assert statuses == [200] + [503] * 7
+    for i, (status, body) in enumerate(results):
+        assert body["request_id"] == f"req-load-{i}"
+        if status == 503:
+            assert body["reason"] == "shed"
+            assert body["admission"]["state"] == "shed"
+    assert admission["decisions"] == {"full": 1, "degraded": 0, "shed": 7}
+    # Shed 503s never feed the burn tracker: one answered request.
+    assert admission["slo"]["total"] == 1
+    assert admission["slo"]["decision"] == "shed"
+
+
+def test_slo_feature_off_counters_unchanged(load_registry, load_payloads):
+    """No policy installed: the SLO-capable controller reproduces the
+    watermark run bit-for-bit (the feature-off contract)."""
+    report, metrics = asyncio.run(_serve_load(
+        load_registry, load_payloads, rate_per_second=400.0, slo=None,
+    ))
+    n_malformed = round(N_REQUESTS * MALFORMED_FRACTION)
+    assert report.sent == N_REQUESTS
+    assert report.shed == 0 and report.failed == 0
+    assert report.rejected == n_malformed
+    admission = metrics["service"]["admission"]
+    assert "slo" not in admission
+    assert admission["decisions"]["full"] == N_REQUESTS - n_malformed
+
+
+def test_shed_flight_dump_survives_verify_run(load_registry, tmp_path):
+    """A shed transition dumps flight.json into the run dir, and the
+    finalized run (dump included) passes artifact verification."""
+    from repro.artifacts import RunDir, verify_run
+    from repro.config import ExperimentConfig, ServeConfig
+    from repro.telemetry import flightrec
+
+    payloads = synthesize_payloads(4, seed=9)
+    run = RunDir.create(
+        tmp_path, ExperimentConfig("serve",
+                                   ServeConfig(registry=str(load_registry)))
+    )
+
+    async def scenario():
+        manager = ModelManager(load_registry)
+        manager.promote(manager.resolve_hash(None))
+        service = PredictionService(manager, slo=_latency_slo(1e-9),
+                                    max_batch=1, batch_deadline_s=0.001,
+                                    flight_events=128)
+        service.flight_path = run.file("flight.json")
+        host, port = await service.start(port=0)
+        try:
+            return [
+                (await http_request(host, port, "POST", "/predict",
+                                    payload=dict(p)))[0]
+                for p in payloads
+            ]
+        finally:
+            await service.stop()
+
+    try:
+        statuses = asyncio.run(scenario())
+        assert statuses == [200, 503, 503, 503]
+        dump = json.loads(run.file("flight.json").read_text())
+        assert dump["flight_format_version"] == 1
+        assert dump["reason"] == "shed-transition"
+        kinds = {event["kind"] for event in dump["events"]}
+        assert "admission-transition" in kinds
+        assert "coalescer-flush" in kinds  # the batch path records too
+        run.finalize()
+        verified = verify_run(run.path)
+        assert "flight.json" in verified.files()
+    finally:
+        flightrec.disable()
+        flightrec.recorder().clear()

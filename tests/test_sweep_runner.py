@@ -275,3 +275,56 @@ class TestKillAndResume:
         assert before == after  # only the (existing) report file touched
         payload = json.loads((base / "killed" / REPORT_NAME).read_text())
         assert payload["spec_hash"] == spec.content_hash()
+
+
+# ---------------------------------------------------------------------------
+# Cross-process trace stamping
+# ---------------------------------------------------------------------------
+class TestTraceStamping:
+    def test_cell_spans_join_the_sweep_trace(self, tmp_path):
+        """In trace mode every cell subprocess inherits the sweep's
+        trace id, and the cell's root spans parent under the parent
+        process's sweep.run span — one causal tree across processes."""
+        from repro import telemetry
+
+        # A schedule cell: the simulator is span-instrumented, so the
+        # cell's trace.json is guaranteed non-empty.
+        spec = SweepSpec(
+            name="traced", command="schedule",
+            base={"jobs": 20, "inputs_per_app": 1,
+                  "strategies": ["model"], "seed": 0},
+            axes={"fault_profile": ["none"]},
+        )
+        telemetry.configure("trace")
+        telemetry.reset()
+        try:
+            plan = plan_sweep(spec, tmp_path / "root")
+            result = SweepRunner(plan, jobs=1, retry=FAST_RETRY).run()
+            assert result.ok
+            sweep_span = [r for r in telemetry.spans()
+                          if r.name == "sweep.run"][0]
+            assert sweep_span.trace_id is not None
+
+            trace = json.loads(
+                (plan.cells[0].run_dir / "trace.json").read_text()
+            )
+            events = [e for e in trace["traceEvents"]
+                      if e.get("ph") == "X"]
+            assert events
+            assert {e["args"].get("trace_id") for e in events} \
+                == {sweep_span.trace_id}
+            roots = [e for e in events
+                     if e["args"]["parent_id"] == sweep_span.span_id]
+            assert roots  # the cell's top span hangs off sweep.run
+        finally:
+            telemetry.configure("off")
+            telemetry.reset()
+
+    def test_untraced_sweep_ships_no_trace_context(self, tmp_path):
+        """Telemetry off (the default): cell payload trace plumbing is
+        inert and the cell writes no trace artifact."""
+        spec = SweepSpec(**{**PAIR_KWARGS, "axes": {"app": ["AMG"]}})
+        plan = plan_sweep(spec, tmp_path / "root")
+        result = SweepRunner(plan, jobs=1, retry=FAST_RETRY).run()
+        assert result.ok
+        assert not (plan.cells[0].run_dir / "trace.json").exists()

@@ -579,3 +579,103 @@ class TestCLI:
 
         assert main(["report", str(tmp_path)]) == 2
         assert "not a run directory" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Reset keeps handed-out metric handles live (regression: reset() used
+# to discard the objects, so any module that cached a counter kept
+# feeding an orphan the snapshot never saw again)
+# ---------------------------------------------------------------------------
+class TestResetRebind:
+    def test_registry_handles_survive_reset(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        hist = reg.histogram("h", (1.0,))
+        gauge = reg.gauge("g")
+        counter.inc(3)
+        hist.observe(0.5)
+        gauge.set(7)
+        reg.reset()
+        # Untouched-since-reset metrics stay out of the snapshot...
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        # ...and the PRE-reset handles still feed the registry.
+        counter.inc(2)
+        hist.observe(2.0)
+        gauge.set(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["counts"] == [0, 1]
+        # Same objects, not re-registered lookalikes.
+        assert reg.counter("c") is counter
+        assert reg.histogram("h", (1.0,)) is hist
+
+    def test_module_level_handle_survives_reset(self):
+        telemetry.configure("metrics")
+        cached = telemetry.counter("xr.cached")
+        cached.inc()
+        telemetry.reset()
+        cached.inc(5)
+        assert telemetry.snapshot()["counters"] == {"xr.cached": 5}
+
+
+# ---------------------------------------------------------------------------
+# Cross-process span merging: jobs=2 must rebuild jobs=1's span tree
+# ---------------------------------------------------------------------------
+def _span_task(n: int) -> int:
+    """Module-level worker: a two-level span tree per task."""
+    with telemetry.span("xp.item", n=n):
+        with telemetry.span("xp.inner"):
+            pass
+    return n
+
+
+def _tree_digest(records):
+    """Structural digest of a span forest: names + parent-child shape.
+
+    Ignores span ids, timing, and sibling order — the only things
+    allowed to differ between an inline run and a pool run.
+    """
+    names = {r.span_id: r.name for r in records}
+    children: dict = {}
+    for r in records:
+        parent = r.parent_id if r.parent_id in names else None
+        children.setdefault(parent, []).append(r.span_id)
+
+    def node(span_id):
+        kids = tuple(sorted(node(c) for c in children.get(span_id, [])))
+        return (names[span_id], kids)
+
+    return tuple(sorted(node(root) for root in children.get(None, [])))
+
+
+class TestCrossProcessSpanMerge:
+    def _run(self, jobs: int):
+        from repro.parallel import run_tasks
+
+        telemetry.configure("trace")
+        telemetry.reset()
+        with telemetry.trace_context("trace-xp"):
+            with telemetry.span("xp.run"):
+                run_tasks(_span_task, [1, 2, 3], jobs=jobs)
+        return telemetry.spans()
+
+    def test_jobs2_tree_structurally_equals_jobs1(self):
+        seq = self._run(jobs=1)
+        par = self._run(jobs=2)
+        digest = _tree_digest(seq)
+        assert _tree_digest(par) == digest
+        # Pin the shape itself, not just the equality: one xp.run root
+        # holding three xp.item children, each with one xp.inner child.
+        item = ("xp.item", (("xp.inner", ()),))
+        assert digest == (("xp.run", (item, item, item)),)
+
+    def test_adopted_spans_join_the_callers_trace(self):
+        par = self._run(jobs=2)
+        assert {r.trace_id for r in par} == {"trace-xp"}
+        run_span = [r for r in par if r.name == "xp.run"][0]
+        items = [r for r in par if r.name == "xp.item"]
+        assert len(items) == 3
+        assert {r.parent_id for r in items} == {run_span.span_id}

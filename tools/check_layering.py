@@ -59,6 +59,8 @@ _TELEMETRY_DEPS = {
     "repro.telemetry.spans",
     "repro.telemetry.export",
     "repro.telemetry.report",
+    "repro.telemetry.slo",
+    "repro.telemetry.flightrec",
 }
 
 #: Sweep-layer modules: spine + artifact store + parallel/retry + each
@@ -138,6 +140,8 @@ ALLOWED = {
     "repro.telemetry.spans": _TELEMETRY_DEPS,
     "repro.telemetry.export": _TELEMETRY_DEPS,
     "repro.telemetry.report": _TELEMETRY_DEPS,
+    "repro.telemetry.slo": _TELEMETRY_DEPS,
+    "repro.telemetry.flightrec": _TELEMETRY_DEPS,
     # Descriptor plumbing: the canonical machine descriptor sits just
     # above hardware/config, and the machine registry may reach *down*
     # into config only to install the digest resolver (dependency

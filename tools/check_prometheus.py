@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text-exposition document (format 0.0.4).
+
+CI's serve-smoke job curls ``/metrics?format=prometheus`` and pipes the
+body through this checker, so a malformed exposition — bad sample
+syntax, a family contradicting its ``# TYPE``, non-monotone histogram
+buckets, a ``_count`` that disagrees with the ``+Inf`` bucket — fails
+the build instead of failing the first real scrape.
+
+The parser is deliberately tiny and dependency-free: line-oriented,
+strict about what the repo's own exporter emits, tolerant of what the
+format allows (untyped families, help lines, blank lines).
+
+Usage::
+
+    python tools/check_prometheus.py metrics.prom
+    curl -s "localhost:9099/metrics?format=prometheus" | \
+        python tools/check_prometheus.py -
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+__all__ = ["check_exposition", "parse_exposition"]
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>.*)"$')
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Suffixes a histogram family's samples may carry.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_labels(raw: str, errors: list, lineno: int) -> dict:
+    """Parse a ``k="v",...`` label body (escapes stay escaped)."""
+    labels: dict[str, str] = {}
+    if not raw:
+        return labels
+    # Split on commas not preceded by a backslash-escaped quote; the
+    # exporter never puts a comma inside a label value unescaped, and a
+    # stray one shows up as a parse error here — which is the point.
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = _LABEL.match(part)
+        if match is None:
+            errors.append(f"line {lineno}: malformed label {part!r}")
+            continue
+        labels[match.group("key")] = match.group("value")
+    return labels
+
+
+def parse_exposition(text: str) -> tuple[dict, dict, list]:
+    """Parse exposition *text*.
+
+    Returns ``(samples, types, errors)``: samples maps
+    ``(family, label-tuple)`` to float values keyed in document order,
+    types maps family name to its declared ``# TYPE``, and errors is a
+    list of human-readable defects (empty = clean parse).
+    """
+    samples: dict = {}
+    types: dict[str, str] = {}
+    errors: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, family, kind = parts
+            if not _NAME.match(family):
+                errors.append(
+                    f"line {lineno}: bad family name {family!r}"
+                )
+            if kind not in _TYPES:
+                errors.append(
+                    f"line {lineno}: unknown metric type {kind!r}"
+                )
+            if family in types:
+                errors.append(
+                    f"line {lineno}: duplicate TYPE for {family!r}"
+                )
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", errors, lineno)
+        raw_value = match.group("value")
+        if raw_value in ("+Inf", "Inf"):
+            value = math.inf
+        elif raw_value == "-Inf":
+            value = -math.inf
+        elif raw_value == "NaN":
+            value = math.nan
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: non-numeric value {raw_value!r}"
+                )
+                continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in samples:
+            errors.append(
+                f"line {lineno}: duplicate sample {name}{labels!r}"
+            )
+        samples[key] = value
+    return samples, types, errors
+
+
+def _family_of(name: str, types: dict) -> str:
+    """The declared family a sample belongs to (histogram suffixes)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) in ("histogram", "summary"):
+            return base
+    if name.endswith("_total") and name[: -len("_total")] in types:
+        return name[: -len("_total")]
+    return name
+
+
+def check_exposition(text: str) -> list[str]:
+    """All defects in *text* (empty list = valid)."""
+    samples, types, errors = parse_exposition(text)
+    if not samples and not errors:
+        errors.append("document contains no samples")
+
+    by_family: dict[str, dict] = {}
+    for (name, labels), value in samples.items():
+        family = _family_of(name, types)
+        by_family.setdefault(family, {})[(name, labels)] = value
+
+    for family, fam_samples in sorted(by_family.items()):
+        kind = types.get(family)
+        if kind == "counter":
+            for (name, _labels), value in fam_samples.items():
+                if not name == family + "_total" and not name == family:
+                    errors.append(
+                        f"{family}: counter sample {name!r} lacks the "
+                        f"_total suffix"
+                    )
+                if value < 0 or math.isnan(value):
+                    errors.append(
+                        f"{family}: counter value {value} is negative "
+                        f"or NaN"
+                    )
+        if kind == "histogram":
+            errors.extend(_check_histogram(family, fam_samples))
+    return errors
+
+
+def _check_histogram(family: str, fam_samples: dict) -> list[str]:
+    """le-bucket discipline: monotone, capped by +Inf == _count."""
+    errors: list[str] = []
+    buckets: list[tuple[float, float]] = []
+    total = None
+    for (name, labels), value in fam_samples.items():
+        if name == family + "_bucket":
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"{family}: bucket sample without le label")
+                continue
+            edge = math.inf if le == "+Inf" else float(le)
+            buckets.append((edge, value))
+        elif name == family + "_count":
+            total = value
+    buckets.sort(key=lambda pair: pair[0])
+    if not buckets or buckets[-1][0] != math.inf:
+        errors.append(f"{family}: histogram has no +Inf bucket")
+        return errors
+    previous = 0.0
+    for edge, count in buckets:
+        if count < previous:
+            errors.append(
+                f"{family}: bucket le={edge} count {count} < previous "
+                f"{previous} (cumulative counts must be monotone)"
+            )
+        previous = count
+    if total is None:
+        errors.append(f"{family}: histogram has no _count sample")
+    elif total != buckets[-1][1]:
+        errors.append(
+            f"{family}: _count {total} != +Inf bucket {buckets[-1][1]}"
+        )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1]) as handle:
+            text = handle.read()
+    errors = check_exposition(text)
+    for error in errors:
+        print(f"ERROR: {error}")
+    if errors:
+        print(f"{len(errors)} exposition defect(s)")
+        return 1
+    families = len({name for name, _ in parse_exposition(text)[0]})
+    print(f"exposition OK ({families} sample name(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
